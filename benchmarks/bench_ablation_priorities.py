@@ -1,0 +1,80 @@
+"""E12 — ablation: what does the R_w priority distribution buy?
+
+randPr draws each set's priority from R_{w(S)} (the max of w(S) uniforms), so
+heavier sets win local contests with probability proportional to their
+weight.  The ablation compares, on weighted instances:
+
+* randPr                (R_w priorities, fresh randomness),
+* randPr-hashed         (R_w priorities derived from a hash — the distributed form),
+* uniform-priority      (a single uniform priority per set: R_1, weights ignored),
+* uniform-random        (fresh random choice per element: no consistency at all).
+
+Expected shape: the two R_w variants are statistically indistinguishable;
+dropping weight sensitivity costs benefit on weighted inputs; dropping
+per-set consistency (uniform-random) is far worse than everything else.
+"""
+
+import random
+
+from repro.algorithms import (
+    HashedRandPrAlgorithm,
+    RandPrAlgorithm,
+    UniformRandomAlgorithm,
+    UnweightedPriorityAlgorithm,
+)
+from repro.experiments import estimate_opt, format_table, measure_ratio
+from repro.workloads import random_weighted_instance
+
+NUM_INSTANCES = 4
+TRIALS = 40
+
+
+def test_e12_priority_ablation(run_once, experiment_report):
+    algorithms = [
+        RandPrAlgorithm(),
+        HashedRandPrAlgorithm(),
+        UnweightedPriorityAlgorithm(),
+        UniformRandomAlgorithm(),
+    ]
+
+    def experiment():
+        totals = {algorithm.name: {"benefit": 0.0, "ratio": 0.0} for algorithm in algorithms}
+        for index in range(NUM_INSTANCES):
+            instance = random_weighted_instance(
+                30, 42, (2, 4), random.Random(50 + index), weight_range=(1.0, 9.0)
+            )
+            opt = estimate_opt(instance.system, method="auto")
+            for algorithm in algorithms:
+                measurement = measure_ratio(
+                    instance, algorithm, trials=TRIALS, seed=index, opt=opt
+                )
+                totals[algorithm.name]["benefit"] += measurement.mean_benefit
+                totals[algorithm.name]["ratio"] += measurement.ratio
+        rows = []
+        for name, sums in totals.items():
+            rows.append(
+                {
+                    "algorithm": name,
+                    "mean_benefit": round(sums["benefit"] / NUM_INSTANCES, 2),
+                    "mean_ratio": round(sums["ratio"] / NUM_INSTANCES, 3),
+                }
+            )
+        return rows
+
+    rows = run_once(experiment)
+    text = format_table(
+        rows,
+        title="E12: priority-mechanism ablation on weighted instances "
+        "(R_w vs unweighted priorities vs per-element randomness)",
+    )
+    experiment_report("E12_ablation_priorities", text)
+
+    by_name = {row["algorithm"]: row for row in rows}
+    # R_w (fresh) and R_w (hashed) agree closely.
+    assert abs(
+        by_name["randPr"]["mean_ratio"] - by_name["randPr-hashed"]["mean_ratio"]
+    ) < 0.6
+    # Weight-sensitive priorities beat weight-blind ones on weighted inputs.
+    assert by_name["randPr"]["mean_ratio"] <= by_name["uniform-priority"]["mean_ratio"] + 0.2
+    # Consistent priorities crush per-element re-randomization.
+    assert by_name["randPr"]["mean_ratio"] < by_name["uniform-random"]["mean_ratio"]

@@ -1,0 +1,64 @@
+"""E8 — Figure 1: the stage structure of the Lemma 9 construction.
+
+Figure 1 of the paper depicts the three gadget stages of the randomized
+lower-bound construction (ell x ell blocks, then ell x ell^2 concatenations,
+then the final (ell^2 - ell) x ell^2 gadget), followed by the load-one tail.
+
+The experiment builds the construction for several ell, measures the per-stage
+element counts, the load profile, the set sizes and the planted optimum, and
+checks each against the closed-form profile that Lemma 9 promises
+(stage I: ell^4 elements of load ell; stage II: ell^5 of load ell;
+stage III: ell^4 of load ell^2 - ell plus ell^2 - ell of load ell^2;
+stage IV: ell^5 of load 1; opt >= ell^3; sigma_max = ell^2).
+"""
+
+import random
+
+from repro.core import compute_statistics
+from repro.core.statistics import load_histogram
+from repro.experiments import format_table
+from repro.lowerbounds import build_lemma9_instance, theoretical_profile
+
+ELLS = (2, 3, 4)
+
+
+def test_e8_figure1_construction(run_once, experiment_report):
+    def experiment():
+        rows = []
+        for ell in ELLS:
+            sample = build_lemma9_instance(ell, random.Random(ell))
+            profile = theoretical_profile(ell)
+            stats = compute_statistics(sample.instance.system)
+            histogram = load_histogram(sample.instance.system)
+            rows.append(
+                {
+                    "ell": ell,
+                    "sets (built/paper)": f"{stats.num_sets}/{profile['num_sets']}",
+                    "stageI elems": f"{sample.stage_element_counts['stage1_elements']}"
+                                    f"/{profile['stage1_elements']}",
+                    "stageII elems": f"{sample.stage_element_counts['stage2_elements']}"
+                                     f"/{profile['stage2_elements']}",
+                    "stageIII elems": f"{sample.stage_element_counts['stage3_slope_elements'] + sample.stage_element_counts['stage3_row_elements']}"
+                                      f"/{profile['stage3_slope_elements'] + profile['stage3_row_elements']}",
+                    "stageIV elems": f"{sample.stage_element_counts['stage4_elements']}"
+                                     f"/{profile['stage4_elements']}",
+                    "planted opt": f"{sample.planted_benefit}/{profile['planted_opt']}",
+                    "sigma_max": f"{stats.sigma_max}/{profile['sigma_max']}",
+                    "load-1 elems": histogram.get(1, 0),
+                }
+            )
+        return rows
+
+    rows = run_once(experiment)
+    text = format_table(
+        rows,
+        title="E8: Figure 1 / Lemma 9 construction — built vs paper-predicted structure",
+    )
+    experiment_report("E8_figure1_construction", text)
+
+    for row, ell in zip(rows, ELLS):
+        for key in ("sets (built/paper)", "stageI elems", "stageII elems",
+                    "stageIII elems", "stageIV elems", "planted opt", "sigma_max"):
+            built, paper = str(row[key]).split("/")
+            assert built == paper, (key, row)
+        assert row["load-1 elems"] == ell ** 5

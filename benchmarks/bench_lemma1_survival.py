@@ -1,0 +1,68 @@
+"""E7 — Lemma 1: the survival probability of a set under randPr.
+
+Paper claim (the engine of every upper bound): for every set S,
+``Pr[S ∈ alg] = w(S) / w(N[S])`` on unit-capacity instances.
+
+The experiment Monte-Carlo-estimates the survival probability of every set on
+a weighted instance and compares it with the closed form, reporting the
+largest absolute deviation.  It also checks the induced identity
+``E[w(alg)] = Σ_S w(S)^2 / w(N[S])``.
+"""
+
+import random
+
+from repro.algorithms import RandPrAlgorithm
+from repro.core import OnlineInstance, simulate
+from repro.experiments import format_table
+from repro.workloads import random_weighted_instance
+
+TRIALS = 3000
+
+
+def test_e7_lemma1_survival(run_once, experiment_report):
+    instance = random_weighted_instance(
+        12, 18, (2, 3), random.Random(3), weight_range=(1.0, 6.0)
+    )
+    system = instance.system
+
+    def experiment():
+        counts = {set_id: 0 for set_id in system.set_ids}
+        total_benefit = 0.0
+        for trial in range(TRIALS):
+            result = simulate(instance, RandPrAlgorithm(), rng=random.Random(trial))
+            total_benefit += result.benefit
+            for set_id in result.completed_sets:
+                counts[set_id] += 1
+        return counts, total_benefit / TRIALS
+
+    counts, mean_benefit = run_once(experiment)
+
+    rows = []
+    worst_gap = 0.0
+    for set_id in system.set_ids:
+        empirical = counts[set_id] / TRIALS
+        predicted = system.weight(set_id) / system.neighbourhood_weight(set_id)
+        worst_gap = max(worst_gap, abs(empirical - predicted))
+        rows.append(
+            {
+                "set": str(set_id),
+                "weight": round(system.weight(set_id), 2),
+                "w(N[S])": round(system.neighbourhood_weight(set_id), 2),
+                "predicted_Pr": round(predicted, 4),
+                "empirical_Pr": round(empirical, 4),
+                "abs_error": round(abs(empirical - predicted), 4),
+            }
+        )
+    predicted_benefit = sum(
+        system.weight(s) ** 2 / system.neighbourhood_weight(s) for s in system.set_ids
+    )
+    text = format_table(rows, title="E7: Lemma 1 — Pr[S in alg] = w(S)/w(N[S])")
+    text += (
+        f"\n\npredicted E[w(alg)] = {predicted_benefit:.3f}, "
+        f"measured = {mean_benefit:.3f}, trials = {TRIALS}, "
+        f"max per-set |error| = {worst_gap:.4f}"
+    )
+    experiment_report("E7_lemma1_survival", text)
+
+    assert worst_gap < 0.05
+    assert abs(mean_benefit - predicted_benefit) / predicted_benefit < 0.08

@@ -1,0 +1,91 @@
+"""E10 — multi-hop scheduling of multi-part tasks (Section 1, second scenario).
+
+Packets traversing several switches are delivered only if no switch drops
+them; each (time, switch) pair has bounded capacity.  The experiment sweeps
+the path length of random packet workloads on a line network, compares the
+distributed hash-randPr execution (no coordination between switches) with the
+centralized execution and with a first-listed baseline, and reports delivery
+counts and the ratio against the offline optimum.
+
+Expected shape: distributed and centralized randPr deliver exactly the same
+packets at every point, delivery degrades as routes get longer (sets get
+bigger, exactly the kmax dependence of the bounds), and randPr stays within
+the Corollary 6 bound.
+"""
+
+import random
+
+from repro.algorithms import FirstListedAlgorithm, HashedRandPrAlgorithm
+from repro.core import compute_statistics
+from repro.core.bounds import corollary6_upper_bound
+from repro.experiments import estimate_opt, format_table
+from repro.network import MultiHopNetwork, random_path_workload
+
+NUM_HOPS = 6
+NUM_PACKETS = 60
+TIME_HORIZON = 25
+PATH_LENGTHS = (2, 3, 4, 6)
+SEEDS = (1, 2, 3)
+
+
+def test_e10_multihop(run_once, experiment_report):
+    hop_ids = [f"sw{i}" for i in range(NUM_HOPS)]
+    network = MultiHopNetwork(hop_ids, hop_capacity=1)
+
+    def experiment():
+        rows = []
+        for max_path in PATH_LENGTHS:
+            delivered_distributed = []
+            delivered_centralized = []
+            delivered_baseline = []
+            opts = []
+            bounds = []
+            agreement = True
+            for seed in SEEDS:
+                packets = random_path_workload(
+                    NUM_PACKETS, hop_ids, max_path, TIME_HORIZON, random.Random(seed)
+                )
+                instance = network.instance_for(packets)
+                stats = compute_statistics(instance.system)
+                bounds.append(corollary6_upper_bound(stats))
+                opts.append(estimate_opt(instance.system, method="lp").value)
+                salt = f"hop{max_path}.{seed}"
+                distributed = network.run_distributed(packets, salt=salt)
+                centralized = network.run_centralized(
+                    packets, HashedRandPrAlgorithm(salt=salt)
+                )
+                baseline = network.run_centralized(packets, FirstListedAlgorithm())
+                agreement &= distributed.completed_sets == frozenset(centralized)
+                delivered_distributed.append(distributed.num_completed)
+                delivered_centralized.append(len(centralized))
+                delivered_baseline.append(len(baseline))
+            mean_distributed = sum(delivered_distributed) / len(SEEDS)
+            rows.append(
+                {
+                    "max_path_len": max_path,
+                    "randPr_distributed": round(mean_distributed, 1),
+                    "randPr_centralized": round(sum(delivered_centralized) / len(SEEDS), 1),
+                    "first_listed": round(sum(delivered_baseline) / len(SEEDS), 1),
+                    "LP_opt": round(sum(opts) / len(SEEDS), 1),
+                    "ratio_randPr": round(
+                        (sum(opts) / len(SEEDS)) / max(mean_distributed, 1e-9), 2
+                    ),
+                    "cor6_bound": round(sum(bounds) / len(SEEDS), 1),
+                    "dist==central": agreement,
+                }
+            )
+        return rows
+
+    rows = run_once(experiment)
+    text = format_table(
+        rows,
+        title="E10: multi-hop line network — distributed randPr vs centralized "
+        "vs baseline (mean packets delivered over 3 seeds)",
+    )
+    experiment_report("E10_multihop", text)
+
+    for row in rows:
+        assert row["dist==central"] is True
+        assert row["ratio_randPr"] <= row["cor6_bound"] + 1e-6
+    # Longer routes are harder: delivery does not improve as paths lengthen.
+    assert rows[-1]["randPr_distributed"] <= rows[0]["randPr_distributed"] + 1.0

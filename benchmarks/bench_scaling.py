@@ -1,0 +1,73 @@
+"""E11 — scaling of the simulator and of randPr's decision machinery.
+
+Not a paper table: this experiment characterizes the reproduction itself.
+randPr's per-element work is O(σ log σ) (sorting the parent sets by
+priority), so the total simulation cost grows near-linearly in the number of
+element-set incidences.  The experiment times full simulations on growing
+random instances and reports throughput (incidences processed per second);
+the pytest-benchmark timing of the largest instance is the headline number.
+"""
+
+import random
+import time
+
+from repro.algorithms import RandPrAlgorithm
+from repro.core import simulate
+from repro.experiments import format_table
+from repro.workloads import random_online_instance
+
+SCALES = (
+    (100, 200),
+    (400, 800),
+    (1600, 3200),
+)
+SET_SIZE_RANGE = (2, 5)
+
+
+def _build(num_sets, num_elements, seed=0):
+    return random_online_instance(
+        num_sets, num_elements, SET_SIZE_RANGE, random.Random(seed),
+        name=f"{num_sets}x{num_elements}",
+    )
+
+
+def test_e11_scaling_profile(run_once, experiment_report):
+    def experiment():
+        rows = []
+        for num_sets, num_elements in SCALES:
+            instance = _build(num_sets, num_elements)
+            incidences = sum(
+                instance.system.size(set_id) for set_id in instance.system.set_ids
+            )
+            start = time.perf_counter()
+            result = simulate(instance, RandPrAlgorithm(), rng=random.Random(1))
+            elapsed = time.perf_counter() - start
+            rows.append(
+                {
+                    "sets": num_sets,
+                    "elements": num_elements,
+                    "incidences": incidences,
+                    "completed": result.num_completed,
+                    "seconds": round(elapsed, 4),
+                    "incidences_per_sec": int(incidences / elapsed) if elapsed else 0,
+                }
+            )
+        return rows
+
+    rows = run_once(experiment)
+    text = format_table(rows, title="E11: simulator scaling (randPr, single run per size)")
+    experiment_report("E11_scaling", text)
+
+    # Throughput must not collapse as the instance grows (near-linear scaling).
+    assert rows[-1]["incidences_per_sec"] > rows[0]["incidences_per_sec"] / 20
+
+
+def test_e11_largest_instance_timing(benchmark):
+    """Headline timing: one full randPr simulation at the largest scale."""
+    instance = _build(*SCALES[-1], seed=7)
+
+    def body():
+        return simulate(instance, RandPrAlgorithm(), rng=random.Random(3)).num_completed
+
+    completed = benchmark(body)
+    assert completed >= 0

@@ -1,0 +1,76 @@
+"""E2 — Theorem 2: the randomized lower-bound distribution (Lemma 9).
+
+Paper claim: there is a distribution over instances with ``ell^4`` sets,
+planted optimum ``ell^3``, on which *every* online algorithm (randomized
+included) completes only ``O((log ell / loglog ell)^2)`` sets in expectation,
+giving the ``Ω(kmax (loglog k/log k)^2 sqrt(σmax))`` lower bound.
+
+The experiment samples the distribution for growing ``ell`` and reports the
+mean number of sets completed by deterministic baselines and by randPr,
+against the planted optimum ``ell^3``.  Expected shape: the completed count
+stays nearly flat (polylogarithmic) while the optimum grows like ``ell^3``,
+so the measured ratio blows up with ``ell``.
+"""
+
+import random
+
+from repro.algorithms import FirstListedAlgorithm, GreedyWeightAlgorithm, RandPrAlgorithm
+from repro.core import compute_statistics, simulate
+from repro.core.bounds import theorem2_lower_bound
+from repro.experiments import format_table
+from repro.lowerbounds import build_lemma9_instance
+
+ELLS = (2, 3, 4)
+DRAWS_PER_ELL = 3
+ALGORITHMS = (GreedyWeightAlgorithm, FirstListedAlgorithm, RandPrAlgorithm)
+
+
+def test_e2_randomized_lower_bound(run_once, experiment_report):
+    def experiment():
+        rows = []
+        for ell in ELLS:
+            samples = [
+                build_lemma9_instance(ell, random.Random(1000 * ell + i))
+                for i in range(DRAWS_PER_ELL)
+            ]
+            stats = compute_statistics(samples[0].instance.system)
+            for factory in ALGORITHMS:
+                benefits = []
+                for draw_index, sample in enumerate(samples):
+                    result = simulate(
+                        sample.instance, factory(), rng=random.Random(draw_index)
+                    )
+                    benefits.append(result.benefit)
+                mean_benefit = sum(benefits) / len(benefits)
+                rows.append(
+                    {
+                        "ell": ell,
+                        "algorithm": factory().name,
+                        "mean_completed": round(mean_benefit, 2),
+                        "planted_opt": ell ** 3,
+                        "measured_ratio": round(ell ** 3 / max(mean_benefit, 1e-9), 2),
+                        "thm2_lb_expr": round(
+                            theorem2_lower_bound(stats.k_max, stats.sigma_max), 2
+                        ),
+                        "k_max": stats.k_max,
+                        "sigma_max": stats.sigma_max,
+                    }
+                )
+        return rows
+
+    rows = run_once(experiment)
+    text = format_table(
+        rows,
+        title="E2: online algorithms on the Lemma 9 distribution "
+        "(ratio must grow with ell)",
+    )
+    experiment_report("E2_theorem2_randomized_lb", text)
+
+    # Shape check: the measured ratio of every algorithm grows with ell, and
+    # at the largest ell all algorithms are far from constant-competitive.
+    by_algorithm = {}
+    for row in rows:
+        by_algorithm.setdefault(row["algorithm"], []).append(row["measured_ratio"])
+    for algorithm, ratios in by_algorithm.items():
+        assert ratios[-1] > ratios[0], algorithm
+        assert ratios[-1] >= ELLS[-1], algorithm

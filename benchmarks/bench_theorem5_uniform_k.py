@@ -1,0 +1,86 @@
+"""E5 — Theorem 5 and Corollary 7: uniform set sizes.
+
+Paper claims:
+* Theorem 5: if all sets have size k, ``E[|alg|] >= |opt| * mean(σ)^2 / (k * mean(σ^2))``,
+  i.e. the ratio is at most ``k * mean(σ^2) / mean(σ)^2``.
+* Corollary 7: if additionally every element has the same load, the ratio is
+  at most ``k`` — independent of σ.
+
+The experiment sweeps k on (a) uniform-size instances with ragged loads and
+(b) fully uniform instances, reporting the measured randPr ratio against the
+matching bound.  Expected shape: every measured ratio respects its bound, and
+on the fully uniform family the ratio stays ≈ k even as σ grows.
+"""
+
+import random
+
+from repro.algorithms import RandPrAlgorithm
+from repro.core import compute_statistics
+from repro.core.bounds import corollary7_upper_bound, theorem5_upper_bound
+from repro.experiments import estimate_opt, format_table, measure_ratio
+from repro.workloads import uniform_both_instance, uniform_set_size_instance
+
+K_VALUES = (2, 3, 4)
+SIGMA_FOR_CORO7 = (2, 4)
+TRIALS = 40
+
+
+def test_e5_uniform_set_size(run_once, experiment_report):
+    def experiment():
+        rows = []
+        # Part (a): uniform k, ragged loads -> Theorem 5.
+        for k in K_VALUES:
+            instance = uniform_set_size_instance(24, 36, k, random.Random(k))
+            stats = compute_statistics(instance.system)
+            opt = estimate_opt(instance.system, method="auto")
+            measurement = measure_ratio(
+                instance, RandPrAlgorithm(), trials=TRIALS, seed=k, opt=opt
+            )
+            rows.append(
+                {
+                    "family": "uniform-k",
+                    "k": k,
+                    "sigma_max": stats.sigma_max,
+                    "measured_ratio": round(measurement.ratio, 3),
+                    "bound": round(theorem5_upper_bound(stats), 3),
+                    "bound_name": "Thm5: k*E[s^2]/E[s]^2",
+                }
+            )
+        # Part (b): uniform k and uniform load -> Corollary 7 (bound = k).
+        for k in K_VALUES:
+            for sigma in SIGMA_FOR_CORO7:
+                # num_sets * k is always divisible by sigma with this choice.
+                num_sets = sigma * 6
+                instance = uniform_both_instance(
+                    num_sets, k, sigma, random.Random(10 * k + sigma)
+                )
+                stats = compute_statistics(instance.system)
+                opt = estimate_opt(instance.system, method="auto")
+                measurement = measure_ratio(
+                    instance, RandPrAlgorithm(), trials=TRIALS, seed=k, opt=opt
+                )
+                rows.append(
+                    {
+                        "family": "uniform-k+load",
+                        "k": k,
+                        "sigma_max": sigma,
+                        "measured_ratio": round(measurement.ratio, 3),
+                        "bound": round(corollary7_upper_bound(stats), 3),
+                        "bound_name": "Cor7: k",
+                    }
+                )
+        return rows
+
+    rows = run_once(experiment)
+    text = format_table(
+        rows,
+        title="E5: uniform set size (Theorem 5) and uniform size+load (Corollary 7)",
+    )
+    experiment_report("E5_theorem5_uniform_k", text)
+
+    for row in rows:
+        assert row["measured_ratio"] <= row["bound"] + 0.35
+    # Corollary 7 shape: the bound (and the measured ratio) does not grow with
+    # sigma for fixed k on the fully uniform family.
+    uniform_rows = [r for r in rows if r["family"] == "uniform-k+load" and r["k"] == 3]
+    assert all(r["bound"] == uniform_rows[0]["bound"] for r in uniform_rows)

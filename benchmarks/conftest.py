@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark/experiment suite.
+
+Every benchmark module regenerates one experiment from DESIGN.md (E1-E14):
+it runs the workload the paper's claim describes, prints the resulting table
+(visible with ``pytest benchmarks/ --benchmark-only -s``) and also writes it
+to ``benchmarks/_results/<experiment>.txt`` so the numbers survive output
+capturing.  The ``run_once`` fixture times the experiment body exactly once
+under pytest-benchmark — these are scientific experiments, not
+micro-benchmarks, so repeated timing rounds would only waste the budget.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "_results"
+
+
+@pytest.fixture
+def experiment_report():
+    """A callable that prints a report and persists it under _results/."""
+
+    def _report(experiment_id: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{experiment_id}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print()
+        print(text)
+
+    return _report
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment body exactly once under the benchmark timer."""
+
+    def _run(func):
+        return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)
+
+    return _run

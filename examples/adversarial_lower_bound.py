@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Reproducing the lower bounds: Theorem 3 and the Lemma 9 / Figure 1 construction.
+
+Part 1 plays the adaptive adversary of Theorem 3 against several deterministic
+policies and shows that each is forced down to a single completed set while
+the adversary's own solution completes about sigma^(k-1) sets.
+
+Part 2 samples instances from the randomized Lemma 9 distribution (the
+four-stage construction of Figure 1), prints the stage structure, and runs
+both deterministic policies and randPr on them: the planted optimum is ell^3
+while online algorithms complete only a handful of sets.
+
+Run with:  python examples/adversarial_lower_bound.py
+"""
+
+import random
+
+from repro.algorithms import (
+    FirstListedAlgorithm,
+    GreedyProgressAlgorithm,
+    GreedyWeightAlgorithm,
+    RandPrAlgorithm,
+    StaticOrderAlgorithm,
+)
+from repro.core import simulate
+from repro.experiments.report import format_table
+from repro.lowerbounds import build_lemma9_instance, run_deterministic_adversary
+from repro.lowerbounds.randomized_construction import theoretical_profile
+
+
+def part1_theorem3() -> None:
+    print("Part 1: the adaptive adversary of Theorem 3 (sigma=3, k=3)")
+    rows = []
+    for factory in (GreedyWeightAlgorithm, GreedyProgressAlgorithm,
+                    FirstListedAlgorithm, StaticOrderAlgorithm):
+        algorithm = factory()
+        outcome = run_deterministic_adversary(algorithm, sigma=3, k=3)
+        rows.append(
+            {
+                "algorithm": algorithm.name,
+                "alg completed": outcome.algorithm_benefit,
+                "adversary OPT": outcome.opt_benefit,
+                "ratio": round(outcome.ratio, 2),
+                "paper bound sigma^(k-1)": outcome.theoretical_lower_bound,
+            }
+        )
+    print(format_table(rows))
+    print()
+
+
+def part2_lemma9() -> None:
+    ell = 3
+    print(f"Part 2: the randomized lower-bound distribution of Lemma 9 (ell={ell})")
+    profile = theoretical_profile(ell)
+    sample = build_lemma9_instance(ell, random.Random(1))
+    print("  predicted structure vs. built instance:")
+    print(f"    sets            : {profile['num_sets']} / {sample.instance.system.num_sets}")
+    print(f"    planted optimum : {profile['planted_opt']} / {sample.planted_benefit}")
+    print(f"    sigma_max       : {profile['sigma_max']}")
+    print("    per-stage element counts:", sample.stage_element_counts)
+    print()
+
+    rows = []
+    for algorithm in (GreedyWeightAlgorithm(), FirstListedAlgorithm(), RandPrAlgorithm()):
+        benefits = []
+        for seed in range(5):
+            instance = build_lemma9_instance(ell, random.Random(seed)).instance
+            result = simulate(instance, algorithm, rng=random.Random(seed + 100))
+            benefits.append(result.benefit)
+        mean_benefit = sum(benefits) / len(benefits)
+        rows.append(
+            {
+                "algorithm": algorithm.name,
+                "mean completed (5 draws)": round(mean_benefit, 2),
+                "planted OPT": ell ** 3,
+                "mean ratio": round(ell ** 3 / max(mean_benefit, 1e-9), 1),
+            }
+        )
+    print(format_table(rows, title="Online algorithms vs. the planted optimum"))
+    print()
+    print("Every online algorithm — including randPr — is crushed on this family,")
+    print("which is exactly what Theorem 2 predicts: no randomized algorithm can be")
+    print("much better than kmax*sqrt(sigma_max)-competitive in the worst case.")
+
+
+def main() -> None:
+    part1_theorem3()
+    part2_lemma9()
+
+
+if __name__ == "__main__":
+    main()

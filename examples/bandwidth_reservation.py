@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""General packing in action: online bandwidth reservation along link paths.
+
+This example exercises the library's general-packing extension (the paper's
+first open problem: packing programs with arbitrary non-negative integer
+matrix entries).  Flows request an integer amount of bandwidth on every link
+of a path through a chain of routers; each link offers a fixed capacity, and
+a flow is worth admitting only if it gets its full bandwidth on *every* link
+— the integer-demand analogue of the paper's multi-part tasks.
+
+The script compares the generalized randPr (static R_w priorities with greedy
+admission per link) against weight- and density-greedy baselines and the
+exact offline optimum.
+
+Run with:  python examples/bandwidth_reservation.py
+"""
+
+import random
+
+from repro.algorithms.general import (
+    GeneralDensityAlgorithm,
+    GeneralGreedyWeightAlgorithm,
+    GeneralRandPrAlgorithm,
+)
+from repro.core.general_packing import simulate_general, solve_general_exact
+from repro.experiments.report import format_table
+from repro.workloads.general import bandwidth_reservation_instance
+
+
+def main() -> None:
+    instance = bandwidth_reservation_instance(
+        num_flows=18,
+        num_links=10,
+        path_length=4,
+        link_capacity=6,
+        rng=random.Random(42),
+        bandwidth_range=(1, 3),
+    )
+    chosen, opt_value = solve_general_exact(instance)
+
+    print("Bandwidth-reservation workload (general packing):")
+    print(f"  flows requesting paths : {instance.num_sets}")
+    print(f"  links (resources)      : {instance.num_resources}")
+    print(f"  offline optimum        : admits weight {opt_value:.0f} "
+          f"({len(chosen)} flows)")
+    print()
+
+    rows = []
+    for factory, trials in (
+        (GeneralRandPrAlgorithm, 50),
+        (GeneralGreedyWeightAlgorithm, 1),
+        (GeneralDensityAlgorithm, 1),
+    ):
+        total_benefit = 0.0
+        total_admitted = 0
+        for trial in range(trials):
+            result = simulate_general(instance, factory(), rng=random.Random(trial))
+            total_benefit += result.benefit
+            total_admitted += result.num_completed
+        rows.append(
+            {
+                "policy": factory().name,
+                "mean admitted flows": round(total_admitted / trials, 1),
+                "mean admitted weight": round(total_benefit / trials, 1),
+                "ratio vs OPT": round(opt_value / max(total_benefit / trials, 1e-9), 2),
+            }
+        )
+    print(format_table(rows, title="Online admission policies"))
+    print()
+    print("Every admitted flow received its full bandwidth on every link of its")
+    print("path; partially served flows pay nothing, exactly as in OSP.  The")
+    print("generalized randPr needs no per-link coordination: its priorities are")
+    print("a function of the flow identifier and weight alone.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Multi-hop packet scheduling with independent, uncoordinated switches.
+
+The paper's second scenario: packets traverse several switches and are
+delivered only if *no* switch on the route drops them.  Each (time, switch)
+pair can serve a bounded number of packets.  The reduction to OSP models each
+packet as a set whose elements are its (time, switch) visits.
+
+This example builds a 6-switch line network, injects random packets over
+contiguous sub-paths, and runs:
+
+* hash-randPr executed *distributively* — every switch ranks packets with the
+  same shared hash and sees only its own arrivals (zero coordination), and
+* the same policy executed centrally, to confirm the outcomes are identical,
+* plus a first-listed baseline for contrast, and the offline optimum.
+
+Run with:  python examples/multihop_routing.py
+"""
+
+import random
+
+from repro.algorithms import FirstListedAlgorithm, HashedRandPrAlgorithm
+from repro.experiments import estimate_opt
+from repro.experiments.report import format_table
+from repro.network import MultiHopNetwork, random_path_workload
+
+
+def main() -> None:
+    hop_ids = [f"sw{i}" for i in range(6)]
+    network = MultiHopNetwork(hop_ids, hop_capacity=1)
+    packets = random_path_workload(
+        num_packets=60,
+        hop_ids=hop_ids,
+        max_path_length=5,
+        time_horizon=30,
+        rng=random.Random(7),
+    )
+    instance = network.instance_for(packets)
+    opt = estimate_opt(instance.system, method="auto")
+
+    print(f"Line network with {len(hop_ids)} switches, {len(packets)} packets")
+    print(f"  OSP view: {instance.system.num_sets} sets over "
+          f"{instance.system.num_elements} (time, switch) elements")
+    print(f"  offline OPT delivers {opt.value:.0f} packets ({opt.method})")
+    print()
+
+    salt = "multihop-demo"
+    distributed = network.run_distributed(packets, salt=salt)
+    centralized = network.run_centralized(
+        packets, HashedRandPrAlgorithm(salt=salt), rng=random.Random(0)
+    )
+    baseline = network.run_centralized(
+        packets, FirstListedAlgorithm(), rng=random.Random(0)
+    )
+
+    rows = [
+        {
+            "execution": "randPr, distributed (per-switch)",
+            "packets delivered": distributed.num_completed,
+        },
+        {
+            "execution": "randPr, centralized (same hash)",
+            "packets delivered": len(centralized),
+        },
+        {
+            "execution": "first-listed baseline",
+            "packets delivered": len(baseline),
+        },
+        {
+            "execution": "offline optimum",
+            "packets delivered": int(opt.value),
+        },
+    ]
+    print(format_table(rows, title="Delivered multi-hop packets"))
+    print()
+
+    agreement = distributed.completed_sets == frozenset(centralized)
+    print(f"Distributed and centralized randPr agree on the delivered packets: {agreement}")
+    print("Per-switch load (elements handled locally):")
+    for node_id, count in sorted(distributed.per_node_counts.items()):
+        print(f"  {node_id}: {count}")
+
+
+if __name__ == "__main__":
+    main()

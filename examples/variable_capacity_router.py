@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Variable link capacity and buffering: the paper's extensions in action.
+
+Part 1 (Theorem 4 setting): the outgoing link's per-slot capacity varies
+(e.g. a wireless link whose rate fluctuates).  Elements then have capacities
+b(u) > 1 and the relevant parameter is the *adjusted load* nu = sigma / b.
+We sweep the link capacity and compare the measured competitive ratio of
+randPr with the Theorem 4 bound.
+
+Part 2 (open problem 2): the same adversarial burst trace is pushed through a
+buffered link with increasing buffer sizes, showing how quickly a small
+buffer closes the gap left by bufferless dropping — and that the
+hash-priority rule still beats FIFO for any fixed buffer.
+
+Run with:  python examples/variable_capacity_router.py
+"""
+
+import random
+
+from repro.algorithms import RandPrAlgorithm
+from repro.core import compute_statistics, theorem4_upper_bound
+from repro.experiments import estimate_opt, measure_ratio
+from repro.experiments.report import format_table
+from repro.network import (
+    FIFO_POLICY,
+    PRIORITY_POLICY,
+    AdversarialBurstGenerator,
+    BufferedLink,
+)
+from repro.workloads import random_variable_capacity_instance
+
+
+def part1_variable_capacity() -> None:
+    print("Part 1: variable element capacities (Theorem 4)")
+    rows = []
+    for capacity in (1, 2, 3, 4):
+        rng = random.Random(100 + capacity)
+        instance = random_variable_capacity_instance(
+            num_sets=40,
+            num_elements=60,
+            set_size_range=(2, 4),
+            capacity_range=(1, capacity),
+            rng=rng,
+            name=f"b<= {capacity}",
+        )
+        stats = compute_statistics(instance.system)
+        opt = estimate_opt(instance.system, method="auto")
+        measurement = measure_ratio(
+            instance, RandPrAlgorithm(), trials=40, seed=7, opt=opt
+        )
+        rows.append(
+            {
+                "max capacity": capacity,
+                "mean adjusted load": round(stats.adjusted_load_mean, 2),
+                "measured ratio": round(measurement.ratio, 2),
+                "Theorem 4 bound": round(theorem4_upper_bound(stats), 1),
+            }
+        )
+    print(format_table(rows))
+    print("Larger capacities lower the adjusted load, and the measured ratio")
+    print("drops with it — the shape Theorem 4 predicts (its constant is loose).")
+    print()
+
+
+def part2_buffering() -> None:
+    print("Part 2: buffering the bottleneck (open problem 2)")
+    # Waves of 4 aligned 3-packet frames, separated by idle gaps during which
+    # a buffered link can drain.  A bufferless link can complete at most one
+    # frame per wave no matter what; with a buffer the question is how much
+    # of the backlog survives until the gap.
+    trace = AdversarialBurstGenerator(
+        burst_size=4, packets_per_frame=3, gap_slots=6
+    ).generate(12)
+    rows = []
+    for buffer_size in (0, 1, 2, 4, 8):
+        for policy in (PRIORITY_POLICY, FIFO_POLICY):
+            link = BufferedLink(buffer_size=buffer_size, capacity=1, policy=policy)
+            outcome = link.run(trace)
+            rows.append(
+                {
+                    "buffer": buffer_size,
+                    "policy": policy,
+                    "frames delivered": outcome.metrics.completed_frames,
+                    "of": outcome.metrics.total_frames,
+                    "dropped packets": outcome.dropped_packets,
+                }
+            )
+    print(format_table(rows))
+    print("With idle gaps between bursts, growing the buffer steadily recovers")
+    print("frames that the bufferless OSP model would have had to drop — the effect")
+    print("the paper's second open problem asks about.  Under sustained overload")
+    print("(no gaps) a buffer barely helps, since excess packets must be dropped")
+    print("eventually regardless of policy.")
+
+
+def main() -> None:
+    part1_variable_capacity()
+    part2_buffering()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Video streaming through a bottleneck router (the paper's Section 1 scenario).
+
+Four synthetic video flows (MPEG-like I/P/B group-of-pictures traffic) share
+one outgoing link of capacity 1 packet per slot.  Each video frame fragments
+into several MTU packets and is useful only if every packet survives.  The
+example compares drop policies at the router:
+
+* randPr (hash-priority, exactly the paper's algorithm),
+* greedy-by-progress ("protect the frame that is almost done"),
+* first-listed (serve whatever is first in the burst),
+* uniform random dropping.
+
+Run with:  python examples/video_streaming.py
+"""
+
+import random
+
+from repro.algorithms import (
+    FirstListedAlgorithm,
+    GreedyProgressAlgorithm,
+    HashedRandPrAlgorithm,
+    UniformRandomAlgorithm,
+)
+from repro.core import compute_statistics
+from repro.experiments.report import format_table
+from repro.network import BottleneckRouter, jain_fairness_index
+from repro.workloads import make_video_workload
+
+
+def main() -> None:
+    workload = make_video_workload(
+        num_flows=4, frames_per_flow=30, seed=2024, link_capacity=1
+    )
+    stats = compute_statistics(workload.instance.system)
+    print("Synthetic video workload:")
+    print(f"  flows               : {workload.num_flows}")
+    print(f"  frames offered      : {workload.num_frames}")
+    print(f"  packets offered     : {workload.trace.num_packets}")
+    print(f"  busy slots          : {workload.trace.busy_slots()}")
+    print(f"  overloaded slots    : {workload.trace.overloaded_slots()}")
+    print(f"  max burst (sigma)   : {workload.max_burst}")
+    print(f"  max packets/frame k : {stats.k_max}")
+    print()
+
+    policies = {
+        "randPr (hash)": HashedRandPrAlgorithm(salt="video-demo"),
+        "greedy-progress": GreedyProgressAlgorithm(),
+        "first-listed": FirstListedAlgorithm(),
+        "uniform-random": UniformRandomAlgorithm(),
+    }
+
+    rows = []
+    for label, policy in policies.items():
+        router = BottleneckRouter(policy)
+        outcome = router.run(workload.trace, rng=random.Random(99))
+        metrics = outcome.metrics
+        fairness = jain_fairness_index(metrics.per_flow_completion.values())
+        rows.append(
+            {
+                "policy": label,
+                "frames delivered": metrics.completed_frames,
+                "completion %": round(100 * metrics.completion_ratio, 1),
+                "goodput %": round(100 * metrics.goodput_ratio, 1),
+                "flow fairness": round(fairness, 3),
+            }
+        )
+
+    print(format_table(rows, title="Router drop-policy comparison"))
+    print()
+    print("Reading the table: randPr's strength is its *worst-case* guarantee — it")
+    print("drops whole frames consistently, so no adversarial arrival pattern can")
+    print("starve it (see examples/adversarial_lower_bound.py, where the greedy")
+    print("heuristics collapse).  On smooth, well-ordered video traffic like this")
+    print("one, the 'protect the almost-finished frame' greedy is a strong policy —")
+    print("consistent with the positive results of Kesselman et al. for well-ordered")
+    print("arrivals cited in the paper's related work — while policies that ignore")
+    print("frame structure (first-listed, uniform-random) waste capacity on frames")
+    print("that never complete.")
+
+
+if __name__ == "__main__":
+    main()

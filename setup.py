@@ -1,0 +1,17 @@
+"""Setuptools entry point (kept for environments without PEP 660 support)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Online Set Packing and Competitive Scheduling of Multi-Part Tasks "
+        "(Emek et al., PODC 2010) - full reproduction"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    extras_require={"dev": ["pytest", "pytest-benchmark", "hypothesis", "scipy"]},
+)

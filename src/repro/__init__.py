@@ -1,0 +1,107 @@
+"""Online Set Packing and Competitive Scheduling of Multi-Part Tasks.
+
+A full reproduction of Emek, Halldórsson, Mansour, Patt-Shamir,
+Radhakrishnan and Rawitz, PODC 2010: the online set packing problem, the
+randomized priority algorithm randPr with its distributed (hash-based)
+implementation, the deterministic and randomized lower-bound constructions,
+the offline solvers needed to measure competitive ratios, and the
+bottleneck-router / multi-hop networking substrates that motivate the model.
+
+Quickstart::
+
+    import random
+    from repro import RandPrAlgorithm, simulate
+    from repro.workloads import random_online_instance
+
+    instance = random_online_instance(
+        num_sets=40, num_elements=80, set_size_range=(2, 4), rng=random.Random(1)
+    )
+    result = simulate(instance, RandPrAlgorithm(), rng=random.Random(2))
+    print(result.benefit, "of", instance.system.total_weight())
+"""
+
+from repro.algorithms import (
+    FirstListedAlgorithm,
+    GreedyCommittedAlgorithm,
+    GreedyProgressAlgorithm,
+    GreedyWeightAlgorithm,
+    HashedRandPrAlgorithm,
+    HedgingAlgorithm,
+    LargestSetFirstAlgorithm,
+    ProportionalShareAlgorithm,
+    RandPrAlgorithm,
+    SmallestSetFirstAlgorithm,
+    StaticOrderAlgorithm,
+    UniformRandomAlgorithm,
+    UnweightedPriorityAlgorithm,
+    default_algorithm_suite,
+)
+from repro.core import (
+    ElementArrival,
+    InstanceBuilder,
+    OnlineAlgorithm,
+    OnlineInstance,
+    SetInfo,
+    SetSystem,
+    SimulationResult,
+    bound_report,
+    compute_statistics,
+    corollary6_upper_bound,
+    instance_from_bursts,
+    simulate,
+    simulate_many,
+    theorem1_upper_bound,
+    theorem3_lower_bound,
+)
+from repro.exceptions import (
+    AlgorithmProtocolError,
+    ConstructionError,
+    InvalidInstanceError,
+    InvalidSetSystemError,
+    OspError,
+    SolverError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # algorithms
+    "FirstListedAlgorithm",
+    "GreedyCommittedAlgorithm",
+    "GreedyProgressAlgorithm",
+    "GreedyWeightAlgorithm",
+    "HashedRandPrAlgorithm",
+    "HedgingAlgorithm",
+    "LargestSetFirstAlgorithm",
+    "ProportionalShareAlgorithm",
+    "RandPrAlgorithm",
+    "SmallestSetFirstAlgorithm",
+    "StaticOrderAlgorithm",
+    "UniformRandomAlgorithm",
+    "UnweightedPriorityAlgorithm",
+    "default_algorithm_suite",
+    # core
+    "ElementArrival",
+    "InstanceBuilder",
+    "OnlineAlgorithm",
+    "OnlineInstance",
+    "SetInfo",
+    "SetSystem",
+    "SimulationResult",
+    "bound_report",
+    "compute_statistics",
+    "corollary6_upper_bound",
+    "instance_from_bursts",
+    "simulate",
+    "simulate_many",
+    "theorem1_upper_bound",
+    "theorem3_lower_bound",
+    # exceptions
+    "AlgorithmProtocolError",
+    "ConstructionError",
+    "InvalidInstanceError",
+    "InvalidSetSystemError",
+    "OspError",
+    "SolverError",
+]

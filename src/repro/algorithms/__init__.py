@@ -1,0 +1,57 @@
+"""Online algorithms: randPr, its distributed variant, and baselines."""
+
+from repro.algorithms.deterministic import (
+    FirstListedAlgorithm,
+    LargestSetFirstAlgorithm,
+    SmallestSetFirstAlgorithm,
+    StaticOrderAlgorithm,
+)
+from repro.algorithms.general import (
+    GeneralDensityAlgorithm,
+    GeneralGreedyWeightAlgorithm,
+    GeneralRandPrAlgorithm,
+)
+from repro.algorithms.greedy import (
+    GreedyCommittedAlgorithm,
+    GreedyProgressAlgorithm,
+    GreedyWeightAlgorithm,
+)
+from repro.algorithms.hashed import HashedRandPrAlgorithm
+from repro.algorithms.partial_reward import HedgingAlgorithm, ProportionalShareAlgorithm
+from repro.algorithms.randpr import RandPrAlgorithm
+from repro.algorithms.random_assign import UniformRandomAlgorithm, UnweightedPriorityAlgorithm
+
+__all__ = [
+    "FirstListedAlgorithm",
+    "GeneralDensityAlgorithm",
+    "GeneralGreedyWeightAlgorithm",
+    "GeneralRandPrAlgorithm",
+    "LargestSetFirstAlgorithm",
+    "SmallestSetFirstAlgorithm",
+    "StaticOrderAlgorithm",
+    "GreedyCommittedAlgorithm",
+    "GreedyProgressAlgorithm",
+    "GreedyWeightAlgorithm",
+    "HashedRandPrAlgorithm",
+    "HedgingAlgorithm",
+    "ProportionalShareAlgorithm",
+    "RandPrAlgorithm",
+    "UniformRandomAlgorithm",
+    "UnweightedPriorityAlgorithm",
+    "default_algorithm_suite",
+]
+
+
+def default_algorithm_suite():
+    """The standard list of algorithms compared throughout the benchmarks."""
+    return [
+        RandPrAlgorithm(),
+        HashedRandPrAlgorithm(salt="bench"),
+        GreedyWeightAlgorithm(),
+        GreedyProgressAlgorithm(),
+        GreedyCommittedAlgorithm(),
+        FirstListedAlgorithm(),
+        StaticOrderAlgorithm(),
+        UniformRandomAlgorithm(),
+        UnweightedPriorityAlgorithm(),
+    ]

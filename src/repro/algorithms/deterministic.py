@@ -1,0 +1,86 @@
+"""Simple deterministic baselines: static priorities and first-listed.
+
+These algorithms ignore run-time state entirely.  They exist as the weakest
+reasonable baselines and as canonical victims for the Theorem 3 adversary,
+whose construction applies to *any* deterministic algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from repro.core.algorithm import StatelessPriorityAlgorithm
+from repro.core.instance import ElementArrival
+from repro.core.priorities import hash_unit_interval
+from repro.core.set_system import SetId
+
+__all__ = [
+    "FirstListedAlgorithm",
+    "StaticOrderAlgorithm",
+    "LargestSetFirstAlgorithm",
+    "SmallestSetFirstAlgorithm",
+]
+
+
+class FirstListedAlgorithm(StatelessPriorityAlgorithm):
+    """Assign each element to the first ``b(u)`` parent sets as announced.
+
+    This models a router that serves packets in arrival order within a burst
+    with no regard for frame structure.
+    """
+
+    name = "first-listed"
+    is_deterministic = True
+
+    def decide(self, arrival: ElementArrival) -> FrozenSet[SetId]:
+        return frozenset(arrival.parents[: arrival.capacity])
+
+
+class StaticOrderAlgorithm(StatelessPriorityAlgorithm):
+    """Assign to the parent sets ranked by a fixed pseudo-random static order.
+
+    The order is derived by hashing set identifiers with a fixed salt, so it
+    is deterministic across runs.  Unlike randPr the order does not depend on
+    weights, making it a useful ablation of the R_w priority distribution.
+    """
+
+    name = "static-order"
+    is_deterministic = True
+
+    def __init__(self, salt: str = "static-order") -> None:
+        super().__init__()
+        self._salt = salt
+
+    def priority(self, set_id: SetId) -> float:
+        return hash_unit_interval(set_id, salt=self._salt)
+
+
+class LargestSetFirstAlgorithm(StatelessPriorityAlgorithm):
+    """Prefer the parent sets with the largest declared size.
+
+    Large frames are the most fragile (they need the most elements), so a
+    policy that protects them is a plausible heuristic; the benchmarks show
+    it is usually the wrong call compared to randPr.
+    """
+
+    name = "largest-set-first"
+    is_deterministic = True
+
+    def priority(self, set_id: SetId) -> float:
+        info = self.set_infos.get(set_id)
+        return float(info.size) if info is not None else 0.0
+
+
+class SmallestSetFirstAlgorithm(StatelessPriorityAlgorithm):
+    """Prefer the parent sets with the smallest declared size.
+
+    Small frames need the fewest successes to complete, so favouring them
+    maximizes the count of completed frames under light contention.
+    """
+
+    name = "smallest-set-first"
+    is_deterministic = True
+
+    def priority(self, set_id: SetId) -> float:
+        info = self.set_infos.get(set_id)
+        return -float(info.size) if info is not None else 0.0

@@ -1,0 +1,135 @@
+"""Online algorithms for the general packing extension (open problem 1).
+
+* :class:`GeneralRandPrAlgorithm` — the natural generalization of randPr:
+  priorities are drawn from ``R_{w(S)}`` once, and each arriving resource is
+  allocated greedily by priority order, admitting a set only if its demand
+  still fits in the remaining capacity.
+* :class:`GeneralGreedyWeightAlgorithm` — the deterministic analogue that
+  ranks by weight (preferring still-alive sets), the baseline for benchmark
+  E15.
+* :class:`GeneralDensityAlgorithm` — ranks by weight per unit of demand on
+  the current resource, a classic knapsack-flavoured heuristic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, Mapping
+
+from repro.core.general_packing import GeneralArrival, GeneralOnlineAlgorithm
+from repro.core.priorities import sample_priority
+from repro.core.set_system import SetId, SetInfo
+
+__all__ = [
+    "GeneralRandPrAlgorithm",
+    "GeneralGreedyWeightAlgorithm",
+    "GeneralDensityAlgorithm",
+]
+
+
+def _admit_greedily(arrival: GeneralArrival, ranked) -> FrozenSet[SetId]:
+    """Admit sets in rank order while their demand fits the remaining capacity."""
+    remaining = arrival.capacity
+    admitted = []
+    for set_id in ranked:
+        demand = arrival.demand_of(set_id)
+        if demand <= remaining:
+            admitted.append(set_id)
+            remaining -= demand
+    return frozenset(admitted)
+
+
+class GeneralRandPrAlgorithm(GeneralOnlineAlgorithm):
+    """Generalized randPr: static R_w priorities, greedy admission per resource."""
+
+    name = "general-randPr"
+    is_deterministic = False
+
+    def __init__(self) -> None:
+        self._priorities: Dict[SetId, float] = {}
+
+    def start(self, set_infos: Mapping[SetId, SetInfo], rng: random.Random) -> None:
+        self._priorities = {}
+        for set_id in sorted(set_infos, key=repr):
+            info = set_infos[set_id]
+            weight = info.weight if info.weight > 0 else 1e-12
+            self._priorities[set_id] = sample_priority(weight, rng)
+
+    def priority_of(self, set_id: SetId) -> float:
+        """The drawn priority of a set (for tests and introspection)."""
+        return self._priorities[set_id]
+
+    def decide(self, arrival: GeneralArrival) -> FrozenSet[SetId]:
+        ranked = sorted(
+            arrival.parents,
+            key=lambda set_id: (-self._priorities.get(set_id, 0.0), repr(set_id)),
+        )
+        return _admit_greedily(arrival, ranked)
+
+
+class _AliveTrackingGeneralAlgorithm(GeneralOnlineAlgorithm):
+    """Shared bookkeeping for deterministic general-packing baselines."""
+
+    def __init__(self) -> None:
+        self._infos: Dict[SetId, SetInfo] = {}
+        self._alive: Dict[SetId, bool] = {}
+
+    def start(self, set_infos: Mapping[SetId, SetInfo], rng: random.Random) -> None:
+        self._infos = dict(set_infos)
+        self._alive = {set_id: True for set_id in set_infos}
+
+    def weight(self, set_id: SetId) -> float:
+        info = self._infos.get(set_id)
+        return info.weight if info is not None else 1.0
+
+    def is_alive(self, set_id: SetId) -> bool:
+        return self._alive.get(set_id, True)
+
+    def _record(self, arrival: GeneralArrival, decision: FrozenSet[SetId]) -> None:
+        for set_id in arrival.parents:
+            if set_id not in decision:
+                self._alive[set_id] = False
+
+
+class GeneralGreedyWeightAlgorithm(_AliveTrackingGeneralAlgorithm):
+    """Serve the heaviest still-alive sets first at every resource."""
+
+    name = "general-greedy-weight"
+    is_deterministic = True
+
+    def decide(self, arrival: GeneralArrival) -> FrozenSet[SetId]:
+        ranked = sorted(
+            arrival.parents,
+            key=lambda set_id: (
+                not self.is_alive(set_id),
+                -self.weight(set_id),
+                repr(set_id),
+            ),
+        )
+        decision = _admit_greedily(arrival, ranked)
+        self._record(arrival, decision)
+        return decision
+
+
+class GeneralDensityAlgorithm(_AliveTrackingGeneralAlgorithm):
+    """Serve sets by weight per unit of demand on the arriving resource."""
+
+    name = "general-density"
+    is_deterministic = True
+
+    def decide(self, arrival: GeneralArrival) -> FrozenSet[SetId]:
+        def density(set_id: SetId) -> float:
+            demand = arrival.demand_of(set_id)
+            return self.weight(set_id) / demand if demand else 0.0
+
+        ranked = sorted(
+            arrival.parents,
+            key=lambda set_id: (
+                not self.is_alive(set_id),
+                -density(set_id),
+                repr(set_id),
+            ),
+        )
+        decision = _admit_greedily(arrival, ranked)
+        self._record(arrival, decision)
+        return decision

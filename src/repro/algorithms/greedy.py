@@ -1,0 +1,146 @@
+"""Greedy baselines for online set packing.
+
+These are the natural deterministic heuristics a router implementer would
+reach for, and the comparison points for the benchmark suite:
+
+* :class:`GreedyWeightAlgorithm` — prefer heavier frames.
+* :class:`GreedyProgressAlgorithm` — prefer the frame that is closest to
+  completion (fewest remaining elements), i.e. protect sunk investment.
+* :class:`GreedyCommittedAlgorithm` — stick with sets that are still alive
+  and were served before; among those prefer heavier / more complete ones.
+  This mimics "drop the newcomer" router policies.
+
+All of these are deterministic, so Theorem 3's adversary can force a
+``σ^(k-1)`` ratio against each of them — which benchmark E3 demonstrates.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, Mapping
+
+from repro.core.algorithm import OnlineAlgorithm
+from repro.core.instance import ElementArrival
+from repro.core.set_system import SetId, SetInfo
+
+__all__ = [
+    "GreedyWeightAlgorithm",
+    "GreedyProgressAlgorithm",
+    "GreedyCommittedAlgorithm",
+]
+
+
+class _ActivityTrackingAlgorithm(OnlineAlgorithm):
+    """Shared bookkeeping: which sets are still completable and their progress."""
+
+    def __init__(self) -> None:
+        self._infos: Dict[SetId, SetInfo] = {}
+        self._assigned: Dict[SetId, int] = {}
+        self._alive: Dict[SetId, bool] = {}
+
+    def start(self, set_infos: Mapping[SetId, SetInfo], rng: random.Random) -> None:
+        self._infos = dict(set_infos)
+        self._assigned = {set_id: 0 for set_id in set_infos}
+        self._alive = {set_id: True for set_id in set_infos}
+
+    def _record(self, arrival: ElementArrival, decision: FrozenSet[SetId]) -> None:
+        for set_id in arrival.parents:
+            if set_id in decision:
+                self._assigned[set_id] = self._assigned.get(set_id, 0) + 1
+            else:
+                self._alive[set_id] = False
+
+    def is_alive(self, set_id: SetId) -> bool:
+        """Whether the set has been assigned every one of its elements so far."""
+        return self._alive.get(set_id, True)
+
+    def assigned_count(self, set_id: SetId) -> int:
+        """How many elements have been assigned to the set so far."""
+        return self._assigned.get(set_id, 0)
+
+    def remaining(self, set_id: SetId) -> int:
+        """How many elements of the set are still to arrive (by declared size)."""
+        info = self._infos.get(set_id)
+        size = info.size if info is not None else 0
+        return max(size - self.assigned_count(set_id), 0)
+
+    def weight(self, set_id: SetId) -> float:
+        """The declared weight of the set."""
+        info = self._infos.get(set_id)
+        return info.weight if info is not None else 1.0
+
+
+class GreedyWeightAlgorithm(_ActivityTrackingAlgorithm):
+    """Assign each element to the heaviest still-alive parent sets.
+
+    Dead sets (ones that already lost an element) are never preferred over
+    alive ones, since they can no longer pay anything.
+    """
+
+    name = "greedy-weight"
+    is_deterministic = True
+
+    def decide(self, arrival: ElementArrival) -> FrozenSet[SetId]:
+        ranked = sorted(
+            arrival.parents,
+            key=lambda set_id: (
+                not self.is_alive(set_id),
+                -self.weight(set_id),
+                repr(set_id),
+            ),
+        )
+        decision = frozenset(ranked[: arrival.capacity])
+        self._record(arrival, decision)
+        return decision
+
+
+class GreedyProgressAlgorithm(_ActivityTrackingAlgorithm):
+    """Assign each element to the alive parent sets closest to completion.
+
+    Ties are broken towards heavier sets, then by identifier.  This is the
+    "protect sunk work" heuristic: a frame that has already received most of
+    its packets is the most costly to abandon.
+    """
+
+    name = "greedy-progress"
+    is_deterministic = True
+
+    def decide(self, arrival: ElementArrival) -> FrozenSet[SetId]:
+        ranked = sorted(
+            arrival.parents,
+            key=lambda set_id: (
+                not self.is_alive(set_id),
+                self.remaining(set_id),
+                -self.weight(set_id),
+                repr(set_id),
+            ),
+        )
+        decision = frozenset(ranked[: arrival.capacity])
+        self._record(arrival, decision)
+        return decision
+
+
+class GreedyCommittedAlgorithm(_ActivityTrackingAlgorithm):
+    """Prefer sets the algorithm has already invested in ("drop the newcomer").
+
+    Among alive parents, sets with at least one previously assigned element
+    outrank fresh sets; further ties go to weight and then progress.
+    """
+
+    name = "greedy-committed"
+    is_deterministic = True
+
+    def decide(self, arrival: ElementArrival) -> FrozenSet[SetId]:
+        ranked = sorted(
+            arrival.parents,
+            key=lambda set_id: (
+                not self.is_alive(set_id),
+                self.assigned_count(set_id) == 0,
+                -self.weight(set_id),
+                self.remaining(set_id),
+                repr(set_id),
+            ),
+        )
+        decision = frozenset(ranked[: arrival.capacity])
+        self._record(arrival, decision)
+        return decision

@@ -1,0 +1,94 @@
+"""Distributed, hash-based implementation of randPr.
+
+Section 3.1 of the paper observes that randPr can be implemented
+distributively: the servers do not need to share the random priorities —
+a system-wide hash function ``h`` applied to the set identifier yields the
+same priority at every server, so independent bounded-capacity servers make
+globally consistent decisions with zero communication.
+
+:class:`HashedRandPrAlgorithm` is the single-process embodiment of that idea:
+its priorities depend only on ``(salt, set_id, weight)``, never on the RNG,
+so two instances constructed with the same salt behave identically — the
+property the distributed coordinator (:mod:`repro.distributed.coordinator`)
+relies on and tests verify.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, Mapping, Optional
+
+from repro.core.algorithm import OnlineAlgorithm
+from repro.core.instance import ElementArrival
+from repro.core.priorities import hash_priority
+from repro.core.set_system import SetId, SetInfo
+from repro.distributed.hashing import UniversalHashFamily
+
+__all__ = ["HashedRandPrAlgorithm"]
+
+
+class HashedRandPrAlgorithm(OnlineAlgorithm):
+    """randPr with hash-derived priorities (the distributed variant).
+
+    Parameters
+    ----------
+    salt:
+        The seed of the system-wide hash function.  All servers in a
+        distributed deployment must agree on it.  When ``None``, a salt is
+        drawn from the simulation RNG at :meth:`start` — making the algorithm
+        behave like randPr with a shared random source.
+    hash_family:
+        Optional :class:`~repro.distributed.hashing.UniversalHashFamily`
+        to use instead of the default SHA-256-based hash.  The paper notes
+        that ``k_max * σ_max``-wise independence suffices; a universal family
+        lets experiments probe how little independence is enough in practice.
+    """
+
+    name = "randPr-hashed"
+    is_deterministic = False
+
+    def __init__(
+        self,
+        salt: Optional[str] = None,
+        hash_family: Optional[UniversalHashFamily] = None,
+    ) -> None:
+        self._configured_salt = salt
+        self._salt = salt if salt is not None else ""
+        self._hash_family = hash_family
+        self._weights: Dict[SetId, float] = {}
+        if salt is not None:
+            # A fixed salt makes the algorithm fully deterministic, which is
+            # what a real distributed deployment (shared hash seed) looks like.
+            self.is_deterministic = True
+
+    @property
+    def salt(self) -> str:
+        """The salt in effect for the current run."""
+        return self._salt
+
+    def start(self, set_infos: Mapping[SetId, SetInfo], rng: random.Random) -> None:
+        self._weights = {
+            set_id: (info.weight if info.weight > 0 else 1e-12)
+            for set_id, info in set_infos.items()
+        }
+        if self._configured_salt is None:
+            self._salt = f"salt-{rng.getrandbits(64):016x}"
+        else:
+            self._salt = self._configured_salt
+
+    def priority_of(self, set_id: SetId) -> float:
+        """The deterministic priority of ``set_id`` under the current salt."""
+        weight = self._weights.get(set_id, 1.0)
+        if self._hash_family is not None:
+            uniform = self._hash_family.unit_interval(f"{self._salt}:{set_id!r}")
+            if uniform <= 0.0:
+                uniform = 1e-18
+            return uniform ** (1.0 / weight)
+        return hash_priority(set_id, weight, salt=self._salt)
+
+    def decide(self, arrival: ElementArrival) -> FrozenSet[SetId]:
+        ranked = sorted(
+            arrival.parents,
+            key=lambda set_id: (-self.priority_of(set_id), repr(set_id)),
+        )
+        return frozenset(ranked[: arrival.capacity])

@@ -1,0 +1,108 @@
+"""Algorithms tuned for the partial-reward extension (open problem 3).
+
+When a set pays off even if a small fraction of its elements is missing,
+hedging across sets becomes attractive: instead of letting a single winner
+take every element (as randPr does), an algorithm may spread assignments so
+that many sets end up *almost* complete.  The classes here explore that
+trade-off; the benchmark E13 compares them against randPr under threshold
+and proportional reward models.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, Mapping
+
+from repro.core.algorithm import OnlineAlgorithm
+from repro.core.instance import ElementArrival
+from repro.core.priorities import sample_priority
+from repro.core.set_system import SetId, SetInfo
+
+__all__ = ["HedgingAlgorithm", "ProportionalShareAlgorithm"]
+
+
+class HedgingAlgorithm(OnlineAlgorithm):
+    """randPr priorities, but with per-element re-randomization with rate ``epsilon``.
+
+    With probability ``1 - epsilon`` an arriving element follows the static
+    randPr ranking; with probability ``epsilon`` it is assigned to uniformly
+    random parents instead.  Under all-or-nothing rewards any ``epsilon > 0``
+    only hurts; under partial rewards a small ``epsilon`` spreads near-misses
+    across more sets and can raise the relaxed benefit.
+    """
+
+    name = "hedging"
+    is_deterministic = False
+
+    def __init__(self, epsilon: float = 0.1) -> None:
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError(f"epsilon must be in [0, 1], got {epsilon}")
+        self._epsilon = epsilon
+        self._priorities: Dict[SetId, float] = {}
+        self._rng = random.Random()
+
+    def start(self, set_infos: Mapping[SetId, SetInfo], rng: random.Random) -> None:
+        self._rng = rng
+        self._priorities = {}
+        for set_id in sorted(set_infos, key=repr):
+            info = set_infos[set_id]
+            weight = info.weight if info.weight > 0 else 1e-12
+            self._priorities[set_id] = sample_priority(weight, rng)
+
+    def decide(self, arrival: ElementArrival) -> FrozenSet[SetId]:
+        parents = list(arrival.parents)
+        take = min(arrival.capacity, len(parents))
+        if take == 0:
+            return frozenset()
+        if self._rng.random() < self._epsilon:
+            return frozenset(self._rng.sample(parents, take))
+        ranked = sorted(
+            parents,
+            key=lambda set_id: (-self._priorities.get(set_id, 0.0), repr(set_id)),
+        )
+        return frozenset(ranked[:take])
+
+
+class ProportionalShareAlgorithm(OnlineAlgorithm):
+    """Assign each element with probability proportional to parent-set weight.
+
+    Each arriving element independently samples ``b(u)`` parents without
+    replacement, where a set's selection probability is proportional to its
+    weight.  This is the memoryless analogue of randPr's weight sensitivity
+    and serves as a second hedging-style baseline for partial rewards.
+    """
+
+    name = "proportional-share"
+    is_deterministic = False
+
+    def __init__(self) -> None:
+        self._weights: Dict[SetId, float] = {}
+        self._rng = random.Random()
+
+    def start(self, set_infos: Mapping[SetId, SetInfo], rng: random.Random) -> None:
+        self._rng = rng
+        self._weights = {
+            set_id: max(info.weight, 1e-12) for set_id, info in set_infos.items()
+        }
+
+    def decide(self, arrival: ElementArrival) -> FrozenSet[SetId]:
+        parents = list(arrival.parents)
+        take = min(arrival.capacity, len(parents))
+        chosen = []
+        available = list(parents)
+        for _ in range(take):
+            weights = [self._weights.get(set_id, 1.0) for set_id in available]
+            total = sum(weights)
+            if total <= 0:
+                pick_index = self._rng.randrange(len(available))
+            else:
+                threshold = self._rng.random() * total
+                cumulative = 0.0
+                pick_index = len(available) - 1
+                for index, weight in enumerate(weights):
+                    cumulative += weight
+                    if threshold < cumulative:
+                        pick_index = index
+                        break
+            chosen.append(available.pop(pick_index))
+        return frozenset(chosen)

@@ -1,0 +1,67 @@
+"""Naive randomized baselines.
+
+* :class:`UniformRandomAlgorithm` assigns each arriving element to a uniformly
+  random subset of ``b(u)`` parent sets, independently per element.  This is
+  the "memoryless random drop" router policy; it lacks randPr's crucial
+  property that the *same* set keeps winning, so complete frames are rare.
+* :class:`UnweightedPriorityAlgorithm` draws a single uniform priority per set
+  (ignoring weights) — randPr with ``R_1`` instead of ``R_w``.  It isolates the
+  contribution of the weight-sensitive priority distribution in ablations.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, Mapping
+
+from repro.core.algorithm import OnlineAlgorithm
+from repro.core.instance import ElementArrival
+from repro.core.set_system import SetId, SetInfo
+
+__all__ = ["UniformRandomAlgorithm", "UnweightedPriorityAlgorithm"]
+
+
+class UniformRandomAlgorithm(OnlineAlgorithm):
+    """Assign each element to ``b(u)`` parent sets chosen uniformly at random."""
+
+    name = "uniform-random"
+    is_deterministic = False
+
+    def __init__(self) -> None:
+        self._rng = random.Random()
+
+    def start(self, set_infos: Mapping[SetId, SetInfo], rng: random.Random) -> None:
+        self._rng = rng
+
+    def decide(self, arrival: ElementArrival) -> FrozenSet[SetId]:
+        parents = list(arrival.parents)
+        take = min(arrival.capacity, len(parents))
+        if take == 0:
+            return frozenset()
+        return frozenset(self._rng.sample(parents, take))
+
+
+class UnweightedPriorityAlgorithm(OnlineAlgorithm):
+    """Per-set uniform priorities (randPr with weights ignored).
+
+    On unweighted instances this coincides with randPr; on weighted instances
+    it demonstrates why the ``R_w`` distribution matters (benchmark E12).
+    """
+
+    name = "uniform-priority"
+    is_deterministic = False
+
+    def __init__(self) -> None:
+        self._priorities: Dict[SetId, float] = {}
+
+    def start(self, set_infos: Mapping[SetId, SetInfo], rng: random.Random) -> None:
+        self._priorities = {}
+        for set_id in sorted(set_infos, key=repr):
+            self._priorities[set_id] = rng.random()
+
+    def decide(self, arrival: ElementArrival) -> FrozenSet[SetId]:
+        ranked = sorted(
+            arrival.parents,
+            key=lambda set_id: (-self._priorities.get(set_id, 0.0), repr(set_id)),
+        )
+        return frozenset(ranked[: arrival.capacity])

@@ -1,0 +1,77 @@
+"""Core data structures and machinery for online set packing."""
+
+from repro.core.algorithm import OnlineAlgorithm, StatelessPriorityAlgorithm
+from repro.core.analysis import (
+    RandPrPrediction,
+    expected_benefit_closed_form,
+    predict_randpr,
+    survival_probabilities,
+    survival_probability,
+)
+from repro.core.bounds import (
+    BoundReport,
+    best_upper_bound,
+    bound_report,
+    corollary6_upper_bound,
+    corollary7_upper_bound,
+    theorem1_upper_bound,
+    theorem2_lower_bound,
+    theorem3_lower_bound,
+    theorem4_upper_bound,
+    theorem5_upper_bound,
+    theorem6_upper_bound,
+    trivial_upper_bound,
+)
+from repro.core.instance import (
+    ElementArrival,
+    InstanceBuilder,
+    OnlineInstance,
+    instance_from_bursts,
+)
+from repro.core.set_system import SetId, ElementId, SetInfo, SetSystem, build_from_element_lists
+from repro.core.simulation import (
+    SimulationResult,
+    StepRecord,
+    expected_benefit,
+    simulate,
+    simulate_many,
+)
+from repro.core.statistics import InstanceStatistics, compute_statistics
+
+__all__ = [
+    "OnlineAlgorithm",
+    "StatelessPriorityAlgorithm",
+    "RandPrPrediction",
+    "expected_benefit_closed_form",
+    "predict_randpr",
+    "survival_probabilities",
+    "survival_probability",
+    "BoundReport",
+    "best_upper_bound",
+    "bound_report",
+    "corollary6_upper_bound",
+    "corollary7_upper_bound",
+    "theorem1_upper_bound",
+    "theorem2_lower_bound",
+    "theorem3_lower_bound",
+    "theorem4_upper_bound",
+    "theorem5_upper_bound",
+    "theorem6_upper_bound",
+    "trivial_upper_bound",
+    "ElementArrival",
+    "InstanceBuilder",
+    "OnlineInstance",
+    "instance_from_bursts",
+    "SetId",
+    "ElementId",
+    "SetInfo",
+    "SetSystem",
+    "build_from_element_lists",
+    "SimulationResult",
+    "StepRecord",
+    "expected_benefit",
+    "simulate",
+    "simulate_many",
+    "InstanceStatistics",
+    "compute_statistics",
+]

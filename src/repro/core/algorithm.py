@@ -1,0 +1,119 @@
+"""The online algorithm protocol for online set packing.
+
+An online algorithm for OSP observes, up front, the identifier, weight and
+size of every set, and then processes elements one at a time.  On the arrival
+of element ``u`` (with its capacity ``b(u)`` and parent sets ``C(u)``) it must
+immediately return a subset ``A ⊆ C(u)`` with ``|A| ≤ b(u)`` — the sets the
+element is assigned to.  A set is *completed* when every one of its elements
+was assigned to it.
+
+Algorithms are driven either by the simulation engine
+(:mod:`repro.core.simulation`) on a fixed :class:`~repro.core.instance.OnlineInstance`
+or adaptively by an adversary (:mod:`repro.lowerbounds.deterministic_adversary`).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import FrozenSet, Mapping, Optional, Sequence
+
+from repro.core.instance import ElementArrival
+from repro.core.set_system import SetId, SetInfo
+
+__all__ = ["OnlineAlgorithm", "StatelessPriorityAlgorithm"]
+
+
+class OnlineAlgorithm(ABC):
+    """Abstract base class for online set packing algorithms.
+
+    Subclasses implement :meth:`start` (optional) and :meth:`decide`.
+    The simulation engine guarantees the call sequence
+    ``start(set_infos, rng)`` followed by one ``decide(arrival)`` per element,
+    in arrival order.
+    """
+
+    #: Human-readable name used in reports; subclasses may override.
+    name: str = "online-algorithm"
+
+    #: Whether the algorithm uses randomness.  Deterministic algorithms can
+    #: be played against the adaptive adversary of Theorem 3.
+    is_deterministic: bool = False
+
+    def start(self, set_infos: Mapping[SetId, SetInfo], rng: random.Random) -> None:
+        """Reset internal state for a new instance.
+
+        ``set_infos`` is the up-front public information (weight and size of
+        every set).  ``rng`` is the only source of randomness the algorithm
+        may use; deterministic algorithms simply ignore it.
+        """
+
+    @abstractmethod
+    def decide(self, arrival: ElementArrival) -> FrozenSet[SetId]:
+        """Return the sets (at most ``arrival.capacity``) to assign ``u`` to."""
+
+    def describe(self) -> str:
+        """A one-line description for experiment reports."""
+        kind = "deterministic" if self.is_deterministic else "randomized"
+        return f"{self.name} ({kind})"
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class StatelessPriorityAlgorithm(OnlineAlgorithm):
+    """Base class for algorithms that rank parent sets by a static priority.
+
+    Subclasses provide :meth:`priority`; on each arrival the element is
+    assigned to the ``b(u)`` parent sets with the highest priority.  Ties are
+    broken by set identifier representation, which keeps deterministic
+    subclasses fully deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._set_infos: Mapping[SetId, SetInfo] = {}
+
+    def start(self, set_infos: Mapping[SetId, SetInfo], rng: random.Random) -> None:
+        self._set_infos = dict(set_infos)
+
+    @property
+    def set_infos(self) -> Mapping[SetId, SetInfo]:
+        """The up-front set information supplied at :meth:`start`."""
+        return self._set_infos
+
+    def priority(self, set_id: SetId) -> float:
+        """The (static) priority of a set; higher wins.  Default: 0."""
+        return 0.0
+
+    def decide(self, arrival: ElementArrival) -> FrozenSet[SetId]:
+        ranked = sorted(
+            arrival.parents,
+            key=lambda set_id: (-self.priority(set_id), repr(set_id)),
+        )
+        return frozenset(ranked[: arrival.capacity])
+
+
+def validate_decision(
+    arrival: ElementArrival, decision: Sequence[SetId]
+) -> Optional[str]:
+    """Return an error message if ``decision`` violates the OSP protocol.
+
+    Returns ``None`` when the decision is valid: a duplicate-free subset of
+    the arrival's parent sets with size at most the element capacity.
+    """
+    chosen = list(decision)
+    if len(chosen) != len(set(chosen)):
+        return "decision contains duplicate set identifiers"
+    if len(chosen) > arrival.capacity:
+        return (
+            f"decision assigns element {arrival.element_id!r} to {len(chosen)} sets "
+            f"but its capacity is {arrival.capacity}"
+        )
+    parent_set = set(arrival.parents)
+    for set_id in chosen:
+        if set_id not in parent_set:
+            return (
+                f"decision assigns element {arrival.element_id!r} to set {set_id!r} "
+                "which does not contain it"
+            )
+    return None

@@ -1,0 +1,187 @@
+"""Closed-form analysis of randPr on unit-capacity instances.
+
+Lemma 1 gives the exact survival probability of every set under randPr:
+``Pr[S ∈ alg] = w(S) / w(N[S])``.  Because the completion events are
+functions of the same priority draw, their expectations (though not their
+joint distribution) are available in closed form, which lets the library
+compute — without any simulation —
+
+* the exact expected benefit ``E[w(alg)] = Σ_S w(S)² / w(N[S])``,
+* per-set survival probabilities,
+* the guaranteed benefit lower bounds of Lemma 4 (``w(opt)²/(kmax·w(C))``)
+  and Lemma 5 (``w(C)²/(n·mean(σ·σ$))``), and the Theorem 1 guarantee that
+  follows from them,
+* an exact pairwise-covariance computation for pairs of sets, from which a
+  variance upper bound for the benefit follows.
+
+These closed forms are used by the tests to validate the simulator (the
+Monte-Carlo estimates must converge to them) and by users who want analytic
+predictions for a concrete workload.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.set_system import SetId, SetSystem
+from repro.core.statistics import compute_statistics
+
+__all__ = [
+    "survival_probability",
+    "survival_probabilities",
+    "expected_benefit_closed_form",
+    "lemma4_lower_bound",
+    "lemma5_lower_bound",
+    "theorem1_guarantee",
+    "pair_survival_probability",
+    "benefit_variance_upper_bound",
+    "RandPrPrediction",
+    "predict_randpr",
+]
+
+
+def survival_probability(system: SetSystem, set_id: SetId) -> float:
+    """``Pr[S ∈ alg]`` for randPr on a unit-capacity instance (Lemma 1).
+
+    Sets of weight zero never win a contested element, so their survival
+    probability is zero unless they are isolated (then they complete
+    trivially and the probability is one).
+    """
+    weight = system.weight(set_id)
+    neighbourhood_weight = system.neighbourhood_weight(set_id)
+    if len(system.open_neighbourhood(set_id)) == 0:
+        return 1.0
+    if neighbourhood_weight <= 0:
+        return 0.0
+    return weight / neighbourhood_weight
+
+
+def survival_probabilities(system: SetSystem) -> Dict[SetId, float]:
+    """Survival probabilities of every set (Lemma 1)."""
+    return {set_id: survival_probability(system, set_id) for set_id in system.set_ids}
+
+
+def expected_benefit_closed_form(system: SetSystem) -> float:
+    """``E[w(alg)] = Σ_S w(S) · Pr[S ∈ alg]`` for randPr."""
+    return sum(
+        system.weight(set_id) * survival_probability(system, set_id)
+        for set_id in system.set_ids
+    )
+
+
+def lemma4_lower_bound(system: SetSystem, opt_weight: Optional[float] = None) -> float:
+    """Lemma 4: ``E[w(alg)] ≥ w(opt)² / (kmax · w(C))``.
+
+    ``opt_weight`` defaults to the total weight of the heaviest feasible
+    packing being unknown; in that case the bound is reported with
+    ``w(opt) = w(C)`` (the loosest possible optimum), which keeps the bound
+    valid but weak.  Pass the true optimum for the tight value.
+    """
+    stats = compute_statistics(system)
+    if stats.num_sets == 0 or stats.k_max == 0:
+        return 0.0
+    if opt_weight is None:
+        opt_weight = stats.total_weight
+    return opt_weight ** 2 / (stats.k_max * stats.total_weight)
+
+
+def lemma5_lower_bound(system: SetSystem) -> float:
+    """Lemma 5: ``E[w(alg)] ≥ w(C)² / (n · mean(σ·σ$))``.
+
+    The paper's derivation assumes every set contains at least one element
+    (empty sets contribute to ``w(N[S])`` but not to the element-side sum);
+    with empty sets present the returned value may exceed the true expected
+    benefit and should not be used as a guarantee.
+    """
+    stats = compute_statistics(system)
+    denominator = stats.num_elements * stats.sigma_weighted_product_mean
+    if denominator <= 0:
+        return stats.total_weight
+    return stats.total_weight ** 2 / denominator
+
+
+def theorem1_guarantee(system: SetSystem, opt_weight: float) -> float:
+    """The Theorem 1 benefit guarantee ``w(opt) / (kmax·sqrt(mean(σ·σ$)/mean(σ$)))``."""
+    stats = compute_statistics(system)
+    if stats.num_sets == 0 or stats.k_max == 0:
+        return 0.0
+    if stats.weighted_load_mean <= 0:
+        return opt_weight
+    denominator = stats.k_max * math.sqrt(
+        stats.sigma_weighted_product_mean / stats.weighted_load_mean
+    )
+    return opt_weight / max(denominator, 1.0)
+
+
+def pair_survival_probability(system: SetSystem, first: SetId, second: SetId) -> float:
+    """``Pr[S ∈ alg and T ∈ alg]`` for randPr, for a *disjoint* pair.
+
+    For disjoint sets the two completion events are positively correlated
+    through shared neighbours; an exact closed form requires integrating over
+    the joint order statistics, so this returns the exact value for the two
+    tractable cases and a safe upper bound otherwise:
+
+    * if the closed neighbourhoods are disjoint, the events are independent
+      and the probability is the product of the marginals;
+    * if the sets intersect, the probability is 0 (they compete for a shared
+      element under unit capacity);
+    * otherwise the minimum of the marginals is returned (a valid upper
+      bound used by :func:`benefit_variance_upper_bound`).
+    """
+    if first == second:
+        return survival_probability(system, first)
+    if not system.are_disjoint(first, second):
+        return 0.0
+    first_neighbourhood = system.closed_neighbourhood(first)
+    second_neighbourhood = system.closed_neighbourhood(second)
+    p_first = survival_probability(system, first)
+    p_second = survival_probability(system, second)
+    if not (first_neighbourhood & second_neighbourhood):
+        return p_first * p_second
+    return min(p_first, p_second)
+
+
+def benefit_variance_upper_bound(system: SetSystem) -> float:
+    """An upper bound on ``Var[w(alg)]`` for randPr.
+
+    Uses ``Var[X] = E[X²] − E[X]²`` with the pairwise upper bounds of
+    :func:`pair_survival_probability`; exact when all interactions are either
+    direct intersections or full independence.
+    """
+    expected = expected_benefit_closed_form(system)
+    second_moment = 0.0
+    set_ids = list(system.set_ids)
+    for first in set_ids:
+        for second in set_ids:
+            joint = pair_survival_probability(system, first, second)
+            second_moment += system.weight(first) * system.weight(second) * joint
+    return max(second_moment - expected ** 2, 0.0)
+
+
+@dataclass(frozen=True)
+class RandPrPrediction:
+    """Everything the closed forms predict about randPr on one instance."""
+
+    expected_benefit: float
+    survival: Dict[SetId, float]
+    lemma4_bound: float
+    lemma5_bound: float
+    variance_upper_bound: float
+
+    @property
+    def standard_deviation_upper_bound(self) -> float:
+        """The square root of the variance upper bound."""
+        return math.sqrt(self.variance_upper_bound)
+
+
+def predict_randpr(system: SetSystem, opt_weight: Optional[float] = None) -> RandPrPrediction:
+    """Assemble the full closed-form prediction for randPr on ``system``."""
+    return RandPrPrediction(
+        expected_benefit=expected_benefit_closed_form(system),
+        survival=survival_probabilities(system),
+        lemma4_bound=lemma4_lower_bound(system, opt_weight),
+        lemma5_bound=lemma5_lower_bound(system),
+        variance_upper_bound=benefit_variance_upper_bound(system),
+    )

@@ -1,0 +1,217 @@
+"""Closed-form competitive-ratio bounds from the paper.
+
+Every bound is a function of the instance statistics of
+:mod:`repro.core.statistics`.  The benchmark harness compares measured
+competitive ratios against these values; the property-based tests check the
+algebraic relations between them (e.g. the Theorem 1 bound never exceeds the
+Corollary 6 bound).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Union
+
+from repro.core.set_system import SetSystem
+from repro.core.statistics import (
+    InstanceStatistics,
+    compute_statistics,
+    effective_competitive_denominator,
+)
+
+__all__ = [
+    "theorem1_upper_bound",
+    "corollary6_upper_bound",
+    "theorem4_upper_bound",
+    "theorem5_upper_bound",
+    "corollary7_upper_bound",
+    "theorem6_upper_bound",
+    "theorem2_lower_bound",
+    "theorem3_lower_bound",
+    "trivial_upper_bound",
+    "best_upper_bound",
+    "BoundReport",
+    "bound_report",
+]
+
+StatsLike = Union[SetSystem, InstanceStatistics]
+
+
+def _stats(value: StatsLike) -> InstanceStatistics:
+    if isinstance(value, InstanceStatistics):
+        return value
+    return compute_statistics(value)
+
+
+def theorem1_upper_bound(value: StatsLike) -> float:
+    """Theorem 1: ratio of randPr is at most ``k_max * sqrt(mean(σ·σ$)/mean(σ$))``.
+
+    Stated for unit-capacity instances; the benchmarks apply it only there.
+    """
+    stats = _stats(value)
+    if stats.num_sets == 0:
+        return 1.0
+    return max(1.0, stats.k_max * effective_competitive_denominator(stats))
+
+
+def corollary6_upper_bound(value: StatsLike) -> float:
+    """Corollary 6: ratio of randPr is at most ``k_max * sqrt(σ_max)``."""
+    stats = _stats(value)
+    if stats.num_sets == 0:
+        return 1.0
+    return max(1.0, stats.k_max * math.sqrt(max(stats.sigma_max, 1)))
+
+
+def trivial_upper_bound(value: StatsLike) -> float:
+    """The easy ``k_max * σ_max`` bound noted right after Lemma 1 (unweighted)."""
+    stats = _stats(value)
+    if stats.num_sets == 0:
+        return 1.0
+    return max(1.0, stats.k_max * max(stats.sigma_max, 1))
+
+
+def theorem4_upper_bound(value: StatsLike) -> float:
+    """Theorem 4 (variable capacity): ``16e * k_max * sqrt(mean(ν·σ$)/mean(σ$))``."""
+    stats = _stats(value)
+    if stats.num_sets == 0:
+        return 1.0
+    if stats.weighted_load_mean <= 0:
+        return 1.0
+    inner = stats.adjusted_weighted_product_mean / stats.weighted_load_mean
+    return max(1.0, 16.0 * math.e * stats.k_max * math.sqrt(max(inner, 0.0)))
+
+
+def theorem5_upper_bound(value: StatsLike) -> float:
+    """Theorem 5 (uniform set size ``k``): ratio at most ``k * mean(σ²)/mean(σ)²``.
+
+    The paper states it as ``E[|alg|] ≥ |opt| * mean(σ)² / (k * mean(σ²))``;
+    the returned value is the corresponding upper bound on the ratio.
+    Calling this on a non-uniform-size instance raises ``ValueError``.
+    """
+    stats = _stats(value)
+    if not stats.uniform_set_size:
+        raise ValueError("Theorem 5 applies only to instances with a uniform set size")
+    if stats.num_sets == 0 or stats.sigma_mean <= 0:
+        return 1.0
+    k = stats.k_max
+    return max(1.0, k * stats.sigma_second_moment / (stats.sigma_mean ** 2))
+
+
+def corollary7_upper_bound(value: StatsLike) -> float:
+    """Corollary 7 (uniform size and uniform load): ratio at most ``k``."""
+    stats = _stats(value)
+    if not stats.uniform_set_size or not stats.uniform_load:
+        raise ValueError(
+            "Corollary 7 applies only to instances with uniform set size and uniform load"
+        )
+    return max(1.0, float(stats.k_max))
+
+
+def theorem6_upper_bound(value: StatsLike) -> float:
+    """Theorem 6 (uniform load σ): ratio at most ``k_mean * sqrt(σ)``."""
+    stats = _stats(value)
+    if not stats.uniform_load:
+        raise ValueError("Theorem 6 applies only to instances with a uniform element load")
+    if stats.num_sets == 0:
+        return 1.0
+    return max(1.0, stats.k_mean * math.sqrt(max(stats.sigma_mean, 1.0)))
+
+
+def theorem2_lower_bound(k_max: float, sigma_max: float) -> float:
+    """Theorem 2: no randomized algorithm beats
+    ``Ω(k_max * (loglog k_max / log k_max)^2 * sqrt(σ_max))``.
+
+    Returns the expression with constant 1 (the paper hides constants in the
+    Ω); meaningful only for ``k_max ≥ 4`` where ``loglog`` is positive.
+    """
+    if k_max < 4:
+        return 1.0
+    log_k = math.log(k_max)
+    loglog_k = math.log(log_k)
+    if loglog_k <= 0:
+        return 1.0
+    return max(1.0, k_max * (loglog_k / log_k) ** 2 * math.sqrt(max(sigma_max, 1.0)))
+
+
+def theorem3_lower_bound(sigma_max: int, k_max: int) -> float:
+    """Theorem 3: deterministic algorithms have ratio at least ``σ_max^(k_max-1)``."""
+    if sigma_max < 1 or k_max < 1:
+        return 1.0
+    return float(sigma_max) ** (k_max - 1)
+
+
+def best_upper_bound(value: StatsLike) -> float:
+    """The tightest applicable upper bound among Theorems 1/5/6 and Corollaries 6/7.
+
+    Special-case bounds are included only when their preconditions hold; the
+    variable-capacity bound of Theorem 4 replaces Theorem 1 when the instance
+    is not unit-capacity.
+    """
+    stats = _stats(value)
+    candidates = [corollary6_upper_bound(stats), trivial_upper_bound(stats)]
+    if stats.is_unit_capacity:
+        candidates.append(theorem1_upper_bound(stats))
+    else:
+        candidates.append(theorem4_upper_bound(stats))
+    if stats.uniform_set_size and stats.is_unweighted and stats.is_unit_capacity:
+        candidates.append(theorem5_upper_bound(stats))
+    if stats.uniform_load and stats.is_unweighted and stats.is_unit_capacity:
+        candidates.append(theorem6_upper_bound(stats))
+    if (
+        stats.uniform_set_size
+        and stats.uniform_load
+        and stats.is_unweighted
+        and stats.is_unit_capacity
+    ):
+        candidates.append(corollary7_upper_bound(stats))
+    return min(candidates)
+
+
+@dataclass(frozen=True)
+class BoundReport:
+    """All bounds applicable to one instance, for experiment reports."""
+
+    theorem1: float
+    corollary6: float
+    trivial: float
+    theorem4: float
+    theorem5: float
+    corollary7: float
+    theorem6: float
+    best: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """The report as a plain dictionary (NaN marks inapplicable bounds)."""
+        return {
+            "theorem1": self.theorem1,
+            "corollary6": self.corollary6,
+            "trivial": self.trivial,
+            "theorem4": self.theorem4,
+            "theorem5": self.theorem5,
+            "corollary7": self.corollary7,
+            "theorem6": self.theorem6,
+            "best": self.best,
+        }
+
+
+def bound_report(value: StatsLike) -> BoundReport:
+    """Compute every bound for an instance; inapplicable ones become NaN."""
+    stats = _stats(value)
+
+    def _try(func) -> float:
+        try:
+            return func(stats)
+        except ValueError:
+            return math.nan
+
+    return BoundReport(
+        theorem1=theorem1_upper_bound(stats),
+        corollary6=corollary6_upper_bound(stats),
+        trivial=trivial_upper_bound(stats),
+        theorem4=theorem4_upper_bound(stats),
+        theorem5=_try(theorem5_upper_bound),
+        corollary7=_try(corollary7_upper_bound),
+        theorem6=_try(theorem6_upper_bound),
+        best=best_upper_bound(stats),
+    )

@@ -1,0 +1,402 @@
+"""General online packing: the paper's first open problem (Section 5).
+
+Standard OSP is the special case of the packing integer program (1) in which
+every matrix entry is 0 or 1.  The paper asks about "arbitrary packing
+problems, where the entries in the matrix are arbitrary non-negative
+integers": set ``S`` *demands* ``d(u, S)`` units of element (resource) ``u``,
+and element ``u`` can supply at most ``b(u)`` units; a set pays its weight
+only if it received its full demand at every resource.
+
+The online model mirrors OSP: resources arrive one at a time, each announcing
+its capacity and the demands of the sets that need it, and the algorithm must
+immediately decide which of those sets to serve (the served demands must fit
+within the capacity).  This module provides the instance representation, the
+algorithm protocol, the simulation engine and an exact offline solver; the
+algorithms themselves (generalized randPr and a greedy baseline) live in
+:mod:`repro.algorithms.general`.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from repro.core.set_system import SetId, SetInfo
+from repro.exceptions import (
+    AlgorithmProtocolError,
+    InvalidInstanceError,
+    InvalidSetSystemError,
+)
+
+__all__ = [
+    "GeneralArrival",
+    "GeneralPackingInstance",
+    "GeneralPackingBuilder",
+    "GeneralOnlineAlgorithm",
+    "GeneralSimulationResult",
+    "simulate_general",
+    "solve_general_exact",
+    "osp_instance_to_general",
+]
+
+ElementId = str
+
+
+@dataclass(frozen=True)
+class GeneralArrival:
+    """A resource arrival: its capacity and the per-set demands on it."""
+
+    element_id: ElementId
+    capacity: int
+    demands: Mapping[SetId, int]
+
+    def __post_init__(self) -> None:
+        if self.capacity < 0:
+            raise InvalidSetSystemError(
+                f"resource {self.element_id!r} has negative capacity {self.capacity}"
+            )
+        for set_id, demand in self.demands.items():
+            if not isinstance(demand, int) or isinstance(demand, bool) or demand < 1:
+                raise InvalidSetSystemError(
+                    f"demand of set {set_id!r} on resource {self.element_id!r} must be "
+                    f"a positive integer, got {demand!r}"
+                )
+
+    @property
+    def parents(self) -> Tuple[SetId, ...]:
+        """The sets demanding this resource, in a deterministic order."""
+        return tuple(sorted(self.demands, key=repr))
+
+    def demand_of(self, set_id: SetId) -> int:
+        """The demand of ``set_id`` on this resource (0 if it does not appear)."""
+        return int(self.demands.get(set_id, 0))
+
+
+class GeneralPackingInstance:
+    """A general online packing instance: weighted sets and resource arrivals."""
+
+    def __init__(
+        self,
+        weights: Mapping[SetId, float],
+        arrivals: Iterable[GeneralArrival],
+        name: str = "",
+    ) -> None:
+        self._weights: Dict[SetId, float] = {}
+        for set_id, weight in weights.items():
+            if weight < 0:
+                raise InvalidSetSystemError(
+                    f"set {set_id!r} has negative weight {weight}"
+                )
+            self._weights[set_id] = float(weight)
+        self._arrivals: List[GeneralArrival] = list(arrivals)
+        self._name = name
+        seen = set()
+        for arrival in self._arrivals:
+            if arrival.element_id in seen:
+                raise InvalidInstanceError(
+                    f"resource {arrival.element_id!r} arrives twice"
+                )
+            seen.add(arrival.element_id)
+            for set_id in arrival.demands:
+                if set_id not in self._weights:
+                    # Sets referenced only by arrivals default to weight 1.
+                    self._weights[set_id] = 1.0
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """The human-readable name of the instance."""
+        return self._name
+
+    @property
+    def set_ids(self) -> Tuple[SetId, ...]:
+        """All set identifiers in a deterministic order."""
+        return tuple(sorted(self._weights, key=repr))
+
+    @property
+    def num_sets(self) -> int:
+        """The number of sets."""
+        return len(self._weights)
+
+    @property
+    def num_resources(self) -> int:
+        """The number of resource arrivals."""
+        return len(self._arrivals)
+
+    def weight(self, set_id: SetId) -> float:
+        """The weight of a set."""
+        try:
+            return self._weights[set_id]
+        except KeyError:
+            raise InvalidSetSystemError(f"unknown set {set_id!r}") from None
+
+    def total_weight(self, set_ids: Optional[Iterable[SetId]] = None) -> float:
+        """The total weight of a collection (default: all sets)."""
+        if set_ids is None:
+            return sum(self._weights.values())
+        return sum(self.weight(set_id) for set_id in set_ids)
+
+    def resources_of(self, set_id: SetId) -> Tuple[ElementId, ...]:
+        """The resources on which ``set_id`` has positive demand."""
+        return tuple(
+            arrival.element_id
+            for arrival in self._arrivals
+            if arrival.demand_of(set_id) > 0
+        )
+
+    def demand_profile(self, set_id: SetId) -> Dict[ElementId, int]:
+        """The full demand vector of a set over the arriving resources."""
+        return {
+            arrival.element_id: arrival.demand_of(set_id)
+            for arrival in self._arrivals
+            if arrival.demand_of(set_id) > 0
+        }
+
+    def set_infos(self) -> Dict[SetId, SetInfo]:
+        """Up-front information: weight and number of demanded resources."""
+        return {
+            set_id: SetInfo(
+                set_id=set_id,
+                weight=self.weight(set_id),
+                size=len(self.resources_of(set_id)),
+            )
+            for set_id in self.set_ids
+        }
+
+    def arrivals(self) -> Iterator[GeneralArrival]:
+        """The resource arrivals in order."""
+        return iter(self._arrivals)
+
+    def is_feasible(self, chosen: Iterable[SetId]) -> bool:
+        """Whether serving every set in ``chosen`` fits all resource capacities."""
+        chosen = list(chosen)
+        if len(chosen) != len(set(chosen)):
+            return False
+        for arrival in self._arrivals:
+            demand = sum(arrival.demand_of(set_id) for set_id in chosen)
+            if demand > arrival.capacity:
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"GeneralPackingInstance(sets={self.num_sets}, "
+            f"resources={self.num_resources})"
+        )
+
+
+class GeneralPackingBuilder:
+    """Incrementally build a general packing instance in arrival order."""
+
+    def __init__(self, name: str = "") -> None:
+        self._name = name
+        self._weights: Dict[SetId, float] = {}
+        self._arrivals: List[GeneralArrival] = []
+        self._counter = 0
+
+    def declare_set(self, set_id: SetId, weight: float = 1.0) -> SetId:
+        """Declare a set with its weight."""
+        self._weights[set_id] = float(weight)
+        return set_id
+
+    def add_resource(
+        self,
+        demands: Mapping[SetId, int],
+        capacity: int,
+        element_id: Optional[ElementId] = None,
+    ) -> ElementId:
+        """Append an arriving resource with its per-set demands and capacity."""
+        if element_id is None:
+            element_id = f"r{self._counter}"
+            self._counter += 1
+        arrival = GeneralArrival(
+            element_id=element_id, capacity=capacity, demands=dict(demands)
+        )
+        self._arrivals.append(arrival)
+        for set_id in demands:
+            self._weights.setdefault(set_id, 1.0)
+        return element_id
+
+    def build(self) -> GeneralPackingInstance:
+        """Finalize the instance."""
+        return GeneralPackingInstance(self._weights, self._arrivals, name=self._name)
+
+
+class GeneralOnlineAlgorithm(ABC):
+    """Protocol for online algorithms in the general packing model."""
+
+    name: str = "general-online-algorithm"
+    is_deterministic: bool = False
+
+    def start(self, set_infos: Mapping[SetId, SetInfo], rng: random.Random) -> None:
+        """Reset state for a new instance (default: nothing to do)."""
+
+    @abstractmethod
+    def decide(self, arrival: GeneralArrival) -> FrozenSet[SetId]:
+        """Choose the sets to serve at this resource.
+
+        The total demand of the returned sets must not exceed the resource
+        capacity, and every returned set must have positive demand here.
+        """
+
+
+@dataclass
+class GeneralSimulationResult:
+    """The outcome of one general packing simulation."""
+
+    algorithm_name: str
+    completed_sets: FrozenSet[SetId]
+    benefit: float
+    num_resources: int
+    served_units: int = 0
+
+    @property
+    def num_completed(self) -> int:
+        """The number of fully served sets."""
+        return len(self.completed_sets)
+
+
+def _validate_general_decision(
+    arrival: GeneralArrival, decision: FrozenSet[SetId]
+) -> Optional[str]:
+    total = 0
+    for set_id in decision:
+        demand = arrival.demand_of(set_id)
+        if demand <= 0:
+            return (
+                f"set {set_id!r} was served at resource {arrival.element_id!r} "
+                "where it has no demand"
+            )
+        total += demand
+    if total > arrival.capacity:
+        return (
+            f"served demand {total} exceeds capacity {arrival.capacity} at resource "
+            f"{arrival.element_id!r}"
+        )
+    return None
+
+
+def simulate_general(
+    instance: GeneralPackingInstance,
+    algorithm: GeneralOnlineAlgorithm,
+    rng: Optional[random.Random] = None,
+) -> GeneralSimulationResult:
+    """Run a general packing algorithm on an instance."""
+    rng = rng if rng is not None else random.Random()
+    algorithm.start(instance.set_infos(), rng)
+
+    alive: Dict[SetId, bool] = {set_id: True for set_id in instance.set_ids}
+    remaining: Dict[SetId, int] = {
+        set_id: len(instance.resources_of(set_id)) for set_id in instance.set_ids
+    }
+    served_units = 0
+
+    for arrival in instance.arrivals():
+        decision = frozenset(algorithm.decide(arrival))
+        error = _validate_general_decision(arrival, decision)
+        if error is not None:
+            raise AlgorithmProtocolError(
+                f"algorithm {algorithm.name!r}: {error}"
+            )
+        for set_id in arrival.parents:
+            if set_id in decision:
+                remaining[set_id] -= 1
+                served_units += arrival.demand_of(set_id)
+            else:
+                alive[set_id] = False
+
+    completed = frozenset(
+        set_id
+        for set_id in instance.set_ids
+        if alive[set_id] and remaining[set_id] == 0
+    )
+    benefit = sum(instance.weight(set_id) for set_id in completed)
+    return GeneralSimulationResult(
+        algorithm_name=algorithm.name,
+        completed_sets=completed,
+        benefit=benefit,
+        num_resources=instance.num_resources,
+        served_units=served_units,
+    )
+
+
+def solve_general_exact(
+    instance: GeneralPackingInstance, max_nodes: int = 500_000
+) -> Tuple[FrozenSet[SetId], float]:
+    """Exact offline optimum of a general packing instance (branch and bound).
+
+    Returns the chosen sets and their total weight.  Intended for the small
+    instances used to measure competitive ratios; ``max_nodes`` caps the
+    search (the incumbent is returned if the cap is hit).
+    """
+    set_ids = sorted(
+        instance.set_ids, key=lambda set_id: (-instance.weight(set_id), repr(set_id))
+    )
+    weights = [instance.weight(set_id) for set_id in set_ids]
+    arrivals = list(instance.arrivals())
+    demands = [
+        {index: arrival.demand_of(set_id) for index, arrival in enumerate(arrivals)
+         if arrival.demand_of(set_id) > 0}
+        for set_id in set_ids
+    ]
+    capacities = [arrival.capacity for arrival in arrivals]
+
+    suffix = [0.0] * (len(weights) + 1)
+    for index in range(len(weights) - 1, -1, -1):
+        suffix[index] = suffix[index + 1] + weights[index]
+
+    usage = [0] * len(arrivals)
+    chosen: List[int] = []
+    best: Tuple[float, Tuple[int, ...]] = (0.0, ())
+    nodes = 0
+
+    def fits(index: int) -> bool:
+        for resource, demand in demands[index].items():
+            if usage[resource] + demand > capacities[resource]:
+                return False
+        return True
+
+    def descend(index: int, weight_so_far: float) -> None:
+        nonlocal best, nodes
+        nodes += 1
+        if nodes > max_nodes:
+            return
+        if weight_so_far > best[0]:
+            best = (weight_so_far, tuple(chosen))
+        if index >= len(set_ids) or weight_so_far + suffix[index] <= best[0]:
+            return
+        if fits(index):
+            for resource, demand in demands[index].items():
+                usage[resource] += demand
+            chosen.append(index)
+            descend(index + 1, weight_so_far + weights[index])
+            chosen.pop()
+            for resource, demand in demands[index].items():
+                usage[resource] -= demand
+        descend(index + 1, weight_so_far)
+
+    descend(0, 0.0)
+    chosen_sets = frozenset(set_ids[index] for index in best[1])
+    return chosen_sets, best[0]
+
+
+def osp_instance_to_general(instance) -> GeneralPackingInstance:
+    """Embed an ordinary OSP :class:`~repro.core.instance.OnlineInstance`.
+
+    Every membership becomes a demand of exactly 1 and capacities carry over,
+    so OSP is literally the 0/1 special case of the general model — the tests
+    verify that simulating either representation gives the same benefit.
+    """
+    builder = GeneralPackingBuilder(name=instance.name or "osp-as-general")
+    system = instance.system
+    for set_id in system.set_ids:
+        builder.declare_set(set_id, system.weight(set_id))
+    for arrival in instance.arrivals():
+        builder.add_resource(
+            {set_id: 1 for set_id in arrival.parents},
+            capacity=arrival.capacity,
+            element_id=str(arrival.element_id),
+        )
+    return builder.build()

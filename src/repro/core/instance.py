@@ -1,0 +1,276 @@
+"""Online instances: a set system plus an element arrival order.
+
+An :class:`OnlineInstance` is what an online set packing algorithm is run
+against.  It pairs a :class:`~repro.core.set_system.SetSystem` with an
+arrival order over its elements.  Iterating the instance yields
+:class:`ElementArrival` records — exactly the information the paper allows
+the algorithm to observe at each step: the element identifier, its capacity
+``b(u)``, and the names of the sets containing it, ``C(u)``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.set_system import ElementId, SetId, SetInfo, SetSystem
+from repro.exceptions import InvalidInstanceError
+
+
+@dataclass(frozen=True)
+class ElementArrival:
+    """The information revealed to the algorithm when an element arrives."""
+
+    element_id: ElementId
+    capacity: int
+    parents: Tuple[SetId, ...]
+
+    @property
+    def load(self) -> int:
+        """The load ``sigma(u)`` of the arriving element."""
+        return len(self.parents)
+
+
+class OnlineInstance:
+    """A set system together with an arrival order over its elements.
+
+    Parameters
+    ----------
+    system:
+        The underlying weighted set system.
+    arrival_order:
+        A permutation of the system's element identifiers.  If omitted, the
+        deterministic order of ``system.element_ids`` is used.
+    name:
+        Optional human-readable name (used by the experiment harness).
+    """
+
+    def __init__(
+        self,
+        system: SetSystem,
+        arrival_order: Optional[Sequence[ElementId]] = None,
+        name: str = "",
+    ) -> None:
+        self._system = system
+        self._name = name
+        if arrival_order is None:
+            arrival_order = system.element_ids
+        order = tuple(arrival_order)
+        if sorted(order, key=repr) != sorted(system.element_ids, key=repr):
+            raise InvalidInstanceError(
+                "arrival order must be a permutation of the system's elements"
+            )
+        self._order: Tuple[ElementId, ...] = order
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def system(self) -> SetSystem:
+        """The underlying set system."""
+        return self._system
+
+    @property
+    def name(self) -> str:
+        """The human-readable name of this instance."""
+        return self._name
+
+    @property
+    def arrival_order(self) -> Tuple[ElementId, ...]:
+        """The element identifiers in arrival order."""
+        return self._order
+
+    @property
+    def num_steps(self) -> int:
+        """The number of arrival steps (one per element)."""
+        return len(self._order)
+
+    def set_infos(self) -> Dict[SetId, SetInfo]:
+        """The public up-front information about every set."""
+        return self._system.set_infos()
+
+    def arrivals(self) -> Iterator[ElementArrival]:
+        """Yield the arrivals in order, as the algorithm would observe them."""
+        for element in self._order:
+            yield ElementArrival(
+                element_id=element,
+                capacity=self._system.capacity(element),
+                parents=self._system.parents(element),
+            )
+
+    def __iter__(self) -> Iterator[ElementArrival]:
+        return self.arrivals()
+
+    def __len__(self) -> int:
+        return self.num_steps
+
+    def __repr__(self) -> str:
+        label = f" {self._name!r}" if self._name else ""
+        return (
+            f"OnlineInstance({label.strip()} sets={self._system.num_sets}, "
+            f"elements={self._system.num_elements})"
+        )
+
+    # ------------------------------------------------------------------
+    # Derived instances
+    # ------------------------------------------------------------------
+    def shuffled(self, rng: random.Random, name: str = "") -> "OnlineInstance":
+        """A copy of this instance with a uniformly random arrival order."""
+        order = list(self._order)
+        rng.shuffle(order)
+        return OnlineInstance(self._system, order, name=name or self._name)
+
+    def with_order(self, order: Sequence[ElementId], name: str = "") -> "OnlineInstance":
+        """A copy of this instance with the given arrival order."""
+        return OnlineInstance(self._system, order, name=name or self._name)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Serialize the instance (system and order) to a JSON string.
+
+        Identifiers are converted to strings; round-tripping therefore
+        yields string identifiers, which is sufficient for experiment
+        reproducibility.
+        """
+        system = self._system
+        payload = {
+            "name": self._name,
+            "sets": {str(set_id): [str(element) for element in sorted(members, key=repr)]
+                     for set_id, members in system.iter_sets()},
+            "weights": {str(set_id): system.weight(set_id) for set_id in system.set_ids},
+            "capacities": {str(element): system.capacity(element)
+                           for element in system.element_ids},
+            "arrival_order": [str(element) for element in self._order],
+        }
+        return json.dumps(payload, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "OnlineInstance":
+        """Reconstruct an instance from :meth:`to_json` output."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise InvalidInstanceError(f"invalid instance JSON: {exc}") from exc
+        for key in ("sets", "weights", "capacities", "arrival_order"):
+            if key not in payload:
+                raise InvalidInstanceError(f"instance JSON missing key {key!r}")
+        system = SetSystem(
+            payload["sets"],
+            weights=payload["weights"],
+            capacities=payload["capacities"],
+        )
+        return cls(system, payload["arrival_order"], name=payload.get("name", ""))
+
+
+class InstanceBuilder:
+    """Incrementally build an online instance in arrival order.
+
+    This is the natural constructor for adversarial constructions and for
+    network-trace conversions: elements are appended one at a time, each with
+    the sets it belongs to, and the arrival order is the append order.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self._name = name
+        self._element_parents: Dict[ElementId, List[SetId]] = {}
+        self._order: List[ElementId] = []
+        self._capacities: Dict[ElementId, int] = {}
+        self._weights: Dict[SetId, float] = {}
+        self._declared_sets: Dict[SetId, None] = {}
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    def declare_set(self, set_id: SetId, weight: float = 1.0) -> SetId:
+        """Declare a set (with its weight) before any of its elements arrive."""
+        self._declared_sets.setdefault(set_id, None)
+        self._weights[set_id] = float(weight)
+        return set_id
+
+    def add_element(
+        self,
+        parents: Iterable[SetId],
+        capacity: int = 1,
+        element_id: Optional[ElementId] = None,
+    ) -> ElementId:
+        """Append an arriving element contained in ``parents``.
+
+        Returns the element identifier (auto-generated as ``e<k>`` when not
+        supplied).  Sets referenced here are implicitly declared with weight
+        1 unless previously declared.
+        """
+        if element_id is None:
+            element_id = f"e{self._counter}"
+            self._counter += 1
+        if element_id in self._element_parents:
+            raise InvalidInstanceError(f"element {element_id!r} added twice")
+        parent_list = list(parents)
+        if len(parent_list) != len(set(parent_list)):
+            raise InvalidInstanceError(
+                f"element {element_id!r} lists a duplicate parent set"
+            )
+        for set_id in parent_list:
+            self._declared_sets.setdefault(set_id, None)
+            self._weights.setdefault(set_id, 1.0)
+        self._element_parents[element_id] = parent_list
+        self._capacities[element_id] = capacity
+        self._order.append(element_id)
+        return element_id
+
+    @property
+    def num_elements(self) -> int:
+        """The number of elements appended so far."""
+        return len(self._order)
+
+    @property
+    def num_sets(self) -> int:
+        """The number of sets declared or referenced so far."""
+        return len(self._declared_sets)
+
+    def current_size(self, set_id: SetId) -> int:
+        """The number of elements appended so far that belong to ``set_id``."""
+        return sum(1 for parents in self._element_parents.values() if set_id in parents)
+
+    def build(self) -> OnlineInstance:
+        """Finalize the instance."""
+        sets: Dict[SetId, List[ElementId]] = {set_id: [] for set_id in self._declared_sets}
+        for element, parent_list in self._element_parents.items():
+            for set_id in parent_list:
+                sets[set_id].append(element)
+        system = SetSystem(sets, weights=self._weights, capacities=self._capacities)
+        return OnlineInstance(system, self._order, name=self._name)
+
+
+def instance_from_bursts(
+    bursts: Sequence[Mapping[SetId, int]],
+    weights: Optional[Mapping[SetId, float]] = None,
+    capacities: Optional[Sequence[int]] = None,
+    name: str = "",
+) -> OnlineInstance:
+    """Build an instance from per-time-step bursts of packets.
+
+    This is the direct encoding of the paper's router scenario: time step
+    ``t`` becomes one element whose parent sets are the frames that have a
+    packet arriving at time ``t``.  ``bursts[t]`` maps frame identifiers to
+    the number of packets of that frame arriving in the burst; a frame that
+    sends more than one packet in the same time step still contributes a
+    single membership (the set abstraction collapses simultaneous packets of
+    the same frame, as in the paper's reduction).
+
+    ``capacities[t]`` is the number of packets the link can serve at time
+    ``t`` (default: 1 everywhere).
+    """
+    builder = InstanceBuilder(name=name)
+    if weights:
+        for set_id, weight in weights.items():
+            builder.declare_set(set_id, weight)
+    for step, burst in enumerate(bursts):
+        frames = [frame for frame, count in burst.items() if count > 0]
+        if not frames:
+            continue
+        capacity = 1 if capacities is None else capacities[step]
+        builder.add_element(frames, capacity=capacity, element_id=f"t{step}")
+    return builder.build()

@@ -1,0 +1,137 @@
+"""Partial-completion rewards: the paper's third open problem (Section 5).
+
+In standard OSP a set yields its weight only if *all* of its elements were
+assigned to it.  The paper asks what happens "where the set can be gained
+even if a few elements are missing".  This module evaluates a simulation
+trace under such relaxed reward rules so the extension benchmarks can compare
+reward models on the same runs.
+
+Two relaxations are provided:
+
+* *threshold reward*: a set pays its full weight once at least a fraction
+  ``theta`` of its elements were assigned to it (``theta = 1`` recovers OSP).
+* *proportional reward*: a set pays ``w(S) * (assigned fraction)^gamma``;
+  ``gamma`` controls how sharply partial frames lose value (``gamma -> inf``
+  approaches the all-or-nothing rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping
+
+from repro.core.set_system import SetId, SetSystem
+from repro.core.simulation import SimulationResult, StepRecord
+from repro.exceptions import OspError
+
+__all__ = [
+    "assigned_counts",
+    "threshold_benefit",
+    "proportional_benefit",
+    "PartialRewardSummary",
+    "evaluate_partial_rewards",
+]
+
+
+def assigned_counts(system: SetSystem, steps: Iterable[StepRecord]) -> Dict[SetId, int]:
+    """How many of each set's elements were assigned to it in a recorded trace.
+
+    Requires a simulation run with ``record_steps=True``; raises otherwise
+    (an empty trace on a non-empty instance is indistinguishable from a
+    missing trace, so the caller must be explicit).
+    """
+    counts: Dict[SetId, int] = {set_id: 0 for set_id in system.set_ids}
+    for record in steps:
+        for set_id in record.assigned:
+            counts[set_id] = counts.get(set_id, 0) + 1
+    return counts
+
+
+def _completion_fractions(
+    system: SetSystem, counts: Mapping[SetId, int]
+) -> Dict[SetId, float]:
+    fractions: Dict[SetId, float] = {}
+    for set_id in system.set_ids:
+        size = system.size(set_id)
+        assigned = counts.get(set_id, 0)
+        if assigned > size:
+            raise OspError(
+                f"set {set_id!r} has {assigned} assigned elements but size {size}"
+            )
+        fractions[set_id] = 1.0 if size == 0 else assigned / size
+    return fractions
+
+
+def threshold_benefit(
+    system: SetSystem, counts: Mapping[SetId, int], theta: float
+) -> float:
+    """Total weight of sets whose assigned fraction is at least ``theta``."""
+    if not 0.0 < theta <= 1.0:
+        raise OspError(f"theta must be in (0, 1], got {theta}")
+    fractions = _completion_fractions(system, counts)
+    return sum(
+        system.weight(set_id)
+        for set_id, fraction in fractions.items()
+        if fraction >= theta - 1e-12
+    )
+
+
+def proportional_benefit(
+    system: SetSystem, counts: Mapping[SetId, int], gamma: float = 1.0
+) -> float:
+    """Sum of ``w(S) * fraction^gamma`` over all sets."""
+    if gamma <= 0:
+        raise OspError(f"gamma must be positive, got {gamma}")
+    fractions = _completion_fractions(system, counts)
+    return sum(
+        system.weight(set_id) * (fraction ** gamma)
+        for set_id, fraction in fractions.items()
+    )
+
+
+@dataclass(frozen=True)
+class PartialRewardSummary:
+    """Benefit of one simulation run under the different reward models."""
+
+    strict_benefit: float
+    threshold_benefits: Dict[float, float]
+    proportional_benefit: float
+
+    def as_dict(self) -> Dict[str, float]:
+        summary = {"strict": self.strict_benefit, "proportional": self.proportional_benefit}
+        for theta, benefit in sorted(self.threshold_benefits.items()):
+            summary[f"threshold_{theta:.2f}"] = benefit
+        return summary
+
+
+def evaluate_partial_rewards(
+    system: SetSystem,
+    result: SimulationResult,
+    thetas: Iterable[float] = (0.5, 0.75, 0.9, 1.0),
+    gamma: float = 2.0,
+) -> PartialRewardSummary:
+    """Evaluate a recorded simulation result under all partial-reward models.
+
+    ``result`` must have been produced with ``record_steps=True``; the strict
+    (all-or-nothing) benefit is re-derived from the trace and cross-checked
+    against the result's own benefit as a consistency guard.
+    """
+    if result.num_steps > 0 and not result.steps:
+        raise OspError(
+            "partial-reward evaluation needs a step trace; rerun the simulation "
+            "with record_steps=True"
+        )
+    counts = assigned_counts(system, result.steps)
+    strict = threshold_benefit(system, counts, 1.0)
+    if abs(strict - result.benefit) > 1e-9:
+        raise OspError(
+            "trace-derived strict benefit disagrees with the simulation result "
+            f"({strict} vs {result.benefit}); the trace does not match the system"
+        )
+    thresholds = {float(theta): threshold_benefit(system, counts, float(theta))
+                  for theta in thetas}
+    return PartialRewardSummary(
+        strict_benefit=strict,
+        threshold_benefits=thresholds,
+        proportional_benefit=proportional_benefit(system, counts, gamma=gamma),
+    )

@@ -1,0 +1,134 @@
+"""The priority distribution R_w used by Algorithm randPr.
+
+The paper (Section 3.1) defines, for any ``w > 0``, the distribution ``R_w``
+over ``[0, 1]`` with cumulative distribution function ``Pr[X < x] = x^w``.
+For a natural number ``w``, this is the distribution of the maximum of ``w``
+independent uniform random variables on the unit interval; ``R_1`` is the
+uniform distribution itself.
+
+Sampling uses the inverse-CDF transform: if ``U`` is uniform on ``[0, 1]``
+then ``U^(1/w)`` is distributed according to ``R_w``.
+
+The module also provides the *hash-based* deterministic variant discussed in
+the paper's distributed-implementation remark: a system-wide hash of the set
+identifier replaces the uniform draw, so every server computes the same
+priority for the same set without communication.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from typing import Union
+
+from repro.core.set_system import SetId
+from repro.exceptions import OspError
+
+__all__ = [
+    "sample_priority",
+    "priority_cdf",
+    "priority_pdf",
+    "priority_mean",
+    "win_probability",
+    "hash_unit_interval",
+    "hash_priority",
+]
+
+_HASH_RESOLUTION_BITS = 64
+_HASH_DENOMINATOR = float(1 << _HASH_RESOLUTION_BITS)
+
+
+def _validate_weight(weight: float) -> float:
+    weight = float(weight)
+    if not weight > 0:
+        raise OspError(f"R_w requires a strictly positive weight, got {weight}")
+    if math.isinf(weight) or math.isnan(weight):
+        raise OspError(f"R_w requires a finite weight, got {weight}")
+    return weight
+
+
+def sample_priority(weight: float, rng: random.Random) -> float:
+    """Draw a priority from ``R_weight`` using the supplied RNG.
+
+    For weight ``w``, the returned value has CDF ``x^w`` on ``[0, 1]``.
+    """
+    weight = _validate_weight(weight)
+    # Avoid u == 0.0, whose (1/w)-th power is 0 for every weight and would
+    # make ties between zero-weight-ish sets more likely than the continuous
+    # model allows.
+    uniform = rng.random()
+    while uniform == 0.0:
+        uniform = rng.random()
+    return uniform ** (1.0 / weight)
+
+
+def priority_cdf(weight: float, x: float) -> float:
+    """``Pr[X < x]`` for ``X ~ R_weight``, clamped to ``[0, 1]``."""
+    weight = _validate_weight(weight)
+    if x <= 0.0:
+        return 0.0
+    if x >= 1.0:
+        return 1.0
+    return x ** weight
+
+
+def priority_pdf(weight: float, x: float) -> float:
+    """The density ``w * x^(w-1)`` of ``R_weight`` at ``x`` in ``(0, 1)``."""
+    weight = _validate_weight(weight)
+    if x <= 0.0 or x > 1.0:
+        return 0.0
+    return weight * x ** (weight - 1.0)
+
+
+def priority_mean(weight: float) -> float:
+    """The expectation ``w / (w + 1)`` of ``R_weight``."""
+    weight = _validate_weight(weight)
+    return weight / (weight + 1.0)
+
+
+def win_probability(weight: float, competing_weight: float) -> float:
+    """``Pr[X > Y]`` for independent ``X ~ R_weight`` and ``Y ~ R_competing``.
+
+    This is the closed form behind Lemma 1: a set of weight ``w`` beats an
+    aggregate competitor of weight ``w'`` with probability ``w / (w + w')``.
+    ``competing_weight`` may be zero (no competition), in which case the
+    probability is 1.
+    """
+    weight = _validate_weight(weight)
+    competing_weight = float(competing_weight)
+    if competing_weight < 0:
+        raise OspError(f"competing weight must be non-negative, got {competing_weight}")
+    return weight / (weight + competing_weight)
+
+
+def hash_unit_interval(key: Union[SetId, str, bytes], salt: str = "") -> float:
+    """Map an identifier deterministically to a point of ``[0, 1)``.
+
+    Uses SHA-256 of the (salted) identifier truncated to 64 bits; the salt
+    plays the role of the system-wide hash function's seed, so different
+    salts give (practically) independent priority assignments.
+    """
+    if isinstance(key, bytes):
+        data = key
+    else:
+        data = repr(key).encode("utf-8")
+    digest = hashlib.sha256(salt.encode("utf-8") + b"\x00" + data).digest()
+    value = int.from_bytes(digest[:8], "big")
+    return value / _HASH_DENOMINATOR
+
+
+def hash_priority(key: Union[SetId, str, bytes], weight: float, salt: str = "") -> float:
+    """A deterministic priority for ``key`` distributed like ``R_weight``.
+
+    Applies the inverse-CDF transform to the hash-derived uniform value.
+    Every party that knows the set identifier, its weight and the shared
+    salt computes exactly the same priority — which is what makes randPr
+    implementable distributively (Section 3.1).
+    """
+    weight = _validate_weight(weight)
+    uniform = hash_unit_interval(key, salt=salt)
+    if uniform == 0.0:
+        # Extremely unlikely; nudge away from zero to keep priorities distinct.
+        uniform = 1.0 / _HASH_DENOMINATOR
+    return uniform ** (1.0 / weight)

@@ -1,0 +1,345 @@
+"""Weighted set systems: the basic combinatorial object of online set packing.
+
+A *weighted set system* consists of a universe ``U`` of elements, a family
+``C = {S_1, ..., S_m}`` of subsets of ``U``, a non-negative weight ``w(S)``
+for every set, and a positive integer capacity ``b(u)`` for every element.
+
+In the networking interpretation of the paper, a set is a multi-packet data
+frame, an element is a time step at the bottleneck link, and an element's
+capacity is the number of packets the link can serve in that time step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import InvalidSetSystemError
+
+SetId = Union[int, str]
+ElementId = Union[int, str]
+
+
+@dataclass(frozen=True)
+class SetInfo:
+    """The public, up-front information about a set.
+
+    In the online model the algorithm initially knows, for every set, only
+    its identifier, its weight and its size (but not its members).
+    """
+
+    set_id: SetId
+    weight: float
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise InvalidSetSystemError(
+                f"set {self.set_id!r} has negative weight {self.weight}"
+            )
+        if self.size < 0:
+            raise InvalidSetSystemError(
+                f"set {self.set_id!r} has negative size {self.size}"
+            )
+
+
+class SetSystem:
+    """An immutable weighted set system with element capacities.
+
+    Parameters
+    ----------
+    sets:
+        Mapping from set identifier to an iterable of the element identifiers
+        that the set contains.
+    weights:
+        Optional mapping from set identifier to a non-negative weight.  Sets
+        missing from the mapping (or the whole mapping, if ``None``) default
+        to weight ``1.0`` (the unweighted case).
+    capacities:
+        Optional mapping from element identifier to a positive integer
+        capacity ``b(u)``.  Elements missing from the mapping default to
+        capacity ``1`` (the unit-capacity case).
+    """
+
+    def __init__(
+        self,
+        sets: Mapping[SetId, Iterable[ElementId]],
+        weights: Optional[Mapping[SetId, float]] = None,
+        capacities: Optional[Mapping[ElementId, int]] = None,
+    ) -> None:
+        weights = dict(weights) if weights is not None else {}
+        capacities = dict(capacities) if capacities is not None else {}
+
+        self._members: Dict[SetId, FrozenSet[ElementId]] = {}
+        self._weights: Dict[SetId, float] = {}
+        elements: Dict[ElementId, None] = {}
+
+        for set_id, members in sets.items():
+            frozen = frozenset(members)
+            self._members[set_id] = frozen
+            weight = float(weights.get(set_id, 1.0))
+            if weight < 0:
+                raise InvalidSetSystemError(
+                    f"set {set_id!r} has negative weight {weight}"
+                )
+            self._weights[set_id] = weight
+            for element in frozen:
+                elements.setdefault(element, None)
+
+        unknown_weighted = set(weights) - set(self._members)
+        if unknown_weighted:
+            raise InvalidSetSystemError(
+                f"weights given for unknown sets: {sorted(map(repr, unknown_weighted))}"
+            )
+
+        self._capacities: Dict[ElementId, int] = {}
+        for element in elements:
+            capacity = capacities.get(element, 1)
+            if not isinstance(capacity, int) or isinstance(capacity, bool):
+                raise InvalidSetSystemError(
+                    f"element {element!r} has non-integer capacity {capacity!r}"
+                )
+            if capacity < 1:
+                raise InvalidSetSystemError(
+                    f"element {element!r} has non-positive capacity {capacity}"
+                )
+            self._capacities[element] = capacity
+
+        unknown_capacity = set(capacities) - set(self._capacities)
+        if unknown_capacity:
+            raise InvalidSetSystemError(
+                "capacities given for unknown elements: "
+                f"{sorted(map(repr, unknown_capacity))}"
+            )
+
+        # Inverted index: element -> the sets containing it (C(u)).
+        parents: Dict[ElementId, list] = {element: [] for element in self._capacities}
+        for set_id, members in self._members.items():
+            for element in members:
+                parents[element].append(set_id)
+        self._parents: Dict[ElementId, Tuple[SetId, ...]] = {
+            element: tuple(sorted(ids, key=repr)) for element, ids in parents.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def set_ids(self) -> Tuple[SetId, ...]:
+        """All set identifiers, in a deterministic order."""
+        return tuple(sorted(self._members, key=repr))
+
+    @property
+    def element_ids(self) -> Tuple[ElementId, ...]:
+        """All element identifiers, in a deterministic order."""
+        return tuple(sorted(self._capacities, key=repr))
+
+    @property
+    def num_sets(self) -> int:
+        """The number of sets ``m``."""
+        return len(self._members)
+
+    @property
+    def num_elements(self) -> int:
+        """The number of elements ``n``."""
+        return len(self._capacities)
+
+    def members(self, set_id: SetId) -> FrozenSet[ElementId]:
+        """The elements of set ``set_id``."""
+        try:
+            return self._members[set_id]
+        except KeyError:
+            raise InvalidSetSystemError(f"unknown set {set_id!r}") from None
+
+    def weight(self, set_id: SetId) -> float:
+        """The weight ``w(S)`` of set ``set_id``."""
+        try:
+            return self._weights[set_id]
+        except KeyError:
+            raise InvalidSetSystemError(f"unknown set {set_id!r}") from None
+
+    def size(self, set_id: SetId) -> int:
+        """The size ``|S|`` of set ``set_id``."""
+        return len(self.members(set_id))
+
+    def capacity(self, element: ElementId) -> int:
+        """The capacity ``b(u)`` of element ``element``."""
+        try:
+            return self._capacities[element]
+        except KeyError:
+            raise InvalidSetSystemError(f"unknown element {element!r}") from None
+
+    def parents(self, element: ElementId) -> Tuple[SetId, ...]:
+        """The sets containing ``element``, i.e. ``C(u)``."""
+        try:
+            return self._parents[element]
+        except KeyError:
+            raise InvalidSetSystemError(f"unknown element {element!r}") from None
+
+    def contains(self, set_id: SetId, element: ElementId) -> bool:
+        """Whether ``element`` belongs to set ``set_id``."""
+        return element in self.members(set_id)
+
+    def set_info(self, set_id: SetId) -> SetInfo:
+        """The up-front public information of a set (id, weight, size)."""
+        return SetInfo(set_id=set_id, weight=self.weight(set_id), size=self.size(set_id))
+
+    def set_infos(self) -> Dict[SetId, SetInfo]:
+        """Public information for every set, keyed by set identifier."""
+        return {set_id: self.set_info(set_id) for set_id in self.set_ids}
+
+    def iter_sets(self) -> Iterator[Tuple[SetId, FrozenSet[ElementId]]]:
+        """Iterate over ``(set_id, members)`` pairs in deterministic order."""
+        for set_id in self.set_ids:
+            yield set_id, self._members[set_id]
+
+    # ------------------------------------------------------------------
+    # Loads and neighbourhoods
+    # ------------------------------------------------------------------
+    def load(self, element: ElementId) -> int:
+        """The load ``sigma(u) = |C(u)|`` of an element."""
+        return len(self.parents(element))
+
+    def weighted_load(self, element: ElementId) -> float:
+        """The weighted load ``sigma$(u) = w(C(u))`` of an element."""
+        return sum(self._weights[set_id] for set_id in self.parents(element))
+
+    def adjusted_load(self, element: ElementId) -> float:
+        """The adjusted load ``nu(u) = sigma(u) / b(u)`` (Definition 1)."""
+        return self.load(element) / self.capacity(element)
+
+    def closed_neighbourhood(self, set_id: SetId) -> FrozenSet[SetId]:
+        """``N[S]``: all sets intersecting ``S``, including ``S`` itself."""
+        members = self.members(set_id)
+        neighbours = {set_id}
+        for element in members:
+            neighbours.update(self._parents[element])
+        return frozenset(neighbours)
+
+    def open_neighbourhood(self, set_id: SetId) -> FrozenSet[SetId]:
+        """``N(S)``: all sets intersecting ``S``, excluding ``S`` itself."""
+        return self.closed_neighbourhood(set_id) - {set_id}
+
+    def neighbourhood_weight(self, set_id: SetId) -> float:
+        """``w(N[S])``: the total weight of the closed neighbourhood of ``S``."""
+        return sum(self._weights[other] for other in self.closed_neighbourhood(set_id))
+
+    def intersect(self, first: SetId, second: SetId) -> FrozenSet[ElementId]:
+        """The elements shared by two sets."""
+        return self.members(first) & self.members(second)
+
+    def are_disjoint(self, first: SetId, second: SetId) -> bool:
+        """Whether two sets share no element."""
+        return not self.intersect(first, second)
+
+    # ------------------------------------------------------------------
+    # Aggregates and predicates
+    # ------------------------------------------------------------------
+    def total_weight(self, set_ids: Optional[Iterable[SetId]] = None) -> float:
+        """The total weight ``w(C')`` of a collection (default: all sets)."""
+        if set_ids is None:
+            return sum(self._weights.values())
+        return sum(self.weight(set_id) for set_id in set_ids)
+
+    def is_unweighted(self) -> bool:
+        """Whether every set has weight exactly 1."""
+        return all(weight == 1.0 for weight in self._weights.values())
+
+    def is_unit_capacity(self) -> bool:
+        """Whether every element has capacity exactly 1."""
+        return all(capacity == 1 for capacity in self._capacities.values())
+
+    def is_feasible_packing(self, set_ids: Iterable[SetId]) -> bool:
+        """Whether a collection of sets respects every element capacity.
+
+        A collection ``A`` is a feasible packing when, for every element
+        ``u``, at most ``b(u)`` of the sets in ``A`` contain ``u``.
+        """
+        chosen = list(set_ids)
+        if len(chosen) != len(set(chosen)):
+            return False
+        usage: Dict[ElementId, int] = {}
+        for set_id in chosen:
+            for element in self.members(set_id):
+                usage[element] = usage.get(element, 0) + 1
+                if usage[element] > self._capacities[element]:
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Derived systems
+    # ------------------------------------------------------------------
+    def restricted_to_sets(self, set_ids: Iterable[SetId]) -> "SetSystem":
+        """A new set system containing only the given sets.
+
+        Elements that belong to none of the surviving sets are dropped.
+        """
+        keep = set(set_ids)
+        unknown = keep - set(self._members)
+        if unknown:
+            raise InvalidSetSystemError(
+                f"cannot restrict to unknown sets: {sorted(map(repr, unknown))}"
+            )
+        sets = {set_id: self._members[set_id] for set_id in keep}
+        weights = {set_id: self._weights[set_id] for set_id in keep}
+        surviving_elements = set()
+        for members in sets.values():
+            surviving_elements.update(members)
+        capacities = {
+            element: self._capacities[element] for element in surviving_elements
+        }
+        return SetSystem(sets, weights=weights, capacities=capacities)
+
+    def reweighted(self, weights: Mapping[SetId, float]) -> "SetSystem":
+        """A copy of this system with the given weights overriding existing ones."""
+        merged = dict(self._weights)
+        merged.update(weights)
+        return SetSystem(dict(self._members), weights=merged, capacities=dict(self._capacities))
+
+    def to_dict(self) -> Dict[str, object]:
+        """A plain-dictionary description, convenient for serialization."""
+        return {
+            "sets": {repr(set_id): sorted(map(repr, members))
+                     for set_id, members in self._members.items()},
+            "weights": {repr(set_id): weight for set_id, weight in self._weights.items()},
+            "capacities": {repr(element): capacity
+                           for element, capacity in self._capacities.items()},
+        }
+
+    # ------------------------------------------------------------------
+    # Dunder helpers
+    # ------------------------------------------------------------------
+    def __contains__(self, set_id: SetId) -> bool:
+        return set_id in self._members
+
+    def __len__(self) -> int:
+        return self.num_sets
+
+    def __repr__(self) -> str:
+        return (
+            f"SetSystem(num_sets={self.num_sets}, num_elements={self.num_elements}, "
+            f"unweighted={self.is_unweighted()}, unit_capacity={self.is_unit_capacity()})"
+        )
+
+
+def build_from_element_lists(
+    element_parents: Mapping[ElementId, Sequence[SetId]],
+    weights: Optional[Mapping[SetId, float]] = None,
+    capacities: Optional[Mapping[ElementId, int]] = None,
+) -> SetSystem:
+    """Build a :class:`SetSystem` from the element-centric view.
+
+    ``element_parents`` maps each element to the list of sets that contain
+    it — the form in which OSP inputs naturally arrive (each arriving packet
+    announces its frame).  Sets that appear in no element list are not
+    representable in this form; add them through the set-centric constructor
+    if empty sets are required.
+    """
+    sets: Dict[SetId, list] = {}
+    for element, parent_ids in element_parents.items():
+        for set_id in parent_ids:
+            sets.setdefault(set_id, []).append(element)
+    if weights is not None:
+        for set_id in weights:
+            sets.setdefault(set_id, [])
+    return SetSystem(sets, weights=weights, capacities=capacities)

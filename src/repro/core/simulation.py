@@ -1,0 +1,157 @@
+"""The simulation engine: run an online algorithm on an online instance.
+
+The engine feeds arrivals to the algorithm in order, validates every decision
+against the OSP protocol, tracks which sets remain *active* (assigned every
+element seen so far) and reports the completed sets and their total weight.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.algorithm import OnlineAlgorithm, validate_decision
+from repro.core.instance import ElementArrival, OnlineInstance
+from repro.core.set_system import ElementId, SetId
+from repro.exceptions import AlgorithmProtocolError
+
+__all__ = ["StepRecord", "SimulationResult", "simulate", "simulate_many", "expected_benefit"]
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """What happened at one arrival step."""
+
+    step: int
+    element_id: ElementId
+    capacity: int
+    parents: Tuple[SetId, ...]
+    assigned: FrozenSet[SetId]
+
+    @property
+    def dropped(self) -> FrozenSet[SetId]:
+        """Parent sets the element was *not* assigned to (they die here)."""
+        return frozenset(self.parents) - self.assigned
+
+
+@dataclass
+class SimulationResult:
+    """The outcome of running one algorithm on one instance."""
+
+    algorithm_name: str
+    instance_name: str
+    completed_sets: FrozenSet[SetId]
+    benefit: float
+    num_steps: int
+    steps: List[StepRecord] = field(default_factory=list)
+
+    @property
+    def num_completed(self) -> int:
+        """The number of completed sets."""
+        return len(self.completed_sets)
+
+    def completion_ratio(self, total_sets: int) -> float:
+        """Fraction of all sets that were completed."""
+        if total_sets <= 0:
+            return 0.0
+        return self.num_completed / total_sets
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulationResult(algorithm={self.algorithm_name!r}, "
+            f"completed={self.num_completed}, benefit={self.benefit:.3f})"
+        )
+
+
+def simulate(
+    instance: OnlineInstance,
+    algorithm: OnlineAlgorithm,
+    rng: Optional[random.Random] = None,
+    record_steps: bool = False,
+) -> SimulationResult:
+    """Run ``algorithm`` on ``instance`` and return the result.
+
+    Every decision is validated; a protocol violation raises
+    :class:`~repro.exceptions.AlgorithmProtocolError` (the simulation does not
+    silently repair bad decisions, so algorithm bugs surface in tests).
+
+    Pass ``record_steps=True`` to retain the full per-step trace (useful for
+    debugging and for the example scripts, but memory-heavy on large runs).
+    """
+    rng = rng if rng is not None else random.Random()
+    system = instance.system
+    algorithm.start(instance.set_infos(), rng)
+
+    # A set is active while every element of it seen so far was assigned to
+    # it.  Sets with no elements are trivially completed.
+    active: Dict[SetId, bool] = {set_id: True for set_id in system.set_ids}
+    remaining: Dict[SetId, int] = {
+        set_id: system.size(set_id) for set_id in system.set_ids
+    }
+
+    steps: List[StepRecord] = []
+    for step, arrival in enumerate(instance.arrivals()):
+        decision = frozenset(algorithm.decide(arrival))
+        error = validate_decision(arrival, tuple(decision))
+        if error is not None:
+            raise AlgorithmProtocolError(
+                f"algorithm {algorithm.name!r} at step {step}: {error}"
+            )
+        for set_id in arrival.parents:
+            if set_id in decision:
+                remaining[set_id] -= 1
+            else:
+                active[set_id] = False
+        if record_steps:
+            steps.append(
+                StepRecord(
+                    step=step,
+                    element_id=arrival.element_id,
+                    capacity=arrival.capacity,
+                    parents=arrival.parents,
+                    assigned=decision,
+                )
+            )
+
+    completed = frozenset(
+        set_id
+        for set_id in system.set_ids
+        if active[set_id] and remaining[set_id] == 0
+    )
+    benefit = sum(system.weight(set_id) for set_id in completed)
+    return SimulationResult(
+        algorithm_name=algorithm.name,
+        instance_name=instance.name,
+        completed_sets=completed,
+        benefit=benefit,
+        num_steps=instance.num_steps,
+        steps=steps,
+    )
+
+
+def simulate_many(
+    instance: OnlineInstance,
+    algorithm: OnlineAlgorithm,
+    trials: int,
+    seed: int = 0,
+) -> List[SimulationResult]:
+    """Run ``trials`` independent simulations with seeds ``seed, seed+1, ...``.
+
+    For deterministic algorithms one trial suffices; the helper still runs the
+    requested number so that callers can treat all algorithms uniformly.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be at least 1, got {trials}")
+    results = []
+    for trial in range(trials):
+        rng = random.Random(seed + trial)
+        results.append(simulate(instance, algorithm, rng))
+    return results
+
+
+def expected_benefit(results: Sequence[SimulationResult]) -> float:
+    """The empirical mean benefit over a sequence of simulation results."""
+    if not results:
+        return 0.0
+    return sum(result.benefit for result in results) / len(results)

@@ -1,0 +1,204 @@
+"""Instance statistics used by the paper's competitive-ratio bounds.
+
+The paper expresses its bounds in terms of the following quantities (all
+defined over a weighted set system with element capacities):
+
+* ``k_max`` — the maximum set size, and ``k_mean`` — the average set size.
+* ``sigma(u)`` — the load of element ``u`` (number of sets containing it),
+  with maximum ``sigma_max`` and average ``sigma_mean``.
+* ``sigma$(u)`` — the weighted load ``w(C(u))``.
+* ``nu(u) = sigma(u) / b(u)`` — the adjusted load (Definition 1).
+* Mixed averages such as ``mean(sigma * sigma$)`` and ``mean(sigma^2)``
+  (the paper's overline notation averages the per-element product).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.set_system import ElementId, SetSystem
+
+
+@dataclass(frozen=True)
+class InstanceStatistics:
+    """All the per-instance aggregates that appear in the paper's bounds."""
+
+    num_sets: int
+    num_elements: int
+    total_weight: float
+    k_max: int
+    k_mean: float
+    sigma_max: int
+    sigma_mean: float
+    sigma_second_moment: float
+    weighted_load_mean: float
+    weighted_load_max: float
+    sigma_weighted_product_mean: float
+    adjusted_load_max: float
+    adjusted_load_mean: float
+    adjusted_weighted_product_mean: float
+    capacity_max: int
+    capacity_min: int
+    is_unweighted: bool
+    is_unit_capacity: bool
+    uniform_set_size: bool
+    uniform_load: bool
+
+    def as_dict(self) -> Dict[str, float]:
+        """The statistics as a plain dictionary (for reports)."""
+        return {
+            "num_sets": self.num_sets,
+            "num_elements": self.num_elements,
+            "total_weight": self.total_weight,
+            "k_max": self.k_max,
+            "k_mean": self.k_mean,
+            "sigma_max": self.sigma_max,
+            "sigma_mean": self.sigma_mean,
+            "sigma_second_moment": self.sigma_second_moment,
+            "weighted_load_mean": self.weighted_load_mean,
+            "weighted_load_max": self.weighted_load_max,
+            "sigma_weighted_product_mean": self.sigma_weighted_product_mean,
+            "adjusted_load_max": self.adjusted_load_max,
+            "adjusted_load_mean": self.adjusted_load_mean,
+            "adjusted_weighted_product_mean": self.adjusted_weighted_product_mean,
+            "capacity_max": self.capacity_max,
+            "capacity_min": self.capacity_min,
+        }
+
+
+def compute_statistics(system: SetSystem) -> InstanceStatistics:
+    """Compute every aggregate used by the paper's bounds for ``system``.
+
+    Raises no error on empty systems: all averages default to zero so that
+    callers can still render reports for degenerate inputs.
+    """
+    set_sizes = [system.size(set_id) for set_id in system.set_ids]
+    loads = {element: system.load(element) for element in system.element_ids}
+    weighted_loads = {
+        element: system.weighted_load(element) for element in system.element_ids
+    }
+    adjusted_loads = {
+        element: system.adjusted_load(element) for element in system.element_ids
+    }
+    capacities = [system.capacity(element) for element in system.element_ids]
+
+    num_sets = system.num_sets
+    num_elements = system.num_elements
+
+    k_max = max(set_sizes) if set_sizes else 0
+    k_mean = (sum(set_sizes) / num_sets) if num_sets else 0.0
+
+    sigma_values = list(loads.values())
+    sigma_max = max(sigma_values) if sigma_values else 0
+    sigma_mean = (sum(sigma_values) / num_elements) if num_elements else 0.0
+    sigma_second_moment = (
+        sum(value * value for value in sigma_values) / num_elements
+        if num_elements
+        else 0.0
+    )
+
+    weighted_values = list(weighted_loads.values())
+    weighted_load_mean = (
+        sum(weighted_values) / num_elements if num_elements else 0.0
+    )
+    weighted_load_max = max(weighted_values) if weighted_values else 0.0
+
+    sigma_weighted_product_mean = (
+        sum(loads[element] * weighted_loads[element] for element in loads) / num_elements
+        if num_elements
+        else 0.0
+    )
+
+    adjusted_values = list(adjusted_loads.values())
+    adjusted_load_max = max(adjusted_values) if adjusted_values else 0.0
+    adjusted_load_mean = (
+        sum(adjusted_values) / num_elements if num_elements else 0.0
+    )
+    adjusted_weighted_product_mean = (
+        sum(adjusted_loads[element] * weighted_loads[element] for element in loads)
+        / num_elements
+        if num_elements
+        else 0.0
+    )
+
+    return InstanceStatistics(
+        num_sets=num_sets,
+        num_elements=num_elements,
+        total_weight=system.total_weight(),
+        k_max=k_max,
+        k_mean=k_mean,
+        sigma_max=sigma_max,
+        sigma_mean=sigma_mean,
+        sigma_second_moment=sigma_second_moment,
+        weighted_load_mean=weighted_load_mean,
+        weighted_load_max=weighted_load_max,
+        sigma_weighted_product_mean=sigma_weighted_product_mean,
+        adjusted_load_max=adjusted_load_max,
+        adjusted_load_mean=adjusted_load_mean,
+        adjusted_weighted_product_mean=adjusted_weighted_product_mean,
+        capacity_max=max(capacities) if capacities else 0,
+        capacity_min=min(capacities) if capacities else 0,
+        is_unweighted=system.is_unweighted(),
+        is_unit_capacity=system.is_unit_capacity(),
+        uniform_set_size=len(set(set_sizes)) <= 1,
+        uniform_load=len(set(sigma_values)) <= 1,
+    )
+
+
+def load_histogram(system: SetSystem) -> Dict[int, int]:
+    """Histogram of element loads: load value -> number of elements."""
+    histogram: Dict[int, int] = {}
+    for element in system.element_ids:
+        load = system.load(element)
+        histogram[load] = histogram.get(load, 0) + 1
+    return histogram
+
+
+def set_size_histogram(system: SetSystem) -> Dict[int, int]:
+    """Histogram of set sizes: size value -> number of sets."""
+    histogram: Dict[int, int] = {}
+    for set_id in system.set_ids:
+        size = system.size(set_id)
+        histogram[size] = histogram.get(size, 0) + 1
+    return histogram
+
+
+def identity_nk_sigma(system: SetSystem) -> Dict[str, float]:
+    """Check the identity ``m * k_mean == n * sigma_mean``.
+
+    Both sides count the total number of (element, set) incidences; the paper
+    uses this identity in the proofs of Theorems 5 and 6.  Returns both sides
+    and their absolute difference so tests can assert near-equality.
+    """
+    stats = compute_statistics(system)
+    lhs = stats.num_sets * stats.k_mean
+    rhs = stats.num_elements * stats.sigma_mean
+    return {"m_times_k_mean": lhs, "n_times_sigma_mean": rhs, "difference": abs(lhs - rhs)}
+
+
+def weighted_incidence_identity(system: SetSystem) -> Dict[str, float]:
+    """Check Eq. (4): ``n * mean(sigma$) = sum_S |S| w(S) <= k_max * w(C)``."""
+    stats = compute_statistics(system)
+    lhs = stats.num_elements * stats.weighted_load_mean
+    middle = sum(system.size(set_id) * system.weight(set_id) for set_id in system.set_ids)
+    upper = stats.k_max * stats.total_weight
+    return {
+        "n_times_weighted_load_mean": lhs,
+        "sum_size_times_weight": middle,
+        "k_max_times_total_weight": upper,
+        "difference": abs(lhs - middle),
+        "slack": upper - middle,
+    }
+
+
+def effective_competitive_denominator(stats: InstanceStatistics) -> float:
+    """The quantity ``sqrt(mean(sigma*sigma$)/mean(sigma$))`` of Theorem 1.
+
+    Returns 1.0 for degenerate (empty or zero-weight) instances so that the
+    resulting bound stays finite.
+    """
+    if stats.weighted_load_mean <= 0:
+        return 1.0
+    return math.sqrt(stats.sigma_weighted_product_mean / stats.weighted_load_mean)

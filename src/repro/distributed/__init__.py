@@ -1,0 +1,20 @@
+"""Distributed execution substrate: shared hashing, server nodes, coordinator."""
+
+from repro.distributed.coordinator import (
+    DistributedCoordinator,
+    DistributedOutcome,
+    round_robin_placement,
+)
+from repro.distributed.hashing import PolynomialHashFamily, UniversalHashFamily, fold_key
+from repro.distributed.node import NodeDecision, ServerNode
+
+__all__ = [
+    "DistributedCoordinator",
+    "DistributedOutcome",
+    "round_robin_placement",
+    "PolynomialHashFamily",
+    "UniversalHashFamily",
+    "fold_key",
+    "NodeDecision",
+    "ServerNode",
+]

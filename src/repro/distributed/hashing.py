@@ -1,0 +1,141 @@
+"""Hashing substrate for the distributed implementation of randPr.
+
+The paper notes that the random priorities can be replaced by a system-wide
+hash function applied to set identifiers, and that ``k_max * σ_max``-wise
+independence suffices.  This module provides:
+
+* :class:`UniversalHashFamily` — the classic Carter–Wegman family
+  ``h(x) = ((a*x + b) mod p) mod m`` over a Mersenne prime, with string keys
+  folded into integers first.
+* :class:`PolynomialHashFamily` — degree-``d`` polynomial hashing over a
+  prime field, giving ``(d+1)``-wise independence; used to probe how much
+  independence the distributed algorithm actually needs.
+* :func:`fold_key` — stable conversion of arbitrary identifiers to integers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import List, Union
+
+__all__ = ["fold_key", "UniversalHashFamily", "PolynomialHashFamily"]
+
+#: A Mersenne prime comfortably larger than any 61-bit folded key.
+MERSENNE_PRIME_61 = (1 << 61) - 1
+
+
+def fold_key(key: Union[int, str, bytes, object]) -> int:
+    """Map an arbitrary identifier to a non-negative integer below 2^61.
+
+    Integers below the prime are passed through (so arithmetic-friendly keys
+    stay recognisable); everything else is folded through SHA-256.  The
+    mapping is stable across processes and Python versions, which is what a
+    distributed deployment needs.
+    """
+    if isinstance(key, bool):
+        return int(key)
+    if isinstance(key, int) and 0 <= key < MERSENNE_PRIME_61:
+        return key
+    if isinstance(key, bytes):
+        data = key
+    else:
+        data = repr(key).encode("utf-8")
+    digest = hashlib.sha256(data).digest()
+    return int.from_bytes(digest[:8], "big") % MERSENNE_PRIME_61
+
+
+class UniversalHashFamily:
+    """A 2-universal hash family ``h(x) = ((a*x + b) mod p) mod range``.
+
+    Instances are constructed from a seed so that every server that shares
+    the seed computes the same function.
+    """
+
+    def __init__(self, seed: int, output_range: int = 1 << 61) -> None:
+        if output_range < 2:
+            raise ValueError(f"output range must be at least 2, got {output_range}")
+        rng = random.Random(seed)
+        self._prime = MERSENNE_PRIME_61
+        self._a = rng.randrange(1, self._prime)
+        self._b = rng.randrange(0, self._prime)
+        self._range = output_range
+        self._seed = seed
+
+    @property
+    def seed(self) -> int:
+        """The seed this hash function was derived from."""
+        return self._seed
+
+    def hash(self, key: Union[int, str, bytes, object]) -> int:
+        """The hash of ``key`` in ``[0, output_range)``."""
+        x = fold_key(key)
+        return ((self._a * x + self._b) % self._prime) % self._range
+
+    def unit_interval(self, key: Union[int, str, bytes, object]) -> float:
+        """The hash of ``key`` mapped to ``[0, 1)``."""
+        return self.hash(key) / self._range
+
+    def __call__(self, key: Union[int, str, bytes, object]) -> int:
+        return self.hash(key)
+
+    def __repr__(self) -> str:
+        return f"UniversalHashFamily(seed={self._seed}, range={self._range})"
+
+
+class PolynomialHashFamily:
+    """Degree-``d`` polynomial hashing: ``(d+1)``-wise independent.
+
+    ``h(x) = (c_d x^d + ... + c_1 x + c_0) mod p mod range`` with coefficients
+    drawn from the seed.  With ``degree = k_max * σ_max - 1`` this realises
+    exactly the independence level the paper's remark asks for.
+    """
+
+    def __init__(self, seed: int, degree: int, output_range: int = 1 << 61) -> None:
+        if degree < 1:
+            raise ValueError(f"degree must be at least 1, got {degree}")
+        if output_range < 2:
+            raise ValueError(f"output range must be at least 2, got {output_range}")
+        rng = random.Random(seed)
+        self._prime = MERSENNE_PRIME_61
+        self._coefficients: List[int] = [
+            rng.randrange(0, self._prime) for _ in range(degree + 1)
+        ]
+        # Leading coefficient must be non-zero for full degree.
+        if self._coefficients[-1] == 0:
+            self._coefficients[-1] = 1
+        self._range = output_range
+        self._seed = seed
+        self._degree = degree
+
+    @property
+    def degree(self) -> int:
+        """The polynomial degree (independence level minus one)."""
+        return self._degree
+
+    @property
+    def independence(self) -> int:
+        """The wise-independence level of the family (degree + 1)."""
+        return self._degree + 1
+
+    def hash(self, key: Union[int, str, bytes, object]) -> int:
+        """The hash of ``key`` in ``[0, output_range)``."""
+        x = fold_key(key)
+        value = 0
+        # Horner evaluation modulo the prime.
+        for coefficient in reversed(self._coefficients):
+            value = (value * x + coefficient) % self._prime
+        return value % self._range
+
+    def unit_interval(self, key: Union[int, str, bytes, object]) -> float:
+        """The hash of ``key`` mapped to ``[0, 1)``."""
+        return self.hash(key) / self._range
+
+    def __call__(self, key: Union[int, str, bytes, object]) -> int:
+        return self.hash(key)
+
+    def __repr__(self) -> str:
+        return (
+            f"PolynomialHashFamily(seed={self._seed}, degree={self._degree}, "
+            f"range={self._range})"
+        )

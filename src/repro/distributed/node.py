@@ -1,0 +1,95 @@
+"""A bounded-capacity server node making purely local OSP decisions.
+
+In the paper's general scenario a set is a compound task whose parts are
+served at different locations; each location is a bounded-capacity server
+that must decide, using only locally available information, which parts to
+serve.  A :class:`ServerNode` sees only the elements routed to it.  Its
+decisions are driven by the shared hash-derived priorities, so every node
+ranks a given set identically without any message exchange.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.core.instance import ElementArrival
+from repro.core.priorities import hash_priority
+from repro.core.set_system import ElementId, SetId
+from repro.distributed.hashing import UniversalHashFamily
+
+__all__ = ["ServerNode", "NodeDecision"]
+
+
+@dataclass(frozen=True)
+class NodeDecision:
+    """One local decision taken by a server node."""
+
+    node_id: str
+    element_id: ElementId
+    assigned: FrozenSet[SetId]
+
+
+@dataclass
+class ServerNode:
+    """A single bounded-capacity server executing the hash-priority rule.
+
+    Parameters
+    ----------
+    node_id:
+        Identifier of the server (e.g. the switch name or the hop index).
+    salt:
+        The system-wide hash seed shared by all servers.
+    hash_family:
+        Optional shared universal hash family; when given, it replaces the
+        SHA-256-based default (both are deterministic in the salt).
+    weights:
+        Set weights as known to this server.  Servers that do not know a
+        set's weight treat it as 1, exactly like the unweighted protocol.
+    """
+
+    node_id: str
+    salt: str
+    hash_family: Optional[UniversalHashFamily] = None
+    weights: Dict[SetId, float] = field(default_factory=dict)
+    decisions: List[NodeDecision] = field(default_factory=list)
+
+    def priority_of(self, set_id: SetId) -> float:
+        """The shared hash-derived priority of a set (identical on all nodes)."""
+        weight = max(self.weights.get(set_id, 1.0), 1e-12)
+        if self.hash_family is not None:
+            uniform = self.hash_family.unit_interval(f"{self.salt}:{set_id!r}")
+            if uniform <= 0.0:
+                uniform = 1e-18
+            return uniform ** (1.0 / weight)
+        return hash_priority(set_id, weight, salt=self.salt)
+
+    def handle(self, arrival: ElementArrival) -> NodeDecision:
+        """Serve an element that arrived at this node and record the decision."""
+        ranked = sorted(
+            arrival.parents,
+            key=lambda set_id: (-self.priority_of(set_id), repr(set_id)),
+        )
+        decision = NodeDecision(
+            node_id=self.node_id,
+            element_id=arrival.element_id,
+            assigned=frozenset(ranked[: arrival.capacity]),
+        )
+        self.decisions.append(decision)
+        return decision
+
+    @property
+    def num_handled(self) -> int:
+        """How many elements this node has served so far."""
+        return len(self.decisions)
+
+    def reset(self) -> None:
+        """Forget all recorded decisions (weights and salt are retained)."""
+        self.decisions = []
+
+    def assignments(self) -> Dict[ElementId, Tuple[SetId, ...]]:
+        """All local assignments as a mapping element -> chosen sets."""
+        return {
+            decision.element_id: tuple(sorted(decision.assigned, key=repr))
+            for decision in self.decisions
+        }

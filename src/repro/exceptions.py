@@ -1,0 +1,41 @@
+"""Exception types used across the OSP reproduction library."""
+
+
+class OspError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class InvalidSetSystemError(OspError):
+    """Raised when a set system description is inconsistent.
+
+    Examples: a set references an element that does not exist, a weight is
+    negative, or an element capacity is not a positive integer.
+    """
+
+
+class InvalidInstanceError(OspError):
+    """Raised when an online instance (arrival order) is inconsistent.
+
+    Examples: the arrival order is not a permutation of the elements of the
+    underlying set system, or an arrival references an unknown element.
+    """
+
+
+class AlgorithmProtocolError(OspError):
+    """Raised when an online algorithm violates the OSP protocol.
+
+    The protocol requires that on the arrival of element ``u`` the algorithm
+    returns a subset of the announced parent sets ``C(u)`` of size at most the
+    element capacity ``b(u)``.
+    """
+
+
+class SolverError(OspError):
+    """Raised when an offline solver cannot produce a solution."""
+
+
+class ConstructionError(OspError):
+    """Raised when a lower-bound construction receives invalid parameters.
+
+    Examples: a gadget order that is not a prime power, or ``M > N``.
+    """

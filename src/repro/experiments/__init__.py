@@ -1,0 +1,37 @@
+"""Experiment harness: OPT estimation, ratio measurement, sweeps and reports."""
+
+from repro.experiments.confidence import (
+    ConfidenceInterval,
+    RatioWithConfidence,
+    bootstrap_mean_interval,
+    measure_ratio_with_confidence,
+)
+from repro.experiments.competitive_ratio import (
+    OptEstimate,
+    RatioMeasurement,
+    estimate_opt,
+    measure_ratio,
+    measure_suite,
+)
+from repro.experiments.harness import ExperimentRow, SweepResult, run_sweep, summarize_rows
+from repro.experiments.report import banner, format_markdown_table, format_sweep, format_table
+
+__all__ = [
+    "ConfidenceInterval",
+    "RatioWithConfidence",
+    "bootstrap_mean_interval",
+    "measure_ratio_with_confidence",
+    "OptEstimate",
+    "RatioMeasurement",
+    "estimate_opt",
+    "measure_ratio",
+    "measure_suite",
+    "ExperimentRow",
+    "SweepResult",
+    "run_sweep",
+    "summarize_rows",
+    "banner",
+    "format_markdown_table",
+    "format_sweep",
+    "format_table",
+]

@@ -1,0 +1,173 @@
+"""Measuring competitive ratios: OPT estimation and ratio computation.
+
+The competitive ratio of an algorithm on an instance is
+``w(OPT) / E[w(ALG)]``.  ``E[w(ALG)]`` is estimated by repeated simulation;
+``w(OPT)`` is computed exactly when the instance is small enough and
+otherwise bounded from above by the LP relaxation (which can only make the
+measured ratio *larger*, keeping upper-bound experiments honest).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.core.algorithm import OnlineAlgorithm
+from repro.core.instance import OnlineInstance
+from repro.core.set_system import SetSystem
+from repro.core.simulation import simulate_many
+from repro.exceptions import SolverError
+from repro.offline.exact import solve_exact
+from repro.offline.local_search import local_search_packing
+from repro.offline.lp import lp_relaxation_bound
+
+__all__ = ["OptEstimate", "estimate_opt", "RatioMeasurement", "measure_ratio"]
+
+#: Instances with at most this many sets are solved exactly by default.
+EXACT_SOLVER_SET_LIMIT = 60
+
+
+@dataclass(frozen=True)
+class OptEstimate:
+    """An estimate (or exact value / upper bound) of the offline optimum."""
+
+    value: float
+    method: str
+    is_exact: bool
+    lower_bound: float
+
+    def __repr__(self) -> str:
+        kind = "exact" if self.is_exact else "upper-bound"
+        return f"OptEstimate({self.value:.4f}, {self.method}, {kind})"
+
+
+def estimate_opt(
+    system: SetSystem,
+    method: str = "auto",
+    exact_set_limit: int = EXACT_SOLVER_SET_LIMIT,
+) -> OptEstimate:
+    """Estimate the offline optimum of a set system.
+
+    ``method`` is one of ``"auto"``, ``"exact"``, ``"lp"`` or ``"local-search"``.
+    ``auto`` solves exactly up to ``exact_set_limit`` sets and otherwise
+    reports the LP bound (with a local-search lower bound attached so callers
+    can see how tight the relaxation is).
+    """
+    if method not in ("auto", "exact", "lp", "local-search"):
+        raise SolverError(f"unknown OPT estimation method {method!r}")
+
+    if method == "exact" or (method == "auto" and system.num_sets <= exact_set_limit):
+        solution = solve_exact(system)
+        if solution.is_optimal:
+            return OptEstimate(
+                value=solution.weight,
+                method="exact",
+                is_exact=True,
+                lower_bound=solution.weight,
+            )
+        # Node budget exhausted: fall through to the LP bound, keeping the
+        # incumbent as the lower bound.
+        lp = lp_relaxation_bound(system)
+        return OptEstimate(
+            value=lp.value,
+            method=f"lp (exact search truncated at {solution.nodes_explored} nodes)",
+            is_exact=False,
+            lower_bound=solution.weight,
+        )
+
+    if method == "local-search":
+        solution = local_search_packing(system)
+        return OptEstimate(
+            value=solution.weight,
+            method="local-search",
+            is_exact=False,
+            lower_bound=solution.weight,
+        )
+
+    lp = lp_relaxation_bound(system)
+    heuristic = local_search_packing(system)
+    return OptEstimate(
+        value=lp.value,
+        method=lp.method,
+        is_exact=False,
+        lower_bound=heuristic.weight,
+    )
+
+
+@dataclass(frozen=True)
+class RatioMeasurement:
+    """A measured competitive ratio for one algorithm on one instance."""
+
+    algorithm_name: str
+    instance_name: str
+    trials: int
+    mean_benefit: float
+    std_benefit: float
+    opt: OptEstimate
+    ratio: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "algorithm": self.algorithm_name,
+            "instance": self.instance_name,
+            "trials": self.trials,
+            "mean_benefit": self.mean_benefit,
+            "std_benefit": self.std_benefit,
+            "opt": self.opt.value,
+            "ratio": self.ratio,
+        }
+
+
+def measure_ratio(
+    instance: OnlineInstance,
+    algorithm: OnlineAlgorithm,
+    trials: int = 20,
+    seed: int = 0,
+    opt: Optional[OptEstimate] = None,
+    opt_method: str = "auto",
+) -> RatioMeasurement:
+    """Measure the empirical competitive ratio of one algorithm on one instance.
+
+    The ratio is ``opt / mean_benefit``; a zero mean benefit yields ``inf``.
+    A precomputed ``opt`` may be supplied to avoid repeating the (expensive)
+    offline solve when several algorithms run on the same instance.
+    """
+    if opt is None:
+        opt = estimate_opt(instance.system, method=opt_method)
+    effective_trials = 1 if algorithm.is_deterministic else trials
+    results = simulate_many(instance, algorithm, trials=effective_trials, seed=seed)
+    benefits = [result.benefit for result in results]
+    mean = sum(benefits) / len(benefits)
+    if len(benefits) > 1:
+        variance = sum((value - mean) ** 2 for value in benefits) / (len(benefits) - 1)
+        std = math.sqrt(variance)
+    else:
+        std = 0.0
+    ratio = float("inf") if mean <= 0 else opt.value / mean
+    return RatioMeasurement(
+        algorithm_name=algorithm.name,
+        instance_name=instance.name,
+        trials=effective_trials,
+        mean_benefit=mean,
+        std_benefit=std,
+        opt=opt,
+        ratio=ratio,
+    )
+
+
+def measure_suite(
+    instance: OnlineInstance,
+    algorithms: Sequence[OnlineAlgorithm],
+    trials: int = 20,
+    seed: int = 0,
+    opt_method: str = "auto",
+) -> Dict[str, RatioMeasurement]:
+    """Measure every algorithm on the same instance, sharing the OPT estimate."""
+    opt = estimate_opt(instance.system, method=opt_method)
+    return {
+        algorithm.name: measure_ratio(
+            instance, algorithm, trials=trials, seed=seed, opt=opt
+        )
+        for algorithm in algorithms
+    }

@@ -1,0 +1,137 @@
+"""Confidence intervals for Monte-Carlo benefit and ratio estimates.
+
+Competitive-ratio measurements average a modest number of randomized runs;
+the benchmark tables therefore benefit from an uncertainty estimate.  This
+module provides a plain bootstrap (no SciPy dependency) over per-trial
+benefits, and a convenience wrapper that measures an algorithm with both a
+point estimate and an interval.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.algorithm import OnlineAlgorithm
+from repro.core.instance import OnlineInstance
+from repro.core.simulation import simulate_many
+from repro.exceptions import OspError
+from repro.experiments.competitive_ratio import OptEstimate, estimate_opt
+
+__all__ = [
+    "bootstrap_mean_interval",
+    "ConfidenceInterval",
+    "RatioWithConfidence",
+    "measure_ratio_with_confidence",
+]
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A two-sided confidence interval for a scalar estimate."""
+
+    point: float
+    low: float
+    high: float
+    level: float
+
+    @property
+    def width(self) -> float:
+        """The width of the interval."""
+        return self.high - self.low
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval."""
+        return self.low - 1e-12 <= value <= self.high + 1e-12
+
+    def __repr__(self) -> str:
+        return (
+            f"ConfidenceInterval({self.point:.4f} "
+            f"[{self.low:.4f}, {self.high:.4f}] @ {self.level:.0%})"
+        )
+
+
+def bootstrap_mean_interval(
+    samples: Sequence[float],
+    level: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """A percentile-bootstrap confidence interval for the mean of ``samples``."""
+    values = [float(value) for value in samples]
+    if not values:
+        raise OspError("cannot bootstrap an empty sample")
+    if not 0.0 < level < 1.0:
+        raise OspError(f"confidence level must be in (0, 1), got {level}")
+    if resamples < 10:
+        raise OspError(f"need at least 10 resamples, got {resamples}")
+    point = sum(values) / len(values)
+    if len(values) == 1:
+        return ConfidenceInterval(point=point, low=point, high=point, level=level)
+    rng = random.Random(seed)
+    means: List[float] = []
+    for _ in range(resamples):
+        resample = [values[rng.randrange(len(values))] for _ in values]
+        means.append(sum(resample) / len(resample))
+    means.sort()
+    alpha = (1.0 - level) / 2.0
+    low_index = max(0, int(math.floor(alpha * resamples)))
+    high_index = min(resamples - 1, int(math.ceil((1.0 - alpha) * resamples)) - 1)
+    return ConfidenceInterval(
+        point=point, low=means[low_index], high=means[high_index], level=level
+    )
+
+
+@dataclass(frozen=True)
+class RatioWithConfidence:
+    """A competitive-ratio measurement with bootstrap uncertainty."""
+
+    algorithm_name: str
+    opt: OptEstimate
+    benefit: ConfidenceInterval
+    ratio: ConfidenceInterval
+
+    def respects_bound(self, bound: float) -> bool:
+        """Whether even the pessimistic end of the ratio interval is below ``bound``."""
+        return self.ratio.high <= bound + 1e-9
+
+
+def measure_ratio_with_confidence(
+    instance: OnlineInstance,
+    algorithm: OnlineAlgorithm,
+    trials: int = 50,
+    seed: int = 0,
+    level: float = 0.95,
+    opt: Optional[OptEstimate] = None,
+    opt_method: str = "auto",
+) -> RatioWithConfidence:
+    """Measure an algorithm's ratio with a bootstrap confidence interval.
+
+    The ratio interval is obtained by transforming the benefit interval
+    through ``opt / x`` (OPT is treated as exact; when it comes from the LP
+    relaxation the reported ratio is an upper bound either way).
+    """
+    if opt is None:
+        opt = estimate_opt(instance.system, method=opt_method)
+    effective_trials = 1 if algorithm.is_deterministic else trials
+    results = simulate_many(instance, algorithm, trials=effective_trials, seed=seed)
+    benefits = [result.benefit for result in results]
+    benefit_interval = bootstrap_mean_interval(benefits, level=level, seed=seed)
+
+    def to_ratio(value: float) -> float:
+        return float("inf") if value <= 0 else opt.value / value
+
+    ratio_interval = ConfidenceInterval(
+        point=to_ratio(benefit_interval.point),
+        low=to_ratio(benefit_interval.high),
+        high=to_ratio(benefit_interval.low),
+        level=level,
+    )
+    return RatioWithConfidence(
+        algorithm_name=algorithm.name,
+        opt=opt,
+        benefit=benefit_interval,
+        ratio=ratio_interval,
+    )

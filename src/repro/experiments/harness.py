@@ -1,0 +1,189 @@
+"""Experiment harness: parameter sweeps with repetitions and summary rows.
+
+The benchmarks build their tables with this harness: an experiment is a
+family of instances indexed by a parameter point, each instance is solved
+offline (for OPT) and simulated online for every algorithm under test, and
+the harness aggregates mean benefit, measured ratio and the applicable
+theoretical bounds into one row per (parameter point, algorithm).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.algorithm import OnlineAlgorithm
+from repro.core.bounds import bound_report
+from repro.core.instance import OnlineInstance
+from repro.core.statistics import compute_statistics
+from repro.experiments.competitive_ratio import OptEstimate, estimate_opt, measure_ratio
+
+__all__ = ["ExperimentRow", "SweepResult", "run_sweep", "summarize_rows"]
+
+InstanceFactory = Callable[[random.Random], OnlineInstance]
+
+
+@dataclass(frozen=True)
+class ExperimentRow:
+    """One aggregated row of an experiment table."""
+
+    parameter_label: str
+    algorithm_name: str
+    num_instances: int
+    mean_benefit: float
+    mean_opt: float
+    mean_ratio: float
+    max_ratio: float
+    theorem1_bound: float
+    corollary6_bound: float
+    best_bound: float
+    k_max: float
+    sigma_max: float
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        row: Dict[str, object] = {
+            "parameter": self.parameter_label,
+            "algorithm": self.algorithm_name,
+            "instances": self.num_instances,
+            "mean_benefit": round(self.mean_benefit, 4),
+            "mean_opt": round(self.mean_opt, 4),
+            "mean_ratio": round(self.mean_ratio, 4),
+            "max_ratio": round(self.max_ratio, 4),
+            "thm1_bound": round(self.theorem1_bound, 4),
+            "cor6_bound": round(self.corollary6_bound, 4),
+            "best_bound": round(self.best_bound, 4),
+            "k_max": self.k_max,
+            "sigma_max": self.sigma_max,
+        }
+        for key, value in self.extra.items():
+            row[key] = round(value, 4) if isinstance(value, float) else value
+        return row
+
+    @property
+    def within_theorem1(self) -> bool:
+        """Whether the measured mean ratio respects the Theorem 1 bound."""
+        return self.mean_ratio <= self.theorem1_bound + 1e-9
+
+    @property
+    def within_corollary6(self) -> bool:
+        """Whether the measured mean ratio respects the Corollary 6 bound."""
+        return self.mean_ratio <= self.corollary6_bound + 1e-9
+
+
+@dataclass
+class SweepResult:
+    """All rows of one parameter sweep."""
+
+    name: str
+    rows: List[ExperimentRow] = field(default_factory=list)
+
+    def rows_for(self, algorithm_name: str) -> List[ExperimentRow]:
+        """The rows belonging to one algorithm, in sweep order."""
+        return [row for row in self.rows if row.algorithm_name == algorithm_name]
+
+    def algorithms(self) -> List[str]:
+        """The distinct algorithm names, in first-appearance order."""
+        seen: List[str] = []
+        for row in self.rows:
+            if row.algorithm_name not in seen:
+                seen.append(row.algorithm_name)
+        return seen
+
+
+def run_sweep(
+    name: str,
+    parameter_points: Sequence[Tuple[str, InstanceFactory]],
+    algorithms: Sequence[OnlineAlgorithm],
+    instances_per_point: int = 3,
+    trials_per_instance: int = 10,
+    seed: int = 0,
+    opt_method: str = "auto",
+) -> SweepResult:
+    """Run a parameter sweep.
+
+    Parameters
+    ----------
+    parameter_points:
+        Pairs ``(label, factory)``; the factory receives an RNG and returns a
+        fresh instance for that parameter point.
+    algorithms:
+        The algorithms to evaluate at every point.
+    instances_per_point:
+        How many independent instances to draw per point.
+    trials_per_instance:
+        Simulation repetitions per instance for randomized algorithms.
+    """
+    sweep = SweepResult(name=name)
+    for point_index, (label, factory) in enumerate(parameter_points):
+        instances: List[OnlineInstance] = []
+        opts: List[OptEstimate] = []
+        bounds = []
+        stats_list = []
+        for instance_index in range(instances_per_point):
+            rng = random.Random((seed, point_index, instance_index).__hash__() & 0x7FFFFFFF)
+            instance = factory(rng)
+            instances.append(instance)
+            opts.append(estimate_opt(instance.system, method=opt_method))
+            stats = compute_statistics(instance.system)
+            stats_list.append(stats)
+            bounds.append(bound_report(stats))
+
+        mean_opt = sum(opt.value for opt in opts) / len(opts)
+        mean_theorem1 = sum(report.theorem1 for report in bounds) / len(bounds)
+        mean_corollary6 = sum(report.corollary6 for report in bounds) / len(bounds)
+        mean_best = sum(report.best for report in bounds) / len(bounds)
+        mean_k_max = sum(stats.k_max for stats in stats_list) / len(stats_list)
+        mean_sigma_max = sum(stats.sigma_max for stats in stats_list) / len(stats_list)
+
+        for algorithm in algorithms:
+            benefits = []
+            ratios = []
+            for instance, opt in zip(instances, opts):
+                measurement = measure_ratio(
+                    instance,
+                    algorithm,
+                    trials=trials_per_instance,
+                    seed=seed + point_index,
+                    opt=opt,
+                )
+                benefits.append(measurement.mean_benefit)
+                ratios.append(measurement.ratio)
+            finite_ratios = [value for value in ratios if math.isfinite(value)]
+            mean_ratio = (
+                sum(finite_ratios) / len(finite_ratios) if finite_ratios else float("inf")
+            )
+            max_ratio = max(ratios) if ratios else float("inf")
+            sweep.rows.append(
+                ExperimentRow(
+                    parameter_label=label,
+                    algorithm_name=algorithm.name,
+                    num_instances=len(instances),
+                    mean_benefit=sum(benefits) / len(benefits),
+                    mean_opt=mean_opt,
+                    mean_ratio=mean_ratio,
+                    max_ratio=max_ratio,
+                    theorem1_bound=mean_theorem1,
+                    corollary6_bound=mean_corollary6,
+                    best_bound=mean_best,
+                    k_max=mean_k_max,
+                    sigma_max=mean_sigma_max,
+                )
+            )
+    return sweep
+
+
+def summarize_rows(rows: Iterable[ExperimentRow]) -> Dict[str, float]:
+    """Aggregate check over many rows: worst measured ratio vs. worst bound."""
+    rows = list(rows)
+    if not rows:
+        return {"rows": 0, "max_ratio": 0.0, "max_bound": 0.0, "all_within_cor6": 1.0}
+    finite = [row.mean_ratio for row in rows if math.isfinite(row.mean_ratio)]
+    return {
+        "rows": float(len(rows)),
+        "max_ratio": max(finite) if finite else float("inf"),
+        "max_bound": max(row.corollary6_bound for row in rows),
+        "all_within_cor6": 1.0 if all(row.within_corollary6 for row in rows) else 0.0,
+    }

@@ -1,0 +1,85 @@
+"""Plain-text and Markdown rendering of experiment tables.
+
+The benchmark harness prints its tables through these helpers so that the
+output of ``pytest benchmarks/ --benchmark-only`` doubles as the textual
+reproduction of the paper's claims (EXPERIMENTS.md quotes them).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_markdown_table", "format_sweep", "banner"]
+
+
+def _stringify(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value in (float("inf"), float("-inf")):
+            return "inf" if value > 0 else "-inf"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: str = "",
+) -> str:
+    """Render rows of dictionaries as an aligned plain-text table."""
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = [str(column) for column in columns]
+    body = [[_stringify(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(header[index]), max((len(line[index]) for line in body), default=0))
+        for index in range(len(header))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header[index].ljust(widths[index]) for index in range(len(header))))
+    lines.append("  ".join("-" * widths[index] for index in range(len(header))))
+    for line in body:
+        lines.append("  ".join(line[index].ljust(widths[index]) for index in range(len(header))))
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: str = "",
+) -> str:
+    """Render rows of dictionaries as a GitHub-flavoured Markdown table."""
+    rows = list(rows)
+    if not rows:
+        return f"**{title}**\n\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    lines = []
+    if title:
+        lines.append(f"**{title}**")
+        lines.append("")
+    lines.append("| " + " | ".join(str(column) for column in columns) + " |")
+    lines.append("|" + "|".join("---" for _ in columns) + "|")
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(_stringify(row.get(column, "")) for column in columns) + " |"
+        )
+    return "\n".join(lines)
+
+
+def format_sweep(sweep, columns: Optional[Sequence[str]] = None) -> str:
+    """Render a :class:`~repro.experiments.harness.SweepResult` as text."""
+    rows = [row.as_dict() for row in sweep.rows]
+    return format_table(rows, columns=columns, title=f"== {sweep.name} ==")
+
+
+def banner(text: str, width: int = 72) -> str:
+    """A visually distinct section banner for benchmark output."""
+    bar = "=" * width
+    return f"\n{bar}\n{text}\n{bar}"

@@ -1,0 +1,146 @@
+"""A command-line self-check: verify the paper's headline claims in one run.
+
+``python -m repro.experiments.runner`` runs a compact version of the
+benchmark suite (no pytest required): it measures randPr against the
+Theorem 1 / Corollary 6 / Corollary 7 bounds on small workloads, plays the
+Theorem 3 adversary against a deterministic baseline, Monte-Carlo-checks
+Lemma 1, and prints one table with a pass/fail verdict per claim.  The full,
+parameter-swept experiments live in ``benchmarks/``; this runner exists so a
+user can sanity-check an installation in about a minute.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+from typing import Dict, List
+
+from repro.algorithms import GreedyWeightAlgorithm, RandPrAlgorithm
+from repro.core import compute_statistics
+from repro.core.analysis import expected_benefit_closed_form
+from repro.core.bounds import (
+    corollary6_upper_bound,
+    corollary7_upper_bound,
+    theorem1_upper_bound,
+    theorem3_lower_bound,
+)
+from repro.core.simulation import simulate_many
+from repro.experiments.competitive_ratio import estimate_opt, measure_ratio
+from repro.experiments.report import format_table
+from repro.lowerbounds import run_deterministic_adversary
+from repro.workloads import random_weighted_instance, uniform_both_instance
+
+__all__ = ["self_check", "main"]
+
+
+def _check_theorem1(seed: int, trials: int) -> Dict[str, object]:
+    instance = random_weighted_instance(
+        28, 40, (2, 4), random.Random(seed), weight_range=(1.0, 6.0)
+    )
+    stats = compute_statistics(instance.system)
+    measurement = measure_ratio(instance, RandPrAlgorithm(), trials=trials, seed=seed)
+    bound = theorem1_upper_bound(stats)
+    return {
+        "claim": "Thm 1: ratio <= kmax*sqrt(E[s*s$]/E[s$])",
+        "measured": round(measurement.ratio, 3),
+        "bound": round(bound, 3),
+        "holds": measurement.ratio <= bound + 1e-9,
+    }
+
+
+def _check_corollary6(seed: int, trials: int) -> Dict[str, object]:
+    instance = random_weighted_instance(
+        36, 30, (2, 4), random.Random(seed + 1), weight_range=(1.0, 6.0)
+    )
+    stats = compute_statistics(instance.system)
+    measurement = measure_ratio(instance, RandPrAlgorithm(), trials=trials, seed=seed)
+    bound = corollary6_upper_bound(stats)
+    return {
+        "claim": "Cor 6: ratio <= kmax*sqrt(sigma_max)",
+        "measured": round(measurement.ratio, 3),
+        "bound": round(bound, 3),
+        "holds": measurement.ratio <= bound + 1e-9,
+    }
+
+
+def _check_corollary7(seed: int, trials: int) -> Dict[str, object]:
+    instance = uniform_both_instance(18, 3, 3, random.Random(seed + 2))
+    measurement = measure_ratio(instance, RandPrAlgorithm(), trials=trials, seed=seed)
+    bound = corollary7_upper_bound(instance.system)
+    return {
+        "claim": "Cor 7: uniform k & load -> ratio <= k",
+        "measured": round(measurement.ratio, 3),
+        "bound": round(bound, 3),
+        "holds": measurement.ratio <= bound + 0.25,
+    }
+
+
+def _check_theorem3(seed: int, trials: int) -> Dict[str, object]:
+    outcome = run_deterministic_adversary(GreedyWeightAlgorithm(), sigma=3, k=3)
+    bound = theorem3_lower_bound(3, 3)
+    return {
+        "claim": "Thm 3: deterministic ratio >= sigma^(k-1)",
+        "measured": round(outcome.ratio, 3),
+        "bound": round(bound, 3),
+        "holds": outcome.ratio >= bound - 1e-9,
+    }
+
+
+def _check_lemma1(seed: int, trials: int) -> Dict[str, object]:
+    instance = random_weighted_instance(
+        12, 16, (2, 3), random.Random(seed + 3), weight_range=(1.0, 5.0)
+    )
+    predicted = expected_benefit_closed_form(instance.system)
+    results = simulate_many(
+        instance, RandPrAlgorithm(), trials=max(trials * 10, 500), seed=seed
+    )
+    measured = sum(result.benefit for result in results) / len(results)
+    relative_error = abs(measured - predicted) / max(predicted, 1e-9)
+    return {
+        "claim": "Lemma 1: E[w(alg)] = sum w(S)^2/w(N[S])",
+        "measured": round(measured, 3),
+        "bound": round(predicted, 3),
+        "holds": relative_error < 0.1,
+    }
+
+
+def self_check(seed: int = 0, trials: int = 40) -> List[Dict[str, object]]:
+    """Run every quick claim check and return one row per claim."""
+    checks = (
+        _check_theorem1,
+        _check_corollary6,
+        _check_corollary7,
+        _check_theorem3,
+        _check_lemma1,
+    )
+    return [check(seed, trials) for check in checks]
+
+
+def main(argv: List[str] = None) -> int:
+    """CLI entry point; returns a non-zero exit code if any claim check fails."""
+    parser = argparse.ArgumentParser(
+        description="Quick self-check of the OSP reproduction against the paper's claims."
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base random seed")
+    parser.add_argument(
+        "--trials", type=int, default=40, help="simulation trials per randomized check"
+    )
+    arguments = parser.parse_args(argv)
+
+    rows = self_check(seed=arguments.seed, trials=arguments.trials)
+    print(
+        format_table(
+            rows,
+            columns=["claim", "measured", "bound", "holds"],
+            title="Online set packing reproduction — self-check "
+            f"(seed={arguments.seed}, trials={arguments.trials})",
+        )
+    )
+    all_hold = all(row["holds"] for row in rows)
+    print()
+    print("ALL CLAIMS HOLD" if all_hold else "SOME CLAIMS FAILED — see table above")
+    return 0 if all_hold else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests
+    raise SystemExit(main())

@@ -1,0 +1,32 @@
+"""Lower-bound constructions: finite fields, gadgets, adversaries."""
+
+from repro.lowerbounds.deterministic_adversary import (
+    AdversaryResult,
+    run_deterministic_adversary,
+)
+from repro.lowerbounds.finite_field import (
+    FiniteField,
+    factor_prime_power,
+    is_prime,
+    is_prime_power,
+)
+from repro.lowerbounds.gadget import Gadget, apply_gadget
+from repro.lowerbounds.randomized_construction import (
+    Lemma9Instance,
+    build_lemma9_instance,
+    theoretical_profile,
+)
+
+__all__ = [
+    "AdversaryResult",
+    "run_deterministic_adversary",
+    "FiniteField",
+    "factor_prime_power",
+    "is_prime",
+    "is_prime_power",
+    "Gadget",
+    "apply_gadget",
+    "Lemma9Instance",
+    "build_lemma9_instance",
+    "theoretical_profile",
+]

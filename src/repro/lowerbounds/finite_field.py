@@ -1,0 +1,294 @@
+"""Finite fields GF(q) for prime powers q.
+
+The (M, N)-gadget of Section 4.2.1 is built from the lines of an affine plane
+over a finite field of order ``N``.  Since the randomized lower-bound
+construction needs orders that are proper prime powers (e.g. ``N = ell^2``
+with ``ell = 2`` gives ``N = 4 = 2^2``), prime fields alone do not suffice;
+this module implements GF(p^m) via polynomial arithmetic modulo an
+irreducible polynomial found by exhaustive search (field orders in this
+library are small, so the search is instantaneous).
+
+Field elements are exposed as integer indices ``0 .. q-1``; index 0 is the
+additive identity and index 1 the multiplicative identity.  The index of a
+non-prime-field element encodes its coefficient vector in base ``p``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.exceptions import ConstructionError
+
+__all__ = ["is_prime", "factor_prime_power", "is_prime_power", "FiniteField"]
+
+
+def is_prime(value: int) -> bool:
+    """Deterministic primality check (trial division; inputs here are small)."""
+    if value < 2:
+        return False
+    if value < 4:
+        return True
+    if value % 2 == 0:
+        return False
+    divisor = 3
+    while divisor * divisor <= value:
+        if value % divisor == 0:
+            return False
+        divisor += 2
+    return True
+
+
+def factor_prime_power(value: int) -> Tuple[int, int]:
+    """Write ``value`` as ``p^m`` with ``p`` prime; raise if impossible."""
+    if value < 2:
+        raise ConstructionError(f"{value} is not a prime power")
+    for p in range(2, value + 1):
+        if value % p == 0:
+            if not is_prime(p):
+                raise ConstructionError(f"{value} is not a prime power")
+            exponent = 0
+            remaining = value
+            while remaining % p == 0:
+                remaining //= p
+                exponent += 1
+            if remaining != 1:
+                raise ConstructionError(f"{value} is not a prime power")
+            return p, exponent
+    raise ConstructionError(f"{value} is not a prime power")
+
+
+def is_prime_power(value: int) -> bool:
+    """Whether ``value`` is a prime power ``p^m`` with ``m >= 1``."""
+    try:
+        factor_prime_power(value)
+    except ConstructionError:
+        return False
+    return True
+
+
+Polynomial = Tuple[int, ...]  # coefficients, lowest degree first, over GF(p)
+
+
+def _trim(poly: List[int]) -> Polynomial:
+    while poly and poly[-1] == 0:
+        poly.pop()
+    return tuple(poly)
+
+
+def _poly_add(a: Polynomial, b: Polynomial, p: int) -> Polynomial:
+    length = max(len(a), len(b))
+    result = [0] * length
+    for index in range(length):
+        value = 0
+        if index < len(a):
+            value += a[index]
+        if index < len(b):
+            value += b[index]
+        result[index] = value % p
+    return _trim(result)
+
+
+def _poly_mul(a: Polynomial, b: Polynomial, p: int) -> Polynomial:
+    if not a or not b:
+        return ()
+    result = [0] * (len(a) + len(b) - 1)
+    for i, coeff_a in enumerate(a):
+        if coeff_a == 0:
+            continue
+        for j, coeff_b in enumerate(b):
+            result[i + j] = (result[i + j] + coeff_a * coeff_b) % p
+    return _trim(result)
+
+
+def _poly_mod(a: Polynomial, modulus: Polynomial, p: int) -> Polynomial:
+    """Remainder of ``a`` divided by ``modulus`` over GF(p)."""
+    remainder = list(a)
+    degree_mod = len(modulus) - 1
+    lead_inverse = pow(modulus[-1], p - 2, p)
+    while len(remainder) - 1 >= degree_mod and remainder:
+        degree_diff = len(remainder) - 1 - degree_mod
+        factor = (remainder[-1] * lead_inverse) % p
+        for index, coefficient in enumerate(modulus):
+            position = index + degree_diff
+            remainder[position] = (remainder[position] - factor * coefficient) % p
+        remainder = list(_trim(remainder))
+        if not remainder:
+            break
+    return _trim(list(remainder))
+
+
+def _find_irreducible(p: int, degree: int) -> Polynomial:
+    """Exhaustively find a monic irreducible polynomial of the given degree."""
+    if degree == 1:
+        return (0, 1)
+
+    def candidates():
+        # Monic polynomials of the target degree, lower coefficients counted up.
+        total = p ** degree
+        for counter in range(total):
+            coefficients = []
+            value = counter
+            for _ in range(degree):
+                coefficients.append(value % p)
+                value //= p
+            coefficients.append(1)
+            yield tuple(coefficients)
+
+    def is_irreducible(poly: Polynomial) -> bool:
+        # A polynomial of degree d <= 3 is irreducible iff it has no roots;
+        # for higher degrees, also rule out factors of degree >= 2 by trial
+        # division against all monic polynomials of degree <= d // 2.
+        for root in range(p):
+            value = 0
+            for coefficient in reversed(poly):
+                value = (value * root + coefficient) % p
+            if value == 0:
+                return False
+        half = degree // 2
+        for factor_degree in range(2, half + 1):
+            for counter in range(p ** factor_degree):
+                coefficients = []
+                value = counter
+                for _ in range(factor_degree):
+                    coefficients.append(value % p)
+                    value //= p
+                coefficients.append(1)
+                divisor = tuple(coefficients)
+                if not _poly_mod(poly, divisor, p):
+                    return False
+        return True
+
+    for candidate in candidates():
+        if is_irreducible(candidate):
+            return candidate
+    raise ConstructionError(
+        f"no irreducible polynomial of degree {degree} over GF({p}) found"
+    )  # pragma: no cover - mathematically impossible
+
+
+class FiniteField:
+    """The finite field GF(q) for a prime power ``q``.
+
+    Elements are integer indices ``0 .. q-1``.  For the prime case the index
+    *is* the residue; in the extension case index ``i`` encodes the
+    coefficient vector of the element in base ``p`` (lowest degree first), so
+    indices 0..p-1 form the prime subfield.
+    """
+
+    def __init__(self, order: int) -> None:
+        self._order = order
+        self._p, self._m = factor_prime_power(order)
+        if self._m == 1:
+            self._modulus: Polynomial = ()
+        else:
+            self._modulus = _find_irreducible(self._p, self._m)
+        self._mul_cache: Dict[Tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def order(self) -> int:
+        """The number of field elements ``q``."""
+        return self._order
+
+    @property
+    def characteristic(self) -> int:
+        """The prime ``p`` with ``q = p^m``."""
+        return self._p
+
+    @property
+    def degree(self) -> int:
+        """The extension degree ``m`` with ``q = p^m``."""
+        return self._m
+
+    def elements(self) -> List[int]:
+        """All element indices, ``0 .. q-1``."""
+        return list(range(self._order))
+
+    # ------------------------------------------------------------------
+    def _to_poly(self, index: int) -> Polynomial:
+        if not 0 <= index < self._order:
+            raise ConstructionError(
+                f"element index {index} out of range for GF({self._order})"
+            )
+        coefficients = []
+        value = index
+        for _ in range(self._m):
+            coefficients.append(value % self._p)
+            value //= self._p
+        return _trim(coefficients)
+
+    def _from_poly(self, poly: Polynomial) -> int:
+        index = 0
+        for coefficient in reversed(poly):
+            index = index * self._p + coefficient
+        return index
+
+    # ------------------------------------------------------------------
+    def add(self, a: int, b: int) -> int:
+        """Field addition of two element indices."""
+        if self._m == 1:
+            return (a + b) % self._p
+        return self._from_poly(_poly_add(self._to_poly(a), self._to_poly(b), self._p))
+
+    def neg(self, a: int) -> int:
+        """Additive inverse."""
+        if self._m == 1:
+            return (-a) % self._p
+        poly = self._to_poly(a)
+        negated = tuple((-coefficient) % self._p for coefficient in poly)
+        return self._from_poly(_trim(list(negated)))
+
+    def sub(self, a: int, b: int) -> int:
+        """Field subtraction ``a - b``."""
+        return self.add(a, self.neg(b))
+
+    def mul(self, a: int, b: int) -> int:
+        """Field multiplication of two element indices (cached)."""
+        key = (a, b) if a <= b else (b, a)
+        cached = self._mul_cache.get(key)
+        if cached is not None:
+            return cached
+        if self._m == 1:
+            result = (a * b) % self._p
+        else:
+            product = _poly_mul(self._to_poly(a), self._to_poly(b), self._p)
+            result = self._from_poly(_poly_mod(product, self._modulus, self._p))
+        self._mul_cache[key] = result
+        return result
+
+    def inverse(self, a: int) -> int:
+        """Multiplicative inverse of a non-zero element."""
+        if a == 0:
+            raise ConstructionError("zero has no multiplicative inverse")
+        # q is tiny here, so exponentiation by q-2 via repeated squaring on
+        # indices is plenty fast and avoids an extended-Euclid implementation
+        # over polynomials.
+        result = 1
+        base = a
+        exponent = self._order - 2
+        while exponent:
+            if exponent & 1:
+                result = self.mul(result, base)
+            base = self.mul(base, base)
+            exponent >>= 1
+        return result
+
+    def div(self, a: int, b: int) -> int:
+        """Field division ``a / b`` for non-zero ``b``."""
+        return self.mul(a, self.inverse(b))
+
+    def pow(self, a: int, exponent: int) -> int:
+        """Field exponentiation with non-negative integer exponent."""
+        if exponent < 0:
+            raise ConstructionError("negative exponents are not supported")
+        result = 1
+        base = a
+        while exponent:
+            if exponent & 1:
+                result = self.mul(result, base)
+            base = self.mul(base, base)
+            exponent >>= 1
+        return result
+
+    def __repr__(self) -> str:
+        return f"FiniteField(order={self._order})"

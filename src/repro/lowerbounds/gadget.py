@@ -1,0 +1,191 @@
+"""The (M, N)-gadget of Section 4.2.1: an affine-plane-like design.
+
+An (M, N)-gadget (``N`` a prime power, ``M ≤ N``) consists of ``M * N`` items
+identified with pairs ``(i, j)`` of a row ``i ∈ F_M`` (``F_M`` a fixed
+``M``-element subset of the field ``F`` of order ``N``) and a column
+``j ∈ F``.  Its lines are
+
+* the slope lines ``L_{a,b} = {(i, a*i + b) : i ∈ F_M}`` for ``a, b ∈ F``, and
+* the row lines ``L_{∞,c} = {c} × F`` for ``c ∈ F_M``.
+
+In the OSP lower bound, the items represent sets and the lines represent
+elements: *applying* a gadget to a collection of ``M * N`` sets under a
+bijection onto the items introduces one new element per line, contained in
+exactly the sets placed on that line.  Lemma 8 summarizes the resulting
+loads, set sizes and intersection structure; the tests check those
+properties directly on this implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.core.instance import InstanceBuilder
+from repro.core.set_system import SetId
+from repro.exceptions import ConstructionError
+from repro.lowerbounds.finite_field import FiniteField, is_prime_power
+
+__all__ = ["Gadget", "apply_gadget"]
+
+Item = Tuple[int, int]
+
+
+class Gadget:
+    """The combinatorial (M, N)-gadget.
+
+    Rows are the field-element indices ``0 .. M-1`` (a canonical choice of the
+    subset ``F_M``); columns are ``0 .. N-1``.
+    """
+
+    def __init__(self, num_rows: int, num_columns: int) -> None:
+        if num_rows < 1:
+            raise ConstructionError(f"gadget needs at least one row, got {num_rows}")
+        if num_rows > num_columns:
+            raise ConstructionError(
+                f"gadget requires M <= N, got M={num_rows}, N={num_columns}"
+            )
+        if not is_prime_power(num_columns):
+            raise ConstructionError(
+                f"gadget order N must be a prime power, got N={num_columns}"
+            )
+        self._m = num_rows
+        self._n = num_columns
+        self._field = FiniteField(num_columns)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        """``M`` — the number of rows (and the load of every slope line)."""
+        return self._m
+
+    @property
+    def num_columns(self) -> int:
+        """``N`` — the field order (and the load of every row line)."""
+        return self._n
+
+    @property
+    def field(self) -> FiniteField:
+        """The underlying finite field of order ``N``."""
+        return self._field
+
+    @property
+    def num_items(self) -> int:
+        """``M * N`` — the number of items (sets placed on the gadget)."""
+        return self._m * self._n
+
+    def items(self) -> List[Item]:
+        """All items ``(row, column)`` in row-major order."""
+        return [(row, column) for row in range(self._m) for column in range(self._n)]
+
+    # ------------------------------------------------------------------
+    def slope_line(self, a: int, b: int) -> Tuple[Item, ...]:
+        """The line ``L_{a,b} = {(i, a*i + b) : i ∈ F_M}``."""
+        if not 0 <= a < self._n or not 0 <= b < self._n:
+            raise ConstructionError(
+                f"line parameters must be field elements of GF({self._n}), got ({a}, {b})"
+            )
+        return tuple(
+            (row, self._field.add(self._field.mul(a, row), b)) for row in range(self._m)
+        )
+
+    def row_line(self, c: int) -> Tuple[Item, ...]:
+        """The line ``L_{∞,c} = {c} × F``."""
+        if not 0 <= c < self._m:
+            raise ConstructionError(
+                f"row line index must be a row of the gadget, got {c}"
+            )
+        return tuple((c, column) for column in range(self._n))
+
+    def slope_lines(self) -> Iterator[Tuple[int, int, Tuple[Item, ...]]]:
+        """All slope lines, as ``(a, b, items)`` triples."""
+        for a in range(self._n):
+            for b in range(self._n):
+                yield a, b, self.slope_line(a, b)
+
+    def row_lines(self) -> Iterator[Tuple[int, Tuple[Item, ...]]]:
+        """All row lines, as ``(c, items)`` pairs."""
+        for c in range(self._m):
+            yield c, self.row_line(c)
+
+    # ------------------------------------------------------------------
+    def lines_through(self, item: Item) -> List[Tuple[Item, ...]]:
+        """Every line (slope and row) containing ``item`` (Proposition 2)."""
+        row, column = item
+        lines: List[Tuple[Item, ...]] = []
+        for a in range(self._n):
+            # Proposition 2: for each slope a there is exactly one b with
+            # (row, column) on L_{a,b}, namely b = column - a*row.
+            b = self._field.sub(column, self._field.mul(a, row))
+            lines.append(self.slope_line(a, b))
+        lines.append(self.row_line(row))
+        return lines
+
+    def common_slope_lines(self, first: Item, second: Item) -> List[Tuple[int, int]]:
+        """The slope lines containing both items (Proposition 1, first case)."""
+        result = []
+        for a in range(self._n):
+            b = self._field.sub(first[1], self._field.mul(a, first[0]))
+            if self._field.add(self._field.mul(a, second[0]), b) == second[1]:
+                result.append((a, b))
+        return result
+
+    def __repr__(self) -> str:
+        return f"Gadget(M={self._m}, N={self._n})"
+
+
+def apply_gadget(
+    builder: InstanceBuilder,
+    gadget: Gadget,
+    placement: Mapping[Item, SetId],
+    include_rows: bool = True,
+    element_prefix: str = "g",
+    capacity: int = 1,
+) -> Dict[str, int]:
+    """Apply a gadget to a collection of sets placed on its items.
+
+    ``placement`` must map *every* item of the gadget to a distinct set
+    identifier (the bijection ``mu`` of the paper).  Elements are appended to
+    the ``builder`` in the order prescribed by the paper: all slope lines (in
+    ``a``-major order), then — unless ``include_rows`` is False — the row
+    lines.  Returns a small summary of what was added (for logging and
+    tests).
+    """
+    expected_items = set(gadget.items())
+    provided_items = set(placement)
+    if provided_items != expected_items:
+        missing = expected_items - provided_items
+        extra = provided_items - expected_items
+        raise ConstructionError(
+            "placement must cover exactly the gadget items; "
+            f"missing={sorted(missing)}, unexpected={sorted(extra)}"
+        )
+    set_ids = list(placement.values())
+    if len(set_ids) != len(set(set_ids)):
+        raise ConstructionError("placement must be a bijection: duplicate set identifier")
+
+    slope_elements = 0
+    for a, b, items in gadget.slope_lines():
+        parents = [placement[item] for item in items]
+        builder.add_element(
+            parents,
+            capacity=capacity,
+            element_id=f"{element_prefix}:L{a},{b}",
+        )
+        slope_elements += 1
+
+    row_elements = 0
+    if include_rows:
+        for c, items in gadget.row_lines():
+            parents = [placement[item] for item in items]
+            builder.add_element(
+                parents,
+                capacity=capacity,
+                element_id=f"{element_prefix}:Linf,{c}",
+            )
+            row_elements += 1
+
+    return {
+        "slope_elements": slope_elements,
+        "row_elements": row_elements,
+        "elements_per_set": gadget.num_columns + (1 if include_rows else 0),
+    }

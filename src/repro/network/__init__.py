@@ -1,0 +1,55 @@
+"""Networking substrate: frames, packets, traffic, routers, multi-hop paths."""
+
+from repro.network.buffered import (
+    FIFO_POLICY,
+    PRIORITY_POLICY,
+    BufferedLink,
+    BufferedLinkResult,
+    buffer_size_sweep,
+)
+from repro.network.metrics import (
+    FrameDeliveryMetrics,
+    compute_delivery_metrics,
+    jain_fairness_index,
+)
+from repro.network.multihop import (
+    MultiHopNetwork,
+    MultiHopPacket,
+    build_multihop_instance,
+    random_path_workload,
+)
+from repro.network.packet import DEFAULT_MTU_BYTES, Frame, Packet, fragment_into_packets
+from repro.network.router import BottleneckRouter, RouterRunResult
+from repro.network.traffic import (
+    GOP_DEFAULT_PATTERN,
+    AdversarialBurstGenerator,
+    PoissonBurstGenerator,
+    Trace,
+    VideoTraceGenerator,
+)
+
+__all__ = [
+    "FIFO_POLICY",
+    "PRIORITY_POLICY",
+    "BufferedLink",
+    "BufferedLinkResult",
+    "buffer_size_sweep",
+    "FrameDeliveryMetrics",
+    "compute_delivery_metrics",
+    "jain_fairness_index",
+    "MultiHopNetwork",
+    "MultiHopPacket",
+    "build_multihop_instance",
+    "random_path_workload",
+    "DEFAULT_MTU_BYTES",
+    "Frame",
+    "Packet",
+    "fragment_into_packets",
+    "BottleneckRouter",
+    "RouterRunResult",
+    "GOP_DEFAULT_PATTERN",
+    "AdversarialBurstGenerator",
+    "PoissonBurstGenerator",
+    "Trace",
+    "VideoTraceGenerator",
+]

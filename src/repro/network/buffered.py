@@ -1,0 +1,182 @@
+"""A buffered bottleneck link: the paper's second open problem, simulated.
+
+The OSP abstraction drops every unserved packet immediately.  Real switches
+have (small) buffers, and the paper explicitly asks about their effect
+(Section 5, second open problem; cf. Kesselman, Patt-Shamir and Scalosub,
+IPDPS 2009, which studies the buffered problem under "well ordered" arrivals).
+
+This module simulates the link at *packet* granularity: each slot, arriving
+packets join a bounded buffer (with a drop rule when it overflows) and the
+link transmits up to ``capacity`` packets chosen by a scheduling rule.  Both
+rules rank packets by their frame's priority; using the hash-randPr priority
+recovers the paper's algorithm in the buffered setting, while FIFO is the
+naive baseline.  Benchmark E14 sweeps the buffer size to show how quickly a
+small buffer closes the gap left by dropping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional
+
+from repro.core.priorities import hash_priority
+from repro.exceptions import OspError
+from repro.network.metrics import FrameDeliveryMetrics, compute_delivery_metrics
+from repro.network.packet import Packet
+from repro.network.traffic import Trace
+
+__all__ = ["BufferedLinkResult", "BufferedLink", "PRIORITY_POLICY", "FIFO_POLICY"]
+
+#: Scheduling/drop policy identifiers.
+PRIORITY_POLICY = "hash-priority"
+FIFO_POLICY = "fifo"
+
+
+@dataclass(frozen=True)
+class BufferedLinkResult:
+    """The outcome of a buffered-link run."""
+
+    policy: str
+    buffer_size: int
+    capacity: int
+    metrics: FrameDeliveryMetrics
+    completed_frames: FrozenSet[str]
+    transmitted_packets: int
+    dropped_packets: int
+
+    @property
+    def completion_ratio(self) -> float:
+        """Fraction of offered frames that were delivered complete."""
+        return self.metrics.completion_ratio
+
+
+@dataclass
+class _BufferedPacket:
+    packet: Packet
+    priority: float
+    enqueue_slot: int
+
+
+class BufferedLink:
+    """A single outgoing link with a bounded packet buffer.
+
+    Parameters
+    ----------
+    buffer_size:
+        Maximum number of packets that can wait in the buffer (0 reproduces
+        the bufferless OSP setting at packet granularity).
+    capacity:
+        Packets transmitted per slot.
+    policy:
+        ``PRIORITY_POLICY`` ranks packets by a hash-randPr frame priority
+        (higher priority transmitted first, lower priority dropped first on
+        overflow); ``FIFO_POLICY`` transmits oldest-first and drops newest on
+        overflow (tail drop).
+    salt:
+        Hash seed for the priority policy.
+    """
+
+    def __init__(
+        self,
+        buffer_size: int,
+        capacity: int = 1,
+        policy: str = PRIORITY_POLICY,
+        salt: str = "buffered-link",
+    ) -> None:
+        if buffer_size < 0:
+            raise OspError(f"buffer size must be non-negative, got {buffer_size}")
+        if capacity < 1:
+            raise OspError(f"capacity must be positive, got {capacity}")
+        if policy not in (PRIORITY_POLICY, FIFO_POLICY):
+            raise OspError(f"unknown policy {policy!r}")
+        self._buffer_size = buffer_size
+        self._capacity = capacity
+        self._policy = policy
+        self._salt = salt
+
+    # ------------------------------------------------------------------
+    def _frame_priority(self, trace: Trace, frame_id: str) -> float:
+        frame = trace.frames.get(frame_id)
+        weight = (frame.weight if frame is not None and frame.weight else 1.0)
+        return hash_priority(frame_id, max(weight, 1e-12), salt=self._salt)
+
+    def run(self, trace: Trace) -> BufferedLinkResult:
+        """Push a trace through the buffered link and report frame delivery."""
+        buffer: List[_BufferedPacket] = []
+        delivered: Dict[str, int] = {}
+        transmitted = 0
+        dropped = 0
+
+        priorities = {
+            frame_id: self._frame_priority(trace, frame_id) for frame_id in trace.frames
+        }
+
+        # The run continues past the last arrival slot until the buffer drains.
+        slot = 0
+        total_slots = trace.num_slots
+        while slot < total_slots or buffer:
+            arrivals = trace.slots[slot] if slot < total_slots else []
+            for packet in arrivals:
+                buffer.append(
+                    _BufferedPacket(
+                        packet=packet,
+                        priority=priorities.get(packet.frame_id, 0.0),
+                        enqueue_slot=slot,
+                    )
+                )
+
+            # Transmit up to ``capacity`` packets this slot.
+            if self._policy == PRIORITY_POLICY:
+                buffer.sort(key=lambda item: (-item.priority, item.enqueue_slot,
+                                              item.packet.packet_id))
+            else:
+                buffer.sort(key=lambda item: (item.enqueue_slot, item.packet.packet_id))
+            to_send = buffer[: self._capacity]
+            buffer = buffer[self._capacity:]
+            for item in to_send:
+                delivered[item.packet.frame_id] = delivered.get(item.packet.frame_id, 0) + 1
+                transmitted += 1
+
+            # Overflow handling after transmission: the buffer keeps at most
+            # ``buffer_size`` packets into the next slot.
+            if len(buffer) > self._buffer_size:
+                if self._policy == PRIORITY_POLICY:
+                    buffer.sort(key=lambda item: (-item.priority, item.enqueue_slot,
+                                                  item.packet.packet_id))
+                else:
+                    buffer.sort(key=lambda item: (item.enqueue_slot, item.packet.packet_id))
+                kept = buffer[: self._buffer_size]
+                dropped += len(buffer) - len(kept)
+                buffer = kept
+
+            slot += 1
+
+        completed = frozenset(
+            frame_id
+            for frame_id, frame in trace.frames.items()
+            if delivered.get(frame_id, 0) >= frame.num_packets
+        )
+        metrics = compute_delivery_metrics(trace.frames, completed)
+        return BufferedLinkResult(
+            policy=self._policy,
+            buffer_size=self._buffer_size,
+            capacity=self._capacity,
+            metrics=metrics,
+            completed_frames=completed,
+            transmitted_packets=transmitted,
+            dropped_packets=dropped,
+        )
+
+
+def buffer_size_sweep(
+    trace: Trace,
+    buffer_sizes: List[int],
+    capacity: int = 1,
+    policy: str = PRIORITY_POLICY,
+) -> Dict[int, BufferedLinkResult]:
+    """Run the same trace through links with increasing buffer sizes."""
+    results = {}
+    for size in buffer_sizes:
+        link = BufferedLink(buffer_size=size, capacity=capacity, policy=policy)
+        results[size] = link.run(trace)
+    return results

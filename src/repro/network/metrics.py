@@ -1,0 +1,96 @@
+"""Network-level metrics derived from router and multi-hop simulations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping
+
+from repro.network.packet import Frame
+
+__all__ = ["FrameDeliveryMetrics", "compute_delivery_metrics", "jain_fairness_index"]
+
+
+@dataclass(frozen=True)
+class FrameDeliveryMetrics:
+    """Summary of frame-level delivery quality at the receiver."""
+
+    total_frames: int
+    completed_frames: int
+    total_bytes: int
+    goodput_bytes: int
+    total_weight: float
+    completed_weight: float
+    per_flow_completion: Dict[str, float]
+
+    @property
+    def completion_ratio(self) -> float:
+        """Fraction of frames delivered complete."""
+        if self.total_frames == 0:
+            return 0.0
+        return self.completed_frames / self.total_frames
+
+    @property
+    def goodput_ratio(self) -> float:
+        """Fraction of offered bytes that belonged to complete frames."""
+        if self.total_bytes == 0:
+            return 0.0
+        return self.goodput_bytes / self.total_bytes
+
+    @property
+    def weighted_completion_ratio(self) -> float:
+        """Fraction of offered weight that was delivered."""
+        if self.total_weight == 0:
+            return 0.0
+        return self.completed_weight / self.total_weight
+
+
+def compute_delivery_metrics(
+    frames: Mapping[str, Frame], completed_frame_ids: Iterable[str]
+) -> FrameDeliveryMetrics:
+    """Compute delivery metrics for a set of offered frames and the completed ones."""
+    completed = set(completed_frame_ids)
+    unknown = completed - set(frames)
+    if unknown:
+        raise ValueError(f"completed frames not present in the offered set: {sorted(unknown)}")
+
+    total_bytes = sum(frame.size_bytes for frame in frames.values())
+    goodput = sum(frames[frame_id].size_bytes for frame_id in completed)
+    total_weight = sum(frame.weight or 0.0 for frame in frames.values())
+    completed_weight = sum(frames[frame_id].weight or 0.0 for frame_id in completed)
+
+    per_flow_total: Dict[str, int] = {}
+    per_flow_done: Dict[str, int] = {}
+    for frame_id, frame in frames.items():
+        per_flow_total[frame.flow_id] = per_flow_total.get(frame.flow_id, 0) + 1
+        if frame_id in completed:
+            per_flow_done[frame.flow_id] = per_flow_done.get(frame.flow_id, 0) + 1
+    per_flow_completion = {
+        flow: per_flow_done.get(flow, 0) / total
+        for flow, total in per_flow_total.items()
+    }
+
+    return FrameDeliveryMetrics(
+        total_frames=len(frames),
+        completed_frames=len(completed),
+        total_bytes=total_bytes,
+        goodput_bytes=goodput,
+        total_weight=total_weight,
+        completed_weight=completed_weight,
+        per_flow_completion=per_flow_completion,
+    )
+
+
+def jain_fairness_index(values: Iterable[float]) -> float:
+    """Jain's fairness index of a collection of per-flow allocations.
+
+    Returns 1.0 for perfectly equal allocations and approaches ``1/n`` when a
+    single flow takes everything.  Empty input yields 1.0 (vacuously fair).
+    """
+    values = [float(value) for value in values]
+    if not values:
+        return 1.0
+    total = sum(values)
+    squares = sum(value * value for value in values)
+    if squares == 0:
+        return 1.0
+    return (total * total) / (len(values) * squares)

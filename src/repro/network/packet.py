@@ -1,0 +1,118 @@
+"""Frames and packets: the data units of the networking scenario.
+
+The paper's motivating scenario is video transmission: large application
+frames (hundreds of kilobytes) are fragmented into MTU-sized packets, and a
+frame is useful at the receiver only if *all* of its packets survive the
+bottleneck.  This module models frames, their fragmentation into packets and
+the bookkeeping the router simulation needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.exceptions import OspError
+
+__all__ = ["Packet", "Frame", "fragment_into_packets", "DEFAULT_MTU_BYTES"]
+
+#: Ethernet-like maximum transfer unit used by default (1.5 KB as in the paper).
+DEFAULT_MTU_BYTES = 1500
+
+
+@dataclass(frozen=True)
+class Packet:
+    """A single network packet: one fragment of a frame."""
+
+    packet_id: str
+    frame_id: str
+    index: int
+    size_bytes: int
+    arrival_slot: Optional[int] = None
+
+    def at_slot(self, slot: int) -> "Packet":
+        """A copy of this packet stamped with its arrival time slot."""
+        return Packet(
+            packet_id=self.packet_id,
+            frame_id=self.frame_id,
+            index=self.index,
+            size_bytes=self.size_bytes,
+            arrival_slot=slot,
+        )
+
+
+@dataclass
+class Frame:
+    """An application-level data frame, fragmented into packets.
+
+    ``frame_type`` is free-form; the video workload uses ``"I"``, ``"P"`` and
+    ``"B"``.  ``weight`` is the OSP set weight — by default the frame size in
+    MTU units, so heavier frames represent more application value.
+    """
+
+    frame_id: str
+    flow_id: str
+    size_bytes: int
+    frame_type: str = "data"
+    release_slot: int = 0
+    weight: Optional[float] = None
+    mtu_bytes: int = DEFAULT_MTU_BYTES
+    packets: List[Packet] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise OspError(f"frame {self.frame_id!r} has non-positive size {self.size_bytes}")
+        if self.mtu_bytes <= 0:
+            raise OspError(f"frame {self.frame_id!r} has non-positive MTU {self.mtu_bytes}")
+        if not self.packets:
+            self.packets = fragment_into_packets(
+                self.frame_id, self.size_bytes, self.mtu_bytes
+            )
+        if self.weight is None:
+            self.weight = float(self.num_packets)
+
+    @property
+    def num_packets(self) -> int:
+        """How many packets the frame fragments into."""
+        return len(self.packets)
+
+    @property
+    def packet_ids(self) -> Tuple[str, ...]:
+        """The identifiers of the frame's packets, in order."""
+        return tuple(packet.packet_id for packet in self.packets)
+
+    def __repr__(self) -> str:
+        return (
+            f"Frame(id={self.frame_id!r}, type={self.frame_type!r}, "
+            f"bytes={self.size_bytes}, packets={self.num_packets})"
+        )
+
+
+def fragment_into_packets(
+    frame_id: str, size_bytes: int, mtu_bytes: int = DEFAULT_MTU_BYTES
+) -> List[Packet]:
+    """Split a frame of ``size_bytes`` into MTU-sized packets.
+
+    The last packet carries the remainder; a frame smaller than one MTU still
+    produces one packet.
+    """
+    if size_bytes <= 0:
+        raise OspError(f"cannot fragment non-positive size {size_bytes}")
+    if mtu_bytes <= 0:
+        raise OspError(f"MTU must be positive, got {mtu_bytes}")
+    packets: List[Packet] = []
+    remaining = size_bytes
+    index = 0
+    while remaining > 0:
+        payload = min(mtu_bytes, remaining)
+        packets.append(
+            Packet(
+                packet_id=f"{frame_id}.p{index}",
+                frame_id=frame_id,
+                index=index,
+                size_bytes=payload,
+            )
+        )
+        remaining -= payload
+        index += 1
+    return packets

@@ -1,0 +1,103 @@
+"""The bottleneck router: the paper's motivating system, as a simulator.
+
+A :class:`BottleneckRouter` models one outgoing link of a network switch.
+Packets arrive in per-slot bursts (a :class:`~repro.network.traffic.Trace`);
+the link can serve a bounded number of packets per slot and everything else
+is dropped (no buffering — the buffered variant lives in
+:mod:`repro.network.buffered`).  The drop decision is delegated to any OSP
+online algorithm through the paper's reduction: the slot is the arriving
+element, the frames with packets in the burst are its parent sets, and the
+link capacity is the element capacity.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional
+
+from repro.core.algorithm import OnlineAlgorithm
+from repro.core.instance import OnlineInstance
+from repro.core.simulation import SimulationResult, simulate
+from repro.network.metrics import FrameDeliveryMetrics, compute_delivery_metrics
+from repro.network.traffic import Trace
+
+__all__ = ["RouterRunResult", "BottleneckRouter"]
+
+
+@dataclass(frozen=True)
+class RouterRunResult:
+    """The outcome of pushing one trace through the router with one policy."""
+
+    policy_name: str
+    metrics: FrameDeliveryMetrics
+    completed_frames: FrozenSet[str]
+    simulation: SimulationResult
+    instance: OnlineInstance
+
+    @property
+    def benefit(self) -> float:
+        """The OSP benefit (total weight of completed frames)."""
+        return self.simulation.benefit
+
+
+class BottleneckRouter:
+    """A capacity-limited outgoing link whose drop policy is an OSP algorithm.
+
+    Parameters
+    ----------
+    policy:
+        Any :class:`~repro.core.algorithm.OnlineAlgorithm`; randPr makes the
+        router drop whole frames consistently, which is the paper's point.
+    capacity_per_slot:
+        Overrides the trace's link capacity when given.
+    """
+
+    def __init__(
+        self, policy: OnlineAlgorithm, capacity_per_slot: Optional[int] = None
+    ) -> None:
+        self._policy = policy
+        self._capacity = capacity_per_slot
+
+    @property
+    def policy(self) -> OnlineAlgorithm:
+        """The drop policy in use."""
+        return self._policy
+
+    def run(
+        self,
+        trace: Trace,
+        rng: Optional[random.Random] = None,
+        record_steps: bool = False,
+    ) -> RouterRunResult:
+        """Push a trace through the router and report frame-level delivery."""
+        if self._capacity is not None:
+            trace = Trace(
+                slots=trace.slots, frames=trace.frames, link_capacity=self._capacity
+            )
+        instance = trace.to_instance(name=f"router:{self._policy.name}")
+        result = simulate(
+            instance, self._policy, rng=rng, record_steps=record_steps
+        )
+        completed = frozenset(str(set_id) for set_id in result.completed_sets)
+        metrics = compute_delivery_metrics(trace.frames, completed)
+        return RouterRunResult(
+            policy_name=self._policy.name,
+            metrics=metrics,
+            completed_frames=completed,
+            simulation=result,
+            instance=instance,
+        )
+
+    def compare_policies(
+        self,
+        trace: Trace,
+        policies: Dict[str, OnlineAlgorithm],
+        seed: int = 0,
+    ) -> Dict[str, RouterRunResult]:
+        """Run several policies on the same trace (same seed for each)."""
+        results = {}
+        for label, policy in policies.items():
+            router = BottleneckRouter(policy, capacity_per_slot=self._capacity)
+            results[label] = router.run(trace, rng=random.Random(seed))
+        return results

@@ -1,0 +1,303 @@
+"""Synthetic traffic generation for the bottleneck-router scenario.
+
+The paper motivates OSP with video transmission over the Internet but
+contains no measured traces; per the reproduction's substitution rule we
+generate synthetic workloads that exercise the same code path:
+
+* :class:`VideoTraceGenerator` — MPEG-like group-of-pictures traffic from
+  several flows (large I frames, medium P frames, small B frames), fragmented
+  into MTU packets whose arrivals interleave at the bottleneck.
+* :class:`PoissonBurstGenerator` — memoryless frame arrivals with a
+  configurable packets-per-frame distribution.
+* :class:`AdversarialBurstGenerator` — pathological synchronized bursts where
+  many frames collide in every slot (the regime where the competitive bounds
+  bite).
+
+All generators produce a :class:`Trace`: per time slot, the list of packets
+arriving in that slot.  A trace converts to an OSP instance via
+:meth:`Trace.to_instance` using the paper's reduction (time slots are
+elements, frames are sets).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.instance import InstanceBuilder, OnlineInstance
+from repro.exceptions import OspError
+from repro.network.packet import DEFAULT_MTU_BYTES, Frame, Packet
+
+__all__ = [
+    "Trace",
+    "VideoTraceGenerator",
+    "PoissonBurstGenerator",
+    "AdversarialBurstGenerator",
+    "GOP_DEFAULT_PATTERN",
+]
+
+#: A typical 12-frame group-of-pictures pattern.
+GOP_DEFAULT_PATTERN = "IBBPBBPBBPBB"
+
+
+@dataclass
+class Trace:
+    """A packet arrival trace at the bottleneck link.
+
+    ``slots[t]`` is the list of packets arriving in time slot ``t``;
+    ``frames`` indexes every frame appearing in the trace.
+    """
+
+    slots: List[List[Packet]] = field(default_factory=list)
+    frames: Dict[str, Frame] = field(default_factory=dict)
+    link_capacity: int = 1
+
+    @property
+    def num_slots(self) -> int:
+        """The number of time slots covered by the trace."""
+        return len(self.slots)
+
+    @property
+    def num_frames(self) -> int:
+        """The number of distinct frames in the trace."""
+        return len(self.frames)
+
+    @property
+    def num_packets(self) -> int:
+        """The total number of packets in the trace."""
+        return sum(len(slot) for slot in self.slots)
+
+    def max_burst(self) -> int:
+        """The largest number of packets arriving in any single slot."""
+        return max((len(slot) for slot in self.slots), default=0)
+
+    def busy_slots(self) -> int:
+        """The number of slots with at least one arriving packet."""
+        return sum(1 for slot in self.slots if slot)
+
+    def overloaded_slots(self) -> int:
+        """The number of slots whose burst exceeds the link capacity."""
+        return sum(1 for slot in self.slots if len(slot) > self.link_capacity)
+
+    def add_packet(self, slot: int, packet: Packet) -> None:
+        """Append a packet arrival to a slot, extending the trace if needed."""
+        if slot < 0:
+            raise OspError(f"slot must be non-negative, got {slot}")
+        while len(self.slots) <= slot:
+            self.slots.append([])
+        self.slots[slot].append(packet.at_slot(slot))
+
+    def add_frame(self, frame: Frame, packet_slots: Sequence[int]) -> None:
+        """Register a frame and schedule its packets at the given slots."""
+        if len(packet_slots) != frame.num_packets:
+            raise OspError(
+                f"frame {frame.frame_id!r} has {frame.num_packets} packets but "
+                f"{len(packet_slots)} arrival slots were given"
+            )
+        if frame.frame_id in self.frames:
+            raise OspError(f"frame {frame.frame_id!r} added to the trace twice")
+        self.frames[frame.frame_id] = frame
+        for packet, slot in zip(frame.packets, packet_slots):
+            self.add_packet(slot, packet)
+
+    def to_instance(self, name: str = "") -> OnlineInstance:
+        """Convert the trace to an OSP instance via the paper's reduction.
+
+        Each time slot with at least one arriving packet becomes an element
+        whose parents are the frames with a packet in that slot and whose
+        capacity is the link capacity; each frame becomes a set weighted by
+        its frame weight.  Simultaneous packets of the same frame collapse
+        into a single membership, exactly as in the paper's abstraction.
+        """
+        builder = InstanceBuilder(name=name or "trace")
+        for frame_id, frame in sorted(self.frames.items()):
+            builder.declare_set(frame_id, frame.weight or 1.0)
+        for slot, packets in enumerate(self.slots):
+            frame_ids = sorted({packet.frame_id for packet in packets})
+            if not frame_ids:
+                continue
+            builder.add_element(
+                frame_ids, capacity=self.link_capacity, element_id=f"slot{slot}"
+            )
+        return builder.build()
+
+
+class VideoTraceGenerator:
+    """Synthetic MPEG-like multi-flow video traffic.
+
+    Each flow emits frames following a group-of-pictures pattern at a fixed
+    frame interval (in slots).  Frame sizes are drawn per type from a
+    log-normal-ish distribution around configurable means, then fragmented
+    into MTU packets; a frame's packets arrive in consecutive slots starting
+    at its (jittered) release slot, so frames from different flows interleave
+    and collide at the bottleneck.
+    """
+
+    def __init__(
+        self,
+        num_flows: int = 4,
+        gop_pattern: str = GOP_DEFAULT_PATTERN,
+        frame_interval_slots: int = 3,
+        mean_sizes_bytes: Optional[Dict[str, float]] = None,
+        size_jitter: float = 0.25,
+        release_jitter_slots: int = 1,
+        mtu_bytes: int = DEFAULT_MTU_BYTES,
+        link_capacity: int = 1,
+    ) -> None:
+        if num_flows < 1:
+            raise OspError(f"need at least one flow, got {num_flows}")
+        if not gop_pattern:
+            raise OspError("the GoP pattern must not be empty")
+        if frame_interval_slots < 1:
+            raise OspError(f"frame interval must be positive, got {frame_interval_slots}")
+        self.num_flows = num_flows
+        self.gop_pattern = gop_pattern
+        self.frame_interval_slots = frame_interval_slots
+        self.mean_sizes_bytes = mean_sizes_bytes or {
+            "I": 9000.0,
+            "P": 4500.0,
+            "B": 1500.0,
+        }
+        self.size_jitter = size_jitter
+        self.release_jitter_slots = release_jitter_slots
+        self.mtu_bytes = mtu_bytes
+        self.link_capacity = link_capacity
+
+    def _frame_size(self, frame_type: str, rng: random.Random) -> int:
+        mean = self.mean_sizes_bytes.get(frame_type, self.mtu_bytes * 2.0)
+        factor = math.exp(rng.gauss(0.0, self.size_jitter))
+        return max(1, int(round(mean * factor)))
+
+    def generate(self, num_frames_per_flow: int, rng: random.Random) -> Trace:
+        """Generate a trace with ``num_frames_per_flow`` frames on every flow."""
+        if num_frames_per_flow < 1:
+            raise OspError("need at least one frame per flow")
+        trace = Trace(link_capacity=self.link_capacity)
+        for flow in range(self.num_flows):
+            # Flows are phase-shifted so their frames interleave.
+            phase = rng.randrange(self.frame_interval_slots)
+            for index in range(num_frames_per_flow):
+                frame_type = self.gop_pattern[index % len(self.gop_pattern)]
+                size = self._frame_size(frame_type, rng)
+                release = index * self.frame_interval_slots + phase
+                if self.release_jitter_slots:
+                    release += rng.randrange(self.release_jitter_slots + 1)
+                frame = Frame(
+                    frame_id=f"f{flow}.{index}",
+                    flow_id=f"flow{flow}",
+                    size_bytes=size,
+                    frame_type=frame_type,
+                    release_slot=release,
+                    mtu_bytes=self.mtu_bytes,
+                )
+                slots = [release + offset for offset in range(frame.num_packets)]
+                trace.add_frame(frame, slots)
+        return trace
+
+
+class PoissonBurstGenerator:
+    """Frames arrive as a Poisson process; packets spread over following slots."""
+
+    def __init__(
+        self,
+        arrival_rate: float = 0.5,
+        packets_per_frame: Tuple[int, int] = (2, 5),
+        mtu_bytes: int = DEFAULT_MTU_BYTES,
+        link_capacity: int = 1,
+    ) -> None:
+        if arrival_rate <= 0:
+            raise OspError(f"arrival rate must be positive, got {arrival_rate}")
+        low, high = packets_per_frame
+        if low < 1 or high < low:
+            raise OspError(f"invalid packets-per-frame range {packets_per_frame}")
+        self.arrival_rate = arrival_rate
+        self.packets_per_frame = packets_per_frame
+        self.mtu_bytes = mtu_bytes
+        self.link_capacity = link_capacity
+
+    def _poisson(self, rng: random.Random) -> int:
+        # Knuth's method; the rate is small in our workloads.
+        threshold = math.exp(-self.arrival_rate)
+        count = 0
+        product = rng.random()
+        while product > threshold:
+            count += 1
+            product *= rng.random()
+        return count
+
+    def generate(self, num_slots: int, rng: random.Random) -> Trace:
+        """Generate a trace spanning ``num_slots`` injection slots."""
+        if num_slots < 1:
+            raise OspError("need at least one slot")
+        trace = Trace(link_capacity=self.link_capacity)
+        frame_counter = 0
+        low, high = self.packets_per_frame
+        for slot in range(num_slots):
+            for _ in range(self._poisson(rng)):
+                num_packets = rng.randint(low, high)
+                frame = Frame(
+                    frame_id=f"pf{frame_counter}",
+                    flow_id="poisson",
+                    size_bytes=num_packets * self.mtu_bytes,
+                    frame_type="data",
+                    release_slot=slot,
+                    mtu_bytes=self.mtu_bytes,
+                )
+                frame_counter += 1
+                slots = [slot + offset for offset in range(frame.num_packets)]
+                trace.add_frame(frame, slots)
+        return trace
+
+
+class AdversarialBurstGenerator:
+    """Synchronized bursts: ``sigma`` frames collide in every one of their slots.
+
+    The generator creates waves of ``sigma`` frames of ``k`` packets each; the
+    frames of a wave are perfectly aligned, so every slot of the wave is a
+    burst of size ``sigma`` at a capacity-1 link — the worst case the paper's
+    bounds are written for.  ``gap_slots`` idle slots separate consecutive
+    waves; with a positive gap a buffered link gets a chance to drain, which
+    is what the buffering experiments sweep.
+    """
+
+    def __init__(
+        self,
+        burst_size: int = 4,
+        packets_per_frame: int = 3,
+        mtu_bytes: int = DEFAULT_MTU_BYTES,
+        link_capacity: int = 1,
+        gap_slots: int = 0,
+    ) -> None:
+        if burst_size < 1:
+            raise OspError(f"burst size must be positive, got {burst_size}")
+        if packets_per_frame < 1:
+            raise OspError(f"packets per frame must be positive, got {packets_per_frame}")
+        if gap_slots < 0:
+            raise OspError(f"gap slots must be non-negative, got {gap_slots}")
+        self.burst_size = burst_size
+        self.packets_per_frame = packets_per_frame
+        self.mtu_bytes = mtu_bytes
+        self.link_capacity = link_capacity
+        self.gap_slots = gap_slots
+
+    def generate(self, num_waves: int, rng: Optional[random.Random] = None) -> Trace:
+        """Generate ``num_waves`` consecutive synchronized waves."""
+        if num_waves < 1:
+            raise OspError("need at least one wave")
+        trace = Trace(link_capacity=self.link_capacity)
+        for wave in range(num_waves):
+            start = wave * (self.packets_per_frame + self.gap_slots)
+            for member in range(self.burst_size):
+                frame = Frame(
+                    frame_id=f"w{wave}.m{member}",
+                    flow_id=f"wave{wave}",
+                    size_bytes=self.packets_per_frame * self.mtu_bytes,
+                    frame_type="burst",
+                    release_slot=start,
+                    mtu_bytes=self.mtu_bytes,
+                )
+                slots = [start + offset for offset in range(frame.num_packets)]
+                trace.add_frame(frame, slots)
+        return trace

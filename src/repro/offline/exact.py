@@ -1,0 +1,131 @@
+"""Exact offline set packing via branch and bound.
+
+The offline problem (the integer program (1) in the paper) is NP-hard, but
+the instances used to *measure* competitive ratios in the benchmarks are
+small enough for an exact solver with good pruning.  The solver maximizes the
+total weight of a collection of sets such that every element ``u`` is used by
+at most ``b(u)`` chosen sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.core.set_system import ElementId, SetId, SetSystem
+from repro.exceptions import SolverError
+from repro.offline.greedy_offline import greedy_offline_packing
+
+__all__ = ["ExactSolution", "solve_exact"]
+
+
+@dataclass(frozen=True)
+class ExactSolution:
+    """An optimal (or best-found, if the node budget ran out) packing."""
+
+    chosen_sets: FrozenSet[SetId]
+    weight: float
+    is_optimal: bool
+    nodes_explored: int
+
+    @property
+    def num_sets(self) -> int:
+        """The number of sets in the solution."""
+        return len(self.chosen_sets)
+
+
+def solve_exact(
+    system: SetSystem,
+    max_nodes: int = 2_000_000,
+    initial_solution: Optional[FrozenSet[SetId]] = None,
+) -> ExactSolution:
+    """Find a maximum-weight feasible packing by depth-first branch and bound.
+
+    Parameters
+    ----------
+    system:
+        The weighted set system with element capacities.
+    max_nodes:
+        Safety budget on search-tree nodes.  If exhausted, the best solution
+        found so far is returned with ``is_optimal=False``.
+    initial_solution:
+        Optional warm-start packing (must be feasible); defaults to the
+        offline greedy solution, which gives the pruning a strong incumbent.
+    """
+    set_ids: List[SetId] = sorted(
+        system.set_ids, key=lambda set_id: (-system.weight(set_id), repr(set_id))
+    )
+    weights = [system.weight(set_id) for set_id in set_ids]
+    members: List[FrozenSet[ElementId]] = [system.members(set_id) for set_id in set_ids]
+    capacities: Dict[ElementId, int] = {
+        element: system.capacity(element) for element in system.element_ids
+    }
+
+    # Suffix sums of weights: the loosest possible bound on what the
+    # remaining sets can still add.
+    suffix = [0.0] * (len(weights) + 1)
+    for index in range(len(weights) - 1, -1, -1):
+        suffix[index] = suffix[index + 1] + weights[index]
+
+    if initial_solution is None:
+        warm = greedy_offline_packing(system)
+        best_choice: Tuple[SetId, ...] = tuple(warm.chosen_sets)
+        best_weight = warm.weight
+    else:
+        if not system.is_feasible_packing(initial_solution):
+            raise SolverError("the supplied initial solution is not a feasible packing")
+        best_choice = tuple(initial_solution)
+        best_weight = system.total_weight(initial_solution)
+
+    usage: Dict[ElementId, int] = {element: 0 for element in capacities}
+    chosen: List[SetId] = []
+    nodes = 0
+    budget_exhausted = False
+
+    def fits(index: int) -> bool:
+        for element in members[index]:
+            if usage[element] + 1 > capacities[element]:
+                return False
+        return True
+
+    def take(index: int) -> None:
+        for element in members[index]:
+            usage[element] += 1
+        chosen.append(set_ids[index])
+
+    def untake(index: int) -> None:
+        for element in members[index]:
+            usage[element] -= 1
+        chosen.pop()
+
+    def descend(index: int, current_weight: float) -> None:
+        nonlocal best_choice, best_weight, nodes, budget_exhausted
+        if budget_exhausted:
+            return
+        nodes += 1
+        if nodes > max_nodes:
+            budget_exhausted = True
+            return
+        if current_weight > best_weight:
+            best_weight = current_weight
+            best_choice = tuple(chosen)
+        if index >= len(set_ids):
+            return
+        if current_weight + suffix[index] <= best_weight:
+            return
+        # Branch 1: take the set (when feasible).
+        if fits(index):
+            take(index)
+            descend(index + 1, current_weight + weights[index])
+            untake(index)
+        # Branch 2: skip the set.
+        descend(index + 1, current_weight)
+
+    descend(0, 0.0)
+
+    return ExactSolution(
+        chosen_sets=frozenset(best_choice),
+        weight=best_weight,
+        is_optimal=not budget_exhausted,
+        nodes_explored=nodes,
+    )

@@ -1,0 +1,72 @@
+"""Offline greedy set packing (the classical k-approximation) and variants.
+
+Greedy picks sets one at a time in a fixed priority order and keeps a set if
+it fits within the remaining element capacities.  Sorting by weight gives the
+classical factor-``k`` approximation for unweighted inputs mentioned in the
+paper's related-work discussion; sorting by weight-per-element ("density")
+is a common practical improvement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List
+
+from repro.core.set_system import ElementId, SetId, SetSystem
+
+__all__ = ["GreedySolution", "greedy_offline_packing", "greedy_density_packing"]
+
+
+@dataclass(frozen=True)
+class GreedySolution:
+    """A feasible packing produced by an offline greedy rule."""
+
+    chosen_sets: FrozenSet[SetId]
+    weight: float
+    order_used: str
+
+    @property
+    def num_sets(self) -> int:
+        """The number of sets in the packing."""
+        return len(self.chosen_sets)
+
+
+def _greedy(system: SetSystem, ordered: Iterable[SetId], label: str) -> GreedySolution:
+    usage: Dict[ElementId, int] = {element: 0 for element in system.element_ids}
+    chosen: List[SetId] = []
+    total = 0.0
+    for set_id in ordered:
+        members = system.members(set_id)
+        if all(usage[element] + 1 <= system.capacity(element) for element in members):
+            for element in members:
+                usage[element] += 1
+            chosen.append(set_id)
+            total += system.weight(set_id)
+    return GreedySolution(chosen_sets=frozenset(chosen), weight=total, order_used=label)
+
+
+def greedy_offline_packing(system: SetSystem) -> GreedySolution:
+    """Greedy by non-increasing weight (ties: smaller sets first, then id)."""
+    ordered = sorted(
+        system.set_ids,
+        key=lambda set_id: (-system.weight(set_id), system.size(set_id), repr(set_id)),
+    )
+    return _greedy(system, ordered, "weight")
+
+
+def greedy_density_packing(system: SetSystem) -> GreedySolution:
+    """Greedy by non-increasing weight per element (``w(S)/|S|``).
+
+    Empty sets are taken first (they cost nothing and always fit).
+    """
+    def density(set_id: SetId) -> float:
+        size = system.size(set_id)
+        if size == 0:
+            return float("inf")
+        return system.weight(set_id) / size
+
+    ordered = sorted(
+        system.set_ids,
+        key=lambda set_id: (-density(set_id), system.size(set_id), repr(set_id)),
+    )
+    return _greedy(system, ordered, "density")

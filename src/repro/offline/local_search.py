@@ -1,0 +1,172 @@
+"""Local-search improvement for offline set packing.
+
+Starting from any feasible packing (typically the greedy one), repeatedly
+apply improving moves:
+
+* *add*: insert a set that still fits;
+* *swap 1-for-1*: replace a chosen set with a heavier non-chosen set that fits
+  after the removal;
+* *swap 1-for-2*: replace a chosen set with two non-chosen sets of larger
+  combined weight.
+
+These are the standard moves behind the ``(k+1)/2`` style approximation
+guarantees cited in the paper's related work; in this library local search
+serves as a strong offline heuristic when the exact solver is too slow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.core.set_system import ElementId, SetId, SetSystem
+from repro.exceptions import SolverError
+from repro.offline.greedy_offline import greedy_offline_packing
+
+__all__ = ["LocalSearchSolution", "local_search_packing"]
+
+
+@dataclass(frozen=True)
+class LocalSearchSolution:
+    """A locally optimal packing together with search statistics."""
+
+    chosen_sets: FrozenSet[SetId]
+    weight: float
+    iterations: int
+    improved_from: float
+
+    @property
+    def num_sets(self) -> int:
+        """The number of sets in the packing."""
+        return len(self.chosen_sets)
+
+
+class _PackingState:
+    """Mutable feasibility bookkeeping for local-search moves."""
+
+    def __init__(self, system: SetSystem, chosen: Iterable[SetId]) -> None:
+        self.system = system
+        self.chosen: Set[SetId] = set()
+        self.usage: Dict[ElementId, int] = {
+            element: 0 for element in system.element_ids
+        }
+        self.weight = 0.0
+        for set_id in chosen:
+            if not self.fits(set_id):
+                raise SolverError("initial packing for local search is infeasible")
+            self.add(set_id)
+
+    def fits(self, set_id: SetId, ignoring: Tuple[SetId, ...] = ()) -> bool:
+        """Whether ``set_id`` fits if the sets in ``ignoring`` were removed."""
+        released: Dict[ElementId, int] = {}
+        for other in ignoring:
+            for element in self.system.members(other):
+                released[element] = released.get(element, 0) + 1
+        for element in self.system.members(set_id):
+            used = self.usage[element] - released.get(element, 0)
+            if used + 1 > self.system.capacity(element):
+                return False
+        return True
+
+    def add(self, set_id: SetId) -> None:
+        self.chosen.add(set_id)
+        self.weight += self.system.weight(set_id)
+        for element in self.system.members(set_id):
+            self.usage[element] += 1
+
+    def remove(self, set_id: SetId) -> None:
+        self.chosen.discard(set_id)
+        self.weight -= self.system.weight(set_id)
+        for element in self.system.members(set_id):
+            self.usage[element] -= 1
+
+
+def local_search_packing(
+    system: SetSystem,
+    initial: Optional[Iterable[SetId]] = None,
+    max_iterations: int = 10_000,
+) -> LocalSearchSolution:
+    """Improve a packing by add / swap(1,1) / swap(1,2) moves until no move helps."""
+    if initial is None:
+        start = greedy_offline_packing(system).chosen_sets
+    else:
+        start = frozenset(initial)
+    state = _PackingState(system, start)
+    initial_weight = state.weight
+
+    outside: List[SetId] = [
+        set_id for set_id in system.set_ids if set_id not in state.chosen
+    ]
+    iterations = 0
+    improved = True
+    while improved and iterations < max_iterations:
+        improved = False
+        iterations += 1
+
+        # Add moves.
+        for set_id in list(outside):
+            if state.fits(set_id):
+                state.add(set_id)
+                outside.remove(set_id)
+                improved = True
+
+        if improved:
+            continue
+
+        # Swap 1-for-1 and 1-for-2 moves.
+        for removed in sorted(state.chosen, key=repr):
+            removed_weight = system.weight(removed)
+            candidates = [
+                set_id for set_id in outside if state.fits(set_id, ignoring=(removed,))
+            ]
+            # 1-for-1.
+            best_single = None
+            for candidate in candidates:
+                if system.weight(candidate) > removed_weight + 1e-12:
+                    if best_single is None or system.weight(candidate) > system.weight(best_single):
+                        best_single = candidate
+            if best_single is not None:
+                state.remove(removed)
+                state.add(best_single)
+                outside.remove(best_single)
+                outside.append(removed)
+                improved = True
+                break
+            # 1-for-2: try pairs of candidates that are mutually compatible.
+            found_pair = None
+            for first_index in range(len(candidates)):
+                first = candidates[first_index]
+                for second in candidates[first_index + 1:]:
+                    combined = system.weight(first) + system.weight(second)
+                    if combined <= removed_weight + 1e-12:
+                        continue
+                    # Check joint feasibility after removing ``removed``.
+                    state.remove(removed)
+                    if state.fits(first):
+                        state.add(first)
+                        if state.fits(second):
+                            found_pair = (first, second)
+                            state.remove(first)
+                            state.add(removed)
+                            break
+                        state.remove(first)
+                    state.add(removed)
+                if found_pair:
+                    break
+            if found_pair:
+                first, second = found_pair
+                state.remove(removed)
+                state.add(first)
+                state.add(second)
+                outside.remove(first)
+                outside.remove(second)
+                outside.append(removed)
+                improved = True
+                break
+
+    return LocalSearchSolution(
+        chosen_sets=frozenset(state.chosen),
+        weight=state.weight,
+        iterations=iterations,
+        improved_from=initial_weight,
+    )

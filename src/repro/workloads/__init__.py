@@ -1,0 +1,40 @@
+"""Workload generators: random, uniform, structured and video-derived instances."""
+
+from repro.workloads.general import (
+    bandwidth_reservation_instance,
+    random_general_packing_instance,
+)
+from repro.workloads.random_instances import (
+    random_online_instance,
+    random_set_system,
+    random_variable_capacity_instance,
+    random_weighted_instance,
+)
+from repro.workloads.structured import (
+    disjoint_blocks_instance,
+    full_gadget_instance,
+    t_design_style_instance,
+)
+from repro.workloads.uniform import (
+    uniform_both_instance,
+    uniform_load_instance,
+    uniform_set_size_instance,
+)
+from repro.workloads.video import VideoWorkload, make_video_workload
+
+__all__ = [
+    "bandwidth_reservation_instance",
+    "random_general_packing_instance",
+    "random_online_instance",
+    "random_set_system",
+    "random_variable_capacity_instance",
+    "random_weighted_instance",
+    "disjoint_blocks_instance",
+    "full_gadget_instance",
+    "t_design_style_instance",
+    "uniform_both_instance",
+    "uniform_load_instance",
+    "uniform_set_size_instance",
+    "VideoWorkload",
+    "make_video_workload",
+]

@@ -1,0 +1,106 @@
+"""Workload generators for the general packing extension (open problem 1)."""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from repro.core.general_packing import GeneralPackingBuilder, GeneralPackingInstance
+from repro.exceptions import OspError
+
+__all__ = ["random_general_packing_instance", "bandwidth_reservation_instance"]
+
+
+def random_general_packing_instance(
+    num_sets: int,
+    num_resources: int,
+    resources_per_set: Tuple[int, int],
+    demand_range: Tuple[int, int],
+    capacity_range: Tuple[int, int],
+    rng: random.Random,
+    weight_range: Tuple[float, float] = (1.0, 1.0),
+    name: str = "",
+) -> GeneralPackingInstance:
+    """A random general packing instance.
+
+    Each set demands a random number of resources (``resources_per_set``),
+    with an integer demand drawn from ``demand_range`` on each; each resource
+    has a capacity drawn from ``capacity_range``.
+    """
+    if num_sets < 1 or num_resources < 1:
+        raise OspError("need at least one set and one resource")
+    low_r, high_r = resources_per_set
+    if low_r < 1 or high_r < low_r or high_r > num_resources:
+        raise OspError(f"invalid resources-per-set range {resources_per_set}")
+    low_d, high_d = demand_range
+    if low_d < 1 or high_d < low_d:
+        raise OspError(f"invalid demand range {demand_range}")
+    low_c, high_c = capacity_range
+    if low_c < 1 or high_c < low_c:
+        raise OspError(f"invalid capacity range {capacity_range}")
+
+    builder = GeneralPackingBuilder(name=name or "random-general")
+    demands_by_resource = [dict() for _ in range(num_resources)]
+    for index in range(num_sets):
+        set_id = f"S{index}"
+        w_low, w_high = weight_range
+        builder.declare_set(
+            set_id, w_low if w_low == w_high else rng.uniform(w_low, w_high)
+        )
+        count = rng.randint(low_r, high_r)
+        for resource in rng.sample(range(num_resources), count):
+            demands_by_resource[resource][set_id] = rng.randint(low_d, high_d)
+    for resource in range(num_resources):
+        if not demands_by_resource[resource]:
+            continue
+        builder.add_resource(
+            demands_by_resource[resource],
+            capacity=rng.randint(low_c, high_c),
+            element_id=f"r{resource}",
+        )
+    return builder.build()
+
+
+def bandwidth_reservation_instance(
+    num_flows: int,
+    num_links: int,
+    path_length: int,
+    link_capacity: int,
+    rng: random.Random,
+    bandwidth_range: Tuple[int, int] = (1, 3),
+    name: str = "",
+) -> GeneralPackingInstance:
+    """A bandwidth-reservation workload: flows demand bandwidth on link paths.
+
+    Each flow (set) picks a contiguous run of ``path_length`` links on a line
+    and demands the same integer bandwidth on every link of its path; each
+    link (resource) offers ``link_capacity`` units.  A flow is admitted end to
+    end only if it receives its bandwidth on *every* link — a natural
+    integer-demand generalization of the paper's multi-hop scenario.
+    """
+    if num_flows < 1 or num_links < 1:
+        raise OspError("need at least one flow and one link")
+    if path_length < 1 or path_length > num_links:
+        raise OspError(f"path length must be in [1, {num_links}], got {path_length}")
+    if link_capacity < 1:
+        raise OspError(f"link capacity must be positive, got {link_capacity}")
+    low_b, high_b = bandwidth_range
+    if low_b < 1 or high_b < low_b:
+        raise OspError(f"invalid bandwidth range {bandwidth_range}")
+
+    builder = GeneralPackingBuilder(name=name or "bandwidth-reservation")
+    demands_by_link = [dict() for _ in range(num_links)]
+    for index in range(num_flows):
+        flow_id = f"flow{index}"
+        bandwidth = rng.randint(low_b, high_b)
+        builder.declare_set(flow_id, weight=float(bandwidth * path_length))
+        start = rng.randint(0, num_links - path_length)
+        for link in range(start, start + path_length):
+            demands_by_link[link][flow_id] = bandwidth
+    for link in range(num_links):
+        if not demands_by_link[link]:
+            continue
+        builder.add_resource(
+            demands_by_link[link], capacity=link_capacity, element_id=f"link{link}"
+        )
+    return builder.build()

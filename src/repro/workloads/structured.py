@@ -1,0 +1,117 @@
+"""Structured workloads built from combinatorial designs.
+
+These are deterministic, extremal instances that complement the random
+families:
+
+* :func:`full_gadget_instance` — all ``M * N`` sets of an (M, N)-gadget with
+  both slope and row lines: any two sets intersect, so OPT completes exactly
+  one set.  A stress test where every algorithm's benefit is at most 1.
+* :func:`disjoint_blocks_instance` — a union of independent "waves" of fully
+  overlapping sets: OPT completes one set per block, and randPr's expected
+  benefit has a simple closed form that tests verify.
+* :func:`t_design_style_instance` — the weaker ``Ω(σ/log σ)`` lower-bound
+  construction sketched at the start of Section 4.2 (the ``t × t`` grid of
+  sets probed by row elements and then by random transversal elements).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.core.instance import InstanceBuilder, OnlineInstance
+from repro.exceptions import OspError
+from repro.lowerbounds.gadget import Gadget, apply_gadget
+
+__all__ = [
+    "full_gadget_instance",
+    "disjoint_blocks_instance",
+    "t_design_style_instance",
+]
+
+
+def full_gadget_instance(
+    num_rows: int, num_columns: int, name: str = ""
+) -> OnlineInstance:
+    """All sets of an (M, N)-gadget, with slope and row lines as elements.
+
+    By Lemma 8 any feasible solution contains at most one set, making this
+    the canonical "everything conflicts" instance.
+    """
+    gadget = Gadget(num_rows, num_columns)
+    builder = InstanceBuilder(name=name or f"full-gadget({num_rows},{num_columns})")
+    placement = {}
+    for row, column in gadget.items():
+        set_id = f"S{row}_{column}"
+        builder.declare_set(set_id, 1.0)
+        placement[(row, column)] = set_id
+    apply_gadget(builder, gadget, placement, include_rows=True, element_prefix="G")
+    return builder.build()
+
+
+def disjoint_blocks_instance(
+    num_blocks: int,
+    sets_per_block: int,
+    elements_per_block: int,
+    name: str = "",
+) -> OnlineInstance:
+    """``num_blocks`` independent blocks of fully overlapping sets.
+
+    Within a block, every element is contained in every set of the block, so
+    exactly one set per block can be completed; across blocks there is no
+    interaction.  OPT therefore equals ``num_blocks``, and on this instance
+    randPr completes exactly one set per block with probability 1 (all the
+    block's elements agree on the block's maximum-priority set).
+    """
+    if num_blocks < 1 or sets_per_block < 1 or elements_per_block < 1:
+        raise OspError("blocks, sets per block and elements per block must be positive")
+    builder = InstanceBuilder(name=name or f"blocks({num_blocks}x{sets_per_block})")
+    for block in range(num_blocks):
+        block_sets = [f"B{block}.S{index}" for index in range(sets_per_block)]
+        for set_id in block_sets:
+            builder.declare_set(set_id, 1.0)
+        for element_index in range(elements_per_block):
+            builder.add_element(
+                block_sets, capacity=1, element_id=f"B{block}.e{element_index}"
+            )
+    return builder.build()
+
+
+def t_design_style_instance(
+    t: int,
+    rng: random.Random,
+    name: str = "",
+) -> OnlineInstance:
+    """The warm-up lower-bound construction from the beginning of Section 4.2.
+
+    ``t^2`` sets ``S_{i,j}`` are first probed by ``t`` row elements
+    (``u_i ∈ S_{i,j}`` for all ``j``), then by ``t^2`` random transversal
+    elements, each of which hits at most one set per row and per column.  The
+    transversals are sampled as random permutation diagonals, so every element
+    has load ``t`` and the paper's intersection condition (``i ≠ i'`` and
+    ``j ≠ j'`` for any two sets sharing a transversal) holds by construction.
+    OPT can complete a full column (``t`` sets); an online algorithm is left
+    with roughly ``O(log t)`` of the sets it committed to.
+    """
+    if t < 2:
+        raise OspError(f"the construction needs t >= 2, got {t}")
+    builder = InstanceBuilder(name=name or f"t-design({t})")
+    for i in range(t):
+        for j in range(t):
+            builder.declare_set(f"S{i}_{j}", 1.0)
+
+    # Row elements: u_i belongs to S_{i,j} for every j.
+    for i in range(t):
+        builder.add_element(
+            [f"S{i}_{j}" for j in range(t)], capacity=1, element_id=f"row{i}"
+        )
+
+    # Transversal elements: each is a random permutation diagonal, touching
+    # one set per row with all-distinct columns.
+    for index in range(t * t):
+        permutation = list(range(t))
+        rng.shuffle(permutation)
+        parents = [f"S{i}_{permutation[i]}" for i in range(t)]
+        builder.add_element(parents, capacity=1, element_id=f"diag{index}")
+
+    return builder.build()

@@ -1,0 +1,178 @@
+"""Uniform-parameter workloads for the specialized bounds (Theorems 5, 6, Cor. 7).
+
+* :func:`uniform_set_size_instance` — every set has exactly ``k`` elements
+  (Theorem 5's precondition).
+* :func:`uniform_load_instance` — every element is contained in exactly
+  ``sigma`` sets (Theorem 6's precondition); set sizes vary.
+* :func:`uniform_both_instance` — every set has size ``k`` *and* every element
+  has load ``sigma`` (Corollary 7's precondition).  Built from a deterministic
+  biregular bipartite construction and then randomly relabelled, so instances
+  are random but the degree constraints are exact.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.core.instance import OnlineInstance
+from repro.core.set_system import SetSystem
+from repro.exceptions import OspError
+
+__all__ = [
+    "uniform_set_size_instance",
+    "uniform_load_instance",
+    "uniform_both_instance",
+]
+
+
+def _random_biregular_assignment(
+    labels: List[str],
+    set_size: int,
+    load: int,
+    num_elements: int,
+    rng: random.Random,
+    max_repair_passes: int = 200,
+):
+    """Configuration-model matching with swap repair; ``None`` if it fails.
+
+    Returns a mapping ``element -> list of load distinct set labels`` such
+    that every label occurs exactly ``set_size`` times overall.
+    """
+    stubs = [label for label in labels for _ in range(set_size)]
+    rng.shuffle(stubs)
+    groups = [stubs[index * load:(index + 1) * load] for index in range(num_elements)]
+
+    def duplicated_indices():
+        return [index for index, group in enumerate(groups) if len(set(group)) < len(group)]
+
+    for _ in range(max_repair_passes):
+        broken = duplicated_indices()
+        if not broken:
+            return {f"u{index}": list(group) for index, group in enumerate(groups)}
+        for index in broken:
+            group = groups[index]
+            seen = set()
+            for position, label in enumerate(group):
+                if label in seen:
+                    # Swap this stub with a random stub of another element.
+                    other_index = rng.randrange(num_elements)
+                    other_position = rng.randrange(load)
+                    group[position], groups[other_index][other_position] = (
+                        groups[other_index][other_position],
+                        group[position],
+                    )
+                else:
+                    seen.add(label)
+    return None
+
+
+def uniform_set_size_instance(
+    num_sets: int,
+    num_elements: int,
+    set_size: int,
+    rng: random.Random,
+    name: str = "",
+) -> OnlineInstance:
+    """All sets have exactly ``set_size`` elements; loads are whatever falls out."""
+    if set_size < 1 or set_size > num_elements:
+        raise OspError(
+            f"set size must be in [1, {num_elements}], got {set_size}"
+        )
+    sets: Dict[str, List[str]] = {}
+    for index in range(num_sets):
+        members = rng.sample(range(num_elements), set_size)
+        sets[f"S{index}"] = [f"u{member}" for member in members]
+    used = {element for members in sets.values() for element in members}
+    system = SetSystem(sets, capacities={element: 1 for element in used})
+    order = list(system.element_ids)
+    rng.shuffle(order)
+    return OnlineInstance(system, order, name=name or f"uniform-k{set_size}")
+
+
+def uniform_load_instance(
+    num_sets: int,
+    num_elements: int,
+    load: int,
+    rng: random.Random,
+    name: str = "",
+) -> OnlineInstance:
+    """All elements have exactly ``load`` parent sets; set sizes vary.
+
+    Built element-first: each element independently picks ``load`` distinct
+    sets.  Sets that end up empty are dropped so that every remaining set is
+    completable.
+    """
+    if load < 1 or load > num_sets:
+        raise OspError(f"load must be in [1, {num_sets}], got {load}")
+    element_parents: Dict[str, List[str]] = {}
+    for index in range(num_elements):
+        parents = rng.sample(range(num_sets), load)
+        element_parents[f"u{index}"] = [f"S{parent}" for parent in parents]
+
+    sets: Dict[str, List[str]] = {}
+    for element, parents in element_parents.items():
+        for set_id in parents:
+            sets.setdefault(set_id, []).append(element)
+    system = SetSystem(sets, capacities={element: 1 for element in element_parents})
+    order = list(system.element_ids)
+    rng.shuffle(order)
+    return OnlineInstance(system, order, name=name or f"uniform-load{load}")
+
+
+def uniform_both_instance(
+    num_sets: int,
+    set_size: int,
+    load: int,
+    rng: random.Random,
+    name: str = "",
+) -> OnlineInstance:
+    """Every set has size ``k = set_size`` and every element has load ``sigma = load``.
+
+    Requires ``num_sets * set_size`` to be divisible by ``load`` (the number of
+    elements is ``num_sets * set_size / load``) and ``load <= num_sets``.  The
+    construction is a random biregular bipartite graph built with the
+    configuration model (each set contributes ``set_size`` stubs, each element
+    consumes ``load`` stubs) followed by swap repairs that remove duplicate
+    (set, element) incidences, so the degree constraints are exact while the
+    overlap structure is random.  A deterministic cyclic assignment is the
+    fallback if the repair loop fails to converge.
+    """
+    if set_size < 1:
+        raise OspError(f"set size must be positive, got {set_size}")
+    if load < 1 or load > num_sets:
+        raise OspError(f"load must be in [1, {num_sets}], got {load}")
+    total_incidences = num_sets * set_size
+    if total_incidences % load != 0:
+        raise OspError(
+            f"num_sets * set_size ({total_incidences}) must be divisible by load ({load})"
+        )
+    num_elements = total_incidences // load
+
+    labels = [f"S{index}" for index in range(num_sets)]
+    rng.shuffle(labels)
+
+    element_parents = _random_biregular_assignment(
+        labels, set_size, load, num_elements, rng
+    )
+    if element_parents is None:
+        # Deterministic fallback: list the sets cyclically and hand each
+        # element the next ``load`` distinct sets in the cycle.
+        element_parents = {}
+        position = 0
+        for index in range(num_elements):
+            parents = [labels[(position + offset) % num_sets] for offset in range(load)]
+            element_parents[f"u{index}"] = parents
+            position = (position + load) % num_sets
+
+    sets: Dict[str, List[str]] = {label: [] for label in labels}
+    for element, parents in element_parents.items():
+        for set_id in parents:
+            sets[set_id].append(element)
+
+    system = SetSystem(sets, capacities={element: 1 for element in element_parents})
+    order = list(system.element_ids)
+    rng.shuffle(order)
+    return OnlineInstance(
+        system, order, name=name or f"uniform-k{set_size}-load{load}"
+    )

@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+import random
+
+import pytest
+
+from repro.core import OnlineInstance, SetSystem
+
+
+@pytest.fixture
+def tiny_system() -> SetSystem:
+    """Three overlapping sets over six elements; the quickstart instance."""
+    return SetSystem(
+        sets={
+            "A": ["t0", "t1", "t2", "t3"],
+            "B": ["t1", "t2", "t4"],
+            "C": ["t3", "t4", "t5"],
+        },
+        weights={"A": 4.0, "B": 3.0, "C": 3.0},
+    )
+
+
+@pytest.fixture
+def tiny_instance(tiny_system) -> OnlineInstance:
+    """The tiny system with its natural arrival order."""
+    return OnlineInstance(
+        tiny_system, ["t0", "t1", "t2", "t3", "t4", "t5"], name="tiny"
+    )
+
+
+@pytest.fixture
+def disjoint_system() -> SetSystem:
+    """Two disjoint sets: both can always be completed."""
+    return SetSystem(sets={"X": ["a", "b"], "Y": ["c", "d"]})
+
+
+@pytest.fixture
+def star_system() -> SetSystem:
+    """One central element shared by many singleton-ish sets (load 5)."""
+    sets = {f"S{i}": ["hub", f"leaf{i}"] for i in range(5)}
+    return SetSystem(sets=sets)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG for reproducible tests."""
+    return random.Random(12345)

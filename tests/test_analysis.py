@@ -1,0 +1,142 @@
+"""Tests for the closed-form randPr analysis (Lemma 1 consequences)."""
+
+import random
+
+import pytest
+
+from repro.algorithms import RandPrAlgorithm
+from repro.core import OnlineInstance, SetSystem, simulate_many
+from repro.core.analysis import (
+    benefit_variance_upper_bound,
+    expected_benefit_closed_form,
+    lemma4_lower_bound,
+    lemma5_lower_bound,
+    pair_survival_probability,
+    predict_randpr,
+    survival_probabilities,
+    survival_probability,
+    theorem1_guarantee,
+)
+from repro.offline import solve_exact
+from repro.workloads import disjoint_blocks_instance, random_weighted_instance
+
+
+class TestSurvivalProbability:
+    def test_matches_lemma1(self, tiny_system):
+        for set_id in tiny_system.set_ids:
+            expected = tiny_system.weight(set_id) / tiny_system.neighbourhood_weight(set_id)
+            assert survival_probability(tiny_system, set_id) == pytest.approx(expected)
+
+    def test_isolated_set_survives_surely(self, disjoint_system):
+        assert survival_probability(disjoint_system, "X") == 1.0
+        assert survival_probability(disjoint_system, "Y") == 1.0
+
+    def test_zero_weight_contested_set_never_survives(self):
+        system = SetSystem(sets={"Z": ["u"], "W": ["u"]}, weights={"Z": 0.0, "W": 1.0})
+        assert survival_probability(system, "Z") == 0.0
+        assert survival_probability(system, "W") == 1.0
+
+    def test_probabilities_sum_bounded_by_count(self, tiny_system):
+        probabilities = survival_probabilities(tiny_system)
+        assert all(0.0 <= value <= 1.0 for value in probabilities.values())
+
+
+class TestExpectedBenefit:
+    def test_closed_form_matches_monte_carlo(self):
+        instance = random_weighted_instance(
+            15, 22, (2, 3), random.Random(4), weight_range=(1.0, 5.0)
+        )
+        predicted = expected_benefit_closed_form(instance.system)
+        results = simulate_many(instance, RandPrAlgorithm(), trials=4000, seed=0)
+        measured = sum(result.benefit for result in results) / len(results)
+        assert measured == pytest.approx(predicted, rel=0.05)
+
+    def test_disjoint_blocks_closed_form(self):
+        # Each block of s fully-overlapping unit sets contributes exactly 1.
+        instance = disjoint_blocks_instance(4, 5, 3)
+        assert expected_benefit_closed_form(instance.system) == pytest.approx(4.0)
+
+    def test_never_exceeds_total_weight(self, tiny_system):
+        assert expected_benefit_closed_form(tiny_system) <= tiny_system.total_weight()
+
+
+class TestLowerBoundLemmas:
+    def test_lemma4_with_true_opt(self, tiny_system):
+        opt = solve_exact(tiny_system).weight
+        bound = lemma4_lower_bound(tiny_system, opt_weight=opt)
+        assert expected_benefit_closed_form(tiny_system) >= bound - 1e-9
+
+    def test_lemma5(self, tiny_system):
+        bound = lemma5_lower_bound(tiny_system)
+        assert expected_benefit_closed_form(tiny_system) >= bound - 1e-9
+
+    def test_lemmas_on_random_instances(self):
+        for seed in range(5):
+            instance = random_weighted_instance(
+                20, 30, (2, 4), random.Random(seed), weight_range=(1.0, 4.0)
+            )
+            system = instance.system
+            opt = solve_exact(system).weight
+            expected = expected_benefit_closed_form(system)
+            assert expected >= lemma4_lower_bound(system, opt_weight=opt) - 1e-9
+            assert expected >= lemma5_lower_bound(system) - 1e-9
+
+    def test_theorem1_guarantee_is_dominated_by_expected_benefit(self):
+        for seed in range(5):
+            instance = random_weighted_instance(
+                20, 30, (2, 4), random.Random(seed + 50), weight_range=(1.0, 4.0)
+            )
+            system = instance.system
+            opt = solve_exact(system).weight
+            assert expected_benefit_closed_form(system) >= theorem1_guarantee(
+                system, opt
+            ) - 1e-9
+
+    def test_degenerate_systems(self):
+        empty = SetSystem(sets={})
+        assert lemma4_lower_bound(empty) == 0.0
+        assert expected_benefit_closed_form(empty) == 0.0
+
+
+class TestPairwiseAndVariance:
+    def test_intersecting_pair_never_both(self, tiny_system):
+        assert pair_survival_probability(tiny_system, "A", "B") == 0.0
+
+    def test_independent_pair_factorizes(self, disjoint_system):
+        value = pair_survival_probability(disjoint_system, "X", "Y")
+        assert value == pytest.approx(1.0)
+
+    def test_same_set(self, tiny_system):
+        assert pair_survival_probability(tiny_system, "A", "A") == pytest.approx(
+            survival_probability(tiny_system, "A")
+        )
+
+    def test_variance_upper_bound_nonnegative(self, tiny_system):
+        assert benefit_variance_upper_bound(tiny_system) >= 0.0
+
+    def test_variance_bound_dominates_monte_carlo_variance(self):
+        instance = random_weighted_instance(
+            12, 18, (2, 3), random.Random(6), weight_range=(1.0, 4.0)
+        )
+        bound = benefit_variance_upper_bound(instance.system)
+        results = simulate_many(instance, RandPrAlgorithm(), trials=3000, seed=1)
+        benefits = [result.benefit for result in results]
+        mean = sum(benefits) / len(benefits)
+        variance = sum((value - mean) ** 2 for value in benefits) / (len(benefits) - 1)
+        assert variance <= bound * 1.15 + 0.05
+
+    def test_blocks_variance_is_zero(self):
+        # Exactly one set per block always completes -> deterministic benefit.
+        instance = disjoint_blocks_instance(3, 4, 2)
+        assert benefit_variance_upper_bound(instance.system) <= 1e-9
+
+
+class TestPrediction:
+    def test_predict_bundles_everything(self, tiny_system):
+        prediction = predict_randpr(tiny_system, opt_weight=4.0)
+        assert prediction.expected_benefit == pytest.approx(
+            expected_benefit_closed_form(tiny_system)
+        )
+        assert set(prediction.survival) == set(tiny_system.set_ids)
+        assert prediction.standard_deviation_upper_bound >= 0.0
+        assert prediction.lemma4_bound <= prediction.expected_benefit + 1e-9

@@ -1,0 +1,132 @@
+"""Tests for the public API surface, the exception hierarchy and the examples."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro import exceptions
+from repro.exceptions import (
+    AlgorithmProtocolError,
+    ConstructionError,
+    InvalidInstanceError,
+    InvalidSetSystemError,
+    OspError,
+    SolverError,
+)
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exception_type",
+        [
+            InvalidSetSystemError,
+            InvalidInstanceError,
+            AlgorithmProtocolError,
+            SolverError,
+            ConstructionError,
+        ],
+    )
+    def test_all_derive_from_osp_error(self, exception_type):
+        assert issubclass(exception_type, OspError)
+        assert issubclass(exception_type, Exception)
+
+    def test_distinct_types(self):
+        types = {
+            InvalidSetSystemError,
+            InvalidInstanceError,
+            AlgorithmProtocolError,
+            SolverError,
+            ConstructionError,
+        }
+        assert len(types) == 5
+
+    def test_raising_and_catching_base(self):
+        with pytest.raises(OspError):
+            raise ConstructionError("bad parameters")
+
+    def test_module_all_is_consistent(self):
+        for name in ("OspError", "SolverError", "ConstructionError"):
+            assert hasattr(exceptions, name)
+
+
+class TestPackageSurface:
+    def test_version_string(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_core_exports_resolve(self):
+        from repro import core
+
+        for name in core.__all__:
+            assert hasattr(core, name), name
+
+    def test_algorithms_exports_resolve(self):
+        from repro import algorithms
+
+        for name in algorithms.__all__:
+            assert hasattr(algorithms, name), name
+
+    def test_workloads_exports_resolve(self):
+        from repro import workloads
+
+        for name in workloads.__all__:
+            assert hasattr(workloads, name), name
+
+    def test_experiments_exports_resolve(self):
+        from repro import experiments
+
+        for name in experiments.__all__:
+            assert hasattr(experiments, name), name
+
+    def test_lowerbounds_exports_resolve(self):
+        from repro import lowerbounds
+
+        for name in lowerbounds.__all__:
+            assert hasattr(lowerbounds, name), name
+
+    def test_network_exports_resolve(self):
+        from repro import network
+
+        for name in network.__all__:
+            assert hasattr(network, name), name
+
+    def test_distributed_exports_resolve(self):
+        from repro import distributed
+
+        for name in distributed.__all__:
+            assert hasattr(distributed, name), name
+
+    def test_offline_exports_resolve(self):
+        from repro import offline
+
+        for name in offline.__all__:
+            assert hasattr(offline, name), name
+
+    def test_algorithm_suite_matches_exported_classes(self):
+        suite = repro.default_algorithm_suite()
+        for algorithm in suite:
+            assert isinstance(algorithm, repro.OnlineAlgorithm)
+
+
+@pytest.mark.parametrize(
+    "script",
+    ["variable_capacity_router.py", "bandwidth_reservation.py"],
+)
+def test_additional_example_scripts_run(script):
+    """The extension example scripts execute end to end without errors."""
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()

@@ -1,0 +1,193 @@
+"""Tests for the greedy, static and random baseline algorithms."""
+
+import random
+
+import pytest
+
+from repro.algorithms import (
+    FirstListedAlgorithm,
+    GreedyCommittedAlgorithm,
+    GreedyProgressAlgorithm,
+    GreedyWeightAlgorithm,
+    LargestSetFirstAlgorithm,
+    SmallestSetFirstAlgorithm,
+    StaticOrderAlgorithm,
+    UniformRandomAlgorithm,
+    UnweightedPriorityAlgorithm,
+    default_algorithm_suite,
+)
+from repro.core import OnlineInstance, SetSystem, simulate
+from repro.workloads import random_online_instance
+
+
+def _two_set_instance(weights=(1.0, 5.0)):
+    system = SetSystem(
+        sets={"light": ["u", "a"], "heavy": ["u", "b"]},
+        weights={"light": weights[0], "heavy": weights[1]},
+    )
+    return OnlineInstance(system, ["u", "a", "b"])
+
+
+class TestGreedyWeight:
+    def test_prefers_heavier_set(self):
+        result = simulate(_two_set_instance(), GreedyWeightAlgorithm())
+        assert result.completed_sets == frozenset({"heavy"})
+
+    def test_never_prefers_dead_set(self):
+        # Element order: first "a" (only light), then "u" (both).  Light is
+        # still alive when u arrives but heavy is heavier; afterwards "b"
+        # completes heavy.
+        system = SetSystem(
+            sets={"light": ["a", "u"], "heavy": ["u", "b"]},
+            weights={"light": 1.0, "heavy": 5.0},
+        )
+        instance = OnlineInstance(system, ["a", "u", "b"])
+        result = simulate(instance, GreedyWeightAlgorithm())
+        assert result.completed_sets == frozenset({"heavy"})
+
+    def test_dead_sets_deprioritized(self):
+        # heavy loses an element early; later the algorithm must not waste the
+        # shared element on the dead heavy set.
+        system = SetSystem(
+            sets={"heavy": ["x", "u"], "other": ["x", "y"], "light": ["u", "z"]},
+            weights={"heavy": 10.0, "other": 9.0, "light": 1.0},
+        )
+        instance = OnlineInstance(system, ["x", "u", "y", "z"])
+        result = simulate(instance, GreedyWeightAlgorithm())
+        # At "x": heavy wins (other dies).  At "u": heavy vs light, heavy wins.
+        # light dies.  Result: heavy completes.
+        assert "heavy" in result.completed_sets
+
+    def test_is_deterministic(self):
+        assert GreedyWeightAlgorithm().is_deterministic
+
+
+class TestGreedyProgress:
+    def test_prefers_nearly_complete_set(self):
+        # When they clash on "u", big still has 2 elements to go (x has not
+        # arrived yet) while small has only 1 remaining, so small wins.
+        system = SetSystem(
+            sets={"big": ["a", "b", "x", "u"], "small": ["c", "u"]},
+        )
+        instance = OnlineInstance(system, ["a", "b", "c", "u", "x"])
+        result = simulate(instance, GreedyProgressAlgorithm())
+        assert "small" in result.completed_sets
+        assert "big" not in result.completed_sets
+
+    def test_completes_disjoint_sets(self, disjoint_system):
+        result = simulate(OnlineInstance(disjoint_system), GreedyProgressAlgorithm())
+        assert result.num_completed == 2
+
+
+class TestGreedyCommitted:
+    def test_sticks_with_served_set(self):
+        # After serving "a" to started, the algorithm prefers started over the
+        # fresh equally-weighted competitor when they clash on "u".
+        system = SetSystem(
+            sets={"started": ["a", "u"], "fresh": ["u", "b"]},
+        )
+        instance = OnlineInstance(system, ["a", "u", "b"])
+        result = simulate(instance, GreedyCommittedAlgorithm())
+        assert "started" in result.completed_sets
+
+    def test_weight_breaks_commitment_ties(self):
+        result = simulate(_two_set_instance(), GreedyCommittedAlgorithm())
+        assert result.completed_sets == frozenset({"heavy"})
+
+
+class TestStaticBaselines:
+    def test_first_listed_takes_prefix(self, tiny_instance):
+        result = simulate(tiny_instance, FirstListedAlgorithm(), record_steps=True)
+        for step in result.steps:
+            assert step.assigned == frozenset(step.parents[: step.capacity])
+
+    def test_static_order_deterministic_across_runs(self, tiny_instance):
+        a = simulate(tiny_instance, StaticOrderAlgorithm())
+        b = simulate(tiny_instance, StaticOrderAlgorithm())
+        assert a.completed_sets == b.completed_sets
+
+    def test_static_order_salt_changes_decisions(self):
+        instance = random_online_instance(20, 30, (2, 3), random.Random(0))
+        outcomes = {
+            simulate(instance, StaticOrderAlgorithm(salt=f"salt{i}")).completed_sets
+            for i in range(8)
+        }
+        assert len(outcomes) > 1
+
+    def test_largest_set_first_prefers_larger(self):
+        system = SetSystem(sets={"big": ["u", "a", "b"], "small": ["u", "c"]})
+        instance = OnlineInstance(system, ["u", "a", "b", "c"])
+        result = simulate(instance, LargestSetFirstAlgorithm(), record_steps=True)
+        assert result.steps[0].assigned == frozenset({"big"})
+
+    def test_smallest_set_first_prefers_smaller(self):
+        system = SetSystem(sets={"big": ["u", "a", "b"], "small": ["u", "c"]})
+        instance = OnlineInstance(system, ["u", "a", "b", "c"])
+        result = simulate(instance, SmallestSetFirstAlgorithm(), record_steps=True)
+        assert result.steps[0].assigned == frozenset({"small"})
+
+    def test_all_static_baselines_are_deterministic(self):
+        for algorithm in (
+            FirstListedAlgorithm(),
+            StaticOrderAlgorithm(),
+            LargestSetFirstAlgorithm(),
+            SmallestSetFirstAlgorithm(),
+        ):
+            assert algorithm.is_deterministic
+
+
+class TestRandomBaselines:
+    def test_uniform_random_respects_capacity(self, tiny_instance):
+        result = simulate(
+            tiny_instance, UniformRandomAlgorithm(), rng=random.Random(0), record_steps=True
+        )
+        for step in result.steps:
+            assert len(step.assigned) <= step.capacity
+
+    def test_uniform_random_varies_with_seed(self):
+        instance = random_online_instance(20, 30, (2, 3), random.Random(1))
+        outcomes = {
+            simulate(instance, UniformRandomAlgorithm(), rng=random.Random(seed)).completed_sets
+            for seed in range(10)
+        }
+        assert len(outcomes) > 1
+
+    def test_unweighted_priority_consistent_within_run(self, tiny_instance):
+        algorithm = UnweightedPriorityAlgorithm()
+        result = simulate(tiny_instance, algorithm, rng=random.Random(4), record_steps=True)
+        # Within a run, the same set always beats the same competitor.
+        winners = {}
+        for step in result.steps:
+            for parent in step.parents:
+                if parent in step.assigned:
+                    winners.setdefault(frozenset(step.parents), set()).add(parent)
+        for group, winner_set in winners.items():
+            assert len(winner_set) <= 1 or len(group) > 2
+
+    def test_unweighted_priority_ignores_weights(self):
+        # On a two-set clash with very different weights, uniform priorities
+        # pick each set about half the time (unlike randPr's 5/6 vs 1/6).
+        wins = 0
+        trials = 2000
+        for seed in range(trials):
+            result = simulate(
+                _two_set_instance(weights=(1.0, 5.0)),
+                UnweightedPriorityAlgorithm(),
+                rng=random.Random(seed),
+            )
+            if "heavy" in result.completed_sets:
+                wins += 1
+        assert wins / trials == pytest.approx(0.5, abs=0.05)
+
+
+class TestDefaultSuite:
+    def test_suite_is_nonempty_and_runnable(self, tiny_instance):
+        suite = default_algorithm_suite()
+        assert len(suite) >= 5
+        for algorithm in suite:
+            result = simulate(tiny_instance, algorithm, rng=random.Random(0))
+            assert result.benefit >= 0.0
+
+    def test_suite_names_unique(self):
+        names = [algorithm.name for algorithm in default_algorithm_suite()]
+        assert len(names) == len(set(names))

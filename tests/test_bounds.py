@@ -1,0 +1,180 @@
+"""Unit tests for the closed-form bounds of repro.core.bounds."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.bounds import (
+    best_upper_bound,
+    bound_report,
+    corollary6_upper_bound,
+    corollary7_upper_bound,
+    theorem1_upper_bound,
+    theorem2_lower_bound,
+    theorem3_lower_bound,
+    theorem4_upper_bound,
+    theorem5_upper_bound,
+    theorem6_upper_bound,
+    trivial_upper_bound,
+)
+from repro.core.set_system import SetSystem
+from repro.core.statistics import compute_statistics
+from repro.workloads import (
+    random_online_instance,
+    uniform_both_instance,
+    uniform_load_instance,
+    uniform_set_size_instance,
+)
+
+
+class TestUpperBounds:
+    def test_theorem1_value_on_tiny(self, tiny_system):
+        stats = compute_statistics(tiny_system)
+        expected = stats.k_max * math.sqrt(
+            stats.sigma_weighted_product_mean / stats.weighted_load_mean
+        )
+        assert theorem1_upper_bound(tiny_system) == pytest.approx(expected)
+
+    def test_corollary6_value_on_tiny(self, tiny_system):
+        assert corollary6_upper_bound(tiny_system) == pytest.approx(4 * math.sqrt(2))
+
+    def test_theorem1_never_exceeds_corollary6(self):
+        for seed in range(10):
+            instance = random_online_instance(
+                30, 50, (2, 5), random.Random(seed), weight_range=(1.0, 5.0)
+            )
+            stats = compute_statistics(instance.system)
+            assert theorem1_upper_bound(stats) <= corollary6_upper_bound(stats) + 1e-9
+
+    def test_corollary6_never_exceeds_trivial(self):
+        for seed in range(10):
+            instance = random_online_instance(30, 50, (2, 5), random.Random(seed))
+            stats = compute_statistics(instance.system)
+            assert corollary6_upper_bound(stats) <= trivial_upper_bound(stats) + 1e-9
+
+    def test_bounds_accept_both_system_and_stats(self, tiny_system):
+        stats = compute_statistics(tiny_system)
+        assert theorem1_upper_bound(tiny_system) == theorem1_upper_bound(stats)
+
+    def test_empty_system_bounds_are_one(self):
+        empty = SetSystem(sets={})
+        assert theorem1_upper_bound(empty) == 1.0
+        assert corollary6_upper_bound(empty) == 1.0
+        assert trivial_upper_bound(empty) == 1.0
+
+    def test_bounds_at_least_one(self, disjoint_system):
+        assert theorem1_upper_bound(disjoint_system) >= 1.0
+        assert corollary6_upper_bound(disjoint_system) >= 1.0
+
+
+class TestTheorem4:
+    def test_reduces_toward_theorem1_shape(self, tiny_system):
+        # On unit-capacity instances the adjusted load equals the load, so the
+        # Theorem 4 expression is exactly 16e times the Theorem 1 expression.
+        value = theorem4_upper_bound(tiny_system)
+        assert value == pytest.approx(16 * math.e * theorem1_upper_bound(tiny_system))
+
+    def test_capacity_lowers_the_bound(self):
+        base = SetSystem(sets={"S": ["u"], "T": ["u"], "R": ["u"]})
+        relaxed = SetSystem(
+            sets={"S": ["u"], "T": ["u"], "R": ["u"]}, capacities={"u": 3}
+        )
+        assert theorem4_upper_bound(relaxed) < theorem4_upper_bound(base)
+
+
+class TestSpecializedBounds:
+    def test_theorem5_requires_uniform_size(self, tiny_system):
+        with pytest.raises(ValueError):
+            theorem5_upper_bound(tiny_system)
+
+    def test_theorem5_on_uniform_size(self, rng):
+        instance = uniform_set_size_instance(20, 40, 3, rng)
+        stats = compute_statistics(instance.system)
+        value = theorem5_upper_bound(stats)
+        expected = stats.k_max * stats.sigma_second_moment / stats.sigma_mean ** 2
+        assert value == pytest.approx(max(expected, 1.0))
+
+    def test_corollary7_requires_both_uniform(self, star_system):
+        with pytest.raises(ValueError):
+            corollary7_upper_bound(star_system)
+
+    def test_corollary7_equals_k(self, rng):
+        instance = uniform_both_instance(12, 3, 4, rng)
+        assert corollary7_upper_bound(instance.system) == pytest.approx(3.0)
+
+    def test_theorem6_requires_uniform_load(self, star_system):
+        with pytest.raises(ValueError):
+            theorem6_upper_bound(star_system)
+
+    def test_theorem6_on_uniform_load(self, rng):
+        instance = uniform_load_instance(15, 30, 3, rng)
+        stats = compute_statistics(instance.system)
+        expected = stats.k_mean * math.sqrt(stats.sigma_mean)
+        assert theorem6_upper_bound(stats) == pytest.approx(max(expected, 1.0))
+
+    def test_theorem5_consistent_with_corollary7(self, rng):
+        # When both uniformities hold, Theorem 5 degenerates to k.
+        instance = uniform_both_instance(12, 3, 4, rng)
+        stats = compute_statistics(instance.system)
+        assert theorem5_upper_bound(stats) == pytest.approx(
+            corollary7_upper_bound(stats)
+        )
+
+
+class TestLowerBounds:
+    def test_theorem3_formula(self):
+        assert theorem3_lower_bound(3, 4) == 27.0
+        assert theorem3_lower_bound(2, 1) == 1.0
+        assert theorem3_lower_bound(0, 5) == 1.0
+
+    def test_theorem2_grows_with_k_and_sigma(self):
+        small = theorem2_lower_bound(16, 16)
+        large = theorem2_lower_bound(256, 256)
+        assert large > small
+
+    def test_theorem2_small_k_degenerates_to_one(self):
+        assert theorem2_lower_bound(2, 100) == 1.0
+
+    def test_theorem2_below_corollary6_shape(self):
+        # The lower bound expression never exceeds kmax*sqrt(sigma_max).
+        for k in (16, 64, 256, 1024):
+            assert theorem2_lower_bound(k, k) <= k * math.sqrt(k) + 1e-9
+
+
+class TestBestBoundAndReport:
+    def test_best_bound_is_minimum_applicable(self, rng):
+        instance = uniform_both_instance(12, 3, 4, rng)
+        stats = compute_statistics(instance.system)
+        assert best_upper_bound(stats) <= corollary7_upper_bound(stats) + 1e-9
+        assert best_upper_bound(stats) <= corollary6_upper_bound(stats) + 1e-9
+
+    def test_best_bound_without_uniformity(self, tiny_system):
+        value = best_upper_bound(tiny_system)
+        assert value == pytest.approx(theorem1_upper_bound(tiny_system))
+
+    def test_report_marks_inapplicable_as_nan(self, tiny_system):
+        report = bound_report(tiny_system)
+        assert math.isnan(report.theorem5)
+        assert math.isnan(report.corollary7)
+        assert math.isnan(report.theorem6)
+        assert not math.isnan(report.theorem1)
+
+    def test_report_as_dict(self, tiny_system):
+        payload = bound_report(tiny_system).as_dict()
+        assert set(payload) == {
+            "theorem1",
+            "corollary6",
+            "trivial",
+            "theorem4",
+            "theorem5",
+            "corollary7",
+            "theorem6",
+            "best",
+        }
+
+    def test_report_on_fully_uniform_instance(self, rng):
+        instance = uniform_both_instance(12, 3, 4, rng)
+        report = bound_report(instance.system)
+        assert not math.isnan(report.corollary7)
+        assert report.best <= report.corollary7 + 1e-9

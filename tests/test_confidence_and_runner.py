@@ -1,0 +1,111 @@
+"""Tests for bootstrap confidence intervals and the CLI self-check runner."""
+
+import random
+import subprocess
+import sys
+
+import pytest
+
+from repro.algorithms import GreedyWeightAlgorithm, RandPrAlgorithm
+from repro.core.bounds import corollary6_upper_bound
+from repro.exceptions import OspError
+from repro.experiments.confidence import (
+    ConfidenceInterval,
+    bootstrap_mean_interval,
+    measure_ratio_with_confidence,
+)
+from repro.experiments.runner import main, self_check
+from repro.workloads import random_online_instance
+
+
+class TestBootstrap:
+    def test_interval_contains_point(self):
+        interval = bootstrap_mean_interval([1.0, 2.0, 3.0, 4.0], seed=0)
+        assert interval.low <= interval.point <= interval.high
+        assert interval.contains(interval.point)
+
+    def test_single_sample_degenerates(self):
+        interval = bootstrap_mean_interval([5.0])
+        assert interval.low == interval.high == interval.point == 5.0
+        assert interval.width == 0.0
+
+    def test_tighter_with_more_samples(self):
+        rng = random.Random(0)
+        small = bootstrap_mean_interval([rng.gauss(10, 2) for _ in range(10)], seed=1)
+        large = bootstrap_mean_interval([rng.gauss(10, 2) for _ in range(400)], seed=1)
+        assert large.width < small.width
+
+    def test_reproducible_with_seed(self):
+        samples = [1.0, 5.0, 2.0, 8.0, 3.0]
+        first = bootstrap_mean_interval(samples, seed=7)
+        second = bootstrap_mean_interval(samples, seed=7)
+        assert (first.low, first.high) == (second.low, second.high)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(OspError):
+            bootstrap_mean_interval([])
+        with pytest.raises(OspError):
+            bootstrap_mean_interval([1.0], level=1.5)
+        with pytest.raises(OspError):
+            bootstrap_mean_interval([1.0], resamples=2)
+
+    def test_coverage_on_known_mean(self):
+        # For a symmetric sample, the interval should usually cover the mean.
+        rng = random.Random(3)
+        covered = 0
+        for trial in range(30):
+            samples = [rng.gauss(5.0, 1.0) for _ in range(50)]
+            interval = bootstrap_mean_interval(samples, level=0.95, seed=trial)
+            if interval.contains(5.0):
+                covered += 1
+        assert covered >= 24
+
+
+class TestMeasureWithConfidence:
+    def test_interval_orientation(self):
+        instance = random_online_instance(20, 30, (2, 3), random.Random(5))
+        measurement = measure_ratio_with_confidence(
+            instance, RandPrAlgorithm(), trials=30, seed=2
+        )
+        assert measurement.ratio.low <= measurement.ratio.point <= measurement.ratio.high
+        assert measurement.benefit.low <= measurement.benefit.point <= measurement.benefit.high
+
+    def test_deterministic_algorithm_zero_width(self):
+        instance = random_online_instance(20, 30, (2, 3), random.Random(6))
+        measurement = measure_ratio_with_confidence(
+            instance, GreedyWeightAlgorithm(), trials=30
+        )
+        assert measurement.ratio.width == pytest.approx(0.0)
+
+    def test_respects_bound_helper(self):
+        instance = random_online_instance(20, 30, (2, 3), random.Random(7))
+        measurement = measure_ratio_with_confidence(
+            instance, RandPrAlgorithm(), trials=40, seed=3
+        )
+        bound = corollary6_upper_bound(instance.system)
+        assert measurement.respects_bound(bound)
+        assert not measurement.respects_bound(0.5)
+
+
+class TestRunner:
+    def test_self_check_all_claims_hold(self):
+        rows = self_check(seed=0, trials=25)
+        assert len(rows) == 5
+        for row in rows:
+            assert row["holds"], row
+
+    def test_main_returns_zero(self, capsys):
+        exit_code = main(["--seed", "1", "--trials", "20"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "ALL CLAIMS HOLD" in captured.out
+
+    def test_module_invocation(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.experiments.runner", "--trials", "15"],
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "self-check" in result.stdout

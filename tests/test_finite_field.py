@@ -1,0 +1,142 @@
+"""Tests for the finite-field substrate of the gadget constructions."""
+
+import pytest
+
+from repro.exceptions import ConstructionError
+from repro.lowerbounds.finite_field import (
+    FiniteField,
+    factor_prime_power,
+    is_prime,
+    is_prime_power,
+)
+
+
+class TestPrimality:
+    def test_small_primes(self):
+        assert [n for n in range(2, 30) if is_prime(n)] == [
+            2, 3, 5, 7, 11, 13, 17, 19, 23, 29,
+        ]
+
+    def test_non_primes(self):
+        for n in (0, 1, 4, 9, 15, 21, 25, 27, 100):
+            assert not is_prime(n)
+
+    def test_prime_powers(self):
+        assert factor_prime_power(2) == (2, 1)
+        assert factor_prime_power(4) == (2, 2)
+        assert factor_prime_power(8) == (2, 3)
+        assert factor_prime_power(9) == (3, 2)
+        assert factor_prime_power(27) == (3, 3)
+        assert factor_prime_power(25) == (5, 2)
+
+    def test_non_prime_powers_rejected(self):
+        for n in (1, 6, 12, 15, 100):
+            assert not is_prime_power(n)
+            with pytest.raises(ConstructionError):
+                factor_prime_power(n)
+
+    def test_is_prime_power_true_cases(self):
+        for n in (2, 3, 4, 5, 7, 8, 9, 16, 25, 27, 49, 64, 81):
+            assert is_prime_power(n)
+
+
+class TestPrimeFields:
+    @pytest.mark.parametrize("p", [2, 3, 5, 7, 11])
+    def test_field_axioms(self, p):
+        field = FiniteField(p)
+        elements = field.elements()
+        assert len(elements) == p
+        for a in elements:
+            assert field.add(a, 0) == a
+            assert field.mul(a, 1) == a
+            assert field.add(a, field.neg(a)) == 0
+            if a != 0:
+                assert field.mul(a, field.inverse(a)) == 1
+
+    def test_arithmetic_matches_modular(self):
+        field = FiniteField(7)
+        for a in range(7):
+            for b in range(7):
+                assert field.add(a, b) == (a + b) % 7
+                assert field.mul(a, b) == (a * b) % 7
+                assert field.sub(a, b) == (a - b) % 7
+
+    def test_zero_has_no_inverse(self):
+        with pytest.raises(ConstructionError):
+            FiniteField(5).inverse(0)
+
+    def test_div_and_pow(self):
+        field = FiniteField(7)
+        assert field.div(6, 3) == 2
+        assert field.pow(3, 0) == 1
+        assert field.pow(3, 6) == 1  # Fermat
+        with pytest.raises(ConstructionError):
+            field.pow(3, -1)
+
+
+class TestExtensionFields:
+    @pytest.mark.parametrize("order", [4, 8, 9, 16, 25, 27])
+    def test_field_axioms(self, order):
+        field = FiniteField(order)
+        elements = field.elements()
+        assert len(elements) == order
+        for a in elements:
+            assert field.add(a, 0) == a
+            assert field.mul(a, 1) == a
+            assert field.add(a, field.neg(a)) == 0
+            if a != 0:
+                assert field.mul(a, field.inverse(a)) == 1
+
+    @pytest.mark.parametrize("order", [4, 9, 8])
+    def test_commutativity_and_associativity(self, order):
+        field = FiniteField(order)
+        elements = field.elements()
+        for a in elements:
+            for b in elements:
+                assert field.add(a, b) == field.add(b, a)
+                assert field.mul(a, b) == field.mul(b, a)
+        # Spot-check associativity and distributivity on all triples (small).
+        for a in elements:
+            for b in elements:
+                for c in elements:
+                    assert field.mul(a, field.mul(b, c)) == field.mul(field.mul(a, b), c)
+                    assert field.mul(a, field.add(b, c)) == field.add(
+                        field.mul(a, b), field.mul(a, c)
+                    )
+
+    def test_multiplicative_group_order(self):
+        field = FiniteField(9)
+        # Every non-zero element to the power q-1 is 1.
+        for a in range(1, 9):
+            assert field.pow(a, 8) == 1
+
+    def test_nonzero_products_nonzero(self):
+        field = FiniteField(16)
+        for a in range(1, 16):
+            for b in range(1, 16):
+                assert field.mul(a, b) != 0
+
+    def test_characteristic_and_degree(self):
+        field = FiniteField(27)
+        assert field.characteristic == 3
+        assert field.degree == 3
+        assert field.order == 27
+
+    def test_prime_subfield_embedding(self):
+        # Indices 0..p-1 behave like GF(p) under addition.
+        field = FiniteField(9)
+        for a in range(3):
+            for b in range(3):
+                assert field.add(a, b) == (a + b) % 3
+
+    def test_out_of_range_index_rejected(self):
+        field = FiniteField(4)
+        with pytest.raises(ConstructionError):
+            field.mul(4, 1)
+
+    def test_non_prime_power_order_rejected(self):
+        with pytest.raises(ConstructionError):
+            FiniteField(6)
+
+    def test_repr(self):
+        assert "order=8" in repr(FiniteField(8))

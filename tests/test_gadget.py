@@ -1,0 +1,165 @@
+"""Tests for the (M, N)-gadget: Propositions 1 and 2 and Lemma 8."""
+
+import itertools
+
+import pytest
+
+from repro.core.instance import InstanceBuilder
+from repro.exceptions import ConstructionError
+from repro.lowerbounds.gadget import Gadget, apply_gadget
+
+
+def _placement(gadget, prefix="S"):
+    return {
+        (row, column): f"{prefix}{row}_{column}"
+        for row, column in gadget.items()
+    }
+
+
+class TestGadgetStructure:
+    @pytest.mark.parametrize("m,n", [(2, 2), (2, 3), (3, 3), (3, 4), (4, 4), (2, 4), (5, 5)])
+    def test_line_counts(self, m, n):
+        gadget = Gadget(m, n)
+        slope_lines = list(gadget.slope_lines())
+        row_lines = list(gadget.row_lines())
+        assert len(slope_lines) == n * n
+        assert len(row_lines) == m
+        for _, _, items in slope_lines:
+            assert len(items) == m
+        for _, items in row_lines:
+            assert len(items) == n
+
+    @pytest.mark.parametrize("m,n", [(2, 2), (3, 3), (3, 4), (4, 4)])
+    def test_proposition1_distinct_rows(self, m, n):
+        """Two items in different rows share exactly one slope line."""
+        gadget = Gadget(m, n)
+        items = gadget.items()
+        for first, second in itertools.combinations(items, 2):
+            if first[0] == second[0]:
+                continue
+            common = gadget.common_slope_lines(first, second)
+            assert len(common) == 1
+
+    @pytest.mark.parametrize("m,n", [(2, 2), (3, 3), (3, 4)])
+    def test_proposition1_same_row(self, m, n):
+        """Two items in the same row share no slope line but one row line."""
+        gadget = Gadget(m, n)
+        for first, second in itertools.combinations(gadget.items(), 2):
+            if first[0] != second[0]:
+                continue
+            assert gadget.common_slope_lines(first, second) == []
+
+    @pytest.mark.parametrize("m,n", [(2, 2), (3, 3), (4, 4), (3, 9)])
+    def test_proposition2_lines_through_item(self, m, n):
+        """Every item lies on exactly one line per slope, plus one row line."""
+        gadget = Gadget(m, n)
+        for item in gadget.items():
+            lines = gadget.lines_through(item)
+            assert len(lines) == n + 1
+            for line in lines:
+                assert item in line
+
+    def test_items_count(self):
+        gadget = Gadget(3, 4)
+        assert gadget.num_items == 12
+        assert len(gadget.items()) == 12
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConstructionError):
+            Gadget(5, 4)  # M > N
+        with pytest.raises(ConstructionError):
+            Gadget(2, 6)  # N not a prime power
+        with pytest.raises(ConstructionError):
+            Gadget(0, 4)
+
+    def test_line_parameter_validation(self):
+        gadget = Gadget(2, 3)
+        with pytest.raises(ConstructionError):
+            gadget.slope_line(3, 0)
+        with pytest.raises(ConstructionError):
+            gadget.row_line(2)
+
+
+class TestApplyGadget:
+    def test_lemma8_full_application(self):
+        gadget = Gadget(3, 3)
+        builder = InstanceBuilder()
+        placement = _placement(gadget)
+        summary = apply_gadget(builder, gadget, placement, include_rows=True)
+        instance = builder.build()
+        system = instance.system
+
+        # N^2 elements of load M plus M elements of load N.
+        assert summary["slope_elements"] == 9
+        assert summary["row_elements"] == 3
+        loads = sorted(system.load(e) for e in system.element_ids)
+        assert loads.count(3) == 12  # here M == N == 3, so all loads are 3
+
+        # Each set contains exactly N + 1 elements.
+        for set_id in system.set_ids:
+            assert system.size(set_id) == 4
+
+        # Any two sets intersect -> any feasible solution has size <= 1.
+        for first, second in itertools.combinations(system.set_ids, 2):
+            assert not system.are_disjoint(first, second)
+
+    def test_lemma8_without_rows(self):
+        gadget = Gadget(2, 4)
+        builder = InstanceBuilder()
+        summary = apply_gadget(
+            builder, gadget, _placement(gadget), include_rows=False
+        )
+        instance = builder.build()
+        system = instance.system
+        assert summary["row_elements"] == 0
+        assert summary["slope_elements"] == 16
+        # Without rows, every set has exactly N elements.
+        for set_id in system.set_ids:
+            assert system.size(set_id) == 4
+        # Sets in the same row are disjoint; sets in different rows intersect.
+        for (r1, c1), (r2, c2) in itertools.combinations(gadget.items(), 2):
+            first, second = f"S{r1}_{c1}", f"S{r2}_{c2}"
+            if r1 == r2:
+                assert system.are_disjoint(first, second)
+            else:
+                assert not system.are_disjoint(first, second)
+
+    def test_mixed_m_n_loads(self):
+        gadget = Gadget(2, 3)
+        builder = InstanceBuilder()
+        apply_gadget(builder, gadget, _placement(gadget), include_rows=True)
+        system = builder.build().system
+        slope_loads = [system.load(e) for e in system.element_ids if "Linf" not in str(e)]
+        row_loads = [system.load(e) for e in system.element_ids if "Linf" in str(e)]
+        assert all(load == 2 for load in slope_loads)
+        assert all(load == 3 for load in row_loads)
+
+    def test_rejects_partial_placement(self):
+        gadget = Gadget(2, 2)
+        builder = InstanceBuilder()
+        placement = _placement(gadget)
+        placement.pop((0, 0))
+        with pytest.raises(ConstructionError):
+            apply_gadget(builder, gadget, placement)
+
+    def test_rejects_duplicate_sets(self):
+        gadget = Gadget(2, 2)
+        builder = InstanceBuilder()
+        placement = {item: "same" for item in gadget.items()}
+        with pytest.raises(ConstructionError):
+            apply_gadget(builder, gadget, placement)
+
+    def test_capacity_passed_through(self):
+        gadget = Gadget(2, 2)
+        builder = InstanceBuilder()
+        apply_gadget(builder, gadget, _placement(gadget), capacity=2)
+        system = builder.build().system
+        assert all(system.capacity(e) == 2 for e in system.element_ids)
+
+    def test_element_prefix_distinguishes_applications(self):
+        gadget = Gadget(2, 2)
+        builder = InstanceBuilder()
+        apply_gadget(builder, gadget, _placement(gadget, "A"), element_prefix="first")
+        apply_gadget(builder, gadget, _placement(gadget, "B"), element_prefix="second")
+        system = builder.build().system
+        assert system.num_elements == 2 * (4 + 2)

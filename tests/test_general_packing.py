@@ -1,0 +1,268 @@
+"""Tests for the general packing extension (open problem 1)."""
+
+import random
+
+import pytest
+
+from repro.algorithms.general import (
+    GeneralDensityAlgorithm,
+    GeneralGreedyWeightAlgorithm,
+    GeneralRandPrAlgorithm,
+)
+from repro.core import simulate
+from repro.core.general_packing import (
+    GeneralArrival,
+    GeneralPackingBuilder,
+    GeneralPackingInstance,
+    osp_instance_to_general,
+    simulate_general,
+    solve_general_exact,
+)
+from repro.algorithms import RandPrAlgorithm
+from repro.exceptions import (
+    AlgorithmProtocolError,
+    InvalidInstanceError,
+    InvalidSetSystemError,
+)
+from repro.workloads import random_online_instance
+from repro.workloads.general import (
+    bandwidth_reservation_instance,
+    random_general_packing_instance,
+)
+
+
+class TestGeneralArrival:
+    def test_parents_and_demands(self):
+        arrival = GeneralArrival("r", capacity=5, demands={"A": 2, "B": 3})
+        assert arrival.parents == ("'A'", "'B'") or set(arrival.parents) == {"A", "B"}
+        assert arrival.demand_of("A") == 2
+        assert arrival.demand_of("missing") == 0
+
+    def test_invalid_demand_rejected(self):
+        with pytest.raises(InvalidSetSystemError):
+            GeneralArrival("r", capacity=2, demands={"A": 0})
+        with pytest.raises(InvalidSetSystemError):
+            GeneralArrival("r", capacity=2, demands={"A": 1.5})
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(InvalidSetSystemError):
+            GeneralArrival("r", capacity=-1, demands={"A": 1})
+
+
+class TestInstanceAndBuilder:
+    def _small_instance(self):
+        builder = GeneralPackingBuilder(name="demo")
+        builder.declare_set("A", 3.0)
+        builder.declare_set("B", 2.0)
+        builder.add_resource({"A": 2, "B": 1}, capacity=3, element_id="r0")
+        builder.add_resource({"A": 1}, capacity=1, element_id="r1")
+        builder.add_resource({"B": 2}, capacity=2, element_id="r2")
+        return builder.build()
+
+    def test_counts_and_weights(self):
+        instance = self._small_instance()
+        assert instance.num_sets == 2
+        assert instance.num_resources == 3
+        assert instance.weight("A") == 3.0
+        assert instance.total_weight() == 5.0
+
+    def test_demand_profile(self):
+        instance = self._small_instance()
+        assert instance.demand_profile("A") == {"r0": 2, "r1": 1}
+        assert instance.resources_of("B") == ("r0", "r2")
+
+    def test_set_infos_sizes(self):
+        instance = self._small_instance()
+        infos = instance.set_infos()
+        assert infos["A"].size == 2
+        assert infos["B"].size == 2
+
+    def test_feasibility(self):
+        instance = self._small_instance()
+        assert instance.is_feasible(["A", "B"])  # combined demand on r0 is 3 <= 3
+        assert not instance.is_feasible(["A", "A"])
+
+    def test_infeasibility_detected(self):
+        builder = GeneralPackingBuilder()
+        builder.add_resource({"A": 2, "B": 2}, capacity=3, element_id="r")
+        instance = builder.build()
+        assert not instance.is_feasible(["A", "B"])
+
+    def test_duplicate_resource_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            GeneralPackingInstance(
+                {"A": 1.0},
+                [
+                    GeneralArrival("r", capacity=1, demands={"A": 1}),
+                    GeneralArrival("r", capacity=1, demands={"A": 1}),
+                ],
+            )
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(InvalidSetSystemError):
+            GeneralPackingInstance({"A": -1.0}, [])
+
+    def test_undeclared_sets_default_weight_one(self):
+        builder = GeneralPackingBuilder()
+        builder.add_resource({"X": 1}, capacity=1)
+        assert builder.build().weight("X") == 1.0
+
+
+class TestSimulateGeneral:
+    def test_randpr_respects_capacity(self):
+        instance = random_general_packing_instance(
+            20, 15, (2, 3), (1, 3), (2, 4), random.Random(0)
+        )
+        result = simulate_general(instance, GeneralRandPrAlgorithm(), rng=random.Random(1))
+        assert instance.is_feasible(result.completed_sets)
+        assert result.benefit == sum(
+            instance.weight(s) for s in result.completed_sets
+        )
+
+    def test_greedy_and_density_feasible(self):
+        instance = random_general_packing_instance(
+            25, 15, (2, 3), (1, 3), (2, 5), random.Random(2), weight_range=(1.0, 5.0)
+        )
+        for algorithm in (GeneralGreedyWeightAlgorithm(), GeneralDensityAlgorithm()):
+            result = simulate_general(instance, algorithm, rng=random.Random(0))
+            assert instance.is_feasible(result.completed_sets)
+
+    def test_benefit_bounded_by_exact_optimum(self):
+        for seed in range(4):
+            instance = random_general_packing_instance(
+                15, 10, (2, 3), (1, 2), (2, 4), random.Random(seed)
+            )
+            _, opt = solve_general_exact(instance)
+            for algorithm in (
+                GeneralRandPrAlgorithm(),
+                GeneralGreedyWeightAlgorithm(),
+                GeneralDensityAlgorithm(),
+            ):
+                result = simulate_general(instance, algorithm, rng=random.Random(seed))
+                assert result.benefit <= opt + 1e-9
+
+    def test_protocol_violation_detected(self):
+        class Cheater(GeneralRandPrAlgorithm):
+            name = "cheater"
+
+            def decide(self, arrival):
+                return frozenset(arrival.parents)  # may exceed capacity
+
+        builder = GeneralPackingBuilder()
+        builder.add_resource({"A": 2, "B": 2}, capacity=3, element_id="r")
+        builder.add_resource({"A": 1}, capacity=1, element_id="r2")
+        builder.add_resource({"B": 1}, capacity=1, element_id="r3")
+        instance = builder.build()
+        with pytest.raises(AlgorithmProtocolError):
+            simulate_general(instance, Cheater(), rng=random.Random(0))
+
+    def test_single_winner_when_demands_exclusive(self):
+        builder = GeneralPackingBuilder()
+        builder.declare_set("A", 1.0)
+        builder.declare_set("B", 1.0)
+        builder.add_resource({"A": 2, "B": 2}, capacity=2, element_id="r")
+        instance = builder.build()
+        result = simulate_general(instance, GeneralRandPrAlgorithm(), rng=random.Random(3))
+        assert result.num_completed == 1
+
+    def test_randpr_priority_order_respected(self):
+        algorithm = GeneralRandPrAlgorithm()
+        instance = random_general_packing_instance(
+            10, 8, (1, 3), (1, 2), (2, 3), random.Random(5)
+        )
+        simulate_general(instance, algorithm, rng=random.Random(6))
+        # Priorities exist for every set and lie in (0, 1].
+        for set_id in instance.set_ids:
+            assert 0.0 < algorithm.priority_of(set_id) <= 1.0
+
+
+class TestExactGeneralSolver:
+    def test_small_knapsack_like_case(self):
+        builder = GeneralPackingBuilder()
+        builder.declare_set("big", 5.0)
+        builder.declare_set("s1", 3.0)
+        builder.declare_set("s2", 3.0)
+        builder.add_resource({"big": 4, "s1": 2, "s2": 2}, capacity=4, element_id="r")
+        instance = builder.build()
+        chosen, value = solve_general_exact(instance)
+        assert value == pytest.approx(6.0)
+        assert chosen == frozenset({"s1", "s2"})
+
+    def test_exact_at_least_online(self):
+        instance = random_general_packing_instance(
+            12, 8, (1, 3), (1, 2), (2, 4), random.Random(9), weight_range=(1.0, 4.0)
+        )
+        _, opt = solve_general_exact(instance)
+        result = simulate_general(
+            instance, GeneralGreedyWeightAlgorithm(), rng=random.Random(0)
+        )
+        assert opt >= result.benefit - 1e-9
+
+    def test_solution_is_feasible(self):
+        for seed in range(3):
+            instance = random_general_packing_instance(
+                14, 10, (2, 3), (1, 3), (2, 5), random.Random(seed + 20)
+            )
+            chosen, _ = solve_general_exact(instance)
+            assert instance.is_feasible(chosen)
+
+
+class TestOspEmbedding:
+    def test_embedding_preserves_counts_and_weights(self):
+        instance = random_online_instance(15, 25, (2, 3), random.Random(11))
+        general = osp_instance_to_general(instance)
+        assert general.num_sets == instance.system.num_sets
+        assert general.num_resources == instance.system.num_elements
+        for set_id in instance.system.set_ids:
+            assert general.weight(set_id) == instance.system.weight(set_id)
+
+    def test_embedding_gives_same_randpr_distribution(self):
+        # With the same RNG seed the OSP simulation and the general simulation
+        # draw the same priorities and therefore complete the same sets.
+        instance = random_online_instance(20, 30, (2, 3), random.Random(12))
+        general = osp_instance_to_general(instance)
+        osp_result = simulate(instance, RandPrAlgorithm(), rng=random.Random(42))
+        general_result = simulate_general(
+            general, GeneralRandPrAlgorithm(), rng=random.Random(42)
+        )
+        assert {str(s) for s in osp_result.completed_sets} == set(
+            general_result.completed_sets
+        )
+
+
+class TestGeneralWorkloads:
+    def test_random_instance_parameters(self):
+        instance = random_general_packing_instance(
+            20, 12, (2, 4), (1, 3), (2, 5), random.Random(1)
+        )
+        assert instance.num_sets == 20
+        assert instance.num_resources <= 12
+        for arrival in instance.arrivals():
+            assert 2 <= arrival.capacity <= 5
+            for demand in arrival.demands.values():
+                assert 1 <= demand <= 3
+
+    def test_random_instance_invalid_parameters(self):
+        with pytest.raises(Exception):
+            random_general_packing_instance(0, 5, (1, 2), (1, 2), (1, 2), random.Random(0))
+        with pytest.raises(Exception):
+            random_general_packing_instance(5, 5, (0, 2), (1, 2), (1, 2), random.Random(0))
+        with pytest.raises(Exception):
+            random_general_packing_instance(5, 5, (1, 2), (2, 1), (1, 2), random.Random(0))
+
+    def test_bandwidth_reservation_structure(self):
+        instance = bandwidth_reservation_instance(10, 8, 3, 4, random.Random(2))
+        assert instance.num_sets == 10
+        for flow in instance.set_ids:
+            profile = instance.demand_profile(flow)
+            assert len(profile) == 3
+            assert len(set(profile.values())) == 1  # same bandwidth on every link
+
+    def test_bandwidth_reservation_completed_flows_fit(self):
+        instance = bandwidth_reservation_instance(14, 10, 4, 5, random.Random(3))
+        result = simulate_general(instance, GeneralRandPrAlgorithm(), rng=random.Random(0))
+        assert instance.is_feasible(result.completed_sets)
+
+    def test_bandwidth_reservation_invalid(self):
+        with pytest.raises(Exception):
+            bandwidth_reservation_instance(5, 4, 6, 2, random.Random(0))

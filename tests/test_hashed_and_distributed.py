@@ -1,0 +1,219 @@
+"""Tests for the hash-based randPr variant and the distributed substrate."""
+
+import random
+
+import pytest
+
+from repro.algorithms import HashedRandPrAlgorithm, RandPrAlgorithm
+from repro.core import OnlineInstance, SetSystem, simulate
+from repro.core.instance import ElementArrival
+from repro.distributed import (
+    DistributedCoordinator,
+    PolynomialHashFamily,
+    ServerNode,
+    UniversalHashFamily,
+    fold_key,
+    round_robin_placement,
+)
+from repro.exceptions import OspError
+from repro.workloads import random_online_instance
+
+
+class TestHashedRandPr:
+    def test_fixed_salt_is_deterministic(self, tiny_instance):
+        a = simulate(tiny_instance, HashedRandPrAlgorithm(salt="s"), rng=random.Random(0))
+        b = simulate(tiny_instance, HashedRandPrAlgorithm(salt="s"), rng=random.Random(99))
+        assert a.completed_sets == b.completed_sets
+
+    def test_different_salts_vary(self):
+        instance = random_online_instance(25, 40, (2, 4), random.Random(2))
+        outcomes = {
+            simulate(instance, HashedRandPrAlgorithm(salt=f"salt{i}")).completed_sets
+            for i in range(10)
+        }
+        assert len(outcomes) > 1
+
+    def test_random_salt_drawn_from_rng(self, tiny_instance):
+        a = simulate(tiny_instance, HashedRandPrAlgorithm(), rng=random.Random(1))
+        b = simulate(tiny_instance, HashedRandPrAlgorithm(), rng=random.Random(1))
+        assert a.completed_sets == b.completed_sets
+
+    def test_declares_determinism_only_with_salt(self):
+        assert HashedRandPrAlgorithm(salt="x").is_deterministic
+        assert not HashedRandPrAlgorithm().is_deterministic
+
+    def test_weight_sensitivity(self):
+        # Over many salts, the heavy set should win clearly more often.
+        system = SetSystem(
+            sets={"light": ["u", "a"], "heavy": ["u", "b"]},
+            weights={"light": 1.0, "heavy": 5.0},
+        )
+        instance = OnlineInstance(system, ["u", "a", "b"])
+        heavy_wins = 0
+        trials = 1500
+        for i in range(trials):
+            result = simulate(instance, HashedRandPrAlgorithm(salt=f"t{i}"))
+            if "heavy" in result.completed_sets:
+                heavy_wins += 1
+        assert heavy_wins / trials == pytest.approx(5 / 6, abs=0.05)
+
+    def test_custom_hash_family_supported(self, tiny_instance):
+        family = UniversalHashFamily(seed=7)
+        algorithm = HashedRandPrAlgorithm(salt="s", hash_family=family)
+        result = simulate(tiny_instance, algorithm)
+        assert tiny_instance.system.is_feasible_packing(result.completed_sets)
+
+    def test_survival_frequencies_close_to_randpr(self):
+        # Aggregated over salts, the hash variant should match randPr's
+        # Lemma 1 frequencies within Monte-Carlo noise.
+        system = SetSystem(
+            sets={"A": ["x", "y"], "B": ["y", "z"], "C": ["z", "x"]}
+        )
+        instance = OnlineInstance(system)
+        counts = {s: 0 for s in system.set_ids}
+        trials = 3000
+        for i in range(trials):
+            result = simulate(instance, HashedRandPrAlgorithm(salt=f"mc{i}"))
+            for s in result.completed_sets:
+                counts[s] += 1
+        for s in system.set_ids:
+            assert counts[s] / trials == pytest.approx(1 / 3, abs=0.04)
+
+
+class TestHashing:
+    def test_fold_key_stability(self):
+        assert fold_key("abc") == fold_key("abc")
+        assert fold_key(42) == 42
+        assert fold_key(b"xyz") == fold_key(b"xyz")
+
+    def test_fold_key_distinct(self):
+        keys = [f"k{i}" for i in range(1000)]
+        assert len({fold_key(k) for k in keys}) == 1000
+
+    def test_universal_family_seeded(self):
+        a = UniversalHashFamily(seed=3)
+        b = UniversalHashFamily(seed=3)
+        c = UniversalHashFamily(seed=4)
+        assert a.hash("x") == b.hash("x")
+        assert any(a.hash(f"k{i}") != c.hash(f"k{i}") for i in range(20))
+
+    def test_universal_family_range(self):
+        family = UniversalHashFamily(seed=1, output_range=100)
+        for i in range(200):
+            assert 0 <= family.hash(i) < 100
+            assert 0.0 <= family.unit_interval(i) < 1.0
+
+    def test_universal_family_invalid_range(self):
+        with pytest.raises(ValueError):
+            UniversalHashFamily(seed=0, output_range=1)
+
+    def test_universal_family_uniformity(self):
+        family = UniversalHashFamily(seed=9, output_range=10)
+        buckets = [0] * 10
+        for i in range(5000):
+            buckets[family.hash(f"key{i}")] += 1
+        assert min(buckets) > 300
+
+    def test_polynomial_family_independence_attrs(self):
+        family = PolynomialHashFamily(seed=2, degree=4)
+        assert family.degree == 4
+        assert family.independence == 5
+
+    def test_polynomial_family_determinism(self):
+        a = PolynomialHashFamily(seed=5, degree=3)
+        b = PolynomialHashFamily(seed=5, degree=3)
+        assert [a.hash(i) for i in range(50)] == [b.hash(i) for i in range(50)]
+
+    def test_polynomial_family_invalid_degree(self):
+        with pytest.raises(ValueError):
+            PolynomialHashFamily(seed=0, degree=0)
+
+    def test_callable_interfaces(self):
+        u = UniversalHashFamily(seed=1)
+        p = PolynomialHashFamily(seed=1, degree=2)
+        assert u("x") == u.hash("x")
+        assert p("x") == p.hash("x")
+
+
+class TestServerNode:
+    def test_local_decision_respects_capacity(self):
+        node = ServerNode(node_id="n", salt="s")
+        arrival = ElementArrival(element_id="e", capacity=1, parents=("A", "B", "C"))
+        decision = node.handle(arrival)
+        assert len(decision.assigned) == 1
+        assert decision.assigned <= set(arrival.parents)
+
+    def test_same_salt_same_priorities_across_nodes(self):
+        first = ServerNode(node_id="n1", salt="shared")
+        second = ServerNode(node_id="n2", salt="shared")
+        for set_id in ("A", "B", "C", "D"):
+            assert first.priority_of(set_id) == second.priority_of(set_id)
+
+    def test_weights_affect_priorities(self):
+        node = ServerNode(node_id="n", salt="s", weights={"A": 100.0, "B": 1.0})
+        # Not a strict guarantee per-key, but the transform must keep values
+        # in (0, 1] and be monotone in the underlying hash value.
+        assert 0.0 < node.priority_of("A") <= 1.0
+        assert 0.0 < node.priority_of("B") <= 1.0
+
+    def test_decision_recording_and_reset(self):
+        node = ServerNode(node_id="n", salt="s")
+        node.handle(ElementArrival(element_id="e1", capacity=1, parents=("A",)))
+        node.handle(ElementArrival(element_id="e2", capacity=1, parents=("B",)))
+        assert node.num_handled == 2
+        assert set(node.assignments()) == {"e1", "e2"}
+        node.reset()
+        assert node.num_handled == 0
+
+
+class TestCoordinator:
+    def test_distributed_equals_centralized_hashed(self):
+        instance = random_online_instance(30, 50, (2, 4), random.Random(3))
+        salt = "agree"
+        centralized = simulate(instance, HashedRandPrAlgorithm(salt=salt))
+        coordinator = DistributedCoordinator(
+            node_ids=["n0", "n1", "n2"], salt=salt
+        )
+        distributed = coordinator.run(instance)
+        assert distributed.completed_sets == centralized.completed_sets
+        assert distributed.benefit == pytest.approx(centralized.benefit)
+
+    def test_every_element_routed_to_some_node(self):
+        instance = random_online_instance(20, 30, (2, 3), random.Random(4))
+        coordinator = DistributedCoordinator(node_ids=["a", "b"], salt="s")
+        outcome = coordinator.run(instance)
+        assert sum(outcome.per_node_counts.values()) == instance.num_steps
+
+    def test_single_node_deployment(self, tiny_instance):
+        coordinator = DistributedCoordinator(node_ids=["only"], salt="s")
+        outcome = coordinator.run(tiny_instance)
+        assert outcome.per_node_counts == {"only": tiny_instance.num_steps}
+
+    def test_duplicate_node_ids_rejected(self):
+        with pytest.raises(OspError):
+            DistributedCoordinator(node_ids=["a", "a"], salt="s")
+
+    def test_empty_node_list_rejected(self):
+        with pytest.raises(OspError):
+            DistributedCoordinator(node_ids=[], salt="s")
+
+    def test_unknown_placement_target_rejected(self, tiny_instance):
+        coordinator = DistributedCoordinator(
+            node_ids=["a"], salt="s", placement=lambda element: "missing"
+        )
+        with pytest.raises(OspError):
+            coordinator.run(tiny_instance)
+
+    def test_outcome_is_feasible(self):
+        instance = random_online_instance(25, 35, (2, 4), random.Random(6))
+        coordinator = DistributedCoordinator(node_ids=["a", "b", "c"], salt="zz")
+        outcome = coordinator.run(instance)
+        assert instance.system.is_feasible_packing(outcome.completed_sets)
+
+    def test_round_robin_placement_requires_nodes(self):
+        with pytest.raises(OspError):
+            round_robin_placement([])
+
+    def test_round_robin_placement_is_stable(self):
+        place = round_robin_placement(["a", "b", "c"])
+        assert place("element-7") == place("element-7")

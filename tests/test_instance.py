@@ -1,0 +1,200 @@
+"""Unit tests for repro.core.instance."""
+
+import random
+
+import pytest
+
+from repro.core.instance import (
+    ElementArrival,
+    InstanceBuilder,
+    OnlineInstance,
+    instance_from_bursts,
+)
+from repro.core.set_system import SetSystem
+from repro.exceptions import InvalidInstanceError
+
+
+class TestOnlineInstance:
+    def test_default_order_covers_all_elements(self, tiny_system):
+        instance = OnlineInstance(tiny_system)
+        assert sorted(instance.arrival_order) == sorted(tiny_system.element_ids)
+
+    def test_explicit_order(self, tiny_system):
+        order = ["t5", "t4", "t3", "t2", "t1", "t0"]
+        instance = OnlineInstance(tiny_system, order)
+        assert instance.arrival_order == tuple(order)
+
+    def test_order_must_be_permutation(self, tiny_system):
+        with pytest.raises(InvalidInstanceError):
+            OnlineInstance(tiny_system, ["t0", "t1"])
+
+    def test_order_with_unknown_element_rejected(self, tiny_system):
+        with pytest.raises(InvalidInstanceError):
+            OnlineInstance(
+                tiny_system, ["t0", "t1", "t2", "t3", "t4", "bogus"]
+            )
+
+    def test_duplicate_in_order_rejected(self, tiny_system):
+        with pytest.raises(InvalidInstanceError):
+            OnlineInstance(tiny_system, ["t0", "t0", "t2", "t3", "t4", "t5"])
+
+    def test_num_steps_and_len(self, tiny_instance):
+        assert tiny_instance.num_steps == 6
+        assert len(tiny_instance) == 6
+
+    def test_arrivals_reveal_parents_and_capacity(self, tiny_instance):
+        arrivals = list(tiny_instance.arrivals())
+        assert arrivals[0].element_id == "t0"
+        assert arrivals[0].capacity == 1
+        assert set(arrivals[1].parents) == {"A", "B"}
+        assert arrivals[1].load == 2
+
+    def test_iteration_matches_arrivals(self, tiny_instance):
+        assert [a.element_id for a in tiny_instance] == list(tiny_instance.arrival_order)
+
+    def test_set_infos(self, tiny_instance):
+        infos = tiny_instance.set_infos()
+        assert infos["A"].weight == 4.0
+        assert infos["C"].size == 3
+
+    def test_shuffled_preserves_elements(self, tiny_instance):
+        shuffled = tiny_instance.shuffled(random.Random(0))
+        assert sorted(shuffled.arrival_order) == sorted(tiny_instance.arrival_order)
+        assert shuffled.system is tiny_instance.system
+
+    def test_with_order(self, tiny_instance):
+        reordered = tiny_instance.with_order(["t5", "t4", "t3", "t2", "t1", "t0"])
+        assert reordered.arrival_order[0] == "t5"
+
+    def test_repr_contains_counts(self, tiny_instance):
+        assert "sets=3" in repr(tiny_instance)
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_structure(self, tiny_instance):
+        text = tiny_instance.to_json()
+        recovered = OnlineInstance.from_json(text)
+        assert recovered.system.num_sets == 3
+        assert recovered.system.num_elements == 6
+        assert recovered.system.weight("A") == 4.0
+        assert list(recovered.arrival_order) == [f"t{i}" for i in range(6)]
+
+    def test_roundtrip_is_stable(self, tiny_instance):
+        text = tiny_instance.to_json()
+        again = OnlineInstance.from_json(text).to_json()
+        assert text == again
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            OnlineInstance.from_json("this is not json")
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            OnlineInstance.from_json("{}")
+
+
+class TestInstanceBuilder:
+    def test_elements_arrive_in_append_order(self):
+        builder = InstanceBuilder()
+        builder.add_element(["S"], element_id="x")
+        builder.add_element(["S", "T"], element_id="y")
+        instance = builder.build()
+        assert instance.arrival_order == ("x", "y")
+
+    def test_auto_generated_element_ids_are_unique(self):
+        builder = InstanceBuilder()
+        first = builder.add_element(["S"])
+        second = builder.add_element(["S"])
+        assert first != second
+
+    def test_declared_set_weight_preserved(self):
+        builder = InstanceBuilder()
+        builder.declare_set("S", weight=7.0)
+        builder.add_element(["S"])
+        instance = builder.build()
+        assert instance.system.weight("S") == 7.0
+
+    def test_implicit_sets_get_weight_one(self):
+        builder = InstanceBuilder()
+        builder.add_element(["S", "T"])
+        instance = builder.build()
+        assert instance.system.weight("T") == 1.0
+
+    def test_declared_but_empty_set_survives(self):
+        builder = InstanceBuilder()
+        builder.declare_set("lonely")
+        builder.add_element(["other"])
+        instance = builder.build()
+        assert "lonely" in instance.system.set_ids
+        assert instance.system.size("lonely") == 0
+
+    def test_duplicate_element_id_rejected(self):
+        builder = InstanceBuilder()
+        builder.add_element(["S"], element_id="x")
+        with pytest.raises(InvalidInstanceError):
+            builder.add_element(["T"], element_id="x")
+
+    def test_duplicate_parent_rejected(self):
+        builder = InstanceBuilder()
+        with pytest.raises(InvalidInstanceError):
+            builder.add_element(["S", "S"])
+
+    def test_capacity_recorded(self):
+        builder = InstanceBuilder()
+        builder.add_element(["S", "T"], capacity=2, element_id="x")
+        instance = builder.build()
+        assert instance.system.capacity("x") == 2
+
+    def test_counts_and_current_size(self):
+        builder = InstanceBuilder()
+        builder.add_element(["S"], element_id="x")
+        builder.add_element(["S", "T"], element_id="y")
+        assert builder.num_elements == 2
+        assert builder.num_sets == 2
+        assert builder.current_size("S") == 2
+        assert builder.current_size("T") == 1
+
+    def test_builder_name_propagates(self):
+        builder = InstanceBuilder(name="demo")
+        builder.add_element(["S"])
+        assert builder.build().name == "demo"
+
+
+class TestInstanceFromBursts:
+    def test_basic_reduction(self):
+        bursts = [{"A": 1, "B": 1}, {"A": 1}, {"B": 2}]
+        instance = instance_from_bursts(bursts)
+        system = instance.system
+        assert system.num_elements == 3
+        assert set(system.parents("t0")) == {"A", "B"}
+        # Two simultaneous packets of B collapse into one membership.
+        assert set(system.parents("t2")) == {"B"}
+
+    def test_empty_bursts_skipped(self):
+        instance = instance_from_bursts([{}, {"A": 1}, {}])
+        assert instance.system.num_elements == 1
+        assert instance.arrival_order == ("t1",)
+
+    def test_zero_count_frames_ignored(self):
+        instance = instance_from_bursts([{"A": 0, "B": 1}])
+        assert set(instance.system.parents("t0")) == {"B"}
+
+    def test_capacities_and_weights(self):
+        instance = instance_from_bursts(
+            [{"A": 1, "B": 1}],
+            weights={"A": 2.0, "B": 5.0},
+            capacities=[2],
+        )
+        assert instance.system.capacity("t0") == 2
+        assert instance.system.weight("B") == 5.0
+
+
+class TestElementArrival:
+    def test_load_property(self):
+        arrival = ElementArrival(element_id="u", capacity=1, parents=("A", "B", "C"))
+        assert arrival.load == 3
+
+    def test_frozen(self):
+        arrival = ElementArrival(element_id="u", capacity=1, parents=("A",))
+        with pytest.raises(AttributeError):
+            arrival.capacity = 2

@@ -1,0 +1,136 @@
+"""End-to-end integration tests across subsystems."""
+
+import random
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import default_algorithm_suite
+from repro.algorithms import HashedRandPrAlgorithm, RandPrAlgorithm
+from repro.core import OnlineInstance, compute_statistics, simulate
+from repro.core.partial import evaluate_partial_rewards
+from repro.distributed import DistributedCoordinator
+from repro.experiments import estimate_opt, measure_suite, run_sweep
+from repro.network import BottleneckRouter, BufferedLink, PRIORITY_POLICY
+from repro.offline import solve_exact
+from repro.workloads import make_video_workload, random_online_instance
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestVideoPipeline:
+    """Trace generation -> OSP reduction -> router -> metrics, all consistent."""
+
+    def test_router_and_direct_simulation_agree(self):
+        workload = make_video_workload(num_flows=3, frames_per_flow=10, seed=5)
+        policy = HashedRandPrAlgorithm(salt="pipeline")
+        router_outcome = BottleneckRouter(policy).run(workload.trace)
+        direct = simulate(workload.instance, HashedRandPrAlgorithm(salt="pipeline"))
+        assert router_outcome.completed_frames == frozenset(
+            str(s) for s in direct.completed_sets
+        )
+
+    def test_goodput_never_exceeds_offered(self):
+        workload = make_video_workload(num_flows=4, frames_per_flow=12, seed=6)
+        outcome = BottleneckRouter(RandPrAlgorithm()).run(
+            workload.trace, rng=random.Random(0)
+        )
+        assert outcome.metrics.goodput_bytes <= outcome.metrics.total_bytes
+
+    def test_buffered_link_dominates_bufferless_on_same_trace(self):
+        workload = make_video_workload(num_flows=4, frames_per_flow=10, seed=7)
+        bufferless = BufferedLink(buffer_size=0, policy=PRIORITY_POLICY).run(workload.trace)
+        buffered = BufferedLink(buffer_size=16, policy=PRIORITY_POLICY).run(workload.trace)
+        assert (
+            buffered.metrics.completed_frames >= bufferless.metrics.completed_frames
+        )
+
+    def test_partial_rewards_on_router_run(self):
+        workload = make_video_workload(num_flows=3, frames_per_flow=8, seed=8)
+        outcome = BottleneckRouter(RandPrAlgorithm()).run(
+            workload.trace, rng=random.Random(1), record_steps=True
+        )
+        summary = evaluate_partial_rewards(
+            workload.instance.system, outcome.simulation, thetas=(0.5, 0.9, 1.0)
+        )
+        assert summary.threshold_benefits[0.5] >= summary.threshold_benefits[1.0]
+
+
+class TestFullSuiteOnSharedInstance:
+    def test_all_algorithms_run_and_respect_opt(self):
+        instance = random_online_instance(35, 50, (2, 4), random.Random(10))
+        opt = solve_exact(instance.system).weight
+        for algorithm in default_algorithm_suite():
+            result = simulate(instance, algorithm, rng=random.Random(0))
+            assert 0.0 <= result.benefit <= opt + 1e-9
+
+    def test_measure_suite_report_is_complete(self):
+        instance = random_online_instance(25, 35, (2, 4), random.Random(11))
+        suite = measure_suite(instance, default_algorithm_suite(), trials=5)
+        assert len(suite) == len(default_algorithm_suite())
+        for measurement in suite.values():
+            assert measurement.opt.value > 0
+
+    def test_sweep_smoke(self):
+        sweep = run_sweep(
+            "integration",
+            [
+                ("small", lambda rng: random_online_instance(10, 16, (2, 3), rng)),
+                ("large", lambda rng: random_online_instance(20, 30, (2, 3), rng)),
+            ],
+            [RandPrAlgorithm()],
+            instances_per_point=2,
+            trials_per_instance=5,
+        )
+        assert len(sweep.rows) == 2
+
+
+class TestDistributedConsistency:
+    def test_many_nodes_one_node_and_centralized_all_agree(self):
+        instance = random_online_instance(30, 45, (2, 4), random.Random(12))
+        salt = "tri-check"
+        centralized = simulate(instance, HashedRandPrAlgorithm(salt=salt))
+        single = DistributedCoordinator(node_ids=["n"], salt=salt).run(instance)
+        many = DistributedCoordinator(
+            node_ids=[f"n{i}" for i in range(7)], salt=salt
+        ).run(instance)
+        assert centralized.completed_sets == single.completed_sets == many.completed_sets
+
+
+class TestSerializationRoundtrip:
+    def test_simulation_identical_after_json_roundtrip(self):
+        instance = random_online_instance(20, 30, (2, 3), random.Random(13))
+        clone = OnlineInstance.from_json(instance.to_json())
+        salt = "roundtrip"
+        original = simulate(instance, HashedRandPrAlgorithm(salt=salt))
+        recovered = simulate(clone, HashedRandPrAlgorithm(salt=salt))
+        assert {str(s) for s in original.completed_sets} == {
+            str(s) for s in recovered.completed_sets
+        }
+
+    def test_statistics_preserved_through_roundtrip(self):
+        instance = random_online_instance(20, 30, (2, 3), random.Random(14))
+        clone = OnlineInstance.from_json(instance.to_json())
+        original = compute_statistics(instance.system)
+        recovered = compute_statistics(clone.system)
+        assert original.k_max == recovered.k_max
+        assert original.sigma_max == recovered.sigma_max
+        assert original.total_weight == pytest.approx(recovered.total_weight)
+
+
+@pytest.mark.parametrize(
+    "script",
+    ["quickstart.py", "adversarial_lower_bound.py"],
+)
+def test_example_scripts_run(script):
+    """The lighter example scripts execute end to end without errors."""
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()

@@ -1,0 +1,178 @@
+"""Tests for the Theorem 3 adversary and the Lemma 9 randomized construction."""
+
+import random
+
+import pytest
+
+from repro.algorithms import (
+    FirstListedAlgorithm,
+    GreedyCommittedAlgorithm,
+    GreedyProgressAlgorithm,
+    GreedyWeightAlgorithm,
+    RandPrAlgorithm,
+    StaticOrderAlgorithm,
+)
+from repro.core import compute_statistics, simulate
+from repro.exceptions import ConstructionError
+from repro.lowerbounds import (
+    build_lemma9_instance,
+    run_deterministic_adversary,
+    theoretical_profile,
+)
+
+
+DETERMINISTIC_VICTIMS = [
+    GreedyWeightAlgorithm,
+    GreedyProgressAlgorithm,
+    GreedyCommittedAlgorithm,
+    FirstListedAlgorithm,
+    StaticOrderAlgorithm,
+]
+
+
+class TestDeterministicAdversary:
+    @pytest.mark.parametrize("factory", DETERMINISTIC_VICTIMS)
+    def test_algorithm_completes_at_most_one(self, factory):
+        outcome = run_deterministic_adversary(factory(), sigma=3, k=3)
+        assert outcome.algorithm_benefit <= 1
+
+    @pytest.mark.parametrize("factory", DETERMINISTIC_VICTIMS)
+    def test_opt_reaches_sigma_to_k_minus_1(self, factory):
+        outcome = run_deterministic_adversary(factory(), sigma=3, k=3)
+        assert outcome.opt_benefit >= outcome.theoretical_lower_bound
+        assert outcome.ratio >= outcome.theoretical_lower_bound
+
+    @pytest.mark.parametrize("sigma,k", [(2, 2), (2, 3), (3, 2), (3, 3), (4, 2), (2, 4)])
+    def test_parameter_grid(self, sigma, k):
+        outcome = run_deterministic_adversary(GreedyWeightAlgorithm(), sigma=sigma, k=k)
+        assert outcome.algorithm_benefit <= 1
+        assert outcome.opt_benefit >= sigma ** (k - 1)
+
+    def test_instance_structure(self):
+        outcome = run_deterministic_adversary(FirstListedAlgorithm(), sigma=3, k=3)
+        system = outcome.instance.system
+        stats = compute_statistics(system)
+        assert system.num_sets == 27
+        assert stats.k_max == 3
+        assert stats.uniform_set_size          # every set padded to size k
+        assert stats.sigma_max <= 3
+        assert stats.is_unweighted
+        assert stats.is_unit_capacity
+
+    def test_opt_solution_is_feasible(self):
+        outcome = run_deterministic_adversary(GreedyProgressAlgorithm(), sigma=3, k=3)
+        assert outcome.instance.system.is_feasible_packing(outcome.opt_solution)
+
+    def test_replaying_instance_reproduces_algorithm_benefit(self):
+        # The adversary's recorded outcome must match a fresh simulation of the
+        # same deterministic algorithm on the constructed instance.
+        outcome = run_deterministic_adversary(GreedyWeightAlgorithm(), sigma=3, k=3)
+        replay = simulate(outcome.instance, GreedyWeightAlgorithm())
+        assert replay.completed_sets == outcome.algorithm_completed
+
+    def test_randomized_algorithm_rejected(self):
+        with pytest.raises(ConstructionError):
+            run_deterministic_adversary(RandPrAlgorithm(), sigma=2, k=2)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConstructionError):
+            run_deterministic_adversary(FirstListedAlgorithm(), sigma=1, k=3)
+        with pytest.raises(ConstructionError):
+            run_deterministic_adversary(FirstListedAlgorithm(), sigma=2, k=0)
+
+    def test_k_equals_one_degenerates(self):
+        outcome = run_deterministic_adversary(FirstListedAlgorithm(), sigma=3, k=1)
+        assert outcome.theoretical_lower_bound == 1
+        assert outcome.algorithm_benefit <= 1
+
+    def test_ratio_infinite_when_algorithm_gets_nothing(self):
+        class Refuser(FirstListedAlgorithm):
+            name = "refuser"
+
+            def decide(self, arrival):
+                return frozenset()
+
+        outcome = run_deterministic_adversary(Refuser(), sigma=2, k=2)
+        assert outcome.algorithm_benefit == 0
+        assert outcome.ratio == float("inf")
+
+
+class TestLemma9Construction:
+    @pytest.mark.parametrize("ell", [2, 3])
+    def test_structure_matches_theoretical_profile(self, ell):
+        profile = theoretical_profile(ell)
+        sample = build_lemma9_instance(ell, random.Random(0))
+        system = sample.instance.system
+        assert system.num_sets == profile["num_sets"]
+        assert sample.planted_benefit == profile["planted_opt"]
+        assert sample.stage_element_counts["stage1_elements"] == profile["stage1_elements"]
+        assert sample.stage_element_counts["stage2_elements"] == profile["stage2_elements"]
+        assert sample.stage_element_counts["stage4_elements"] == profile["stage4_elements"]
+
+    @pytest.mark.parametrize("ell", [2, 3])
+    def test_set_sizes(self, ell):
+        profile = theoretical_profile(ell)
+        sample = build_lemma9_instance(ell, random.Random(1))
+        system = sample.instance.system
+        for set_id in system.set_ids:
+            if set_id in sample.planted_solution:
+                assert system.size(set_id) == profile["set_size_planted"]
+            else:
+                assert system.size(set_id) == profile["set_size_other"]
+
+    @pytest.mark.parametrize("ell", [2, 3])
+    def test_sigma_max(self, ell):
+        sample = build_lemma9_instance(ell, random.Random(2))
+        stats = compute_statistics(sample.instance.system)
+        assert stats.sigma_max == ell * ell
+
+    def test_planted_solution_is_feasible(self):
+        for seed in range(3):
+            sample = build_lemma9_instance(2, random.Random(seed))
+            assert sample.instance.system.is_feasible_packing(sample.planted_solution)
+
+    def test_planted_sets_pairwise_disjoint(self):
+        sample = build_lemma9_instance(2, random.Random(3))
+        system = sample.instance.system
+        planted = sorted(sample.planted_solution, key=repr)
+        for i, first in enumerate(planted):
+            for second in planted[i + 1:]:
+                assert system.are_disjoint(first, second)
+
+    def test_unweighted_unit_capacity(self):
+        sample = build_lemma9_instance(2, random.Random(4))
+        stats = compute_statistics(sample.instance.system)
+        assert stats.is_unweighted
+        assert stats.is_unit_capacity
+
+    def test_deterministic_algorithms_do_poorly(self):
+        # Averaged over draws, a deterministic algorithm completes far fewer
+        # sets than the planted optimum ell^3.
+        ell = 3
+        benefits = []
+        for seed in range(4):
+            sample = build_lemma9_instance(ell, random.Random(seed))
+            result = simulate(sample.instance, GreedyWeightAlgorithm())
+            benefits.append(result.benefit)
+        mean_benefit = sum(benefits) / len(benefits)
+        assert mean_benefit < ell ** 3 / 2
+
+    def test_different_seeds_give_different_instances(self):
+        first = build_lemma9_instance(2, random.Random(0))
+        second = build_lemma9_instance(2, random.Random(1))
+        assert (
+            first.planted_solution != second.planted_solution
+            or first.instance.to_json() != second.instance.to_json()
+        )
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConstructionError):
+            build_lemma9_instance(1, random.Random(0))
+        with pytest.raises(ConstructionError):
+            build_lemma9_instance(6, random.Random(0))  # not a prime power
+
+    def test_theoretical_profile_values(self):
+        profile = theoretical_profile(4)
+        assert profile["num_sets"] == 256
+        assert profile["planted_opt"] == 64
+        assert profile["sigma_max"] == 16

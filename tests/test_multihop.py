@@ -1,0 +1,158 @@
+"""Tests for the multi-hop scheduling scenario."""
+
+import random
+
+import pytest
+
+from repro.algorithms import FirstListedAlgorithm, HashedRandPrAlgorithm
+from repro.core import compute_statistics
+from repro.exceptions import OspError
+from repro.network.multihop import (
+    MultiHopNetwork,
+    MultiHopPacket,
+    build_multihop_instance,
+    random_path_workload,
+)
+
+
+class TestMultiHopPacket:
+    def test_visits(self):
+        packet = MultiHopPacket(packet_id="p", injection_time=3, hops=("a", "b", "c"))
+        assert packet.visits == ((3, "a"), (4, "b"), (5, "c"))
+
+    def test_invalid(self):
+        with pytest.raises(OspError):
+            MultiHopPacket(packet_id="p", injection_time=-1, hops=("a",))
+        with pytest.raises(OspError):
+            MultiHopPacket(packet_id="p", injection_time=0, hops=())
+
+
+class TestBuildInstance:
+    def test_elements_are_time_hop_pairs(self):
+        packets = [
+            MultiHopPacket(packet_id="p1", injection_time=0, hops=("a", "b")),
+            MultiHopPacket(packet_id="p2", injection_time=0, hops=("a", "c")),
+        ]
+        instance = build_multihop_instance(packets)
+        system = instance.system
+        assert set(system.parents("t0@a")) == {"p1", "p2"}
+        assert set(system.parents("t1@b")) == {"p1"}
+        assert system.size("p1") == 2
+
+    def test_arrival_order_is_time_major(self):
+        packets = [
+            MultiHopPacket(packet_id="p1", injection_time=1, hops=("b",)),
+            MultiHopPacket(packet_id="p2", injection_time=0, hops=("a", "b")),
+        ]
+        instance = build_multihop_instance(packets)
+        times = [int(str(e).split("@")[0][1:]) for e in instance.arrival_order]
+        assert times == sorted(times)
+
+    def test_hop_capacity(self):
+        packets = [
+            MultiHopPacket(packet_id="p1", injection_time=0, hops=("a",)),
+            MultiHopPacket(packet_id="p2", injection_time=0, hops=("a",)),
+        ]
+        instance = build_multihop_instance(packets, hop_capacity=2)
+        assert instance.system.capacity("t0@a") == 2
+
+    def test_weights_carried(self):
+        packets = [
+            MultiHopPacket(packet_id="p1", injection_time=0, hops=("a",), weight=5.0)
+        ]
+        instance = build_multihop_instance(packets)
+        assert instance.system.weight("p1") == 5.0
+
+    def test_duplicate_packet_ids_rejected(self):
+        packets = [
+            MultiHopPacket(packet_id="p", injection_time=0, hops=("a",)),
+            MultiHopPacket(packet_id="p", injection_time=1, hops=("b",)),
+        ]
+        with pytest.raises(OspError):
+            build_multihop_instance(packets)
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(OspError):
+            build_multihop_instance([])
+
+
+class TestMultiHopNetwork:
+    def _network_and_packets(self, seed=0, num_packets=40):
+        hop_ids = [f"h{i}" for i in range(5)]
+        network = MultiHopNetwork(hop_ids)
+        packets = random_path_workload(
+            num_packets=num_packets,
+            hop_ids=hop_ids,
+            max_path_length=4,
+            time_horizon=15,
+            rng=random.Random(seed),
+        )
+        return network, packets
+
+    def test_distributed_matches_centralized(self):
+        network, packets = self._network_and_packets()
+        salt = "shared"
+        distributed = network.run_distributed(packets, salt=salt)
+        centralized = network.run_centralized(packets, HashedRandPrAlgorithm(salt=salt))
+        assert distributed.completed_sets == frozenset(centralized)
+
+    def test_delivered_packets_form_feasible_schedule(self):
+        network, packets = self._network_and_packets(seed=3)
+        outcome = network.run_distributed(packets, salt="s")
+        instance = network.instance_for(packets)
+        assert instance.system.is_feasible_packing(outcome.completed_sets)
+
+    def test_per_hop_placement_only_routes_to_own_hop(self):
+        network, packets = self._network_and_packets(seed=1, num_packets=20)
+        outcome = network.run_distributed(packets, salt="s")
+        for decision in outcome.decisions:
+            element = str(decision.element_id)
+            assert element.endswith(f"@{decision.node_id}")
+
+    def test_unknown_hop_rejected(self):
+        network = MultiHopNetwork(["a", "b"])
+        packet = MultiHopPacket(packet_id="p", injection_time=0, hops=("zz",))
+        with pytest.raises(OspError):
+            network.instance_for([packet])
+
+    def test_baseline_runs(self):
+        network, packets = self._network_and_packets(seed=2)
+        delivered = network.run_centralized(packets, FirstListedAlgorithm())
+        assert 0 <= len(delivered) <= len(packets)
+
+    def test_network_requires_hops(self):
+        with pytest.raises(OspError):
+            MultiHopNetwork([])
+
+
+class TestRandomPathWorkload:
+    def test_paths_are_contiguous_subpaths(self):
+        hop_ids = [f"h{i}" for i in range(6)]
+        packets = random_path_workload(30, hop_ids, 4, 10, random.Random(0))
+        for packet in packets:
+            hops = list(packet.hops)
+            start = hop_ids.index(hops[0])
+            assert hops == hop_ids[start:start + len(hops)]
+            assert 1 <= len(hops) <= 4
+
+    def test_instance_statistics_sensible(self):
+        hop_ids = [f"h{i}" for i in range(4)]
+        packets = random_path_workload(50, hop_ids, 4, 8, random.Random(1))
+        instance = build_multihop_instance(packets)
+        stats = compute_statistics(instance.system)
+        assert stats.k_max <= 4
+        assert stats.num_sets == 50
+
+    def test_weight_range(self):
+        hop_ids = ["a", "b"]
+        packets = random_path_workload(
+            20, hop_ids, 2, 5, random.Random(2), weight_range=(2.0, 3.0)
+        )
+        for packet in packets:
+            assert 2.0 <= packet.weight <= 3.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(OspError):
+            random_path_workload(0, ["a"], 1, 5, random.Random(0))
+        with pytest.raises(OspError):
+            random_path_workload(5, ["a"], 2, 5, random.Random(0))

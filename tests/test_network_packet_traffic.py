@@ -1,0 +1,229 @@
+"""Tests for frames, packets and the synthetic traffic generators."""
+
+import random
+
+import pytest
+
+from repro.exceptions import OspError
+from repro.network.packet import DEFAULT_MTU_BYTES, Frame, Packet, fragment_into_packets
+from repro.network.traffic import (
+    AdversarialBurstGenerator,
+    PoissonBurstGenerator,
+    Trace,
+    VideoTraceGenerator,
+)
+
+
+class TestFragmentation:
+    def test_exact_multiple(self):
+        packets = fragment_into_packets("f", 3000, mtu_bytes=1500)
+        assert len(packets) == 2
+        assert all(p.size_bytes == 1500 for p in packets)
+
+    def test_remainder_packet(self):
+        packets = fragment_into_packets("f", 3100, mtu_bytes=1500)
+        assert len(packets) == 3
+        assert packets[-1].size_bytes == 100
+
+    def test_small_frame_single_packet(self):
+        packets = fragment_into_packets("f", 10, mtu_bytes=1500)
+        assert len(packets) == 1
+        assert packets[0].size_bytes == 10
+
+    def test_packet_identifiers_and_indices(self):
+        packets = fragment_into_packets("frameX", 4000, mtu_bytes=1500)
+        assert [p.index for p in packets] == [0, 1, 2]
+        assert packets[0].packet_id == "frameX.p0"
+        assert all(p.frame_id == "frameX" for p in packets)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(OspError):
+            fragment_into_packets("f", 0)
+        with pytest.raises(OspError):
+            fragment_into_packets("f", 100, mtu_bytes=0)
+
+    def test_total_bytes_preserved(self):
+        for size in (1, 1499, 1500, 1501, 9999):
+            packets = fragment_into_packets("f", size)
+            assert sum(p.size_bytes for p in packets) == size
+
+
+class TestFrame:
+    def test_auto_fragmentation_and_weight(self):
+        frame = Frame(frame_id="f", flow_id="flow", size_bytes=4000)
+        assert frame.num_packets == 3
+        assert frame.weight == 3.0
+        assert len(frame.packet_ids) == 3
+
+    def test_explicit_weight_preserved(self):
+        frame = Frame(frame_id="f", flow_id="flow", size_bytes=4000, weight=10.0)
+        assert frame.weight == 10.0
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(OspError):
+            Frame(frame_id="f", flow_id="flow", size_bytes=0)
+
+    def test_packet_at_slot_copy(self):
+        packet = Packet(packet_id="p", frame_id="f", index=0, size_bytes=100)
+        stamped = packet.at_slot(7)
+        assert stamped.arrival_slot == 7
+        assert packet.arrival_slot is None
+
+
+class TestTrace:
+    def test_add_frame_schedules_all_packets(self):
+        trace = Trace()
+        frame = Frame(frame_id="f", flow_id="flow", size_bytes=3000)
+        trace.add_frame(frame, [0, 2])
+        assert trace.num_slots == 3
+        assert trace.num_packets == 2
+        assert trace.max_burst() == 1
+        assert trace.busy_slots() == 2
+
+    def test_slot_count_mismatch_rejected(self):
+        trace = Trace()
+        frame = Frame(frame_id="f", flow_id="flow", size_bytes=3000)
+        with pytest.raises(OspError):
+            trace.add_frame(frame, [0])
+
+    def test_duplicate_frame_rejected(self):
+        trace = Trace()
+        frame = Frame(frame_id="f", flow_id="flow", size_bytes=1000)
+        trace.add_frame(frame, [0])
+        with pytest.raises(OspError):
+            trace.add_frame(frame, [1])
+
+    def test_negative_slot_rejected(self):
+        trace = Trace()
+        packet = Packet(packet_id="p", frame_id="f", index=0, size_bytes=10)
+        with pytest.raises(OspError):
+            trace.add_packet(-1, packet)
+
+    def test_overloaded_slots(self):
+        trace = Trace(link_capacity=1)
+        for i in range(3):
+            frame = Frame(frame_id=f"f{i}", flow_id="flow", size_bytes=1000)
+            trace.add_frame(frame, [0])
+        assert trace.max_burst() == 3
+        assert trace.overloaded_slots() == 1
+
+    def test_to_instance_reduction(self):
+        trace = Trace(link_capacity=2)
+        a = Frame(frame_id="a", flow_id="x", size_bytes=3000)   # 2 packets
+        b = Frame(frame_id="b", flow_id="y", size_bytes=1500)   # 1 packet
+        trace.add_frame(a, [0, 1])
+        trace.add_frame(b, [0])
+        instance = trace.to_instance()
+        system = instance.system
+        assert set(system.parents("slot0")) == {"a", "b"}
+        assert set(system.parents("slot1")) == {"a"}
+        assert system.capacity("slot0") == 2
+        assert system.weight("a") == 2.0
+
+    def test_to_instance_collapses_same_frame_packets(self):
+        trace = Trace()
+        frame = Frame(frame_id="f", flow_id="x", size_bytes=3000)
+        trace.add_frame(frame, [0, 0])  # both packets in the same burst
+        instance = trace.to_instance()
+        assert instance.system.num_elements == 1
+        assert instance.system.size("f") == 1
+
+
+class TestVideoTraceGenerator:
+    def test_generates_expected_frame_count(self):
+        generator = VideoTraceGenerator(num_flows=3)
+        trace = generator.generate(10, random.Random(0))
+        assert trace.num_frames == 30
+
+    def test_frame_types_follow_gop(self):
+        generator = VideoTraceGenerator(num_flows=1, gop_pattern="IPB")
+        trace = generator.generate(6, random.Random(1))
+        types = [trace.frames[f"f0.{i}"].frame_type for i in range(6)]
+        assert types == ["I", "P", "B", "I", "P", "B"]
+
+    def test_i_frames_bigger_than_b_frames_on_average(self):
+        generator = VideoTraceGenerator(num_flows=2)
+        trace = generator.generate(24, random.Random(2))
+        i_sizes = [f.size_bytes for f in trace.frames.values() if f.frame_type == "I"]
+        b_sizes = [f.size_bytes for f in trace.frames.values() if f.frame_type == "B"]
+        assert sum(i_sizes) / len(i_sizes) > sum(b_sizes) / len(b_sizes)
+
+    def test_reproducible(self):
+        generator = VideoTraceGenerator(num_flows=2)
+        a = generator.generate(5, random.Random(7))
+        b = generator.generate(5, random.Random(7))
+        assert a.to_instance().to_json() == b.to_instance().to_json()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(OspError):
+            VideoTraceGenerator(num_flows=0)
+        with pytest.raises(OspError):
+            VideoTraceGenerator(gop_pattern="")
+        with pytest.raises(OspError):
+            VideoTraceGenerator(frame_interval_slots=0)
+        generator = VideoTraceGenerator()
+        with pytest.raises(OspError):
+            generator.generate(0, random.Random(0))
+
+    def test_multiple_flows_create_contention(self):
+        generator = VideoTraceGenerator(num_flows=6, frame_interval_slots=2)
+        trace = generator.generate(20, random.Random(3))
+        assert trace.max_burst() > 1
+
+
+class TestPoissonBurstGenerator:
+    def test_mean_arrivals_close_to_rate(self):
+        generator = PoissonBurstGenerator(arrival_rate=0.7, packets_per_frame=(1, 1))
+        trace = generator.generate(4000, random.Random(0))
+        assert trace.num_frames / 4000 == pytest.approx(0.7, abs=0.05)
+
+    def test_packets_per_frame_in_range(self):
+        generator = PoissonBurstGenerator(arrival_rate=1.0, packets_per_frame=(2, 4))
+        trace = generator.generate(100, random.Random(1))
+        for frame in trace.frames.values():
+            assert 2 <= frame.num_packets <= 4
+
+    def test_invalid_parameters(self):
+        with pytest.raises(OspError):
+            PoissonBurstGenerator(arrival_rate=0.0)
+        with pytest.raises(OspError):
+            PoissonBurstGenerator(packets_per_frame=(3, 2))
+        with pytest.raises(OspError):
+            PoissonBurstGenerator().generate(0, random.Random(0))
+
+
+class TestAdversarialBurstGenerator:
+    def test_burst_structure(self):
+        generator = AdversarialBurstGenerator(burst_size=4, packets_per_frame=3)
+        trace = generator.generate(5)
+        assert trace.num_frames == 20
+        assert trace.max_burst() == 4
+        # Every busy slot is a full burst.
+        assert all(len(slot) in (0, 4) for slot in trace.slots)
+
+    def test_gap_slots_create_idle_time(self):
+        generator = AdversarialBurstGenerator(
+            burst_size=2, packets_per_frame=2, gap_slots=3
+        )
+        trace = generator.generate(2)
+        assert trace.busy_slots() == 4
+        assert trace.num_slots >= 7
+
+    def test_reduced_instance_parameters(self):
+        generator = AdversarialBurstGenerator(burst_size=5, packets_per_frame=2)
+        instance = generator.generate(3).to_instance()
+        from repro.core import compute_statistics
+
+        stats = compute_statistics(instance.system)
+        assert stats.sigma_max == 5
+        assert stats.k_max == 2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(OspError):
+            AdversarialBurstGenerator(burst_size=0)
+        with pytest.raises(OspError):
+            AdversarialBurstGenerator(packets_per_frame=0)
+        with pytest.raises(OspError):
+            AdversarialBurstGenerator(gap_slots=-1)
+        with pytest.raises(OspError):
+            AdversarialBurstGenerator().generate(0)

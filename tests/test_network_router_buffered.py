@@ -1,0 +1,175 @@
+"""Tests for the bottleneck router, buffered link and delivery metrics."""
+
+import random
+
+import pytest
+
+from repro.algorithms import (
+    FirstListedAlgorithm,
+    GreedyProgressAlgorithm,
+    HashedRandPrAlgorithm,
+    RandPrAlgorithm,
+)
+from repro.exceptions import OspError
+from repro.network import (
+    FIFO_POLICY,
+    PRIORITY_POLICY,
+    AdversarialBurstGenerator,
+    BottleneckRouter,
+    BufferedLink,
+    buffer_size_sweep,
+    compute_delivery_metrics,
+    jain_fairness_index,
+)
+from repro.network.packet import Frame
+from repro.network.traffic import Trace, VideoTraceGenerator
+
+
+def _simple_trace(num_waves=4, burst=3, k=2, gap=0):
+    return AdversarialBurstGenerator(
+        burst_size=burst, packets_per_frame=k, gap_slots=gap
+    ).generate(num_waves)
+
+
+class TestBottleneckRouter:
+    def test_completed_frames_have_all_packets_served(self):
+        trace = _simple_trace()
+        router = BottleneckRouter(HashedRandPrAlgorithm(salt="t"))
+        outcome = router.run(trace)
+        # With capacity 1 and bursts of 3 aligned 2-packet frames, at most one
+        # frame per wave can complete.
+        assert outcome.metrics.completed_frames <= 4
+        assert outcome.metrics.completed_frames >= 1
+
+    def test_benefit_matches_metrics_weight(self):
+        trace = _simple_trace()
+        router = BottleneckRouter(HashedRandPrAlgorithm(salt="x"))
+        outcome = router.run(trace)
+        assert outcome.benefit == pytest.approx(outcome.metrics.completed_weight)
+
+    def test_capacity_override(self):
+        trace = _simple_trace(num_waves=3, burst=3, k=2)
+        unlimited = BottleneckRouter(FirstListedAlgorithm(), capacity_per_slot=3)
+        outcome = unlimited.run(trace)
+        # With capacity >= burst size nothing is dropped.
+        assert outcome.metrics.completed_frames == outcome.metrics.total_frames
+
+    def test_compare_policies_runs_all(self):
+        trace = _simple_trace()
+        router = BottleneckRouter(FirstListedAlgorithm())
+        results = router.compare_policies(
+            trace,
+            {
+                "randpr": HashedRandPrAlgorithm(salt="a"),
+                "greedy": GreedyProgressAlgorithm(),
+            },
+        )
+        assert set(results) == {"randpr", "greedy"}
+        for outcome in results.values():
+            assert outcome.metrics.total_frames == trace.num_frames
+
+    def test_video_trace_end_to_end(self):
+        trace = VideoTraceGenerator(num_flows=3).generate(10, random.Random(0))
+        router = BottleneckRouter(RandPrAlgorithm())
+        outcome = router.run(trace, rng=random.Random(1))
+        metrics = outcome.metrics
+        assert 0 <= metrics.completed_frames <= metrics.total_frames
+        assert 0.0 <= metrics.completion_ratio <= 1.0
+        assert 0.0 <= metrics.goodput_ratio <= 1.0
+
+
+class TestBufferedLink:
+    def test_zero_buffer_matches_osp_granularity(self):
+        trace = _simple_trace(num_waves=4, burst=3, k=2)
+        link = BufferedLink(buffer_size=0, capacity=1, policy=PRIORITY_POLICY)
+        outcome = link.run(trace)
+        # At most one frame per wave can finish without buffering.
+        assert outcome.metrics.completed_frames <= 4
+
+    def test_large_buffer_with_gaps_delivers_more(self):
+        trace = _simple_trace(num_waves=4, burst=3, k=2, gap=8)
+        small = BufferedLink(buffer_size=0, policy=PRIORITY_POLICY).run(trace)
+        big = BufferedLink(buffer_size=10, policy=PRIORITY_POLICY).run(trace)
+        assert big.metrics.completed_frames >= small.metrics.completed_frames
+        assert big.dropped_packets <= small.dropped_packets
+
+    def test_infinite_capacity_link_delivers_everything(self):
+        trace = _simple_trace(num_waves=3, burst=3, k=2)
+        link = BufferedLink(buffer_size=0, capacity=3)
+        outcome = link.run(trace)
+        assert outcome.metrics.completed_frames == outcome.metrics.total_frames
+        assert outcome.dropped_packets == 0
+
+    def test_transmitted_plus_dropped_equals_offered(self):
+        trace = _simple_trace(num_waves=5, burst=4, k=3)
+        for policy in (PRIORITY_POLICY, FIFO_POLICY):
+            for size in (0, 2, 5):
+                outcome = BufferedLink(buffer_size=size, policy=policy).run(trace)
+                assert (
+                    outcome.transmitted_packets + outcome.dropped_packets
+                    == trace.num_packets
+                )
+
+    def test_priority_policy_focuses_whole_frames(self):
+        # With the priority rule, the packets that do get through belong to a
+        # consistent subset of frames, so completed frames >= FIFO's on
+        # gap-separated adversarial traffic with a moderate buffer.
+        trace = _simple_trace(num_waves=6, burst=4, k=3, gap=6)
+        priority = BufferedLink(buffer_size=6, policy=PRIORITY_POLICY).run(trace)
+        fifo = BufferedLink(buffer_size=6, policy=FIFO_POLICY).run(trace)
+        assert priority.metrics.completed_frames >= fifo.metrics.completed_frames
+
+    def test_buffer_sweep_monotone_in_buffer(self):
+        trace = _simple_trace(num_waves=4, burst=3, k=2, gap=6)
+        results = buffer_size_sweep(trace, [0, 2, 4, 8])
+        delivered = [results[size].metrics.completed_frames for size in (0, 2, 4, 8)]
+        assert delivered == sorted(delivered)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(OspError):
+            BufferedLink(buffer_size=-1)
+        with pytest.raises(OspError):
+            BufferedLink(buffer_size=0, capacity=0)
+        with pytest.raises(OspError):
+            BufferedLink(buffer_size=0, policy="bogus")
+
+
+class TestDeliveryMetrics:
+    def _frames(self):
+        return {
+            "a": Frame(frame_id="a", flow_id="f1", size_bytes=3000),
+            "b": Frame(frame_id="b", flow_id="f1", size_bytes=1500),
+            "c": Frame(frame_id="c", flow_id="f2", size_bytes=1500),
+        }
+
+    def test_ratios(self):
+        metrics = compute_delivery_metrics(self._frames(), ["a", "c"])
+        assert metrics.total_frames == 3
+        assert metrics.completed_frames == 2
+        assert metrics.completion_ratio == pytest.approx(2 / 3)
+        assert metrics.goodput_bytes == 4500
+        assert metrics.goodput_ratio == pytest.approx(4500 / 6000)
+
+    def test_per_flow_completion(self):
+        metrics = compute_delivery_metrics(self._frames(), ["a", "c"])
+        assert metrics.per_flow_completion["f1"] == pytest.approx(0.5)
+        assert metrics.per_flow_completion["f2"] == pytest.approx(1.0)
+
+    def test_weighted_completion(self):
+        metrics = compute_delivery_metrics(self._frames(), ["b"])
+        assert metrics.weighted_completion_ratio == pytest.approx(1.0 / 4.0)
+
+    def test_unknown_completed_frame_rejected(self):
+        with pytest.raises(ValueError):
+            compute_delivery_metrics(self._frames(), ["zzz"])
+
+    def test_empty(self):
+        metrics = compute_delivery_metrics({}, [])
+        assert metrics.completion_ratio == 0.0
+        assert metrics.goodput_ratio == 0.0
+
+    def test_jain_index(self):
+        assert jain_fairness_index([1, 1, 1, 1]) == pytest.approx(1.0)
+        assert jain_fairness_index([1, 0, 0, 0]) == pytest.approx(0.25)
+        assert jain_fairness_index([]) == 1.0
+        assert jain_fairness_index([0, 0]) == 1.0

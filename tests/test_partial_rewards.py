@@ -1,0 +1,196 @@
+"""Tests for the partial-reward extension (open problem 3) and its algorithms."""
+
+import random
+
+import pytest
+
+from repro.algorithms import HedgingAlgorithm, ProportionalShareAlgorithm, RandPrAlgorithm
+from repro.core import OnlineInstance, SetSystem, simulate
+from repro.core.partial import (
+    assigned_counts,
+    evaluate_partial_rewards,
+    proportional_benefit,
+    threshold_benefit,
+)
+from repro.exceptions import OspError
+from repro.workloads import random_online_instance
+
+
+class TestRewardModels:
+    def _system_and_counts(self):
+        system = SetSystem(
+            sets={"A": ["a", "b", "c", "d"], "B": ["e", "f"], "C": ["g"]},
+            weights={"A": 4.0, "B": 2.0, "C": 1.0},
+        )
+        counts = {"A": 3, "B": 2, "C": 0}
+        return system, counts
+
+    def test_threshold_full_completion_only(self):
+        system, counts = self._system_and_counts()
+        assert threshold_benefit(system, counts, 1.0) == pytest.approx(2.0)
+
+    def test_threshold_three_quarters(self):
+        system, counts = self._system_and_counts()
+        assert threshold_benefit(system, counts, 0.75) == pytest.approx(6.0)
+
+    def test_threshold_half(self):
+        system, counts = self._system_and_counts()
+        assert threshold_benefit(system, counts, 0.5) == pytest.approx(6.0)
+
+    def test_threshold_invalid(self):
+        system, counts = self._system_and_counts()
+        with pytest.raises(OspError):
+            threshold_benefit(system, counts, 0.0)
+        with pytest.raises(OspError):
+            threshold_benefit(system, counts, 1.5)
+
+    def test_proportional_linear(self):
+        system, counts = self._system_and_counts()
+        expected = 4.0 * 0.75 + 2.0 * 1.0 + 1.0 * 0.0
+        assert proportional_benefit(system, counts, gamma=1.0) == pytest.approx(expected)
+
+    def test_proportional_gamma_sharpens(self):
+        system, counts = self._system_and_counts()
+        linear = proportional_benefit(system, counts, gamma=1.0)
+        sharp = proportional_benefit(system, counts, gamma=4.0)
+        assert sharp < linear
+
+    def test_proportional_invalid_gamma(self):
+        system, counts = self._system_and_counts()
+        with pytest.raises(OspError):
+            proportional_benefit(system, counts, gamma=0.0)
+
+    def test_count_exceeding_size_rejected(self):
+        system, _ = self._system_and_counts()
+        with pytest.raises(OspError):
+            threshold_benefit(system, {"A": 9}, 1.0)
+
+    def test_empty_set_counts_as_complete(self):
+        system = SetSystem(sets={"E": []}, weights={"E": 3.0})
+        assert threshold_benefit(system, {}, 1.0) == pytest.approx(3.0)
+
+
+class TestEvaluatePartialRewards:
+    def test_consistency_with_simulation_benefit(self, tiny_instance):
+        result = simulate(
+            tiny_instance, RandPrAlgorithm(), rng=random.Random(0), record_steps=True
+        )
+        summary = evaluate_partial_rewards(tiny_instance.system, result)
+        assert summary.strict_benefit == pytest.approx(result.benefit)
+        assert summary.threshold_benefits[1.0] == pytest.approx(result.benefit)
+
+    def test_relaxed_thresholds_never_below_strict(self, tiny_instance):
+        result = simulate(
+            tiny_instance, RandPrAlgorithm(), rng=random.Random(1), record_steps=True
+        )
+        summary = evaluate_partial_rewards(tiny_instance.system, result)
+        for benefit in summary.threshold_benefits.values():
+            assert benefit >= summary.strict_benefit - 1e-9
+
+    def test_missing_trace_rejected(self, tiny_instance):
+        result = simulate(tiny_instance, RandPrAlgorithm(), rng=random.Random(0))
+        with pytest.raises(OspError):
+            evaluate_partial_rewards(tiny_instance.system, result)
+
+    def test_assigned_counts_from_trace(self, tiny_instance):
+        result = simulate(
+            tiny_instance, RandPrAlgorithm(), rng=random.Random(2), record_steps=True
+        )
+        counts = assigned_counts(tiny_instance.system, result.steps)
+        total_assigned = sum(counts.values())
+        assert total_assigned == tiny_instance.num_steps  # capacity 1 per slot
+
+    def test_as_dict_keys(self, tiny_instance):
+        result = simulate(
+            tiny_instance, RandPrAlgorithm(), rng=random.Random(3), record_steps=True
+        )
+        summary = evaluate_partial_rewards(
+            tiny_instance.system, result, thetas=(0.5, 1.0)
+        )
+        payload = summary.as_dict()
+        assert "strict" in payload
+        assert "proportional" in payload
+        assert "threshold_0.50" in payload
+
+
+class TestHedgingAlgorithms:
+    def test_hedging_epsilon_zero_matches_randpr_distribution(self, tiny_instance):
+        # With epsilon=0 hedging is exactly randPr (same priority mechanism).
+        benefits_h = []
+        benefits_r = []
+        for seed in range(300):
+            benefits_h.append(
+                simulate(tiny_instance, HedgingAlgorithm(epsilon=0.0),
+                         rng=random.Random(seed)).benefit
+            )
+            benefits_r.append(
+                simulate(tiny_instance, RandPrAlgorithm(),
+                         rng=random.Random(seed)).benefit
+            )
+        assert sum(benefits_h) / len(benefits_h) == pytest.approx(
+            sum(benefits_r) / len(benefits_r), rel=0.15
+        )
+
+    def test_hedging_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            HedgingAlgorithm(epsilon=1.5)
+
+    def test_hedging_respects_capacity(self, rng):
+        instance = random_online_instance(20, 30, (2, 3), rng)
+        result = simulate(
+            instance, HedgingAlgorithm(epsilon=0.5), rng=random.Random(0),
+            record_steps=True,
+        )
+        for step in result.steps:
+            assert len(step.assigned) <= step.capacity
+
+    def test_hedging_raises_partial_reward_on_conflict_heavy_instance(self):
+        # Many sets sharing many elements: hedging epsilon>0 should spread
+        # assignments and earn at least as much relaxed (0.5-threshold) value
+        # as it loses in strict value, compared with itself at epsilon=0.
+        system = SetSystem(
+            sets={f"S{i}": [f"u{j}" for j in range(6)] for i in range(4)}
+        )
+        instance = OnlineInstance(system)
+        summary_sharp = None
+        summary_hedged = None
+        for epsilon, store in ((0.0, "sharp"), (0.5, "hedged")):
+            totals = {0.5: 0.0}
+            for seed in range(100):
+                result = simulate(
+                    instance, HedgingAlgorithm(epsilon=epsilon),
+                    rng=random.Random(seed), record_steps=True,
+                )
+                summary = evaluate_partial_rewards(system, result, thetas=(0.5,))
+                totals[0.5] += summary.threshold_benefits[0.5]
+            if store == "sharp":
+                summary_sharp = totals[0.5]
+            else:
+                summary_hedged = totals[0.5]
+        assert summary_hedged >= summary_sharp * 0.5  # hedging is not catastrophic
+
+    def test_proportional_share_respects_capacity_and_parents(self, rng):
+        instance = random_online_instance(20, 30, (2, 3), rng)
+        result = simulate(
+            instance, ProportionalShareAlgorithm(), rng=random.Random(1),
+            record_steps=True,
+        )
+        for step in result.steps:
+            assert len(step.assigned) <= step.capacity
+            assert step.assigned <= frozenset(step.parents)
+
+    def test_proportional_share_prefers_heavy_sets(self):
+        system = SetSystem(
+            sets={"light": ["u"], "heavy": ["u"]},
+            weights={"light": 1.0, "heavy": 9.0},
+        )
+        instance = OnlineInstance(system)
+        heavy_wins = 0
+        trials = 2000
+        for seed in range(trials):
+            result = simulate(
+                instance, ProportionalShareAlgorithm(), rng=random.Random(seed)
+            )
+            if "heavy" in result.completed_sets:
+                heavy_wins += 1
+        assert heavy_wins / trials == pytest.approx(0.9, abs=0.03)

@@ -1,0 +1,141 @@
+"""Unit tests for the R_w priority distribution and its hash-based variant."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.priorities import (
+    hash_priority,
+    hash_unit_interval,
+    priority_cdf,
+    priority_mean,
+    priority_pdf,
+    sample_priority,
+    win_probability,
+)
+from repro.exceptions import OspError
+
+
+class TestSampling:
+    def test_samples_lie_in_unit_interval(self):
+        rng = random.Random(0)
+        for weight in (0.5, 1.0, 3.0, 10.0):
+            for _ in range(100):
+                value = sample_priority(weight, rng)
+                assert 0.0 < value <= 1.0
+
+    def test_higher_weight_gives_stochastically_larger_samples(self):
+        rng = random.Random(1)
+        light = [sample_priority(1.0, rng) for _ in range(3000)]
+        heavy = [sample_priority(8.0, rng) for _ in range(3000)]
+        assert sum(heavy) / len(heavy) > sum(light) / len(light)
+
+    def test_empirical_mean_matches_w_over_w_plus_1(self):
+        rng = random.Random(2)
+        weight = 4.0
+        samples = [sample_priority(weight, rng) for _ in range(20000)]
+        empirical = sum(samples) / len(samples)
+        assert empirical == pytest.approx(priority_mean(weight), abs=0.01)
+
+    def test_empirical_cdf_matches_x_power_w(self):
+        rng = random.Random(3)
+        weight = 3.0
+        samples = [sample_priority(weight, rng) for _ in range(20000)]
+        for x in (0.3, 0.6, 0.9):
+            empirical = sum(1 for s in samples if s < x) / len(samples)
+            assert empirical == pytest.approx(priority_cdf(weight, x), abs=0.02)
+
+    def test_invalid_weight_rejected(self):
+        rng = random.Random(0)
+        with pytest.raises(OspError):
+            sample_priority(0.0, rng)
+        with pytest.raises(OspError):
+            sample_priority(-1.0, rng)
+        with pytest.raises(OspError):
+            sample_priority(float("nan"), rng)
+
+
+class TestClosedForms:
+    def test_cdf_boundaries(self):
+        assert priority_cdf(2.0, -0.5) == 0.0
+        assert priority_cdf(2.0, 0.0) == 0.0
+        assert priority_cdf(2.0, 1.0) == 1.0
+        assert priority_cdf(2.0, 2.0) == 1.0
+
+    def test_cdf_interior(self):
+        assert priority_cdf(2.0, 0.5) == pytest.approx(0.25)
+        assert priority_cdf(1.0, 0.5) == pytest.approx(0.5)
+
+    def test_pdf_integrates_to_one(self):
+        weight = 2.5
+        steps = 10000
+        total = sum(
+            priority_pdf(weight, (i + 0.5) / steps) / steps for i in range(steps)
+        )
+        assert total == pytest.approx(1.0, abs=1e-3)
+
+    def test_pdf_outside_support_is_zero(self):
+        assert priority_pdf(2.0, -0.1) == 0.0
+        assert priority_pdf(2.0, 1.1) == 0.0
+
+    def test_mean_formula(self):
+        assert priority_mean(1.0) == pytest.approx(0.5)
+        assert priority_mean(3.0) == pytest.approx(0.75)
+
+    def test_win_probability_lemma1_form(self):
+        # A set of weight w beats an aggregate of weight w' with prob w/(w+w').
+        assert win_probability(2.0, 6.0) == pytest.approx(0.25)
+        assert win_probability(1.0, 0.0) == pytest.approx(1.0)
+
+    def test_win_probability_negative_competitor_rejected(self):
+        with pytest.raises(OspError):
+            win_probability(1.0, -1.0)
+
+    def test_win_probability_empirical(self):
+        rng = random.Random(4)
+        wins = 0
+        trials = 20000
+        for _ in range(trials):
+            mine = sample_priority(2.0, rng)
+            theirs = sample_priority(6.0, rng)
+            if mine > theirs:
+                wins += 1
+        assert wins / trials == pytest.approx(0.25, abs=0.01)
+
+
+class TestHashPriorities:
+    def test_deterministic_in_key_and_salt(self):
+        assert hash_unit_interval("S1", salt="x") == hash_unit_interval("S1", salt="x")
+        assert hash_priority("S1", 2.0, salt="x") == hash_priority("S1", 2.0, salt="x")
+
+    def test_different_salts_differ(self):
+        assert hash_unit_interval("S1", salt="a") != hash_unit_interval("S1", salt="b")
+
+    def test_different_keys_differ(self):
+        assert hash_unit_interval("S1") != hash_unit_interval("S2")
+
+    def test_values_in_unit_interval(self):
+        for key in range(50):
+            value = hash_unit_interval(key)
+            assert 0.0 <= value < 1.0
+            priority = hash_priority(key, 3.0)
+            assert 0.0 < priority <= 1.0
+
+    def test_bytes_and_int_keys_accepted(self):
+        assert 0.0 <= hash_unit_interval(b"abc") < 1.0
+        assert 0.0 <= hash_unit_interval(12345) < 1.0
+
+    def test_hash_priorities_roughly_uniform(self):
+        values = [hash_unit_interval(f"key{i}", salt="u") for i in range(2000)]
+        mean = sum(values) / len(values)
+        assert mean == pytest.approx(0.5, abs=0.03)
+
+    def test_weight_transform_shifts_distribution(self):
+        light = [hash_priority(f"k{i}", 1.0, salt="w") for i in range(2000)]
+        heavy = [hash_priority(f"k{i}", 8.0, salt="w") for i in range(2000)]
+        assert sum(heavy) / len(heavy) > sum(light) / len(light)
+
+    def test_invalid_weight_rejected(self):
+        with pytest.raises(OspError):
+            hash_priority("S", 0.0)

@@ -1,0 +1,257 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+import math
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import (
+    FirstListedAlgorithm,
+    GreedyWeightAlgorithm,
+    HashedRandPrAlgorithm,
+    RandPrAlgorithm,
+)
+from repro.core import OnlineInstance, SetSystem, compute_statistics, simulate
+from repro.core.bounds import (
+    best_upper_bound,
+    corollary6_upper_bound,
+    theorem1_upper_bound,
+    trivial_upper_bound,
+)
+from repro.core.priorities import priority_cdf, priority_mean, win_probability
+from repro.core.statistics import identity_nk_sigma
+from repro.distributed import UniversalHashFamily, fold_key
+from repro.lowerbounds.finite_field import FiniteField, is_prime_power
+from repro.offline import (
+    greedy_offline_packing,
+    local_search_packing,
+    lp_relaxation_bound,
+    solve_exact,
+)
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+@st.composite
+def set_systems(draw, max_sets=8, max_elements=10, weighted=True, max_capacity=1):
+    """A random small weighted set system."""
+    num_sets = draw(st.integers(min_value=1, max_value=max_sets))
+    num_elements = draw(st.integers(min_value=1, max_value=max_elements))
+    elements = [f"u{i}" for i in range(num_elements)]
+    sets = {}
+    weights = {}
+    for index in range(num_sets):
+        size = draw(st.integers(min_value=0, max_value=num_elements))
+        members = draw(
+            st.lists(
+                st.sampled_from(elements), min_size=size, max_size=size, unique=True
+            )
+        )
+        sets[f"S{index}"] = members
+        if weighted:
+            weights[f"S{index}"] = draw(
+                st.floats(min_value=0.1, max_value=10.0, allow_nan=False)
+            )
+    capacities = None
+    if max_capacity > 1:
+        used_elements = sorted({member for members in sets.values() for member in members})
+        capacities = {
+            element: draw(st.integers(min_value=1, max_value=max_capacity))
+            for element in used_elements
+        }
+    return SetSystem(sets, weights=weights if weighted else None, capacities=capacities)
+
+
+@st.composite
+def instances(draw, **kwargs):
+    system = draw(set_systems(**kwargs))
+    order = list(system.element_ids)
+    seed = draw(st.integers(min_value=0, max_value=2 ** 16))
+    random.Random(seed).shuffle(order)
+    return OnlineInstance(system, order)
+
+
+# ----------------------------------------------------------------------
+# Set-system invariants
+# ----------------------------------------------------------------------
+class TestSetSystemProperties:
+    @given(set_systems())
+    @settings(max_examples=60, deadline=None)
+    def test_incidence_identity_always_holds(self, system):
+        result = identity_nk_sigma(system)
+        assert result["difference"] < 1e-9
+
+    @given(set_systems())
+    @settings(max_examples=60, deadline=None)
+    def test_neighbourhood_symmetry(self, system):
+        for first in system.set_ids:
+            for second in system.closed_neighbourhood(first):
+                assert first in system.closed_neighbourhood(second)
+
+    @given(set_systems())
+    @settings(max_examples=60, deadline=None)
+    def test_load_equals_parent_count_and_sums_match(self, system):
+        total_from_elements = sum(system.load(e) for e in system.element_ids)
+        total_from_sets = sum(system.size(s) for s in system.set_ids)
+        assert total_from_elements == total_from_sets
+
+    @given(set_systems())
+    @settings(max_examples=40, deadline=None)
+    def test_restriction_preserves_weights_and_membership(self, system):
+        keep = list(system.set_ids)[: max(1, len(system.set_ids) // 2)]
+        restricted = system.restricted_to_sets(keep)
+        for set_id in keep:
+            assert restricted.members(set_id) == system.members(set_id)
+            assert restricted.weight(set_id) == system.weight(set_id)
+
+
+# ----------------------------------------------------------------------
+# Bounds invariants
+# ----------------------------------------------------------------------
+class TestBoundProperties:
+    @given(set_systems())
+    @settings(max_examples=60, deadline=None)
+    def test_bound_ordering(self, system):
+        assert theorem1_upper_bound(system) <= corollary6_upper_bound(system) + 1e-9
+        assert corollary6_upper_bound(system) <= trivial_upper_bound(system) + 1e-9
+        assert best_upper_bound(system) <= corollary6_upper_bound(system) + 1e-9
+
+    @given(set_systems())
+    @settings(max_examples=60, deadline=None)
+    def test_bounds_are_finite_and_at_least_one(self, system):
+        for bound in (
+            theorem1_upper_bound(system),
+            corollary6_upper_bound(system),
+            best_upper_bound(system),
+        ):
+            assert bound >= 1.0
+            assert math.isfinite(bound)
+
+    @given(
+        st.floats(min_value=0.1, max_value=50.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_win_probability_in_unit_interval(self, weight, competitor):
+        value = win_probability(weight, competitor)
+        assert 0.0 < value <= 1.0
+
+    @given(st.floats(min_value=0.1, max_value=20.0, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_priority_cdf_monotone(self, weight):
+        previous = 0.0
+        for step in range(11):
+            x = step / 10
+            value = priority_cdf(weight, x)
+            assert value >= previous - 1e-12
+            previous = value
+        assert priority_mean(weight) < 1.0
+
+
+# ----------------------------------------------------------------------
+# Simulation / algorithm invariants
+# ----------------------------------------------------------------------
+class TestSimulationProperties:
+    @given(instances(), st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=50, deadline=None)
+    def test_completed_sets_are_feasible_and_benefit_consistent(self, instance, seed):
+        result = simulate(instance, RandPrAlgorithm(), rng=random.Random(seed))
+        assert instance.system.is_feasible_packing(result.completed_sets)
+        recomputed = sum(instance.system.weight(s) for s in result.completed_sets)
+        assert result.benefit == recomputed
+
+    @given(instances(), st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=50, deadline=None)
+    def test_benefit_never_exceeds_offline_optimum(self, instance, seed):
+        result = simulate(instance, RandPrAlgorithm(), rng=random.Random(seed))
+        optimum = solve_exact(instance.system).weight
+        assert result.benefit <= optimum + 1e-9
+
+    @given(instances(max_capacity=3), st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=50, deadline=None)
+    def test_variable_capacity_feasibility(self, instance, seed):
+        result = simulate(instance, RandPrAlgorithm(), rng=random.Random(seed))
+        assert instance.system.is_feasible_packing(result.completed_sets)
+
+    @given(instances())
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic_algorithms_are_reproducible(self, instance):
+        for algorithm_factory in (GreedyWeightAlgorithm, FirstListedAlgorithm):
+            first = simulate(instance, algorithm_factory())
+            second = simulate(instance, algorithm_factory())
+            assert first.completed_sets == second.completed_sets
+
+    @given(instances(), st.text(min_size=1, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_hashed_randpr_salt_determinism(self, instance, salt):
+        first = simulate(instance, HashedRandPrAlgorithm(salt=salt))
+        second = simulate(instance, HashedRandPrAlgorithm(salt=salt))
+        assert first.completed_sets == second.completed_sets
+
+    @given(instances())
+    @settings(max_examples=40, deadline=None)
+    def test_arrival_order_does_not_change_randpr_outcome_given_priorities(self, instance):
+        # randPr's outcome depends only on the drawn priorities, not on the
+        # order in which elements arrive (each element's winner is a function
+        # of its parent set priorities alone).
+        algorithm = HashedRandPrAlgorithm(salt="order-invariance")
+        forward = simulate(instance, algorithm)
+        reversed_instance = instance.with_order(list(reversed(instance.arrival_order)))
+        backward = simulate(instance := reversed_instance, algorithm)
+        assert forward.completed_sets == backward.completed_sets
+
+
+# ----------------------------------------------------------------------
+# Offline solver invariants
+# ----------------------------------------------------------------------
+class TestOfflineProperties:
+    @given(set_systems())
+    @settings(max_examples=40, deadline=None)
+    def test_exact_at_least_greedy_and_local_search(self, system):
+        exact = solve_exact(system).weight
+        assert exact >= greedy_offline_packing(system).weight - 1e-9
+        assert exact >= local_search_packing(system).weight - 1e-9
+
+    @given(set_systems())
+    @settings(max_examples=40, deadline=None)
+    def test_lp_upper_bounds_exact(self, system):
+        exact = solve_exact(system).weight
+        assert lp_relaxation_bound(system).value >= exact - 1e-6
+
+    @given(set_systems(max_capacity=3))
+    @settings(max_examples=30, deadline=None)
+    def test_exact_solution_feasible_with_capacities(self, system):
+        solution = solve_exact(system)
+        assert system.is_feasible_packing(solution.chosen_sets)
+
+
+# ----------------------------------------------------------------------
+# Hashing and finite-field invariants
+# ----------------------------------------------------------------------
+class TestSubstrateProperties:
+    @given(st.integers(min_value=0, max_value=2 ** 61 - 2))
+    @settings(max_examples=100, deadline=None)
+    def test_fold_key_identity_on_small_ints(self, value):
+        assert fold_key(value) == value
+
+    @given(st.integers(min_value=0, max_value=10 ** 6), st.text(max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_universal_hash_in_range(self, seed, key):
+        family = UniversalHashFamily(seed=seed, output_range=1000)
+        assert 0 <= family.hash(key) < 1000
+
+    @given(st.sampled_from([2, 3, 4, 5, 7, 8, 9, 11, 13, 16, 25, 27]))
+    @settings(max_examples=20, deadline=None)
+    def test_field_inverse_property(self, order):
+        field = FiniteField(order)
+        for a in range(1, order):
+            assert field.mul(a, field.inverse(a)) == 1
+
+    @given(st.integers(min_value=2, max_value=200))
+    @settings(max_examples=100, deadline=None)
+    def test_prime_power_detection_consistent(self, value):
+        if is_prime_power(value):
+            field = FiniteField(value) if value <= 32 else None
+            if field is not None:
+                assert field.order == value

@@ -1,0 +1,159 @@
+"""Property-based tests for the analysis closed forms and the general packing extension."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.general import GeneralGreedyWeightAlgorithm, GeneralRandPrAlgorithm
+from repro.core import OnlineInstance, SetSystem
+from repro.core.analysis import (
+    benefit_variance_upper_bound,
+    expected_benefit_closed_form,
+    lemma5_lower_bound,
+    survival_probabilities,
+)
+from repro.core.general_packing import (
+    GeneralPackingBuilder,
+    osp_instance_to_general,
+    simulate_general,
+    solve_general_exact,
+)
+from repro.experiments.confidence import bootstrap_mean_interval
+from repro.offline import solve_exact
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+@st.composite
+def unit_capacity_systems(draw, max_sets=7, max_elements=9, min_set_size=0):
+    num_sets = draw(st.integers(min_value=1, max_value=max_sets))
+    num_elements = draw(st.integers(min_value=1, max_value=max_elements))
+    elements = [f"u{i}" for i in range(num_elements)]
+    sets = {}
+    weights = {}
+    for index in range(num_sets):
+        size = draw(st.integers(min_value=min_set_size, max_value=num_elements))
+        members = draw(
+            st.lists(st.sampled_from(elements), min_size=size, max_size=size, unique=True)
+        )
+        sets[f"S{index}"] = members
+        weights[f"S{index}"] = draw(st.floats(min_value=0.5, max_value=8.0, allow_nan=False))
+    return SetSystem(sets, weights=weights)
+
+
+@st.composite
+def general_instances(draw, max_sets=6, max_resources=6):
+    num_sets = draw(st.integers(min_value=1, max_value=max_sets))
+    num_resources = draw(st.integers(min_value=1, max_value=max_resources))
+    builder = GeneralPackingBuilder()
+    for index in range(num_sets):
+        builder.declare_set(
+            f"S{index}", draw(st.floats(min_value=0.5, max_value=5.0, allow_nan=False))
+        )
+    for resource in range(num_resources):
+        demanders = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=num_sets - 1),
+                min_size=0,
+                max_size=num_sets,
+                unique=True,
+            )
+        )
+        if not demanders:
+            continue
+        demands = {
+            f"S{index}": draw(st.integers(min_value=1, max_value=3)) for index in demanders
+        }
+        capacity = draw(st.integers(min_value=1, max_value=6))
+        builder.add_resource(demands, capacity=capacity, element_id=f"r{resource}")
+    return builder.build()
+
+
+# ----------------------------------------------------------------------
+# Analysis closed forms
+# ----------------------------------------------------------------------
+class TestAnalysisProperties:
+    @given(unit_capacity_systems())
+    @settings(max_examples=60, deadline=None)
+    def test_survival_probabilities_are_probabilities(self, system):
+        for value in survival_probabilities(system).values():
+            assert 0.0 <= value <= 1.0
+
+    @given(unit_capacity_systems(min_set_size=1))
+    @settings(max_examples=60, deadline=None)
+    def test_expected_benefit_between_lemma5_bound_and_opt_weight_total(self, system):
+        # Lemma 5 assumes every set has at least one element (empty sets make
+        # the n*mean(sigma*sigma$) denominator undercount w(N[S])).
+        expected = expected_benefit_closed_form(system)
+        assert expected <= system.total_weight() + 1e-9
+        assert expected >= lemma5_lower_bound(system) - 1e-9
+
+    @given(unit_capacity_systems())
+    @settings(max_examples=40, deadline=None)
+    def test_expected_benefit_never_exceeds_exact_opt(self, system):
+        # E[w(alg)] <= w(opt) because alg's output is always a feasible packing.
+        assert expected_benefit_closed_form(system) <= solve_exact(system).weight + 1e-9
+
+    @given(unit_capacity_systems())
+    @settings(max_examples=40, deadline=None)
+    def test_variance_bound_nonnegative(self, system):
+        assert benefit_variance_upper_bound(system) >= 0.0
+
+
+# ----------------------------------------------------------------------
+# Bootstrap
+# ----------------------------------------------------------------------
+class TestBootstrapProperties:
+    @given(
+        st.lists(st.floats(min_value=-100, max_value=100, allow_nan=False), min_size=1,
+                 max_size=40),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_interval_brackets_the_sample_mean(self, samples, seed):
+        interval = bootstrap_mean_interval(samples, seed=seed, resamples=200)
+        mean = sum(samples) / len(samples)
+        assert interval.low - 1e-9 <= mean <= interval.high + 1e-9
+        assert interval.low <= interval.high
+
+
+# ----------------------------------------------------------------------
+# General packing
+# ----------------------------------------------------------------------
+class TestGeneralPackingProperties:
+    @given(general_instances(), st.integers(min_value=0, max_value=500))
+    @settings(max_examples=50, deadline=None)
+    def test_online_results_feasible_and_bounded_by_exact(self, instance, seed):
+        _, opt = solve_general_exact(instance)
+        for algorithm in (GeneralRandPrAlgorithm(), GeneralGreedyWeightAlgorithm()):
+            result = simulate_general(instance, algorithm, rng=random.Random(seed))
+            assert instance.is_feasible(result.completed_sets)
+            assert result.benefit <= opt + 1e-9
+
+    @given(general_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_exact_solution_feasible(self, instance):
+        chosen, value = solve_general_exact(instance)
+        assert instance.is_feasible(chosen)
+        assert value >= -1e-9
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_osp_embedding_equivalence(self, seed):
+        # For any random OSP instance and seed, simulating the OSP form and the
+        # embedded general form with the same RNG completes the same sets.
+        from repro.algorithms import RandPrAlgorithm
+        from repro.core import simulate
+        from repro.workloads import random_online_instance
+
+        rng = random.Random(seed)
+        instance = random_online_instance(10, 14, (1, 3), rng)
+        general = osp_instance_to_general(instance)
+        osp_result = simulate(instance, RandPrAlgorithm(), rng=random.Random(seed))
+        general_result = simulate_general(
+            general, GeneralRandPrAlgorithm(), rng=random.Random(seed)
+        )
+        assert {str(s) for s in osp_result.completed_sets} == set(
+            general_result.completed_sets
+        )

@@ -1,0 +1,141 @@
+"""Tests for Algorithm randPr, including an empirical check of Lemma 1."""
+
+import random
+
+import pytest
+
+from repro.algorithms import RandPrAlgorithm
+from repro.core import OnlineInstance, SetSystem, simulate, simulate_many
+from repro.core.bounds import corollary6_upper_bound, theorem1_upper_bound
+from repro.offline.exact import solve_exact
+from repro.workloads import disjoint_blocks_instance, random_online_instance
+
+
+class TestBasicBehaviour:
+    def test_assigns_highest_priority_parent(self, tiny_instance):
+        algorithm = RandPrAlgorithm()
+        result = simulate(tiny_instance, algorithm, rng=random.Random(0), record_steps=True)
+        for step in result.steps:
+            if not step.assigned:
+                continue
+            chosen = max(step.assigned, key=algorithm.priority_of)
+            best = max(step.parents, key=algorithm.priority_of)
+            assert algorithm.priority_of(chosen) == pytest.approx(
+                algorithm.priority_of(best)
+            )
+
+    def test_priorities_fixed_for_whole_run(self, tiny_instance):
+        algorithm = RandPrAlgorithm()
+        simulate(tiny_instance, algorithm, rng=random.Random(1))
+        first = {s: algorithm.priority_of(s) for s in tiny_instance.system.set_ids}
+        # Decisions never mutate priorities; re-reading them gives same values.
+        second = {s: algorithm.priority_of(s) for s in tiny_instance.system.set_ids}
+        assert first == second
+
+    def test_reproducible_with_seed(self, tiny_instance):
+        a = simulate(tiny_instance, RandPrAlgorithm(), rng=random.Random(5))
+        b = simulate(tiny_instance, RandPrAlgorithm(), rng=random.Random(5))
+        assert a.completed_sets == b.completed_sets
+
+    def test_different_seeds_vary(self, tiny_instance):
+        outcomes = {
+            simulate(tiny_instance, RandPrAlgorithm(), rng=random.Random(seed)).completed_sets
+            for seed in range(30)
+        }
+        assert len(outcomes) > 1
+
+    def test_capacity_respected(self):
+        system = SetSystem(
+            sets={"S": ["u"], "T": ["u"], "R": ["u"]}, capacities={"u": 2}
+        )
+        instance = OnlineInstance(system)
+        result = simulate(instance, RandPrAlgorithm(), rng=random.Random(0))
+        assert result.num_completed == 2
+
+    def test_is_randomized(self):
+        assert not RandPrAlgorithm().is_deterministic
+
+    def test_zero_weight_sets_handled(self):
+        system = SetSystem(sets={"S": ["u"], "T": ["u"]}, weights={"S": 0.0, "T": 1.0})
+        instance = OnlineInstance(system)
+        # Must not crash; the zero-weight set gets a tiny surrogate weight.
+        result = simulate(instance, RandPrAlgorithm(), rng=random.Random(0))
+        assert result.num_completed == 1
+
+
+class TestLemma1:
+    """Lemma 1: Pr[S in alg] = w(S) / w(N[S]) on unit-capacity instances."""
+
+    def _survival_frequencies(self, system, trials=4000, seed=0):
+        instance = OnlineInstance(system)
+        counts = {set_id: 0 for set_id in system.set_ids}
+        for trial in range(trials):
+            result = simulate(instance, RandPrAlgorithm(), rng=random.Random(seed + trial))
+            for set_id in result.completed_sets:
+                counts[set_id] += 1
+        return {set_id: counts[set_id] / trials for set_id in counts}
+
+    def test_unweighted_triangle(self):
+        # Three mutually intersecting unit-weight sets: each survives w.p. 1/3.
+        system = SetSystem(
+            sets={"A": ["x", "y"], "B": ["y", "z"], "C": ["z", "x"]}
+        )
+        freqs = self._survival_frequencies(system)
+        for set_id in ("A", "B", "C"):
+            expected = 1.0 / system.neighbourhood_weight(set_id)
+            assert freqs[set_id] == pytest.approx(expected, abs=0.03)
+
+    def test_weighted_pair(self):
+        # Two sets sharing one element, weights 1 and 3: survival 1/4 and 3/4.
+        system = SetSystem(
+            sets={"L": ["u", "a"], "H": ["u", "b"]}, weights={"L": 1.0, "H": 3.0}
+        )
+        freqs = self._survival_frequencies(system)
+        assert freqs["L"] == pytest.approx(0.25, abs=0.03)
+        assert freqs["H"] == pytest.approx(0.75, abs=0.03)
+
+    def test_quickstart_instance(self, tiny_system):
+        freqs = self._survival_frequencies(tiny_system)
+        for set_id in tiny_system.set_ids:
+            expected = tiny_system.weight(set_id) / tiny_system.neighbourhood_weight(set_id)
+            assert freqs[set_id] == pytest.approx(expected, abs=0.035)
+
+    def test_isolated_set_always_survives(self):
+        system = SetSystem(sets={"alone": ["u", "v"], "other": ["w"]})
+        freqs = self._survival_frequencies(system, trials=200)
+        assert freqs["alone"] == pytest.approx(1.0)
+        assert freqs["other"] == pytest.approx(1.0)
+
+
+class TestCompetitiveBehaviour:
+    def test_blocks_instance_completes_one_per_block(self):
+        instance = disjoint_blocks_instance(num_blocks=5, sets_per_block=4, elements_per_block=3)
+        for seed in range(10):
+            result = simulate(instance, RandPrAlgorithm(), rng=random.Random(seed))
+            assert result.num_completed == 5
+
+    def test_mean_benefit_respects_theorem1_on_random_instances(self):
+        # Average the measured ratio over several instances; it must respect
+        # the per-instance Theorem 1 bound (we check against the loosest of
+        # the per-instance bounds to keep the test sharp yet robust).
+        for seed in range(3):
+            instance = random_online_instance(
+                25, 40, (2, 4), random.Random(seed), name=f"r{seed}"
+            )
+            opt = solve_exact(instance.system).weight
+            results = simulate_many(instance, RandPrAlgorithm(), trials=60, seed=seed)
+            mean_benefit = sum(r.benefit for r in results) / len(results)
+            ratio = opt / mean_benefit
+            assert ratio <= theorem1_upper_bound(instance.system) + 0.5
+            assert ratio <= corollary6_upper_bound(instance.system) + 0.5
+
+    def test_empirical_benefit_matches_lemma1_sum(self, tiny_system):
+        # E[w(alg)] = sum_S w(S)^2 / w(N[S]) exactly (by Lemma 1); check it.
+        instance = OnlineInstance(tiny_system)
+        expected = sum(
+            tiny_system.weight(s) ** 2 / tiny_system.neighbourhood_weight(s)
+            for s in tiny_system.set_ids
+        )
+        results = simulate_many(instance, RandPrAlgorithm(), trials=6000, seed=11)
+        mean_benefit = sum(r.benefit for r in results) / len(results)
+        assert mean_benefit == pytest.approx(expected, rel=0.06)

@@ -1,0 +1,231 @@
+"""Unit tests for repro.core.set_system."""
+
+import pytest
+
+from repro.core.set_system import SetInfo, SetSystem, build_from_element_lists
+from repro.exceptions import InvalidSetSystemError
+
+
+class TestConstruction:
+    def test_basic_counts(self, tiny_system):
+        assert tiny_system.num_sets == 3
+        assert tiny_system.num_elements == 6
+
+    def test_default_weight_is_one(self):
+        system = SetSystem(sets={"S": ["u"]})
+        assert system.weight("S") == 1.0
+        assert system.is_unweighted()
+
+    def test_default_capacity_is_one(self):
+        system = SetSystem(sets={"S": ["u"]})
+        assert system.capacity("u") == 1
+        assert system.is_unit_capacity()
+
+    def test_explicit_weights_and_capacities(self):
+        system = SetSystem(
+            sets={"S": ["u", "v"]}, weights={"S": 2.5}, capacities={"u": 3}
+        )
+        assert system.weight("S") == 2.5
+        assert system.capacity("u") == 3
+        assert system.capacity("v") == 1
+        assert not system.is_unweighted()
+        assert not system.is_unit_capacity()
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(InvalidSetSystemError):
+            SetSystem(sets={"S": ["u"]}, weights={"S": -1.0})
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(InvalidSetSystemError):
+            SetSystem(sets={"S": ["u"]}, capacities={"u": 0})
+
+    def test_non_integer_capacity_rejected(self):
+        with pytest.raises(InvalidSetSystemError):
+            SetSystem(sets={"S": ["u"]}, capacities={"u": 1.5})
+
+    def test_boolean_capacity_rejected(self):
+        with pytest.raises(InvalidSetSystemError):
+            SetSystem(sets={"S": ["u"]}, capacities={"u": True})
+
+    def test_weight_for_unknown_set_rejected(self):
+        with pytest.raises(InvalidSetSystemError):
+            SetSystem(sets={"S": ["u"]}, weights={"T": 1.0})
+
+    def test_capacity_for_unknown_element_rejected(self):
+        with pytest.raises(InvalidSetSystemError):
+            SetSystem(sets={"S": ["u"]}, capacities={"v": 2})
+
+    def test_empty_set_allowed(self):
+        system = SetSystem(sets={"S": []})
+        assert system.size("S") == 0
+        assert system.num_elements == 0
+
+    def test_duplicate_members_collapse(self):
+        system = SetSystem(sets={"S": ["u", "u", "v"]})
+        assert system.size("S") == 2
+
+    def test_repr_mentions_counts(self, tiny_system):
+        text = repr(tiny_system)
+        assert "num_sets=3" in text
+        assert "num_elements=6" in text
+
+
+class TestAccessors:
+    def test_members(self, tiny_system):
+        assert tiny_system.members("A") == frozenset({"t0", "t1", "t2", "t3"})
+
+    def test_unknown_set_raises(self, tiny_system):
+        with pytest.raises(InvalidSetSystemError):
+            tiny_system.members("Z")
+
+    def test_unknown_element_raises(self, tiny_system):
+        with pytest.raises(InvalidSetSystemError):
+            tiny_system.parents("t99")
+
+    def test_parents(self, tiny_system):
+        assert set(tiny_system.parents("t1")) == {"A", "B"}
+        assert set(tiny_system.parents("t5")) == {"C"}
+
+    def test_contains(self, tiny_system):
+        assert tiny_system.contains("A", "t0")
+        assert not tiny_system.contains("B", "t0")
+
+    def test_set_info(self, tiny_system):
+        info = tiny_system.set_info("A")
+        assert info == SetInfo(set_id="A", weight=4.0, size=4)
+
+    def test_set_infos_covers_all_sets(self, tiny_system):
+        infos = tiny_system.set_infos()
+        assert set(infos) == {"A", "B", "C"}
+        assert infos["B"].size == 3
+
+    def test_iter_sets_is_deterministic(self, tiny_system):
+        first = list(tiny_system.iter_sets())
+        second = list(tiny_system.iter_sets())
+        assert first == second
+
+    def test_dunder_contains_and_len(self, tiny_system):
+        assert "A" in tiny_system
+        assert "Z" not in tiny_system
+        assert len(tiny_system) == 3
+
+
+class TestLoadsAndNeighbourhoods:
+    def test_load(self, tiny_system):
+        assert tiny_system.load("t1") == 2
+        assert tiny_system.load("t0") == 1
+
+    def test_weighted_load(self, tiny_system):
+        assert tiny_system.weighted_load("t1") == pytest.approx(7.0)
+        assert tiny_system.weighted_load("t4") == pytest.approx(6.0)
+
+    def test_adjusted_load_unit_capacity(self, tiny_system):
+        assert tiny_system.adjusted_load("t1") == pytest.approx(2.0)
+
+    def test_adjusted_load_with_capacity(self):
+        system = SetSystem(sets={"S": ["u"], "T": ["u"]}, capacities={"u": 2})
+        assert system.adjusted_load("u") == pytest.approx(1.0)
+
+    def test_closed_neighbourhood(self, tiny_system):
+        assert tiny_system.closed_neighbourhood("A") == frozenset({"A", "B", "C"})
+
+    def test_open_neighbourhood(self, tiny_system):
+        assert tiny_system.open_neighbourhood("B") == frozenset({"A", "C"})
+
+    def test_neighbourhood_of_isolated_set(self, disjoint_system):
+        assert disjoint_system.closed_neighbourhood("X") == frozenset({"X"})
+        assert disjoint_system.open_neighbourhood("X") == frozenset()
+
+    def test_neighbourhood_weight(self, tiny_system):
+        assert tiny_system.neighbourhood_weight("A") == pytest.approx(10.0)
+
+    def test_intersect_and_disjoint(self, tiny_system):
+        assert tiny_system.intersect("A", "B") == frozenset({"t1", "t2"})
+        assert tiny_system.are_disjoint("A", "A") is False
+        assert not tiny_system.are_disjoint("B", "C")
+
+    def test_star_loads(self, star_system):
+        assert star_system.load("hub") == 5
+        assert star_system.load("leaf0") == 1
+
+
+class TestAggregatesAndPredicates:
+    def test_total_weight(self, tiny_system):
+        assert tiny_system.total_weight() == pytest.approx(10.0)
+        assert tiny_system.total_weight(["A", "C"]) == pytest.approx(7.0)
+
+    def test_feasible_packing_disjoint(self, disjoint_system):
+        assert disjoint_system.is_feasible_packing(["X", "Y"])
+
+    def test_feasible_packing_conflict(self, tiny_system):
+        assert not tiny_system.is_feasible_packing(["A", "B"])
+        assert tiny_system.is_feasible_packing(["A"])
+
+    def test_feasible_packing_duplicates_rejected(self, tiny_system):
+        assert not tiny_system.is_feasible_packing(["A", "A"])
+
+    def test_feasible_packing_respects_capacity(self):
+        system = SetSystem(
+            sets={"S": ["u"], "T": ["u"], "R": ["u"]}, capacities={"u": 2}
+        )
+        assert system.is_feasible_packing(["S", "T"])
+        assert not system.is_feasible_packing(["S", "T", "R"])
+
+    def test_empty_packing_is_feasible(self, tiny_system):
+        assert tiny_system.is_feasible_packing([])
+
+
+class TestDerivedSystems:
+    def test_restricted_to_sets(self, tiny_system):
+        restricted = tiny_system.restricted_to_sets(["A"])
+        assert restricted.num_sets == 1
+        assert restricted.num_elements == 4
+        assert restricted.weight("A") == 4.0
+
+    def test_restricted_to_unknown_set_raises(self, tiny_system):
+        with pytest.raises(InvalidSetSystemError):
+            tiny_system.restricted_to_sets(["Z"])
+
+    def test_reweighted(self, tiny_system):
+        reweighted = tiny_system.reweighted({"A": 10.0})
+        assert reweighted.weight("A") == 10.0
+        assert reweighted.weight("B") == 3.0
+        # The original is untouched.
+        assert tiny_system.weight("A") == 4.0
+
+    def test_to_dict_roundtrip_shape(self, tiny_system):
+        payload = tiny_system.to_dict()
+        assert set(payload) == {"sets", "weights", "capacities"}
+        assert len(payload["sets"]) == 3
+
+
+class TestBuildFromElementLists:
+    def test_basic(self):
+        system = build_from_element_lists({"u": ["S", "T"], "v": ["S"]})
+        assert system.num_sets == 2
+        assert system.members("S") == frozenset({"u", "v"})
+        assert system.load("u") == 2
+
+    def test_weights_declare_extra_sets(self):
+        system = build_from_element_lists({"u": ["S"]}, weights={"S": 2.0, "T": 5.0})
+        assert system.num_sets == 2
+        assert system.size("T") == 0
+        assert system.weight("T") == 5.0
+
+    def test_capacities_passed_through(self):
+        system = build_from_element_lists({"u": ["S", "T"]}, capacities={"u": 2})
+        assert system.capacity("u") == 2
+
+
+class TestSetInfoValidation:
+    def test_negative_weight_rejected(self):
+        with pytest.raises(InvalidSetSystemError):
+            SetInfo(set_id="S", weight=-1.0, size=2)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(InvalidSetSystemError):
+            SetInfo(set_id="S", weight=1.0, size=-2)
+
+    def test_valid_info(self):
+        info = SetInfo(set_id="S", weight=0.0, size=0)
+        assert info.weight == 0.0

@@ -1,0 +1,173 @@
+"""Unit tests for the simulation engine and algorithm protocol validation."""
+
+import random
+
+import pytest
+
+from repro.algorithms import FirstListedAlgorithm, RandPrAlgorithm
+from repro.core.algorithm import OnlineAlgorithm, validate_decision
+from repro.core.instance import ElementArrival, OnlineInstance
+from repro.core.set_system import SetSystem
+from repro.core.simulation import expected_benefit, simulate, simulate_many
+from repro.exceptions import AlgorithmProtocolError
+
+
+class AlwaysFirstParent(OnlineAlgorithm):
+    """Assign every element to its first announced parent (capacity permitting)."""
+
+    name = "always-first"
+    is_deterministic = True
+
+    def decide(self, arrival):
+        return frozenset(arrival.parents[: arrival.capacity])
+
+
+class RefuseEverything(OnlineAlgorithm):
+    """Assign nothing, ever."""
+
+    name = "refuse"
+    is_deterministic = True
+
+    def decide(self, arrival):
+        return frozenset()
+
+
+class CheatingAlgorithm(OnlineAlgorithm):
+    """Assign the element to a set that does not contain it (protocol violation)."""
+
+    name = "cheater"
+    is_deterministic = True
+
+    def decide(self, arrival):
+        return frozenset(["not-a-parent"])
+
+
+class OverCapacityAlgorithm(OnlineAlgorithm):
+    """Assign the element to more sets than its capacity allows."""
+
+    name = "over-capacity"
+    is_deterministic = True
+
+    def decide(self, arrival):
+        return frozenset(arrival.parents)
+
+
+class TestSimulate:
+    def test_disjoint_sets_all_complete(self, disjoint_system):
+        instance = OnlineInstance(disjoint_system)
+        result = simulate(instance, AlwaysFirstParent())
+        assert result.completed_sets == frozenset({"X", "Y"})
+        assert result.benefit == pytest.approx(2.0)
+
+    def test_refusal_completes_nothing(self, tiny_instance):
+        result = simulate(tiny_instance, RefuseEverything())
+        assert result.completed_sets == frozenset()
+        assert result.benefit == 0.0
+
+    def test_benefit_uses_weights(self, tiny_instance):
+        # Always taking the first parent: for t0..t3 the first listed parent is
+        # A (sorted order), so A completes; B and C each lose an element.
+        result = simulate(tiny_instance, AlwaysFirstParent())
+        assert "A" in result.completed_sets
+        assert result.benefit >= 4.0
+
+    def test_empty_set_trivially_completes(self):
+        system = SetSystem(sets={"E": [], "S": ["u"]})
+        instance = OnlineInstance(system)
+        result = simulate(instance, RefuseEverything())
+        assert "E" in result.completed_sets
+        assert "S" not in result.completed_sets
+
+    def test_capacity_allows_multiple_assignments(self):
+        system = SetSystem(
+            sets={"S": ["u"], "T": ["u"]}, capacities={"u": 2}
+        )
+        instance = OnlineInstance(system)
+        result = simulate(instance, OverCapacityAlgorithm())
+        assert result.completed_sets == frozenset({"S", "T"})
+
+    def test_protocol_violation_bad_parent(self, tiny_instance):
+        with pytest.raises(AlgorithmProtocolError):
+            simulate(tiny_instance, CheatingAlgorithm())
+
+    def test_protocol_violation_over_capacity(self, tiny_instance):
+        with pytest.raises(AlgorithmProtocolError):
+            simulate(tiny_instance, OverCapacityAlgorithm())
+
+    def test_step_recording_disabled_by_default(self, tiny_instance):
+        result = simulate(tiny_instance, AlwaysFirstParent())
+        assert result.steps == []
+
+    def test_step_recording(self, tiny_instance):
+        result = simulate(tiny_instance, AlwaysFirstParent(), record_steps=True)
+        assert len(result.steps) == tiny_instance.num_steps
+        first = result.steps[0]
+        assert first.element_id == "t0"
+        assert first.assigned == frozenset({"A"})
+        assert first.dropped == frozenset()
+
+    def test_dropped_property(self, tiny_instance):
+        result = simulate(tiny_instance, AlwaysFirstParent(), record_steps=True)
+        step_t1 = result.steps[1]
+        assert step_t1.assigned | step_t1.dropped == frozenset(step_t1.parents)
+
+    def test_num_completed_and_ratio(self, disjoint_system):
+        instance = OnlineInstance(disjoint_system)
+        result = simulate(instance, AlwaysFirstParent())
+        assert result.num_completed == 2
+        assert result.completion_ratio(2) == pytest.approx(1.0)
+        assert result.completion_ratio(0) == 0.0
+
+    def test_result_repr(self, tiny_instance):
+        result = simulate(tiny_instance, AlwaysFirstParent())
+        assert "always-first" in repr(result)
+
+    def test_same_seed_same_result_for_randomized(self, tiny_instance):
+        first = simulate(tiny_instance, RandPrAlgorithm(), rng=random.Random(3))
+        second = simulate(tiny_instance, RandPrAlgorithm(), rng=random.Random(3))
+        assert first.completed_sets == second.completed_sets
+
+    def test_completed_sets_form_feasible_packing(self, tiny_instance):
+        for seed in range(10):
+            result = simulate(tiny_instance, RandPrAlgorithm(), rng=random.Random(seed))
+            assert tiny_instance.system.is_feasible_packing(result.completed_sets)
+
+
+class TestSimulateMany:
+    def test_returns_requested_trials(self, tiny_instance):
+        results = simulate_many(tiny_instance, RandPrAlgorithm(), trials=5, seed=0)
+        assert len(results) == 5
+
+    def test_trials_use_distinct_seeds(self, tiny_instance):
+        results = simulate_many(tiny_instance, RandPrAlgorithm(), trials=30, seed=0)
+        benefits = {result.benefit for result in results}
+        assert len(benefits) > 1  # not all runs identical
+
+    def test_zero_trials_rejected(self, tiny_instance):
+        with pytest.raises(ValueError):
+            simulate_many(tiny_instance, RandPrAlgorithm(), trials=0)
+
+    def test_expected_benefit(self, tiny_instance):
+        results = simulate_many(tiny_instance, FirstListedAlgorithm(), trials=3, seed=0)
+        assert expected_benefit(results) == pytest.approx(results[0].benefit)
+
+    def test_expected_benefit_empty(self):
+        assert expected_benefit([]) == 0.0
+
+
+class TestValidateDecision:
+    def _arrival(self):
+        return ElementArrival(element_id="u", capacity=1, parents=("A", "B"))
+
+    def test_valid(self):
+        assert validate_decision(self._arrival(), ("A",)) is None
+        assert validate_decision(self._arrival(), ()) is None
+
+    def test_duplicates(self):
+        assert validate_decision(self._arrival(), ("A", "A")) is not None
+
+    def test_over_capacity(self):
+        assert validate_decision(self._arrival(), ("A", "B")) is not None
+
+    def test_unknown_parent(self):
+        assert validate_decision(self._arrival(), ("C",)) is not None

@@ -1,0 +1,134 @@
+"""Unit tests for repro.core.statistics."""
+
+import math
+
+import pytest
+
+from repro.core.set_system import SetSystem
+from repro.core.statistics import (
+    compute_statistics,
+    effective_competitive_denominator,
+    identity_nk_sigma,
+    load_histogram,
+    set_size_histogram,
+    weighted_incidence_identity,
+)
+
+
+class TestComputeStatistics:
+    def test_tiny_system(self, tiny_system):
+        stats = compute_statistics(tiny_system)
+        assert stats.num_sets == 3
+        assert stats.num_elements == 6
+        assert stats.k_max == 4
+        assert stats.k_mean == pytest.approx(10 / 3)
+        assert stats.sigma_max == 2
+        # loads: t0:1 t1:2 t2:2 t3:2 t4:2 t5:1 -> mean 10/6
+        assert stats.sigma_mean == pytest.approx(10 / 6)
+        assert stats.total_weight == pytest.approx(10.0)
+
+    def test_weighted_load_mean(self, tiny_system):
+        stats = compute_statistics(tiny_system)
+        # sigma$ per element: t0:4 t1:7 t2:7 t3:7 t4:6 t5:3 -> mean 34/6
+        assert stats.weighted_load_mean == pytest.approx(34 / 6)
+        assert stats.weighted_load_max == pytest.approx(7.0)
+
+    def test_sigma_weighted_product_mean(self, tiny_system):
+        stats = compute_statistics(tiny_system)
+        # products: 4, 14, 14, 14, 12, 3 -> mean 61/6
+        assert stats.sigma_weighted_product_mean == pytest.approx(61 / 6)
+
+    def test_second_moment(self, star_system):
+        stats = compute_statistics(star_system)
+        # hub load 5, five leaves load 1 -> mean (25 + 5)/6
+        assert stats.sigma_second_moment == pytest.approx(30 / 6)
+
+    def test_adjusted_load_with_capacities(self):
+        system = SetSystem(
+            sets={"S": ["u", "v"], "T": ["u"]}, capacities={"u": 2, "v": 1}
+        )
+        stats = compute_statistics(system)
+        assert stats.adjusted_load_max == pytest.approx(1.0)
+        assert stats.adjusted_load_mean == pytest.approx(1.0)
+        assert stats.capacity_max == 2
+        assert stats.capacity_min == 1
+        assert not stats.is_unit_capacity
+
+    def test_uniformity_flags(self, star_system):
+        stats = compute_statistics(star_system)
+        assert stats.uniform_set_size        # every set has size 2
+        assert not stats.uniform_load        # hub has load 5, leaves load 1
+
+    def test_uniform_load_flag(self, disjoint_system):
+        stats = compute_statistics(disjoint_system)
+        assert stats.uniform_load
+        assert stats.uniform_set_size
+
+    def test_unweighted_flag(self, tiny_system, disjoint_system):
+        assert not compute_statistics(tiny_system).is_unweighted
+        assert compute_statistics(disjoint_system).is_unweighted
+
+    def test_empty_system(self):
+        stats = compute_statistics(SetSystem(sets={}))
+        assert stats.num_sets == 0
+        assert stats.k_max == 0
+        assert stats.sigma_mean == 0.0
+        assert stats.uniform_set_size
+        assert stats.uniform_load
+
+    def test_as_dict_contains_all_keys(self, tiny_system):
+        payload = compute_statistics(tiny_system).as_dict()
+        for key in ("k_max", "sigma_max", "weighted_load_mean", "adjusted_load_mean"):
+            assert key in payload
+
+
+class TestHistograms:
+    def test_load_histogram(self, star_system):
+        histogram = load_histogram(star_system)
+        assert histogram == {5: 1, 1: 5}
+
+    def test_set_size_histogram(self, tiny_system):
+        histogram = set_size_histogram(tiny_system)
+        assert histogram == {4: 1, 3: 2}
+
+    def test_histograms_empty(self):
+        assert load_histogram(SetSystem(sets={})) == {}
+        assert set_size_histogram(SetSystem(sets={})) == {}
+
+
+class TestIdentities:
+    def test_incidence_identity(self, tiny_system):
+        result = identity_nk_sigma(tiny_system)
+        assert result["difference"] == pytest.approx(0.0, abs=1e-9)
+        assert result["m_times_k_mean"] == pytest.approx(10.0)
+
+    def test_incidence_identity_star(self, star_system):
+        result = identity_nk_sigma(star_system)
+        assert result["difference"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_weighted_incidence_identity(self, tiny_system):
+        result = weighted_incidence_identity(tiny_system)
+        assert result["difference"] == pytest.approx(0.0, abs=1e-9)
+        # Eq. (4): n * mean(sigma$) <= k_max * w(C)
+        assert result["sum_size_times_weight"] <= result["k_max_times_total_weight"] + 1e-9
+        assert result["slack"] >= -1e-9
+
+
+class TestEffectiveDenominator:
+    def test_matches_theorem1_inner_term(self, tiny_system):
+        stats = compute_statistics(tiny_system)
+        expected = math.sqrt(
+            stats.sigma_weighted_product_mean / stats.weighted_load_mean
+        )
+        assert effective_competitive_denominator(stats) == pytest.approx(expected)
+
+    def test_never_exceeds_sqrt_sigma_max(self, tiny_system, star_system):
+        for system in (tiny_system, star_system):
+            stats = compute_statistics(system)
+            assert effective_competitive_denominator(stats) <= math.sqrt(
+                stats.sigma_max
+            ) + 1e-9
+
+    def test_degenerate_returns_one(self):
+        stats = compute_statistics(SetSystem(sets={}))
+        assert effective_competitive_denominator(stats) == 1.0

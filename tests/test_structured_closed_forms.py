@@ -1,0 +1,101 @@
+"""Cross-checks between structured workloads and the Lemma 1 closed forms.
+
+The design-based instances have enough symmetry that randPr's expected
+benefit can be written down by hand; these tests pin the simulator, the
+closed-form analysis and the combinatorial constructions against each other.
+"""
+
+import random
+
+import pytest
+
+from repro.algorithms import RandPrAlgorithm
+from repro.core import simulate_many
+from repro.core.analysis import expected_benefit_closed_form, survival_probability
+from repro.core.bounds import corollary6_upper_bound
+from repro.core.statistics import compute_statistics
+from repro.offline import solve_exact
+from repro.workloads import (
+    disjoint_blocks_instance,
+    full_gadget_instance,
+    t_design_style_instance,
+)
+
+
+class TestFullGadgetClosedForm:
+    def test_every_set_survives_with_probability_one_over_mn(self):
+        # In a full (M, N)-gadget every pair of sets intersects, so N[S] is the
+        # whole collection and Lemma 1 gives Pr[S in alg] = 1 / (M*N).
+        instance = full_gadget_instance(3, 3)
+        system = instance.system
+        for set_id in system.set_ids:
+            assert survival_probability(system, set_id) == pytest.approx(1 / 9)
+
+    def test_expected_benefit_is_exactly_one(self):
+        # Summing the survival probabilities over all M*N sets gives exactly 1:
+        # randPr always completes exactly one set on a full gadget.
+        for m, n in ((2, 2), (2, 3), (3, 3), (2, 4)):
+            instance = full_gadget_instance(m, n)
+            assert expected_benefit_closed_form(instance.system) == pytest.approx(1.0)
+
+    def test_simulation_always_completes_exactly_one(self):
+        instance = full_gadget_instance(2, 3)
+        results = simulate_many(instance, RandPrAlgorithm(), trials=40, seed=0)
+        assert all(result.num_completed == 1 for result in results)
+
+    def test_randpr_is_optimal_on_full_gadgets(self):
+        # OPT is 1 on a full gadget, so randPr is 1-competitive here even
+        # though the Corollary 6 bound is much larger.
+        instance = full_gadget_instance(3, 3)
+        opt = solve_exact(instance.system).weight
+        assert opt == pytest.approx(1.0)
+        assert corollary6_upper_bound(instance.system) > 1.0
+
+
+class TestDisjointBlocksClosedForm:
+    def test_survival_probability_is_one_over_block_size(self):
+        instance = disjoint_blocks_instance(num_blocks=3, sets_per_block=5, elements_per_block=2)
+        system = instance.system
+        for set_id in system.set_ids:
+            assert survival_probability(system, set_id) == pytest.approx(1 / 5)
+
+    def test_expected_benefit_equals_number_of_blocks(self):
+        instance = disjoint_blocks_instance(num_blocks=7, sets_per_block=3, elements_per_block=4)
+        assert expected_benefit_closed_form(instance.system) == pytest.approx(7.0)
+
+    def test_simulation_matches_exactly(self):
+        instance = disjoint_blocks_instance(num_blocks=4, sets_per_block=6, elements_per_block=2)
+        results = simulate_many(instance, RandPrAlgorithm(), trials=25, seed=3)
+        assert all(result.num_completed == 4 for result in results)
+
+
+class TestTDesignClosedForm:
+    def test_row_elements_make_all_sets_conflict_within_rows(self):
+        instance = t_design_style_instance(3, random.Random(0))
+        system = instance.system
+        # Sets in the same row share the row element.
+        for i in range(3):
+            row = [f"S{i}_{j}" for j in range(3)]
+            assert not system.is_feasible_packing(row)
+
+    def test_column_remains_the_offline_witness(self):
+        t = 3
+        instance = t_design_style_instance(t, random.Random(1))
+        opt = solve_exact(instance.system)
+        assert opt.weight >= t  # a full column is feasible, so OPT >= t
+
+    def test_closed_form_matches_monte_carlo(self):
+        instance = t_design_style_instance(3, random.Random(2))
+        predicted = expected_benefit_closed_form(instance.system)
+        results = simulate_many(instance, RandPrAlgorithm(), trials=3000, seed=5)
+        measured = sum(result.benefit for result in results) / len(results)
+        assert measured == pytest.approx(predicted, rel=0.08)
+
+    def test_statistics_shape(self):
+        t = 5
+        instance = t_design_style_instance(t, random.Random(3))
+        stats = compute_statistics(instance.system)
+        assert stats.num_sets == t * t
+        assert stats.sigma_max == t
+        # Each set has one row element plus its share of the t^2 diagonals.
+        assert stats.k_mean == pytest.approx(1 + t, rel=0.2)
