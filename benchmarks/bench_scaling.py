@@ -6,15 +6,25 @@ priority), so the total simulation cost grows near-linearly in the number of
 element-set incidences.  The experiment times full simulations on growing
 random instances and reports throughput (incidences processed per second);
 the pytest-benchmark timing of the largest instance is the headline number.
+
+The simulations are routed through either the reference simulator or the
+vectorized batch engine (``repro.engine``) via the ``OSP_BENCH_ENGINE``
+environment variable (``reference`` | ``batch`` | ``auto``; default
+``auto``).  The engines agree run for run — ``tests/test_engine_differential.py``
+pins that — so the flag changes the timings, never the completed counts.
 """
 
+import os
 import random
 import time
 
 from repro.algorithms import RandPrAlgorithm
-from repro.core import simulate
+from repro.core import simulate, simulate_batch
 from repro.experiments import format_table
+from repro.experiments.competitive_ratio import validate_engine
 from repro.workloads import random_online_instance
+
+ENGINE = validate_engine(os.environ.get("OSP_BENCH_ENGINE", "auto"))
 
 SCALES = (
     (100, 200),
@@ -31,6 +41,17 @@ def _build(num_sets, num_elements, seed=0):
     )
 
 
+def _run_one(instance, seed):
+    """One randPr run on the engine selected by OSP_BENCH_ENGINE.
+
+    A batch of one trial with ``seed`` replays exactly the reference run
+    with ``random.Random(seed)``, so both paths count the same completions.
+    """
+    if ENGINE == "reference":
+        return simulate(instance, RandPrAlgorithm(), rng=random.Random(seed)).num_completed
+    return int(simulate_batch(instance, "randPr", trials=1, seed=seed).completed_counts[0])
+
+
 def test_e11_scaling_profile(run_once, experiment_report):
     def experiment():
         rows = []
@@ -40,14 +61,14 @@ def test_e11_scaling_profile(run_once, experiment_report):
                 instance.system.size(set_id) for set_id in instance.system.set_ids
             )
             start = time.perf_counter()
-            result = simulate(instance, RandPrAlgorithm(), rng=random.Random(1))
+            completed = _run_one(instance, seed=1)
             elapsed = time.perf_counter() - start
             rows.append(
                 {
                     "sets": num_sets,
                     "elements": num_elements,
                     "incidences": incidences,
-                    "completed": result.num_completed,
+                    "completed": completed,
                     "seconds": round(elapsed, 4),
                     "incidences_per_sec": int(incidences / elapsed) if elapsed else 0,
                 }
@@ -55,7 +76,10 @@ def test_e11_scaling_profile(run_once, experiment_report):
         return rows
 
     rows = run_once(experiment)
-    text = format_table(rows, title="E11: simulator scaling (randPr, single run per size)")
+    text = format_table(
+        rows,
+        title=f"E11: simulator scaling (randPr, engine={ENGINE}, single run per size)",
+    )
     experiment_report("E11_scaling", text)
 
     # Throughput must not collapse as the instance grows (near-linear scaling).
@@ -67,7 +91,7 @@ def test_e11_largest_instance_timing(benchmark):
     instance = _build(*SCALES[-1], seed=7)
 
     def body():
-        return simulate(instance, RandPrAlgorithm(), rng=random.Random(3)).num_completed
+        return _run_one(instance, seed=3)
 
     completed = benchmark(body)
     assert completed >= 0

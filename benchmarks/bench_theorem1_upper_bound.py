@@ -12,6 +12,7 @@ measured ratio stays below both bounds at every point and grows much more
 slowly than the baselines' as contention rises.
 """
 
+import os
 import random
 
 from repro.algorithms import (
@@ -21,12 +22,18 @@ from repro.algorithms import (
     UniformRandomAlgorithm,
 )
 from repro.experiments import format_table, run_sweep, summarize_rows
+from repro.experiments.competitive_ratio import validate_engine
 from repro.workloads import random_online_instance
 
 NUM_SETS = 36
 SET_SIZE_RANGE = (2, 4)
 ELEMENT_COUNTS = (90, 60, 40, 24)
 WEIGHT_RANGE = (1.0, 6.0)
+
+# Simulation engine for the sweep: the batch engine ("auto"/"batch") replays
+# the reference simulator trial for trial, so the table is identical either
+# way — only the wall-clock differs.
+ENGINE = validate_engine(os.environ.get("OSP_BENCH_ENGINE", "auto"))
 
 
 def _points():
@@ -60,6 +67,7 @@ def test_e1_theorem1_corollary6(run_once, experiment_report):
             instances_per_point=3,
             trials_per_instance=30,
             seed=101,
+            engine=ENGINE,
         )
 
     sweep = run_once(experiment)

@@ -12,6 +12,6 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.9",
-    install_requires=["numpy"],
+    install_requires=["numpy>=1.24"],
     extras_require={"dev": ["pytest", "pytest-benchmark", "hypothesis", "scipy"]},
 )

@@ -44,11 +44,15 @@ from repro.core import (
     SetInfo,
     SetSystem,
     SimulationResult,
+    BatchResult,
+    CompiledInstance,
     bound_report,
+    compile_instance,
     compute_statistics,
     corollary6_upper_bound,
     instance_from_bursts,
     simulate,
+    simulate_batch,
     simulate_many,
     theorem1_upper_bound,
     theorem3_lower_bound,
@@ -60,6 +64,7 @@ from repro.exceptions import (
     InvalidSetSystemError,
     OspError,
     SolverError,
+    UnsupportedAlgorithmError,
 )
 
 __version__ = "1.0.0"
@@ -89,11 +94,15 @@ __all__ = [
     "SetInfo",
     "SetSystem",
     "SimulationResult",
+    "BatchResult",
+    "CompiledInstance",
     "bound_report",
+    "compile_instance",
     "compute_statistics",
     "corollary6_upper_bound",
     "instance_from_bursts",
     "simulate",
+    "simulate_batch",
     "simulate_many",
     "theorem1_upper_bound",
     "theorem3_lower_bound",
@@ -104,4 +113,5 @@ __all__ = [
     "InvalidSetSystemError",
     "OspError",
     "SolverError",
+    "UnsupportedAlgorithmError",
 ]

@@ -38,6 +38,11 @@ from repro.core.simulation import (
 )
 from repro.core.statistics import InstanceStatistics, compute_statistics
 
+# Imported last: the engine modules import repro.core submodules directly,
+# so this re-export must come after the core names are bound.
+from repro.engine.batch import BatchResult, batch_from_results, simulate_batch
+from repro.engine.compile import CompiledInstance, compile_instance
+
 __all__ = [
     "OnlineAlgorithm",
     "StatelessPriorityAlgorithm",
@@ -74,4 +79,9 @@ __all__ = [
     "simulate_many",
     "InstanceStatistics",
     "compute_statistics",
+    "BatchResult",
+    "batch_from_results",
+    "simulate_batch",
+    "CompiledInstance",
+    "compile_instance",
 ]

@@ -63,6 +63,10 @@ class OnlineInstance:
                 "arrival order must be a permutation of the system's elements"
             )
         self._order: Tuple[ElementId, ...] = order
+        # Arrival records are immutable and depend only on the (immutable)
+        # system and order, so they are built once and shared by every
+        # simulation trial instead of being reconstructed per iteration.
+        self._arrival_cache: Optional[Tuple[ElementArrival, ...]] = None
 
     # ------------------------------------------------------------------
     # Accessors
@@ -93,12 +97,16 @@ class OnlineInstance:
 
     def arrivals(self) -> Iterator[ElementArrival]:
         """Yield the arrivals in order, as the algorithm would observe them."""
-        for element in self._order:
-            yield ElementArrival(
-                element_id=element,
-                capacity=self._system.capacity(element),
-                parents=self._system.parents(element),
+        if self._arrival_cache is None:
+            self._arrival_cache = tuple(
+                ElementArrival(
+                    element_id=element,
+                    capacity=self._system.capacity(element),
+                    parents=self._system.parents(element),
+                )
+                for element in self._order
             )
+        return iter(self._arrival_cache)
 
     def __iter__(self) -> Iterator[ElementArrival]:
         return self.arrivals()

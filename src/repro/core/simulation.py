@@ -69,6 +69,7 @@ def simulate(
     algorithm: OnlineAlgorithm,
     rng: Optional[random.Random] = None,
     record_steps: bool = False,
+    set_infos: Optional[Dict] = None,
 ) -> SimulationResult:
     """Run ``algorithm`` on ``instance`` and return the result.
 
@@ -78,10 +79,14 @@ def simulate(
 
     Pass ``record_steps=True`` to retain the full per-step trace (useful for
     debugging and for the example scripts, but memory-heavy on large runs).
+
+    ``set_infos`` lets a caller that simulates the same instance repeatedly
+    (e.g. :func:`simulate_many`) build the up-front set information once; it
+    must equal ``instance.set_infos()``.
     """
     rng = rng if rng is not None else random.Random()
     system = instance.system
-    algorithm.start(instance.set_infos(), rng)
+    algorithm.start(set_infos if set_infos is not None else instance.set_infos(), rng)
 
     # A set is active while every element of it seen so far was assigned to
     # it.  Sets with no elements are trivially completed.
@@ -114,12 +119,17 @@ def simulate(
                 )
             )
 
-    completed = frozenset(
+    # Materialize in the deterministic set_ids order and sum the benefit in
+    # that same order: float addition is order-sensitive at the ulp level,
+    # and a fixed summation order keeps the benefit reproducible across
+    # processes and bit-identical to the batch engine's.
+    completed_in_order = [
         set_id
         for set_id in system.set_ids
         if active[set_id] and remaining[set_id] == 0
-    )
-    benefit = sum(system.weight(set_id) for set_id in completed)
+    ]
+    completed = frozenset(completed_in_order)
+    benefit = sum(system.weight(set_id) for set_id in completed_in_order)
     return SimulationResult(
         algorithm_name=algorithm.name,
         instance_name=instance.name,
@@ -140,13 +150,23 @@ def simulate_many(
 
     For deterministic algorithms one trial suffices; the helper still runs the
     requested number so that callers can treat all algorithms uniformly.
+
+    Trial-invariant work is hoisted out of the loop: the up-front set
+    information is built once and shared (``algorithm.start`` still runs per
+    trial — that reset is what isolates trials from each other, which
+    ``tests/test_engine_determinism.py`` verifies).
     """
     if trials < 1:
         raise ValueError(f"trials must be at least 1, got {trials}")
+    set_infos = instance.set_infos()
     results = []
     for trial in range(trials):
         rng = random.Random(seed + trial)
-        results.append(simulate(instance, algorithm, rng))
+        # Each trial gets a shallow copy: building the SetInfo objects is the
+        # expensive part being hoisted, and a copy keeps the historical
+        # guarantee that an algorithm mutating its mapping cannot corrupt
+        # later trials.
+        results.append(simulate(instance, algorithm, rng, set_infos=dict(set_infos)))
     return results
 
 

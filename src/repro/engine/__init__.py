@@ -1,0 +1,43 @@
+"""The vectorized batch simulation engine.
+
+This subsystem trades the reference simulator's per-element Python loop for
+numpy array operations over a whole batch of Monte-Carlo trials:
+
+* :mod:`repro.engine.compile` flattens an instance once into numpy arrays;
+* :mod:`repro.engine.specs` describes which algorithms can be vectorized and
+  replays their randomness bit-for-bit;
+* :mod:`repro.engine.batch` runs the batch and returns a
+  :class:`~repro.engine.batch.BatchResult`.
+
+The engine is *exact*, not approximate: trial ``b`` of a batch reproduces
+``simulate(instance, algorithm, rng=random.Random(seed + b))`` set-for-set.
+``tests/test_engine_differential.py`` enforces that contract against the
+reference simulator across every workload generator.
+"""
+
+from repro.engine.batch import BatchResult, batch_from_results, simulate_batch
+from repro.engine.compile import CompiledInstance, compile_instance
+from repro.engine.specs import (
+    GREEDY_KINDS,
+    STATIC_PRIORITY_KINDS,
+    SUPPORTED_KINDS,
+    AlgorithmSpec,
+    priority_matrix,
+    resolve_spec,
+    spec_for_algorithm,
+)
+
+__all__ = [
+    "BatchResult",
+    "batch_from_results",
+    "simulate_batch",
+    "CompiledInstance",
+    "compile_instance",
+    "AlgorithmSpec",
+    "GREEDY_KINDS",
+    "STATIC_PRIORITY_KINDS",
+    "SUPPORTED_KINDS",
+    "priority_matrix",
+    "resolve_spec",
+    "spec_for_algorithm",
+]

@@ -1,0 +1,356 @@
+"""Vectorized batch simulation of priority-based OSP algorithms.
+
+:func:`simulate_batch` runs ``B`` independent trials of one algorithm on one
+instance as numpy array operations: the per-trial state is a ``(B, m)``
+alive mask and a ``(B, m)`` remaining-elements count, and each arrival step
+selects the top-``b(u)`` parent sets *per trial* with one partial sort of a
+``(B, σ(u))`` priority sub-matrix.  The per-element Python interpreter cost
+of the reference simulator (:func:`repro.core.simulation.simulate`) is paid
+once per *arrival* instead of once per *arrival per trial*.
+
+Exactness contract (enforced by ``tests/test_engine_differential.py``):
+for every supported algorithm, trial ``b`` of
+``simulate_batch(instance, algorithm, trials, seed)`` completes **exactly**
+the same sets as ``simulate(instance, algorithm, rng=random.Random(seed + b))``
+— the randomness is replayed bit-for-bit (see :mod:`repro.engine.specs`),
+the tie-breaks coincide with the reference ``(-priority, repr)`` sort key,
+and even the benefit floats are summed in the reference order.  The batch
+engine is therefore a drop-in replacement for aggregating ``simulate_many``
+output, not a statistical approximation of it.
+
+When to use which engine: use the batch engine for Monte-Carlo estimation
+(many trials of a supported algorithm on a fixed instance); use the
+reference simulator for unsupported algorithms (e.g. per-arrival
+randomness), for adaptive adversaries, or when the per-step trace
+(``record_steps``) is needed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.algorithm import OnlineAlgorithm
+from repro.core.instance import OnlineInstance
+from repro.core.set_system import SetId
+from repro.engine.compile import CompiledInstance, compile_instance
+from repro.engine.specs import (
+    GREEDY_KINDS,
+    AlgorithmSpec,
+    priority_matrix,
+    resolve_spec,
+)
+
+__all__ = ["BatchResult", "simulate_batch", "batch_from_results"]
+
+
+@dataclass(frozen=True, eq=False)
+class BatchResult:
+    """The outcome of a batch of simulation trials.
+
+    The arrays are aligned: row ``b`` of ``completed`` is the completed-set
+    mask of trial ``b`` (columns in ``set_ids`` order), ``benefits[b]`` its
+    total completed weight and ``completed_counts[b]`` its completed-set
+    count.  ``mean_benefit``/``std_benefit`` aggregate exactly the way the
+    experiment harness aggregates ``simulate_many`` output (sample standard
+    deviation, ``ddof=1``).
+    """
+
+    algorithm_name: str
+    instance_name: str
+    trials: int
+    seed: int
+    set_ids: Tuple[SetId, ...]
+    completed: np.ndarray = field(repr=False)
+    benefits: np.ndarray = field(repr=False)
+    completed_counts: np.ndarray = field(repr=False)
+
+    @property
+    def num_sets(self) -> int:
+        """The number of sets (columns of ``completed``)."""
+        return len(self.set_ids)
+
+    @property
+    def mean_benefit(self) -> float:
+        """The empirical mean benefit over the batch.
+
+        Computed as a sequential sum divided by the trial count — the same
+        arithmetic (hence the same float) as ``expected_benefit`` and
+        ``measure_ratio`` applied to ``simulate_many`` output.
+        """
+        if not self.trials:
+            return 0.0
+        return sum(float(value) for value in self.benefits) / self.trials
+
+    @property
+    def std_benefit(self) -> float:
+        """The sample standard deviation of the benefit (0 for one trial)."""
+        if self.trials <= 1:
+            return 0.0
+        mean = sum(float(value) for value in self.benefits) / self.trials
+        variance = sum((float(value) - mean) ** 2 for value in self.benefits) / (
+            self.trials - 1
+        )
+        return math.sqrt(variance)
+
+    @property
+    def mean_completed(self) -> float:
+        """The empirical mean number of completed sets."""
+        return float(np.mean(self.completed_counts)) if self.trials else 0.0
+
+    def completed_sets(self, trial: int) -> FrozenSet[SetId]:
+        """The completed sets of one trial, as the reference engine reports them."""
+        row = self.completed[trial]
+        return frozenset(self.set_ids[j] for j in np.flatnonzero(row))
+
+    def completed_count_distribution(self) -> Dict[int, int]:
+        """Histogram of the completed-set count across trials."""
+        values, counts = np.unique(self.completed_counts, return_counts=True)
+        return {int(value): int(count) for value, count in zip(values, counts)}
+
+    def equals(self, other: "BatchResult") -> bool:
+        """Exact array-level equality (used by the determinism tests)."""
+        return (
+            self.algorithm_name == other.algorithm_name
+            and self.instance_name == other.instance_name
+            and self.trials == other.trials
+            and self.set_ids == other.set_ids
+            and np.array_equal(self.completed, other.completed)
+            and np.array_equal(self.benefits, other.benefits)
+            and np.array_equal(self.completed_counts, other.completed_counts)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchResult(algorithm={self.algorithm_name!r}, trials={self.trials}, "
+            f"mean_benefit={self.mean_benefit:.3f})"
+        )
+
+
+def _assign_top(sub: np.ndarray, capacity: int) -> np.ndarray:
+    """Boolean mask of the ``capacity`` smallest keys per row of ``sub``.
+
+    ``sub`` holds *ascending-is-better* keys.  A stable argsort breaks ties
+    by column index, which (columns being in ``repr`` order) is exactly the
+    reference algorithms' ``(-priority, repr(set_id))`` tie-break.
+    """
+    rows, width = sub.shape
+    assigned = np.zeros((rows, width), dtype=bool)
+    if capacity == 1:
+        # argmin returns the first minimum: the lowest column wins ties.
+        choice = np.argmin(sub, axis=1)
+        assigned[np.arange(rows), choice] = True
+    else:
+        order = np.argsort(sub, axis=1, kind="stable")
+        np.put_along_axis(assigned, order[:, :capacity], True, axis=1)
+    return assigned
+
+
+def _run_static(compiled: CompiledInstance, keys: np.ndarray) -> np.ndarray:
+    """Replay all trials of a static-priority algorithm; keys: lower wins.
+
+    Returns the ``(rows, m)`` completed mask.  Static priorities make every
+    decision independent of the simulation state, and a set is completed
+    exactly when none of its elements is dropped, so the whole run reduces
+    to: find the dropped parents of every *contested* step (more parents
+    than capacity) and mark them dead.  Contested steps are grouped by
+    (width, capacity) so each group is one batched partial sort plus one
+    matmul scatter instead of a Python-level pass per step.
+    """
+    rows, m = keys.shape
+    indptr = compiled.step_indptr
+    parents = compiled.step_parents
+    capacities = compiled.step_capacities
+    groups: Dict[Tuple[int, int], list] = {}
+    for step in range(compiled.num_steps):
+        columns = parents[indptr[step] : indptr[step + 1]]
+        width = len(columns)
+        capacity = int(capacities[step])
+        if width > capacity:
+            groups.setdefault((width, capacity), []).append(columns)
+
+    contested_columns = []
+    dropped_blocks = []
+    for (width, capacity), column_lists in groups.items():
+        stacked = np.stack(column_lists)  # (steps_in_group, width)
+        sub = keys[:, stacked]  # (rows, steps_in_group, width)
+        if capacity == 1:
+            choice = np.argmin(sub, axis=2)
+            assigned = choice[..., np.newaxis] == np.arange(width)
+        else:
+            order = np.argsort(sub, axis=2, kind="stable")
+            assigned = np.zeros(sub.shape, dtype=bool)
+            np.put_along_axis(assigned, order[..., :capacity], True, axis=2)
+        contested_columns.append(stacked.ravel())
+        dropped_blocks.append((~assigned).reshape(rows, -1))
+
+    completed = np.ones((rows, m), dtype=bool)
+    if contested_columns:
+        all_columns = np.concatenate(contested_columns)
+        all_dropped = np.concatenate(dropped_blocks, axis=1)  # (rows, nnz)
+        trial_index, incidence_index = np.nonzero(all_dropped)
+        completed[trial_index, all_columns[incidence_index]] = False
+    return completed
+
+
+def _run_greedy(compiled: CompiledInstance, kind: str) -> np.ndarray:
+    """Replay one run of a state-dependent greedy algorithm (deterministic).
+
+    Returns the ``(1, m)`` completed mask.
+
+    The reference greedy algorithms rank parents by a lexicographic tuple of
+    small discrete features; this encodes each tuple as one int64 per parent
+    (features weighted by the ranges of the levels below them), so the
+    "sort by tuple" becomes "sort by integer" and matches exactly.
+    """
+    m = compiled.num_sets
+    alive = np.ones((1, m), dtype=bool)
+    remaining = compiled.sizes[np.newaxis, :].copy()
+    weight_class = compiled.weight_class
+    sizes = compiled.sizes
+    # Level ranges for the integer encoding.
+    num_classes = int(weight_class.max(initial=0)) + 1
+    size_range = int(sizes.max(initial=0)) + 1
+    indptr = compiled.step_indptr
+    parents = compiled.step_parents
+    capacities = compiled.step_capacities
+    for step in range(compiled.num_steps):
+        columns = parents[indptr[step] : indptr[step + 1]]
+        width = len(columns)
+        if width == 0:
+            continue
+        capacity = int(capacities[step])
+        if width <= capacity:
+            remaining[:, columns] -= 1
+            continue
+        dead = (~alive[:, columns]).astype(np.int64)
+        classes = weight_class[columns]
+        position = np.arange(width, dtype=np.int64)
+        if kind == "greedy-weight":
+            # (not alive, -weight, repr)
+            key = (dead * num_classes + classes) * width + position
+        elif kind == "greedy-progress":
+            # (not alive, remaining, -weight, repr)
+            rem = remaining[:, columns]
+            key = ((dead * size_range + rem) * num_classes + classes) * width + position
+        else:  # greedy-committed
+            # (not alive, never assigned, -weight, remaining, repr)
+            rem = remaining[:, columns]
+            fresh = (rem == sizes[columns]).astype(np.int64)
+            key = (
+                ((dead * 2 + fresh) * num_classes + classes) * size_range + rem
+            ) * width + position
+        assigned = _assign_top(key, capacity)
+        remaining[:, columns] -= assigned
+        alive[:, columns] &= assigned
+    return alive & (remaining == 0)
+
+
+def simulate_batch(
+    instance: Union[OnlineInstance, CompiledInstance],
+    algorithm: Union[str, AlgorithmSpec, OnlineAlgorithm],
+    trials: int,
+    seed: int = 0,
+) -> BatchResult:
+    """Run ``trials`` independent trials of ``algorithm`` on ``instance``.
+
+    Parameters
+    ----------
+    instance:
+        An :class:`~repro.core.instance.OnlineInstance`, or a pre-built
+        :class:`~repro.engine.compile.CompiledInstance` when the caller
+        amortizes compilation over several batches.
+    algorithm:
+        An :class:`~repro.engine.specs.AlgorithmSpec`, a kind string (e.g.
+        ``"randPr"``), or a reference :class:`OnlineAlgorithm` object of a
+        supported type.  Unsupported algorithms raise
+        :class:`~repro.exceptions.UnsupportedAlgorithmError`.
+    trials / seed:
+        Trial ``b`` replays the reference run with ``random.Random(seed + b)``
+        — the same seeding convention as
+        :func:`repro.core.simulation.simulate_many` — so paired comparisons
+        agree trial by trial, not just in distribution.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be at least 1, got {trials}")
+    compiled = (
+        instance
+        if isinstance(instance, CompiledInstance)
+        else compile_instance(instance)
+    )
+    spec = resolve_spec(algorithm)
+
+    if spec.kind in GREEDY_KINDS:
+        completed = _run_greedy(compiled, spec.kind)
+    else:
+        priorities = priority_matrix(spec, compiled, trials, seed)
+        # Negate so that "smallest key wins" with stable index tie-breaks.
+        completed = _run_static(compiled, -priorities)
+    # Sum the weights sequentially in column order — the exact float
+    # arithmetic of the reference engine's ``sum(...)`` over completed sets
+    # (``tolist`` yields Python floats; ``sum`` adds them left to right).
+    benefits = np.fromiter(
+        (sum(compiled.weights[row].tolist()) for row in completed),
+        dtype=np.float64,
+        count=completed.shape[0],
+    )
+    counts = completed.sum(axis=1, dtype=np.int64)
+
+    if completed.shape[0] == 1 and trials > 1:
+        # Deterministic algorithms: one replayed run stands for the batch.
+        completed = np.repeat(completed, trials, axis=0)
+        benefits = np.repeat(benefits, trials)
+        counts = np.repeat(counts, trials)
+
+    return BatchResult(
+        algorithm_name=spec.name,
+        instance_name=compiled.name,
+        trials=trials,
+        seed=seed,
+        set_ids=compiled.set_ids,
+        completed=completed,
+        benefits=benefits,
+        completed_counts=counts,
+    )
+
+
+def batch_from_results(
+    instance: Union[OnlineInstance, CompiledInstance],
+    results: Sequence["SimulationResult"],
+    seed: int = 0,
+) -> BatchResult:
+    """Aggregate reference :func:`simulate_many` output into a :class:`BatchResult`.
+
+    This is the API bridge the differential tests (and engine-agnostic
+    callers) rely on: both engines end up in the same result shape, so
+    "exactly equal" is a single array comparison.
+    """
+    compiled = (
+        instance
+        if isinstance(instance, CompiledInstance)
+        else compile_instance(instance)
+    )
+    if not results:
+        raise ValueError("need at least one simulation result")
+    trials = len(results)
+    completed = np.zeros((trials, compiled.num_sets), dtype=bool)
+    benefits = np.empty(trials, dtype=np.float64)
+    counts = np.empty(trials, dtype=np.int64)
+    for row, result in enumerate(results):
+        for set_id in result.completed_sets:
+            completed[row, compiled.set_index[set_id]] = True
+        benefits[row] = result.benefit
+        counts[row] = result.num_completed
+    return BatchResult(
+        algorithm_name=results[0].algorithm_name,
+        instance_name=results[0].instance_name,
+        trials=trials,
+        seed=seed,
+        set_ids=compiled.set_ids,
+        completed=completed,
+        benefits=benefits,
+        completed_counts=counts,
+    )

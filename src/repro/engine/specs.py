@@ -1,0 +1,274 @@
+"""Algorithm specifications the batch engine knows how to vectorize.
+
+The reference simulator runs arbitrary :class:`~repro.core.algorithm.OnlineAlgorithm`
+objects; the batch engine instead runs *specifications* — declarative
+descriptions of the priority rule an algorithm applies — so that a whole
+batch of trials can be replayed as array operations.  Two families are
+supported:
+
+* **static-priority** algorithms (randPr, its hashed variant, the static
+  deterministic baselines): each trial is fully described by one priority
+  row, drawn up front.  The engine reproduces the reference algorithms'
+  draws *bit for bit* — same RNG seeding (``random.Random(seed + trial)``),
+  same draw order (``repr`` order of the set identifiers), same zero-weight
+  clamp — so a batch trial and the corresponding ``simulate_many`` trial
+  make identical decisions.
+* **greedy** algorithms (``greedy-weight``, ``greedy-progress``,
+  ``greedy-committed``): the priority of a set depends on its alive/progress
+  state, so the engine recomputes an integer sort key per arrival from the
+  batch state matrices.  These are deterministic, so every trial of a batch
+  is the same run ("degenerate" batches).
+
+:func:`spec_for_algorithm` maps a reference algorithm object to its spec
+(or ``None`` when the algorithm cannot be vectorized — e.g. per-arrival
+randomness), and :func:`resolve_spec` normalizes everything callers may
+pass to :func:`~repro.engine.batch.simulate_batch`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.algorithm import OnlineAlgorithm
+from repro.core.priorities import hash_priority, hash_unit_interval, sample_priority
+from repro.engine.compile import CompiledInstance
+from repro.exceptions import UnsupportedAlgorithmError
+
+__all__ = [
+    "AlgorithmSpec",
+    "STATIC_PRIORITY_KINDS",
+    "GREEDY_KINDS",
+    "SUPPORTED_KINDS",
+    "spec_for_algorithm",
+    "resolve_spec",
+    "priority_matrix",
+]
+
+#: Kinds whose per-trial behaviour is one static priority row.
+STATIC_PRIORITY_KINDS = frozenset(
+    {
+        "randPr",
+        "uniform-priority",
+        "randPr-hashed",
+        "static-order",
+        "first-listed",
+        "largest-set-first",
+        "smallest-set-first",
+    }
+)
+
+#: Kinds whose priority depends on the evolving alive/progress state.
+GREEDY_KINDS = frozenset({"greedy-weight", "greedy-progress", "greedy-committed"})
+
+SUPPORTED_KINDS = STATIC_PRIORITY_KINDS | GREEDY_KINDS
+
+#: Kinds that draw fresh randomness per trial (everything else is
+#: deterministic: one decision sequence shared by the whole batch).
+_RANDOMIZED_KINDS = frozenset({"randPr", "uniform-priority"})
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """A declarative description of a batch-runnable algorithm.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`SUPPORTED_KINDS`; matches the reference algorithm's
+        ``name`` attribute.
+    salt:
+        For ``randPr-hashed``: the fixed system-wide hash salt, or ``None``
+        to draw a fresh salt per trial from the trial RNG (mirroring
+        ``HashedRandPrAlgorithm(salt=None)``).  For ``static-order``: the
+        salt of the static hash order (default ``"static-order"``).
+    """
+
+    kind: str
+    salt: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in SUPPORTED_KINDS:
+            raise UnsupportedAlgorithmError(
+                f"unknown batch algorithm kind {self.kind!r}; "
+                f"supported: {sorted(SUPPORTED_KINDS)}"
+            )
+
+    @property
+    def name(self) -> str:
+        """The display name (matches the reference algorithm's ``name``)."""
+        return self.kind
+
+    @property
+    def is_deterministic(self) -> bool:
+        """Whether every trial of a batch produces the same run."""
+        if self.kind == "randPr-hashed":
+            return self.salt is not None
+        return self.kind not in _RANDOMIZED_KINDS
+
+
+def spec_for_algorithm(algorithm: OnlineAlgorithm) -> Optional[AlgorithmSpec]:
+    """The :class:`AlgorithmSpec` replaying ``algorithm``, or ``None``.
+
+    ``None`` means the algorithm cannot be vectorized (per-arrival
+    randomness, a custom hash family, or an algorithm type the engine does
+    not know); callers should fall back to the reference simulator.
+    """
+    # Imported here: the algorithm modules import repro.core, which in turn
+    # re-exports the engine, so a module-level import would be circular.
+    from repro.algorithms.deterministic import (
+        FirstListedAlgorithm,
+        LargestSetFirstAlgorithm,
+        SmallestSetFirstAlgorithm,
+        StaticOrderAlgorithm,
+    )
+    from repro.algorithms.greedy import (
+        GreedyCommittedAlgorithm,
+        GreedyProgressAlgorithm,
+        GreedyWeightAlgorithm,
+    )
+    from repro.algorithms.hashed import HashedRandPrAlgorithm
+    from repro.algorithms.randpr import RandPrAlgorithm
+    from repro.algorithms.random_assign import UnweightedPriorityAlgorithm
+
+    # Exact-type checks, not isinstance: a subclass may override start/decide,
+    # and replaying it as its base class would silently produce the base
+    # algorithm's results.  Unknown subclasses fall back to the reference
+    # simulator instead.
+    algorithm_type = type(algorithm)
+    if algorithm_type is RandPrAlgorithm:
+        return AlgorithmSpec("randPr")
+    if algorithm_type is HashedRandPrAlgorithm:
+        if getattr(algorithm, "_hash_family", None) is not None:
+            return None
+        return AlgorithmSpec(
+            "randPr-hashed", salt=getattr(algorithm, "_configured_salt", None)
+        )
+    if algorithm_type is UnweightedPriorityAlgorithm:
+        return AlgorithmSpec("uniform-priority")
+    if algorithm_type is StaticOrderAlgorithm:
+        return AlgorithmSpec(
+            "static-order", salt=getattr(algorithm, "_salt", "static-order")
+        )
+    if algorithm_type is FirstListedAlgorithm:
+        return AlgorithmSpec("first-listed")
+    if algorithm_type is LargestSetFirstAlgorithm:
+        return AlgorithmSpec("largest-set-first")
+    if algorithm_type is SmallestSetFirstAlgorithm:
+        return AlgorithmSpec("smallest-set-first")
+    if algorithm_type is GreedyWeightAlgorithm:
+        return AlgorithmSpec("greedy-weight")
+    if algorithm_type is GreedyProgressAlgorithm:
+        return AlgorithmSpec("greedy-progress")
+    if algorithm_type is GreedyCommittedAlgorithm:
+        return AlgorithmSpec("greedy-committed")
+    return None
+
+
+def resolve_spec(
+    algorithm: Union[str, AlgorithmSpec, OnlineAlgorithm]
+) -> AlgorithmSpec:
+    """Normalize an algorithm argument to an :class:`AlgorithmSpec`.
+
+    Accepts a spec, a kind string, or a reference algorithm object.  Raises
+    :class:`~repro.exceptions.UnsupportedAlgorithmError` when the algorithm
+    has no vectorized equivalent.
+    """
+    if isinstance(algorithm, AlgorithmSpec):
+        return algorithm
+    if isinstance(algorithm, str):
+        return AlgorithmSpec(algorithm)
+    if isinstance(algorithm, OnlineAlgorithm):
+        spec = spec_for_algorithm(algorithm)
+        if spec is None:
+            raise UnsupportedAlgorithmError(
+                f"algorithm {algorithm.name!r} ({type(algorithm).__name__}) "
+                "cannot run on the batch engine; use the reference simulator"
+            )
+        return spec
+    raise UnsupportedAlgorithmError(
+        f"cannot interpret {algorithm!r} as a batch algorithm"
+    )
+
+
+def priority_matrix(
+    spec: AlgorithmSpec, compiled: CompiledInstance, trials: int, seed: int
+) -> np.ndarray:
+    """The per-trial priority rows for a static-priority spec.
+
+    Returns shape ``(trials, m)`` for randomized kinds and ``(1, m)`` for
+    deterministic ones (the single row broadcasts over the batch).  The
+    randomized draws replay the reference algorithms exactly: trial ``b``
+    uses ``random.Random(seed + b)`` and draws per set in column (``repr``)
+    order, which is precisely what ``simulate_many`` +
+    ``RandPrAlgorithm.start`` do.  Draws go through the same scalar helpers
+    (:func:`sample_priority`, :func:`hash_priority`) on Python floats, so the
+    values are bit-identical, not merely statistically equivalent.
+    """
+    m = compiled.num_sets
+    # Python floats, so the arithmetic inside the scalar helpers is the very
+    # same arithmetic the reference algorithms perform.
+    clamped = [float(value) for value in compiled.clamped_weights]
+
+    if spec.kind == "randPr":
+        # Inlined sample_priority: the exponents 1.0/w are computed once (the
+        # same floats sample_priority would compute per call) and each draw
+        # is ``rng.random() ** exponent`` — operand-for-operand the reference
+        # arithmetic.  sample_priority additionally redraws a 0.0 uniform;
+        # a zero priority can only come from such a draw (probability
+        # ~2^-53), so that trial is replayed through the scalar helper.
+        exponents = [1.0 / weight for weight in clamped]
+        matrix = np.empty((trials, m), dtype=np.float64)
+        for trial in range(trials):
+            draw = random.Random(seed + trial).random
+            row = [draw() ** exponent for exponent in exponents]
+            if 0.0 in row:
+                rng = random.Random(seed + trial)
+                row = [sample_priority(weight, rng) for weight in clamped]
+            matrix[trial] = row
+        return matrix
+
+    if spec.kind == "uniform-priority":
+        matrix = np.empty((trials, m), dtype=np.float64)
+        for trial in range(trials):
+            draw = random.Random(seed + trial).random
+            matrix[trial] = [draw() for _ in range(m)]
+        return matrix
+
+    if spec.kind == "randPr-hashed":
+        if spec.salt is not None:
+            row = [
+                hash_priority(set_id, weight, salt=spec.salt)
+                for set_id, weight in zip(compiled.set_ids, clamped)
+            ]
+            return np.asarray(row, dtype=np.float64).reshape(1, m)
+        matrix = np.empty((trials, m), dtype=np.float64)
+        for trial in range(trials):
+            rng = random.Random(seed + trial)
+            salt = f"salt-{rng.getrandbits(64):016x}"
+            for column, (set_id, weight) in enumerate(zip(compiled.set_ids, clamped)):
+                matrix[trial, column] = hash_priority(set_id, weight, salt=salt)
+        return matrix
+
+    if spec.kind == "static-order":
+        salt = spec.salt if spec.salt is not None else "static-order"
+        row = [hash_unit_interval(set_id, salt=salt) for set_id in compiled.set_ids]
+        return np.asarray(row, dtype=np.float64).reshape(1, m)
+
+    if spec.kind == "first-listed":
+        # Parents arrive in column order; preferring low columns reproduces
+        # "take the first b(u) parents as announced".
+        return (-np.arange(m, dtype=np.float64)).reshape(1, m)
+
+    if spec.kind == "largest-set-first":
+        return compiled.sizes.astype(np.float64).reshape(1, m)
+
+    if spec.kind == "smallest-set-first":
+        return (-compiled.sizes.astype(np.float64)).reshape(1, m)
+
+    raise UnsupportedAlgorithmError(
+        f"kind {spec.kind!r} has no static priority matrix"
+    )

@@ -34,6 +34,16 @@ class SolverError(OspError):
     """Raised when an offline solver cannot produce a solution."""
 
 
+class UnsupportedAlgorithmError(OspError):
+    """Raised when the batch engine is asked to run an algorithm it cannot.
+
+    The vectorized engine (:mod:`repro.engine`) supports priority-driven
+    algorithms whose decisions it can replay as array operations.  Algorithms
+    with per-arrival randomness or arbitrary state must run on the reference
+    simulator (:func:`repro.core.simulation.simulate`).
+    """
+
+
 class ConstructionError(OspError):
     """Raised when a lower-bound construction receives invalid parameters.
 

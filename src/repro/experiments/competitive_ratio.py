@@ -17,12 +17,38 @@ from repro.core.algorithm import OnlineAlgorithm
 from repro.core.instance import OnlineInstance
 from repro.core.set_system import SetSystem
 from repro.core.simulation import simulate_many
-from repro.exceptions import SolverError
+from repro.engine.batch import simulate_batch
+from repro.engine.specs import spec_for_algorithm
+from repro.exceptions import SolverError, UnsupportedAlgorithmError
 from repro.offline.exact import solve_exact
 from repro.offline.local_search import local_search_packing
 from repro.offline.lp import lp_relaxation_bound
 
-__all__ = ["OptEstimate", "estimate_opt", "RatioMeasurement", "measure_ratio"]
+__all__ = [
+    "OptEstimate",
+    "estimate_opt",
+    "RatioMeasurement",
+    "measure_ratio",
+    "simulation_benefits",
+    "validate_engine",
+]
+
+#: The accepted values of every ``engine=`` parameter in this package.
+ENGINE_CHOICES = ("reference", "batch", "auto")
+
+
+def validate_engine(engine: str) -> str:
+    """Validate an engine selector, returning it unchanged.
+
+    The single source of truth for the ``"reference" | "batch" | "auto"``
+    vocabulary used by the measurement helpers, the sweep harness, the
+    runner CLI and the ``OSP_BENCH_ENGINE`` benchmark flag.
+    """
+    if engine not in ENGINE_CHOICES:
+        raise ValueError(
+            f"unknown engine {engine!r}; use one of {', '.join(ENGINE_CHOICES)}"
+        )
+    return engine
 
 #: Instances with at most this many sets are solved exactly by default.
 EXACT_SOLVER_SET_LIMIT = 60
@@ -119,6 +145,43 @@ class RatioMeasurement:
         }
 
 
+def simulation_benefits(
+    instance: OnlineInstance,
+    algorithm: OnlineAlgorithm,
+    trials: int,
+    seed: int = 0,
+    engine: str = "reference",
+) -> Sequence[float]:
+    """Per-trial benefits of ``trials`` shared-seed simulations.
+
+    ``engine`` selects the simulator:
+
+    * ``"reference"`` — the per-arrival Python loop (:func:`simulate_many`);
+      works for every algorithm.
+    * ``"batch"`` — the vectorized engine (:func:`simulate_batch`); raises
+      :class:`~repro.exceptions.UnsupportedAlgorithmError` for algorithms it
+      cannot replay.
+    * ``"auto"`` — the batch engine when the algorithm is supported, the
+      reference simulator otherwise.
+
+    The two engines agree trial by trial (the differential test suite pins
+    this), so the choice affects runtime only, never the measurement.
+    """
+    validate_engine(engine)
+    if engine != "reference":
+        spec = spec_for_algorithm(algorithm)
+        if spec is not None:
+            result = simulate_batch(instance, spec, trials=trials, seed=seed)
+            return [float(value) for value in result.benefits]
+        if engine == "batch":
+            raise UnsupportedAlgorithmError(
+                f"algorithm {algorithm.name!r} cannot run on the batch engine; "
+                "use engine='reference' or engine='auto'"
+            )
+    results = simulate_many(instance, algorithm, trials=trials, seed=seed)
+    return [result.benefit for result in results]
+
+
 def measure_ratio(
     instance: OnlineInstance,
     algorithm: OnlineAlgorithm,
@@ -126,18 +189,23 @@ def measure_ratio(
     seed: int = 0,
     opt: Optional[OptEstimate] = None,
     opt_method: str = "auto",
+    engine: str = "reference",
 ) -> RatioMeasurement:
     """Measure the empirical competitive ratio of one algorithm on one instance.
 
     The ratio is ``opt / mean_benefit``; a zero mean benefit yields ``inf``.
     A precomputed ``opt`` may be supplied to avoid repeating the (expensive)
     offline solve when several algorithms run on the same instance.
+    ``engine`` routes the simulations (see :func:`simulation_benefits`).
     """
     if opt is None:
         opt = estimate_opt(instance.system, method=opt_method)
     effective_trials = 1 if algorithm.is_deterministic else trials
-    results = simulate_many(instance, algorithm, trials=effective_trials, seed=seed)
-    benefits = [result.benefit for result in results]
+    benefits = list(
+        simulation_benefits(
+            instance, algorithm, trials=effective_trials, seed=seed, engine=engine
+        )
+    )
     mean = sum(benefits) / len(benefits)
     if len(benefits) > 1:
         variance = sum((value - mean) ** 2 for value in benefits) / (len(benefits) - 1)
@@ -162,12 +230,13 @@ def measure_suite(
     trials: int = 20,
     seed: int = 0,
     opt_method: str = "auto",
+    engine: str = "reference",
 ) -> Dict[str, RatioMeasurement]:
     """Measure every algorithm on the same instance, sharing the OPT estimate."""
     opt = estimate_opt(instance.system, method=opt_method)
     return {
         algorithm.name: measure_ratio(
-            instance, algorithm, trials=trials, seed=seed, opt=opt
+            instance, algorithm, trials=trials, seed=seed, opt=opt, engine=engine
         )
         for algorithm in algorithms
     }

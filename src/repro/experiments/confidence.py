@@ -16,9 +16,12 @@ from typing import List, Optional, Sequence
 
 from repro.core.algorithm import OnlineAlgorithm
 from repro.core.instance import OnlineInstance
-from repro.core.simulation import simulate_many
 from repro.exceptions import OspError
-from repro.experiments.competitive_ratio import OptEstimate, estimate_opt
+from repro.experiments.competitive_ratio import (
+    OptEstimate,
+    estimate_opt,
+    simulation_benefits,
+)
 
 __all__ = [
     "bootstrap_mean_interval",
@@ -106,18 +109,26 @@ def measure_ratio_with_confidence(
     level: float = 0.95,
     opt: Optional[OptEstimate] = None,
     opt_method: str = "auto",
+    engine: str = "reference",
 ) -> RatioWithConfidence:
     """Measure an algorithm's ratio with a bootstrap confidence interval.
 
     The ratio interval is obtained by transforming the benefit interval
     through ``opt / x`` (OPT is treated as exact; when it comes from the LP
-    relaxation the reported ratio is an upper bound either way).
+    relaxation the reported ratio is an upper bound either way).  ``engine``
+    routes the simulations exactly as in
+    :func:`~repro.experiments.competitive_ratio.simulation_benefits` — this
+    is the most trial-hungry entry point, where the batch engine pays off
+    most.
     """
     if opt is None:
         opt = estimate_opt(instance.system, method=opt_method)
     effective_trials = 1 if algorithm.is_deterministic else trials
-    results = simulate_many(instance, algorithm, trials=effective_trials, seed=seed)
-    benefits = [result.benefit for result in results]
+    benefits = list(
+        simulation_benefits(
+            instance, algorithm, trials=effective_trials, seed=seed, engine=engine
+        )
+    )
     benefit_interval = bootstrap_mean_interval(benefits, level=level, seed=seed)
 
     def to_ratio(value: float) -> float:

@@ -101,6 +101,7 @@ def run_sweep(
     trials_per_instance: int = 10,
     seed: int = 0,
     opt_method: str = "auto",
+    engine: str = "reference",
 ) -> SweepResult:
     """Run a parameter sweep.
 
@@ -115,6 +116,10 @@ def run_sweep(
         How many independent instances to draw per point.
     trials_per_instance:
         Simulation repetitions per instance for randomized algorithms.
+    engine:
+        Simulation engine routed to :func:`measure_ratio` — ``"reference"``,
+        ``"batch"`` or ``"auto"``.  The engines agree trial for trial, so the
+        sweep's numbers do not depend on this; only its runtime does.
     """
     sweep = SweepResult(name=name)
     for point_index, (label, factory) in enumerate(parameter_points):
@@ -148,6 +153,7 @@ def run_sweep(
                     trials=trials_per_instance,
                     seed=seed + point_index,
                     opt=opt,
+                    engine=engine,
                 )
                 benefits.append(measurement.mean_benefit)
                 ratios.append(measurement.ratio)

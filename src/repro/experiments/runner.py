@@ -24,8 +24,11 @@ from repro.core.bounds import (
     theorem1_upper_bound,
     theorem3_lower_bound,
 )
-from repro.core.simulation import simulate_many
-from repro.experiments.competitive_ratio import estimate_opt, measure_ratio
+from repro.experiments.competitive_ratio import (
+    estimate_opt,
+    measure_ratio,
+    simulation_benefits,
+)
 from repro.experiments.report import format_table
 from repro.lowerbounds import run_deterministic_adversary
 from repro.workloads import random_weighted_instance, uniform_both_instance
@@ -33,12 +36,14 @@ from repro.workloads import random_weighted_instance, uniform_both_instance
 __all__ = ["self_check", "main"]
 
 
-def _check_theorem1(seed: int, trials: int) -> Dict[str, object]:
+def _check_theorem1(seed: int, trials: int, engine: str) -> Dict[str, object]:
     instance = random_weighted_instance(
         28, 40, (2, 4), random.Random(seed), weight_range=(1.0, 6.0)
     )
     stats = compute_statistics(instance.system)
-    measurement = measure_ratio(instance, RandPrAlgorithm(), trials=trials, seed=seed)
+    measurement = measure_ratio(
+        instance, RandPrAlgorithm(), trials=trials, seed=seed, engine=engine
+    )
     bound = theorem1_upper_bound(stats)
     return {
         "claim": "Thm 1: ratio <= kmax*sqrt(E[s*s$]/E[s$])",
@@ -48,12 +53,14 @@ def _check_theorem1(seed: int, trials: int) -> Dict[str, object]:
     }
 
 
-def _check_corollary6(seed: int, trials: int) -> Dict[str, object]:
+def _check_corollary6(seed: int, trials: int, engine: str) -> Dict[str, object]:
     instance = random_weighted_instance(
         36, 30, (2, 4), random.Random(seed + 1), weight_range=(1.0, 6.0)
     )
     stats = compute_statistics(instance.system)
-    measurement = measure_ratio(instance, RandPrAlgorithm(), trials=trials, seed=seed)
+    measurement = measure_ratio(
+        instance, RandPrAlgorithm(), trials=trials, seed=seed, engine=engine
+    )
     bound = corollary6_upper_bound(stats)
     return {
         "claim": "Cor 6: ratio <= kmax*sqrt(sigma_max)",
@@ -63,9 +70,11 @@ def _check_corollary6(seed: int, trials: int) -> Dict[str, object]:
     }
 
 
-def _check_corollary7(seed: int, trials: int) -> Dict[str, object]:
+def _check_corollary7(seed: int, trials: int, engine: str) -> Dict[str, object]:
     instance = uniform_both_instance(18, 3, 3, random.Random(seed + 2))
-    measurement = measure_ratio(instance, RandPrAlgorithm(), trials=trials, seed=seed)
+    measurement = measure_ratio(
+        instance, RandPrAlgorithm(), trials=trials, seed=seed, engine=engine
+    )
     bound = corollary7_upper_bound(instance.system)
     return {
         "claim": "Cor 7: uniform k & load -> ratio <= k",
@@ -75,7 +84,7 @@ def _check_corollary7(seed: int, trials: int) -> Dict[str, object]:
     }
 
 
-def _check_theorem3(seed: int, trials: int) -> Dict[str, object]:
+def _check_theorem3(seed: int, trials: int, engine: str) -> Dict[str, object]:
     outcome = run_deterministic_adversary(GreedyWeightAlgorithm(), sigma=3, k=3)
     bound = theorem3_lower_bound(3, 3)
     return {
@@ -86,15 +95,15 @@ def _check_theorem3(seed: int, trials: int) -> Dict[str, object]:
     }
 
 
-def _check_lemma1(seed: int, trials: int) -> Dict[str, object]:
+def _check_lemma1(seed: int, trials: int, engine: str) -> Dict[str, object]:
     instance = random_weighted_instance(
         12, 16, (2, 3), random.Random(seed + 3), weight_range=(1.0, 5.0)
     )
     predicted = expected_benefit_closed_form(instance.system)
-    results = simulate_many(
-        instance, RandPrAlgorithm(), trials=max(trials * 10, 500), seed=seed
+    benefits = simulation_benefits(
+        instance, RandPrAlgorithm(), max(trials * 10, 500), seed=seed, engine=engine
     )
-    measured = sum(result.benefit for result in results) / len(results)
+    measured = sum(benefits) / len(benefits)
     relative_error = abs(measured - predicted) / max(predicted, 1e-9)
     return {
         "claim": "Lemma 1: E[w(alg)] = sum w(S)^2/w(N[S])",
@@ -104,8 +113,15 @@ def _check_lemma1(seed: int, trials: int) -> Dict[str, object]:
     }
 
 
-def self_check(seed: int = 0, trials: int = 40) -> List[Dict[str, object]]:
-    """Run every quick claim check and return one row per claim."""
+def self_check(
+    seed: int = 0, trials: int = 40, engine: str = "auto"
+) -> List[Dict[str, object]]:
+    """Run every quick claim check and return one row per claim.
+
+    ``engine`` selects the simulator for the Monte-Carlo checks (the batch
+    engine and the reference simulator agree trial for trial; ``"auto"``
+    simply makes the self-check faster).
+    """
     checks = (
         _check_theorem1,
         _check_corollary6,
@@ -113,7 +129,7 @@ def self_check(seed: int = 0, trials: int = 40) -> List[Dict[str, object]]:
         _check_theorem3,
         _check_lemma1,
     )
-    return [check(seed, trials) for check in checks]
+    return [check(seed, trials, engine) for check in checks]
 
 
 def main(argv: List[str] = None) -> int:
@@ -125,9 +141,18 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument(
         "--trials", type=int, default=40, help="simulation trials per randomized check"
     )
+    parser.add_argument(
+        "--engine",
+        choices=("reference", "batch", "auto"),
+        default="auto",
+        help="simulation engine: the vectorized batch engine ('auto'/'batch') "
+        "or the per-arrival reference simulator ('reference')",
+    )
     arguments = parser.parse_args(argv)
 
-    rows = self_check(seed=arguments.seed, trials=arguments.trials)
+    rows = self_check(
+        seed=arguments.seed, trials=arguments.trials, engine=arguments.engine
+    )
     print(
         format_table(
             rows,

@@ -1,0 +1,197 @@
+"""Differential tests: the batch engine versus the reference simulator.
+
+This suite is the batch engine's exactness certificate.  For a spread of
+randomized instances drawn from **every** workload generator family
+(random, uniform, structured, video, general) it checks that
+``simulate_batch`` and shared-seed ``simulate_many`` agree:
+
+* for deterministic algorithms — the completed set family and the benefit
+  are *identical*;
+* for randomized algorithms (randPr, hashed randPr, uniform priorities) —
+  shared-seed paired trials agree **trial by trial**, which is far stronger
+  than the statistical-tolerance requirement: trial ``b`` of the batch must
+  complete exactly the sets of ``simulate(instance, algo, random.Random(seed + b))``,
+  and the per-trial benefit floats must be bit-equal;
+* the completed-set count distributions (and hence means and standard
+  deviations) therefore match exactly as well.
+"""
+
+import random
+
+import pytest
+
+from repro.algorithms import (
+    FirstListedAlgorithm,
+    GreedyCommittedAlgorithm,
+    GreedyProgressAlgorithm,
+    GreedyWeightAlgorithm,
+    HashedRandPrAlgorithm,
+    LargestSetFirstAlgorithm,
+    RandPrAlgorithm,
+    SmallestSetFirstAlgorithm,
+    StaticOrderAlgorithm,
+    UnweightedPriorityAlgorithm,
+)
+from repro.core import InstanceBuilder, simulate_batch, simulate_many
+from repro.core.simulation import expected_benefit
+from repro.engine import batch_from_results
+from repro.workloads import (
+    disjoint_blocks_instance,
+    full_gadget_instance,
+    make_video_workload,
+    random_general_packing_instance,
+    random_online_instance,
+    random_variable_capacity_instance,
+    random_weighted_instance,
+    t_design_style_instance,
+    uniform_both_instance,
+    uniform_load_instance,
+    uniform_set_size_instance,
+)
+
+TRIALS = 6
+SEED = 2024
+
+
+def _general_as_osp(num_sets, num_resources, seed):
+    """A general-packing draw with unit demands, reduced to an OSP instance.
+
+    With every demand equal to 1, admitting a set on a resource consumes one
+    unit of its capacity — exactly the OSP element/capacity semantics — so
+    the general generator's output maps onto an online instance the engines
+    can both run.
+    """
+    general = random_general_packing_instance(
+        num_sets,
+        num_resources,
+        resources_per_set=(2, 4),
+        demand_range=(1, 1),
+        capacity_range=(1, 3),
+        rng=random.Random(seed),
+        weight_range=(1.0, 5.0),
+        name=f"general-{seed}",
+    )
+    builder = InstanceBuilder(name=general.name)
+    for set_id in general.set_ids:
+        builder.declare_set(set_id, general.weight(set_id))
+    for arrival in general.arrivals():
+        builder.add_element(
+            arrival.parents, capacity=arrival.capacity, element_id=arrival.element_id
+        )
+    return builder.build()
+
+
+def _instances():
+    """>= 20 randomized instances spanning all five workload families."""
+    instances = []
+    # random family: unweighted, weighted, variable-capacity.
+    for seed in (0, 1, 2):
+        instances.append(
+            random_online_instance(18, 28, (2, 4), random.Random(seed))
+        )
+        instances.append(
+            random_weighted_instance(
+                16, 24, (2, 4), random.Random(seed + 50), weight_range=(1.0, 6.0)
+            )
+        )
+        instances.append(
+            random_variable_capacity_instance(
+                14, 22, (2, 4), (1, 3), random.Random(seed + 100)
+            )
+        )
+    # uniform family.
+    instances.append(uniform_set_size_instance(12, 30, 3, random.Random(7)))
+    instances.append(uniform_load_instance(16, 24, 3, random.Random(8)))
+    instances.append(uniform_both_instance(12, 3, 3, random.Random(9)))
+    # structured family.
+    instances.append(full_gadget_instance(2, 3))
+    instances.append(disjoint_blocks_instance(4, 3, 5))
+    instances.append(t_design_style_instance(3, random.Random(10)))
+    # video family.
+    instances.append(make_video_workload(4, 5, seed=11).instance)
+    instances.append(make_video_workload(3, 6, seed=12, link_capacity=2).instance)
+    # general family (unit demands -> OSP).
+    instances.append(_general_as_osp(14, 20, seed=13))
+    instances.append(_general_as_osp(10, 15, seed=14))
+    instances.append(_general_as_osp(12, 18, seed=15))
+    return instances
+
+
+INSTANCES = _instances()
+
+DETERMINISTIC_ALGORITHMS = [
+    GreedyWeightAlgorithm,
+    GreedyProgressAlgorithm,
+    GreedyCommittedAlgorithm,
+    FirstListedAlgorithm,
+    StaticOrderAlgorithm,
+    LargestSetFirstAlgorithm,
+    SmallestSetFirstAlgorithm,
+    lambda: HashedRandPrAlgorithm(salt="differential"),
+]
+
+RANDOMIZED_ALGORITHMS = [
+    RandPrAlgorithm,
+    HashedRandPrAlgorithm,  # salt=None: fresh salt per trial from the trial RNG
+    UnweightedPriorityAlgorithm,
+]
+
+
+def test_instance_corpus_is_large_enough():
+    assert len(INSTANCES) >= 20
+
+
+def _assert_exact_agreement(instance, algorithm, trials, seed):
+    reference = simulate_many(instance, algorithm, trials=trials, seed=seed)
+    batch = simulate_batch(instance, algorithm, trials=trials, seed=seed)
+
+    for trial, result in enumerate(reference):
+        assert batch.completed_sets(trial) == result.completed_sets, (
+            f"{algorithm.name} on {instance.name!r}: completed sets diverge "
+            f"at shared-seed trial {trial}"
+        )
+        assert float(batch.benefits[trial]) == result.benefit
+        assert int(batch.completed_counts[trial]) == result.num_completed
+
+    # Aggregates follow, but assert them anyway: they are what the
+    # experiment harness consumes.
+    assert batch.mean_benefit == expected_benefit(reference)
+    aggregated = batch_from_results(instance, reference, seed=seed)
+    assert batch.equals(aggregated)
+    assert batch.completed_count_distribution() == aggregated.completed_count_distribution()
+
+
+@pytest.mark.parametrize("index", range(len(INSTANCES)), ids=lambda i: INSTANCES[i].name or f"inst{i}")
+def test_deterministic_algorithms_match_exactly(index):
+    instance = INSTANCES[index]
+    for factory in DETERMINISTIC_ALGORITHMS:
+        _assert_exact_agreement(instance, factory(), trials=2, seed=SEED)
+
+
+@pytest.mark.parametrize("index", range(len(INSTANCES)), ids=lambda i: INSTANCES[i].name or f"inst{i}")
+def test_randomized_algorithms_match_per_shared_seed_trial(index):
+    instance = INSTANCES[index]
+    for factory in RANDOMIZED_ALGORITHMS:
+        _assert_exact_agreement(instance, factory(), trials=TRIALS, seed=SEED)
+
+
+def test_randomized_distribution_matches_on_larger_batch():
+    """A larger batch on one instance: distributions agree exactly."""
+    instance = random_weighted_instance(
+        20, 30, (2, 4), random.Random(77), weight_range=(1.0, 6.0)
+    )
+    reference = simulate_many(instance, RandPrAlgorithm(), trials=60, seed=5)
+    batch = simulate_batch(instance, "randPr", trials=60, seed=5)
+    aggregated = batch_from_results(instance, reference, seed=5)
+    assert batch.equals(aggregated)
+    assert batch.std_benefit == aggregated.std_benefit
+
+
+def test_different_seeds_disagree():
+    """Sanity guard: the agreement above is not vacuous (results depend on seed)."""
+    instance = random_weighted_instance(
+        20, 30, (2, 4), random.Random(78), weight_range=(1.0, 6.0)
+    )
+    first = simulate_batch(instance, "randPr", trials=10, seed=1)
+    second = simulate_batch(instance, "randPr", trials=10, seed=2)
+    assert not first.equals(second)

@@ -1,0 +1,216 @@
+"""Property-based tests for the batch engine's structural invariants.
+
+Beyond agreeing with the reference simulator, any simulation result must
+satisfy the OSP protocol itself.  This suite checks, on hypothesis-generated
+and randomized instances:
+
+* **capacity feasibility** — the completed sets of every trial form a
+  feasible packing: no element is used by more completed sets than its
+  capacity allows (which is the global consequence of "never assign more
+  than ``b(u)`` sets at any step");
+* **OPT dominance** — the per-trial benefit never exceeds the exact offline
+  optimum on small instances, for both engines;
+* **degenerate instances** — no sets, no elements, empty sets, and
+  capacity >= fan-in behave identically in both engines.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import GreedyWeightAlgorithm, RandPrAlgorithm
+from repro.core import OnlineInstance, SetSystem, simulate_batch, simulate_many
+from repro.engine import compile_instance
+from repro.exceptions import UnsupportedAlgorithmError
+from repro.offline.exact import solve_exact
+from repro.workloads import random_online_instance, random_weighted_instance
+
+
+@st.composite
+def small_systems(draw):
+    """A random small weighted set system with variable capacities."""
+    num_sets = draw(st.integers(min_value=1, max_value=6))
+    num_elements = draw(st.integers(min_value=1, max_value=8))
+    elements = [f"u{i}" for i in range(num_elements)]
+    sets = {}
+    for index in range(num_sets):
+        members = draw(
+            st.lists(st.sampled_from(elements), unique=True, max_size=num_elements)
+        )
+        sets[f"S{index}"] = members
+    weights = {
+        set_id: draw(
+            st.floats(min_value=0.0, max_value=8.0, allow_nan=False, width=32)
+        )
+        for set_id in sets
+    }
+    used = {element for members in sets.values() for element in members}
+    capacities = {
+        element: draw(st.integers(min_value=1, max_value=3)) for element in sorted(used)
+    }
+    system = SetSystem(sets, weights=weights, capacities=capacities)
+    order = list(system.element_ids)
+    draw(st.randoms(use_true_random=False)).shuffle(order)
+    return OnlineInstance(system, order, name="hypothesis")
+
+
+@settings(max_examples=60, deadline=None)
+@given(instance=small_systems(), seed=st.integers(min_value=0, max_value=2**16))
+def test_completed_sets_form_a_feasible_packing(instance, seed):
+    """No element is ever oversubscribed by the completed sets of a trial."""
+    result = simulate_batch(instance, "randPr", trials=4, seed=seed)
+    for trial in range(result.trials):
+        chosen = result.completed_sets(trial)
+        assert instance.system.is_feasible_packing(chosen)
+
+
+@settings(max_examples=60, deadline=None)
+@given(instance=small_systems(), seed=st.integers(min_value=0, max_value=2**16))
+def test_engines_agree_on_hypothesis_instances(instance, seed):
+    """The differential guarantee holds on adversarially-shrunk inputs too."""
+    batch = simulate_batch(instance, "randPr", trials=3, seed=seed)
+    reference = simulate_many(instance, RandPrAlgorithm(), trials=3, seed=seed)
+    for trial, result in enumerate(reference):
+        assert batch.completed_sets(trial) == result.completed_sets
+        assert float(batch.benefits[trial]) == result.benefit
+
+
+def test_per_step_capacity_never_exceeded():
+    """Re-derive per-step assignment counts and check them against b(u).
+
+    The completed mask certifies the end state; this check walks the steps:
+    in any trial, at most ``b(u)`` of the sets containing ``u`` may have
+    received ``u`` — in particular the completed sets containing ``u``
+    (which by definition received it) can never number more than ``b(u)``.
+    """
+    instance = random_weighted_instance(
+        18, 26, (2, 4), random.Random(3), weight_range=(1.0, 4.0)
+    )
+    compiled = compile_instance(instance)
+    result = simulate_batch(compiled, "randPr", trials=16, seed=9)
+    for step in range(compiled.num_steps):
+        parents = compiled.parents_of_step(step)
+        capacity = int(compiled.step_capacities[step])
+        per_trial_usage = result.completed[:, parents].sum(axis=1)
+        assert int(per_trial_usage.max(initial=0)) <= capacity
+
+
+@pytest.mark.parametrize("algorithm", ["randPr", "greedy-weight", "randPr-hashed"])
+def test_benefit_never_exceeds_offline_opt(algorithm):
+    """Online benefit <= exact offline OPT, trial by trial, on small instances."""
+    for seed in range(6):
+        instance = random_weighted_instance(
+            10, 14, (2, 3), random.Random(seed), weight_range=(1.0, 5.0)
+        )
+        opt = solve_exact(instance.system)
+        assert opt.is_optimal
+        result = simulate_batch(instance, algorithm, trials=8, seed=seed)
+        assert float(result.benefits.max()) <= opt.weight + 1e-9
+        # The reference engine obeys the same bound (paired check).
+        reference = simulate_many(
+            instance, RandPrAlgorithm(), trials=8, seed=seed
+        )
+        assert max(res.benefit for res in reference) <= opt.weight + 1e-9
+
+
+def _assert_engines_identical(instance, trials=3, seed=0):
+    batch = simulate_batch(instance, "randPr", trials=trials, seed=seed)
+    reference = simulate_many(instance, RandPrAlgorithm(), trials=trials, seed=seed)
+    for trial, result in enumerate(reference):
+        assert batch.completed_sets(trial) == result.completed_sets
+        assert float(batch.benefits[trial]) == result.benefit
+    return batch
+
+
+def test_degenerate_no_sets():
+    instance = OnlineInstance(SetSystem({}), name="empty")
+    batch = _assert_engines_identical(instance)
+    assert batch.num_sets == 0
+    assert batch.mean_benefit == 0.0
+    assert np.array_equal(batch.completed_counts, np.zeros(3, dtype=np.int64))
+
+
+def test_degenerate_empty_sets_complete_trivially():
+    """Sets with no elements are completed by definition, in both engines."""
+    system = SetSystem({"A": [], "B": ["u"], "C": ["u"]}, weights={"A": 2.0})
+    instance = OnlineInstance(system, name="empty-sets")
+    batch = _assert_engines_identical(instance)
+    for trial in range(batch.trials):
+        assert "A" in batch.completed_sets(trial)
+
+
+def test_degenerate_capacity_at_least_fan_in():
+    """When b(u) >= sigma(u) everywhere, every set completes."""
+    sets = {f"S{i}": ["x", "y", f"z{i}"] for i in range(4)}
+    system = SetSystem(
+        sets, capacities={"x": 4, "y": 5, "z0": 1, "z1": 2, "z2": 3, "z3": 4}
+    )
+    instance = OnlineInstance(system, name="slack")
+    batch = _assert_engines_identical(instance)
+    assert batch.completed.all()
+    greedy = simulate_batch(instance, "greedy-weight", trials=2, seed=0)
+    assert greedy.completed.all()
+
+
+def test_degenerate_single_element_contested():
+    """One element, several sets, capacity 1: exactly one set completes."""
+    system = SetSystem({f"S{i}": ["u"] for i in range(5)})
+    instance = OnlineInstance(system, name="star")
+    batch = _assert_engines_identical(instance, trials=8, seed=4)
+    assert np.array_equal(
+        batch.completed_counts, np.ones(8, dtype=np.int64)
+    )
+
+
+def test_trials_must_be_positive():
+    instance = random_online_instance(5, 8, (2, 3), random.Random(0))
+    with pytest.raises(ValueError):
+        simulate_batch(instance, "randPr", trials=0)
+    with pytest.raises(ValueError):
+        simulate_many(instance, RandPrAlgorithm(), trials=0)
+
+
+def test_unsupported_algorithm_raises():
+    from repro.algorithms import UniformRandomAlgorithm
+
+    instance = random_online_instance(5, 8, (2, 3), random.Random(0))
+    with pytest.raises(UnsupportedAlgorithmError):
+        simulate_batch(instance, UniformRandomAlgorithm(), trials=2)
+    with pytest.raises(UnsupportedAlgorithmError):
+        simulate_batch(instance, "no-such-kind", trials=2)
+
+
+def test_subclassed_algorithm_is_not_silently_replayed():
+    """A subclass that overrides decide() must not be replayed as its base.
+
+    spec_for_algorithm matches exact types only: an unknown subclass gets no
+    spec (so engine='auto' falls back to the reference simulator instead of
+    silently simulating the base algorithm's behavior).
+    """
+    from repro.engine import spec_for_algorithm
+    from repro.experiments.competitive_ratio import simulation_benefits
+
+    class TweakedRandPr(RandPrAlgorithm):
+        def decide(self, arrival):
+            ranked = sorted(
+                arrival.parents,
+                key=lambda set_id: (self.priority_of(set_id), repr(set_id)),
+            )  # inverted preference: lowest priority wins
+            return frozenset(ranked[: arrival.capacity])
+
+    tweaked = TweakedRandPr()
+    assert spec_for_algorithm(tweaked) is None
+    with pytest.raises(UnsupportedAlgorithmError):
+        simulate_batch(random_online_instance(5, 8, (2, 3), random.Random(0)), tweaked, trials=2)
+
+    instance = random_weighted_instance(
+        12, 18, (2, 3), random.Random(1), weight_range=(1.0, 4.0)
+    )
+    auto = simulation_benefits(instance, tweaked, trials=4, seed=3, engine="auto")
+    reference = [
+        result.benefit
+        for result in simulate_many(instance, TweakedRandPr(), trials=4, seed=3)
+    ]
+    assert list(auto) == reference
