@@ -1,0 +1,233 @@
+"""E16 — end-to-end sweep throughput: the parallel orchestrator vs. the serial
+reference pipeline.
+
+Not a paper table: this experiment characterizes the reproduction itself.
+PR 1 made the inner Monte-Carlo loop fast; this benchmark measures the whole
+measurement path — instance generation, offline OPT solving, statistics,
+bounds and per-algorithm simulation — under the orchestrator refactor:
+
+* **serial reference** — ``run_sweep(..., workers=1, engine="reference")``,
+  the historical default pipeline: one process, per-arrival simulation, no
+  compiled-instance reuse;
+* **serial optimized** — ``workers=1, engine="auto"``: batch engine plus the
+  per-process OPT/compile caches, isolating the single-process gains;
+* **parallel** — ``workers=4, engine="auto"``: the full orchestrator,
+  ``(point, instance)`` work units over a process pool.
+
+Because the engines agree trial for trial and the orchestrator merges in
+sweep order, all three configurations return **bit-identical rows** — which
+this benchmark asserts before reporting any timing, so the speedup is a
+comparison between equal computations, not between approximations.
+
+Headline claim checked here: >= 2.5x end-to-end wall-clock at 4 workers vs.
+the serial reference path on the standard 200-set sweep.  (On a single-core
+host the margin comes from the batch engine and the caches; the worker pool
+adds its value back on multi-core hardware — the differential guarantee is
+what makes that trade invisible in the numbers.)
+
+Run directly for the CI smoke mode::
+
+    python benchmarks/bench_sweep_parallel.py --smoke
+
+which shrinks the sweep, checks the bit-identity contract at workers
+∈ {1, 2, 4} and skips the wall-clock floor (shared CI runners are noisy).
+"""
+
+import argparse
+import time
+
+from repro.algorithms import (
+    FirstListedAlgorithm,
+    GreedyWeightAlgorithm,
+    RandPrAlgorithm,
+    UniformRandomAlgorithm,
+    UnweightedPriorityAlgorithm,
+)
+from repro.engine import clear_compile_cache
+from repro.experiments import default_opt_cache, format_table, run_sweep, workers_from_env
+from repro.workloads import random_online_instance
+
+#: The standard sweep: 200-set instances at three contention levels.
+NUM_SETS = 200
+ELEMENT_COUNTS = (500, 400, 300)
+SET_SIZE_RANGE = (2, 5)
+WEIGHT_RANGE = (1.0, 6.0)
+INSTANCES_PER_POINT = 2
+TRIALS_PER_INSTANCE = 300
+SEED = 2025
+
+#: The acceptance floor for the headline configuration.
+MIN_SPEEDUP = 2.5
+
+#: Worker count of the headline parallel configuration (overridable for the
+#: benchmark table via OSP_BENCH_WORKERS; the floor is always checked at 4).
+PARALLEL_WORKERS = 4
+
+ALGORITHMS = (
+    RandPrAlgorithm(),
+    UnweightedPriorityAlgorithm(),
+    UniformRandomAlgorithm(),
+    GreedyWeightAlgorithm(),
+    FirstListedAlgorithm(),
+)
+
+
+def _points(num_sets, element_counts):
+    points = []
+    for num_elements in element_counts:
+        def factory(rng, num_elements=num_elements):
+            return random_online_instance(
+                num_sets,
+                num_elements,
+                SET_SIZE_RANGE,
+                rng,
+                weight_range=WEIGHT_RANGE,
+                name=f"{num_sets}x{num_elements}",
+            )
+
+        points.append((f"n={num_elements}", factory))
+    return points
+
+
+def _run_configuration(points, workers, engine, instances_per_point, trials):
+    # Start every configuration cold: the per-process OPT and compile caches
+    # are part of what is being measured, and without this reset the second
+    # and third configurations would inherit the first one's solves (fork
+    # workers copy the parent's caches), overstating their speedups.
+    default_opt_cache().clear()
+    clear_compile_cache()
+    start = time.perf_counter()
+    sweep = run_sweep(
+        "E16 sweep",
+        points,
+        list(ALGORITHMS),
+        instances_per_point=instances_per_point,
+        trials_per_instance=trials,
+        seed=SEED,
+        engine=engine,
+        workers=workers,
+    )
+    return sweep, time.perf_counter() - start
+
+
+def run_comparison(num_sets, element_counts, instances_per_point, trials, workers):
+    """Time the three configurations and assert their rows are bit-identical."""
+    points = _points(num_sets, element_counts)
+    reference, reference_seconds = _run_configuration(
+        points, 1, "reference", instances_per_point, trials
+    )
+    serial, serial_seconds = _run_configuration(
+        points, 1, "auto", instances_per_point, trials
+    )
+    parallel, parallel_seconds = _run_configuration(
+        points, workers, "auto", instances_per_point, trials
+    )
+
+    # The speedup is only meaningful between equal computations.
+    assert serial.rows == reference.rows, "engine choice changed sweep rows"
+    assert parallel.rows == reference.rows, "worker count changed sweep rows"
+
+    rows = [
+        {
+            "configuration": "serial reference (workers=1, engine=reference)",
+            "seconds": round(reference_seconds, 3),
+            "speedup": 1.0,
+        },
+        {
+            "configuration": "serial optimized (workers=1, engine=auto)",
+            "seconds": round(serial_seconds, 3),
+            "speedup": round(reference_seconds / serial_seconds, 2),
+        },
+        {
+            "configuration": f"parallel (workers={workers}, engine=auto)",
+            "seconds": round(parallel_seconds, 3),
+            "speedup": round(reference_seconds / parallel_seconds, 2),
+        },
+    ]
+    return rows, reference_seconds / parallel_seconds
+
+
+def test_e16_sweep_parallel_speedup(run_once, experiment_report):
+    def experiment():
+        return run_comparison(
+            NUM_SETS,
+            ELEMENT_COUNTS,
+            INSTANCES_PER_POINT,
+            TRIALS_PER_INSTANCE,
+            PARALLEL_WORKERS,
+        )
+
+    rows, speedup = run_once(experiment)
+    text = format_table(
+        rows,
+        title=(
+            f"E16: end-to-end sweep orchestration "
+            f"({NUM_SETS} sets x {ELEMENT_COUNTS} elements, "
+            f"{INSTANCES_PER_POINT} instances/point, "
+            f"{TRIALS_PER_INSTANCE} trials/instance, "
+            f"{len(ALGORITHMS)} algorithms, bit-identical rows)"
+        ),
+    )
+    text += (
+        f"\n\nheadline: parallel vs serial reference -> {speedup:.1f}x "
+        f"(floor: {MIN_SPEEDUP}x)"
+    )
+    experiment_report("E16_sweep_parallel", text)
+
+    # The headline acceptance bar: >= 2.5x end to end at 4 workers.
+    assert speedup >= MIN_SPEEDUP
+
+
+def _smoke(workers_list=(1, 2, 4)):
+    """CI smoke: a small sweep, bit-identity asserted across worker counts."""
+    points = _points(40, (100, 60))
+    baseline, baseline_seconds = _run_configuration(points, 1, "reference", 2, 20)
+    print(f"serial reference: {baseline_seconds:.2f}s, {len(baseline.rows)} rows")
+    for workers in workers_list:
+        sweep, seconds = _run_configuration(points, workers, "auto", 2, 20)
+        assert sweep.rows == baseline.rows, (
+            f"rows diverged at workers={workers} (engine=auto)"
+        )
+        print(f"workers={workers} engine=auto: {seconds:.2f}s, rows bit-identical")
+    print("smoke OK: parallel sweep is bit-identical to the serial reference")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="End-to-end sweep benchmark: parallel orchestrator vs serial reference.",
+        epilog=(
+            "examples:\n"
+            "  python benchmarks/bench_sweep_parallel.py --smoke\n"
+            "      fast correctness smoke (CI): bit-identity at workers 1/2/4\n"
+            "  python benchmarks/bench_sweep_parallel.py\n"
+            "      full timed comparison on the standard 200-set sweep\n"
+            "  OSP_BENCH_WORKERS=8 python benchmarks/bench_sweep_parallel.py\n"
+            "      time the parallel configuration at 8 workers"
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the small correctness smoke instead of the timed benchmark",
+    )
+    arguments = parser.parse_args(argv)
+    if arguments.smoke:
+        return _smoke()
+
+    workers = workers_from_env(default=PARALLEL_WORKERS)
+    rows, speedup = run_comparison(
+        NUM_SETS, ELEMENT_COUNTS, INSTANCES_PER_POINT, TRIALS_PER_INSTANCE, workers
+    )
+    print(
+        format_table(
+            rows, title=f"E16: end-to-end sweep orchestration (workers={workers})"
+        )
+    )
+    print(f"\nheadline speedup: {speedup:.1f}x (floor {MIN_SPEEDUP}x)")
+    return 0 if speedup >= MIN_SPEEDUP else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,7 +21,7 @@ from repro.algorithms import (
     RandPrAlgorithm,
     UniformRandomAlgorithm,
 )
-from repro.experiments import format_table, run_sweep, summarize_rows
+from repro.experiments import format_table, run_sweep, summarize_rows, workers_from_env
 from repro.experiments.competitive_ratio import validate_engine
 from repro.workloads import random_online_instance
 
@@ -32,8 +32,11 @@ WEIGHT_RANGE = (1.0, 6.0)
 
 # Simulation engine for the sweep: the batch engine ("auto"/"batch") replays
 # the reference simulator trial for trial, so the table is identical either
-# way — only the wall-clock differs.
+# way — only the wall-clock differs.  OSP_BENCH_WORKERS likewise fans the
+# sweep's (point, instance) work units over worker processes without
+# changing a single row (the orchestrator merges in sweep order).
 ENGINE = validate_engine(os.environ.get("OSP_BENCH_ENGINE", "auto"))
+WORKERS = workers_from_env()
 
 
 def _points():
@@ -68,6 +71,7 @@ def test_e1_theorem1_corollary6(run_once, experiment_report):
             trials_per_instance=30,
             seed=101,
             engine=ENGINE,
+            workers=WORKERS,
         )
 
     sweep = run_once(experiment)

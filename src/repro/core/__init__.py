@@ -36,7 +36,11 @@ from repro.core.simulation import (
     simulate,
     simulate_many,
 )
-from repro.core.statistics import InstanceStatistics, compute_statistics
+from repro.core.statistics import (
+    InstanceStatistics,
+    compute_statistics,
+    statistics_from_benefits,
+)
 
 # Imported last: the engine modules import repro.core submodules directly,
 # so this re-export must come after the core names are bound.
@@ -79,6 +83,7 @@ __all__ = [
     "simulate_many",
     "InstanceStatistics",
     "compute_statistics",
+    "statistics_from_benefits",
     "BatchResult",
     "batch_from_results",
     "simulate_batch",

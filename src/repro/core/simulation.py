@@ -171,7 +171,13 @@ def simulate_many(
 
 
 def expected_benefit(results: Sequence[SimulationResult]) -> float:
-    """The empirical mean benefit over a sequence of simulation results."""
-    if not results:
-        return 0.0
-    return sum(result.benefit for result in results) / len(results)
+    """The empirical mean benefit over a sequence of simulation results.
+
+    Delegates to :func:`repro.core.statistics.statistics_from_benefits` so the
+    arithmetic (hence the exact float) matches every other aggregation in the
+    package, including the batch engine's ``BatchResult.mean_benefit``.
+    """
+    from repro.core.statistics import statistics_from_benefits
+
+    mean, _ = statistics_from_benefits([result.benefit for result in results])
+    return mean

@@ -16,7 +16,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.set_system import ElementId, SetSystem
 
@@ -145,6 +147,27 @@ def compute_statistics(system: SetSystem) -> InstanceStatistics:
         uniform_set_size=len(set(set_sizes)) <= 1,
         uniform_load=len(set(sigma_values)) <= 1,
     )
+
+
+def statistics_from_benefits(benefits: Sequence[float]) -> Tuple[float, float]:
+    """The mean and sample standard deviation of per-trial benefits.
+
+    This is the single aggregation routine behind every "mean benefit ±
+    std" number in the package (``measure_ratio``, ``BatchResult``,
+    ``expected_benefit``): one numpy reduction instead of a hand-rolled
+    Python variance loop, and — because both simulation engines and both
+    the serial and parallel orchestration paths funnel through the same
+    function on the same per-trial floats — one set of float results.
+    The standard deviation uses ``ddof=1`` (sample std), matching the
+    historical definition; zero or one sample yields ``(mean, 0.0)``.
+    """
+    values = np.asarray(benefits, dtype=np.float64)
+    if values.size == 0:
+        return 0.0, 0.0
+    mean = float(values.mean())
+    if values.size == 1:
+        return mean, 0.0
+    return mean, float(values.std(ddof=1))
 
 
 def load_histogram(system: SetSystem) -> Dict[int, int]:

@@ -16,9 +16,11 @@ reference simulator across every workload generator.
 """
 
 from repro.engine.batch import BatchResult, batch_from_results, simulate_batch
+from repro.engine.cache import clear_compile_cache, compile_cache_stats, compiled_for
 from repro.engine.compile import CompiledInstance, compile_instance
 from repro.engine.specs import (
     GREEDY_KINDS,
+    PER_STEP_RANDOM_KINDS,
     STATIC_PRIORITY_KINDS,
     SUPPORTED_KINDS,
     AlgorithmSpec,
@@ -33,8 +35,12 @@ __all__ = [
     "simulate_batch",
     "CompiledInstance",
     "compile_instance",
+    "compiled_for",
+    "compile_cache_stats",
+    "clear_compile_cache",
     "AlgorithmSpec",
     "GREEDY_KINDS",
+    "PER_STEP_RANDOM_KINDS",
     "STATIC_PRIORITY_KINDS",
     "SUPPORTED_KINDS",
     "priority_matrix",

@@ -20,14 +20,18 @@ output, not a statistical approximation of it.
 
 When to use which engine: use the batch engine for Monte-Carlo estimation
 (many trials of a supported algorithm on a fixed instance); use the
-reference simulator for unsupported algorithms (e.g. per-arrival
-randomness), for adaptive adversaries, or when the per-step trace
-(``record_steps``) is needed.
+reference simulator for unsupported algorithms, for adaptive adversaries,
+or when the per-step trace (``record_steps``) is needed.
+
+``simulate_batch`` compiles through the per-process cache of
+:mod:`repro.engine.cache`, so measuring many algorithms on one instance
+compiles it once, not once per call.
 """
 
 from __future__ import annotations
 
 import math
+import random
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Sequence, Tuple, Union
 
@@ -36,9 +40,12 @@ import numpy as np
 from repro.core.algorithm import OnlineAlgorithm
 from repro.core.instance import OnlineInstance
 from repro.core.set_system import SetId
-from repro.engine.compile import CompiledInstance, compile_instance
+from repro.core.statistics import statistics_from_benefits
+from repro.engine.cache import compiled_for
+from repro.engine.compile import CompiledInstance
 from repro.engine.specs import (
     GREEDY_KINDS,
+    PER_STEP_RANDOM_KINDS,
     AlgorithmSpec,
     priority_matrix,
     resolve_spec,
@@ -77,24 +84,19 @@ class BatchResult:
     def mean_benefit(self) -> float:
         """The empirical mean benefit over the batch.
 
-        Computed as a sequential sum divided by the trial count — the same
-        arithmetic (hence the same float) as ``expected_benefit`` and
-        ``measure_ratio`` applied to ``simulate_many`` output.
+        Computed by :func:`~repro.core.statistics.statistics_from_benefits` —
+        the same numpy reduction (hence the same float) as
+        ``expected_benefit`` and ``measure_ratio`` applied to
+        ``simulate_many`` output.
         """
         if not self.trials:
             return 0.0
-        return sum(float(value) for value in self.benefits) / self.trials
+        return statistics_from_benefits(self.benefits)[0]
 
     @property
     def std_benefit(self) -> float:
         """The sample standard deviation of the benefit (0 for one trial)."""
-        if self.trials <= 1:
-            return 0.0
-        mean = sum(float(value) for value in self.benefits) / self.trials
-        variance = sum((float(value) - mean) ** 2 for value in self.benefits) / (
-            self.trials - 1
-        )
-        return math.sqrt(variance)
+        return statistics_from_benefits(self.benefits)[1]
 
     @property
     def mean_completed(self) -> float:
@@ -196,6 +198,104 @@ def _run_static(compiled: CompiledInstance, keys: np.ndarray) -> np.ndarray:
     return completed
 
 
+def _sample_uses_pool(width: int, take: int) -> bool:
+    """Whether ``random.sample(seq_of_len_width, take)`` takes its pool branch.
+
+    Mirrors CPython's ``setsize`` heuristic: an n-length pool list is used
+    when it is smaller than a k-length selection set would be.
+    """
+    setsize = 21
+    if take > 5:
+        setsize += 4 ** math.ceil(math.log(take * 3, 4))
+    return width <= setsize
+
+
+def _run_uniform_random(
+    compiled: CompiledInstance, trials: int, seed: int
+) -> np.ndarray:
+    """Replay all trials of the uniform-random assignment algorithm.
+
+    Returns the ``(trials, m)`` completed mask.  The algorithm draws fresh
+    randomness at every arrival (``rng.sample`` over the parent sets), so
+    there is no static priority row to precompute; instead the engine replays
+    each trial's RNG stream exactly as the reference algorithm consumes it.
+    ``random.sample`` selects *positions* that depend only on the population
+    size, the draw count and the RNG state, and every draw bottoms out in
+    ``getrandbits``; replaying that selection inline (the pool swap for small
+    populations, the rejection set for large ones, each index drawn by the
+    ``_randbelow`` retry loop) reproduces the reference draws over the actual
+    parent tuples bit for bit while skipping ``sample``'s per-call sequence
+    type checks — the dominant cost at hundreds of thousands of arrivals.
+    The differential suite pins this replay against the real
+    ``rng.sample`` across every workload family, so a change to CPython's
+    selection algorithm would fail loudly, not drift silently.
+
+    The replay is necessarily a Python loop (it must consume the very same
+    Mersenne-Twister stream), but it skips the reference simulator's per-step
+    protocol validation, per-parent dict bookkeeping and frozenset
+    construction, and the completion bookkeeping happens once per trial as an
+    array scatter.
+    """
+    m = compiled.num_sets
+    indptr = compiled.step_indptr
+    parents = compiled.step_parents
+    capacities = compiled.step_capacities
+
+    # Per-step constants, precomputed once for the whole batch.  Steps where
+    # the element fits every parent (take == width) consume RNG but can
+    # never kill a set; steps with no parents consume nothing at all.
+    steps = []
+    for step in range(compiled.num_steps):
+        columns = parents[indptr[step] : indptr[step + 1]]
+        width = len(columns)
+        if width == 0:
+            continue
+        take = min(int(capacities[step]), width)
+        steps.append(
+            (columns.tolist(), width, take, _sample_uses_pool(width, take))
+        )
+
+    completed = np.ones((trials, m), dtype=bool)
+    for trial in range(trials):
+        getrandbits = random.Random(seed + trial).getrandbits
+        dropped = []
+        for columns, width, take, use_pool in steps:
+            if use_pool:
+                pool = list(range(width))
+                chosen = []
+                for draw in range(take):
+                    bound = width - draw
+                    bits = bound.bit_length()
+                    position = getrandbits(bits)
+                    while position >= bound:
+                        position = getrandbits(bits)
+                    chosen.append(pool[position])
+                    pool[position] = pool[bound - 1]
+            else:
+                bits = width.bit_length()
+                selected = set()
+                for draw in range(take):
+                    position = getrandbits(bits)
+                    while position >= width:
+                        position = getrandbits(bits)
+                    while position in selected:
+                        position = getrandbits(bits)
+                        while position >= width:
+                            position = getrandbits(bits)
+                    selected.add(position)
+                chosen = selected
+            if take < width:
+                keep = set(chosen)
+                dropped.extend(
+                    column
+                    for position, column in enumerate(columns)
+                    if position not in keep
+                )
+        if dropped:
+            completed[trial, dropped] = False
+    return completed
+
+
 def _run_greedy(compiled: CompiledInstance, kind: str) -> np.ndarray:
     """Replay one run of a state-dependent greedy algorithm (deterministic).
 
@@ -260,9 +360,9 @@ def simulate_batch(
     Parameters
     ----------
     instance:
-        An :class:`~repro.core.instance.OnlineInstance`, or a pre-built
-        :class:`~repro.engine.compile.CompiledInstance` when the caller
-        amortizes compilation over several batches.
+        An :class:`~repro.core.instance.OnlineInstance` (compiled at most
+        once per object via the per-process cache), or a pre-built
+        :class:`~repro.engine.compile.CompiledInstance`.
     algorithm:
         An :class:`~repro.engine.specs.AlgorithmSpec`, a kind string (e.g.
         ``"randPr"``), or a reference :class:`OnlineAlgorithm` object of a
@@ -276,15 +376,13 @@ def simulate_batch(
     """
     if trials < 1:
         raise ValueError(f"trials must be at least 1, got {trials}")
-    compiled = (
-        instance
-        if isinstance(instance, CompiledInstance)
-        else compile_instance(instance)
-    )
+    compiled = compiled_for(instance)
     spec = resolve_spec(algorithm)
 
     if spec.kind in GREEDY_KINDS:
         completed = _run_greedy(compiled, spec.kind)
+    elif spec.kind in PER_STEP_RANDOM_KINDS:
+        completed = _run_uniform_random(compiled, trials, seed)
     else:
         priorities = priority_matrix(spec, compiled, trials, seed)
         # Negate so that "smallest key wins" with stable index tie-breaks.
@@ -328,11 +426,7 @@ def batch_from_results(
     callers) rely on: both engines end up in the same result shape, so
     "exactly equal" is a single array comparison.
     """
-    compiled = (
-        instance
-        if isinstance(instance, CompiledInstance)
-        else compile_instance(instance)
-    )
+    compiled = compiled_for(instance)
     if not results:
         raise ValueError("need at least one simulation result")
     trials = len(results)

@@ -1,0 +1,64 @@
+"""A per-process cache of compiled instances.
+
+Compiling an :class:`~repro.core.instance.OnlineInstance` to numpy arrays is
+pure bookkeeping, but a sweep that measures ten algorithms on the same
+instance used to pay it ten times — once per ``simulate_batch`` call.  The
+cache keys on instance *identity* (instances are immutable after
+construction) through a :class:`weakref.WeakKeyDictionary`, so a compiled
+instance lives exactly as long as the instance it mirrors and a long-running
+process never accumulates arrays for dead instances.
+
+``stats()`` exposes hit/miss counters so tests (and the sweep benchmark) can
+prove the single-compilation claim rather than assume it.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, Union
+
+from repro.core.instance import OnlineInstance
+from repro.engine.compile import CompiledInstance, compile_instance
+
+__all__ = ["compiled_for", "compile_cache_stats", "clear_compile_cache"]
+
+_CACHE: "weakref.WeakKeyDictionary[OnlineInstance, CompiledInstance]" = (
+    weakref.WeakKeyDictionary()
+)
+_HITS = 0
+_MISSES = 0
+
+
+def compiled_for(
+    instance: Union[OnlineInstance, CompiledInstance]
+) -> CompiledInstance:
+    """The compiled form of ``instance``, compiling at most once per object.
+
+    A :class:`CompiledInstance` argument passes straight through, so callers
+    that manage their own compilation are unaffected.
+    """
+    global _HITS, _MISSES
+    if isinstance(instance, CompiledInstance):
+        return instance
+    try:
+        compiled = _CACHE[instance]
+    except KeyError:
+        _MISSES += 1
+        compiled = compile_instance(instance)
+        _CACHE[instance] = compiled
+        return compiled
+    _HITS += 1
+    return compiled
+
+
+def compile_cache_stats() -> Dict[str, int]:
+    """Hit/miss/size counters of the per-process compile cache."""
+    return {"hits": _HITS, "misses": _MISSES, "entries": len(_CACHE)}
+
+
+def clear_compile_cache() -> None:
+    """Drop every cached compilation and reset the counters (test hook)."""
+    global _HITS, _MISSES
+    _CACHE.clear()
+    _HITS = 0
+    _MISSES = 0

@@ -3,7 +3,7 @@
 The reference simulator runs arbitrary :class:`~repro.core.algorithm.OnlineAlgorithm`
 objects; the batch engine instead runs *specifications* — declarative
 descriptions of the priority rule an algorithm applies — so that a whole
-batch of trials can be replayed as array operations.  Two families are
+batch of trials can be replayed as array operations.  Three families are
 supported:
 
 * **static-priority** algorithms (randPr, its hashed variant, the static
@@ -18,11 +18,17 @@ supported:
   state, so the engine recomputes an integer sort key per arrival from the
   batch state matrices.  These are deterministic, so every trial of a batch
   is the same run ("degenerate" batches).
+* **per-step-random** algorithms (``uniform-random``): a fresh draw happens
+  at every arrival, so no static priority row exists.  The engine replays
+  each trial's RNG stream call-for-call (the same ``random.Random(seed + b)``
+  and the same ``sample`` invocations as the reference algorithm) to recover
+  the assignment decisions, then finishes the bookkeeping as array
+  operations.
 
 :func:`spec_for_algorithm` maps a reference algorithm object to its spec
-(or ``None`` when the algorithm cannot be vectorized — e.g. per-arrival
-randomness), and :func:`resolve_spec` normalizes everything callers may
-pass to :func:`~repro.engine.batch.simulate_batch`.
+(or ``None`` when the algorithm cannot be vectorized — e.g. a custom hash
+family), and :func:`resolve_spec` normalizes everything callers may pass to
+:func:`~repro.engine.batch.simulate_batch`.
 """
 
 from __future__ import annotations
@@ -42,6 +48,7 @@ __all__ = [
     "AlgorithmSpec",
     "STATIC_PRIORITY_KINDS",
     "GREEDY_KINDS",
+    "PER_STEP_RANDOM_KINDS",
     "SUPPORTED_KINDS",
     "spec_for_algorithm",
     "resolve_spec",
@@ -64,11 +71,15 @@ STATIC_PRIORITY_KINDS = frozenset(
 #: Kinds whose priority depends on the evolving alive/progress state.
 GREEDY_KINDS = frozenset({"greedy-weight", "greedy-progress", "greedy-committed"})
 
-SUPPORTED_KINDS = STATIC_PRIORITY_KINDS | GREEDY_KINDS
+#: Kinds that draw fresh randomness at every arrival (no static priority row
+#: exists); the engine replays the per-step RNG stream instead.
+PER_STEP_RANDOM_KINDS = frozenset({"uniform-random"})
+
+SUPPORTED_KINDS = STATIC_PRIORITY_KINDS | GREEDY_KINDS | PER_STEP_RANDOM_KINDS
 
 #: Kinds that draw fresh randomness per trial (everything else is
 #: deterministic: one decision sequence shared by the whole batch).
-_RANDOMIZED_KINDS = frozenset({"randPr", "uniform-priority"})
+_RANDOMIZED_KINDS = frozenset({"randPr", "uniform-priority", "uniform-random"})
 
 
 @dataclass(frozen=True)
@@ -113,9 +124,9 @@ class AlgorithmSpec:
 def spec_for_algorithm(algorithm: OnlineAlgorithm) -> Optional[AlgorithmSpec]:
     """The :class:`AlgorithmSpec` replaying ``algorithm``, or ``None``.
 
-    ``None`` means the algorithm cannot be vectorized (per-arrival
-    randomness, a custom hash family, or an algorithm type the engine does
-    not know); callers should fall back to the reference simulator.
+    ``None`` means the algorithm cannot be vectorized (a custom hash family,
+    or an algorithm type the engine does not know); callers should fall back
+    to the reference simulator.
     """
     # Imported here: the algorithm modules import repro.core, which in turn
     # re-exports the engine, so a module-level import would be circular.
@@ -132,7 +143,10 @@ def spec_for_algorithm(algorithm: OnlineAlgorithm) -> Optional[AlgorithmSpec]:
     )
     from repro.algorithms.hashed import HashedRandPrAlgorithm
     from repro.algorithms.randpr import RandPrAlgorithm
-    from repro.algorithms.random_assign import UnweightedPriorityAlgorithm
+    from repro.algorithms.random_assign import (
+        UniformRandomAlgorithm,
+        UnweightedPriorityAlgorithm,
+    )
 
     # Exact-type checks, not isinstance: a subclass may override start/decide,
     # and replaying it as its base class would silently produce the base
@@ -149,6 +163,8 @@ def spec_for_algorithm(algorithm: OnlineAlgorithm) -> Optional[AlgorithmSpec]:
         )
     if algorithm_type is UnweightedPriorityAlgorithm:
         return AlgorithmSpec("uniform-priority")
+    if algorithm_type is UniformRandomAlgorithm:
+        return AlgorithmSpec("uniform-random")
     if algorithm_type is StaticOrderAlgorithm:
         return AlgorithmSpec(
             "static-order", salt=getattr(algorithm, "_salt", "static-order")

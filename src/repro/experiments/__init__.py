@@ -14,6 +14,20 @@ from repro.experiments.competitive_ratio import (
     measure_suite,
 )
 from repro.experiments.harness import ExperimentRow, SweepResult, run_sweep, summarize_rows
+from repro.experiments.opt_cache import OptCache, default_opt_cache
+from repro.experiments.orchestrator import (
+    SweepUnit,
+    SweepUnitResult,
+    build_sweep_units,
+    instance_seed,
+    run_units,
+)
+from repro.experiments.parallel import (
+    map_ordered,
+    partition_trials,
+    stable_seed,
+    workers_from_env,
+)
 from repro.experiments.report import banner, format_markdown_table, format_sweep, format_table
 
 __all__ = [
@@ -30,6 +44,17 @@ __all__ = [
     "SweepResult",
     "run_sweep",
     "summarize_rows",
+    "OptCache",
+    "default_opt_cache",
+    "SweepUnit",
+    "SweepUnitResult",
+    "build_sweep_units",
+    "instance_seed",
+    "run_units",
+    "map_ordered",
+    "partition_trials",
+    "stable_seed",
+    "workers_from_env",
     "banner",
     "format_markdown_table",
     "format_sweep",

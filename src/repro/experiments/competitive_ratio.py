@@ -9,17 +9,20 @@ measured ratio *larger*, keeping upper-bound experiments honest).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from functools import partial
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.algorithm import OnlineAlgorithm
 from repro.core.instance import OnlineInstance
 from repro.core.set_system import SetSystem
 from repro.core.simulation import simulate_many
+from repro.core.statistics import statistics_from_benefits
 from repro.engine.batch import simulate_batch
 from repro.engine.specs import spec_for_algorithm
 from repro.exceptions import SolverError, UnsupportedAlgorithmError
+from repro.experiments.opt_cache import OptCache, default_opt_cache
+from repro.experiments.parallel import map_ordered, partition_trials, resolve_workers
 from repro.offline.exact import solve_exact
 from repro.offline.local_search import local_search_packing
 from repro.offline.lp import lp_relaxation_bound
@@ -29,6 +32,7 @@ __all__ = [
     "estimate_opt",
     "RatioMeasurement",
     "measure_ratio",
+    "measure_suite",
     "simulation_benefits",
     "validate_engine",
 ]
@@ -72,6 +76,7 @@ def estimate_opt(
     system: SetSystem,
     method: str = "auto",
     exact_set_limit: int = EXACT_SOLVER_SET_LIMIT,
+    cache: Optional[OptCache] = None,
 ) -> OptEstimate:
     """Estimate the offline optimum of a set system.
 
@@ -79,10 +84,28 @@ def estimate_opt(
     ``auto`` solves exactly up to ``exact_set_limit`` sets and otherwise
     reports the LP bound (with a local-search lower bound attached so callers
     can see how tight the relaxation is).
+
+    ``cache`` is an optional :class:`~repro.experiments.opt_cache.OptCache`:
+    the estimate is keyed by the system's *content* fingerprint together with
+    ``(method, exact_set_limit)``, so repeated solves of equal systems —
+    across algorithms, sweep points or processes that regenerated the same
+    instance — are answered from the cache.  The returned ``OptEstimate`` is
+    immutable, so sharing the cached record is safe.
     """
     if method not in ("auto", "exact", "lp", "local-search"):
         raise SolverError(f"unknown OPT estimation method {method!r}")
+    if cache is not None:
+        key = cache.key(system, method, exact_set_limit)
+        return cache.get_or_compute(
+            key, partial(_estimate_opt_uncached, system, method, exact_set_limit)
+        )
+    return _estimate_opt_uncached(system, method, exact_set_limit)
 
+
+def _estimate_opt_uncached(
+    system: SetSystem, method: str, exact_set_limit: int
+) -> OptEstimate:
+    """The cache-free estimation body behind :func:`estimate_opt`."""
     if method == "exact" or (method == "auto" and system.num_sets <= exact_set_limit):
         solution = solve_exact(system)
         if solution.is_optimal:
@@ -145,12 +168,42 @@ class RatioMeasurement:
         }
 
 
+def _benefits_chunk(
+    chunk: Tuple[int, int],
+    instance: OnlineInstance,
+    algorithm: OnlineAlgorithm,
+    seed: int,
+    engine: str,
+) -> List[float]:
+    """Benefits of the contiguous trial chunk ``(offset, count)``.
+
+    Both engines seed trial ``b`` as ``seed + b``, so running a chunk with
+    ``seed + offset`` reproduces exactly trials ``offset..offset+count-1``
+    of the unchunked run.  Top-level (not a closure) so process-pool workers
+    can unpickle it.
+    """
+    offset, count = chunk
+    if engine != "reference":
+        spec = spec_for_algorithm(algorithm)
+        if spec is not None:
+            result = simulate_batch(instance, spec, trials=count, seed=seed + offset)
+            return [float(value) for value in result.benefits]
+        if engine == "batch":
+            raise UnsupportedAlgorithmError(
+                f"algorithm {algorithm.name!r} cannot run on the batch engine; "
+                "use engine='reference' or engine='auto'"
+            )
+    results = simulate_many(instance, algorithm, trials=count, seed=seed + offset)
+    return [result.benefit for result in results]
+
+
 def simulation_benefits(
     instance: OnlineInstance,
     algorithm: OnlineAlgorithm,
     trials: int,
     seed: int = 0,
     engine: str = "reference",
+    workers: int = 1,
 ) -> Sequence[float]:
     """Per-trial benefits of ``trials`` shared-seed simulations.
 
@@ -164,22 +217,25 @@ def simulation_benefits(
     * ``"auto"`` — the batch engine when the algorithm is supported, the
       reference simulator otherwise.
 
-    The two engines agree trial by trial (the differential test suite pins
-    this), so the choice affects runtime only, never the measurement.
+    ``workers`` splits the trials into contiguous chunks executed across a
+    process pool (``workers=1`` runs in-process).  Chunk ``(offset, count)``
+    replays exactly trials ``offset..offset+count-1`` of the serial run, and
+    the chunks are concatenated in order, so the returned benefit sequence
+    is *bit-identical* for every worker count.  Neither the engine nor the
+    worker count ever changes the measurement — only the runtime.
     """
     validate_engine(engine)
-    if engine != "reference":
-        spec = spec_for_algorithm(algorithm)
-        if spec is not None:
-            result = simulate_batch(instance, spec, trials=trials, seed=seed)
-            return [float(value) for value in result.benefits]
-        if engine == "batch":
-            raise UnsupportedAlgorithmError(
-                f"algorithm {algorithm.name!r} cannot run on the batch engine; "
-                "use engine='reference' or engine='auto'"
-            )
-    results = simulate_many(instance, algorithm, trials=trials, seed=seed)
-    return [result.benefit for result in results]
+    workers = resolve_workers(workers)
+    task = partial(
+        _benefits_chunk, instance=instance, algorithm=algorithm, seed=seed, engine=engine
+    )
+    if workers == 1:
+        return task((0, trials))
+    chunks = partition_trials(trials, workers)
+    benefits: List[float] = []
+    for chunk_benefits in map_ordered(task, chunks, workers=workers):
+        benefits.extend(chunk_benefits)
+    return benefits
 
 
 def measure_ratio(
@@ -190,28 +246,32 @@ def measure_ratio(
     opt: Optional[OptEstimate] = None,
     opt_method: str = "auto",
     engine: str = "reference",
+    workers: int = 1,
+    opt_cache: Optional[OptCache] = None,
 ) -> RatioMeasurement:
     """Measure the empirical competitive ratio of one algorithm on one instance.
 
     The ratio is ``opt / mean_benefit``; a zero mean benefit yields ``inf``.
     A precomputed ``opt`` may be supplied to avoid repeating the (expensive)
-    offline solve when several algorithms run on the same instance.
-    ``engine`` routes the simulations (see :func:`simulation_benefits`).
+    offline solve when several algorithms run on the same instance, or an
+    ``opt_cache`` to share solves by system content.  ``engine`` and
+    ``workers`` route the simulations (see :func:`simulation_benefits`);
+    neither changes the measured numbers.
     """
     if opt is None:
-        opt = estimate_opt(instance.system, method=opt_method)
+        opt = estimate_opt(instance.system, method=opt_method, cache=opt_cache)
     effective_trials = 1 if algorithm.is_deterministic else trials
     benefits = list(
         simulation_benefits(
-            instance, algorithm, trials=effective_trials, seed=seed, engine=engine
+            instance,
+            algorithm,
+            trials=effective_trials,
+            seed=seed,
+            engine=engine,
+            workers=workers,
         )
     )
-    mean = sum(benefits) / len(benefits)
-    if len(benefits) > 1:
-        variance = sum((value - mean) ** 2 for value in benefits) / (len(benefits) - 1)
-        std = math.sqrt(variance)
-    else:
-        std = 0.0
+    mean, std = statistics_from_benefits(benefits)
     ratio = float("inf") if mean <= 0 else opt.value / mean
     return RatioMeasurement(
         algorithm_name=algorithm.name,
@@ -224,6 +284,20 @@ def measure_ratio(
     )
 
 
+def _measure_for_suite(
+    algorithm: OnlineAlgorithm,
+    instance: OnlineInstance,
+    trials: int,
+    seed: int,
+    opt: OptEstimate,
+    engine: str,
+) -> RatioMeasurement:
+    """One suite measurement (top-level so process-pool workers can run it)."""
+    return measure_ratio(
+        instance, algorithm, trials=trials, seed=seed, opt=opt, engine=engine
+    )
+
+
 def measure_suite(
     instance: OnlineInstance,
     algorithms: Sequence[OnlineAlgorithm],
@@ -231,12 +305,27 @@ def measure_suite(
     seed: int = 0,
     opt_method: str = "auto",
     engine: str = "reference",
+    workers: int = 1,
 ) -> Dict[str, RatioMeasurement]:
-    """Measure every algorithm on the same instance, sharing the OPT estimate."""
-    opt = estimate_opt(instance.system, method=opt_method)
+    """Measure every algorithm on the same instance, sharing the OPT estimate.
+
+    The offline solve happens once (answered from the per-process
+    :func:`~repro.experiments.opt_cache.default_opt_cache` when the same
+    system was measured before); the per-algorithm measurements are the
+    independent work units, fanned out across ``workers`` processes and
+    merged back in ``algorithms`` order.  The result dictionary is identical
+    for every worker count — all algorithms share the same seeds either way.
+    """
+    opt = estimate_opt(instance.system, method=opt_method, cache=default_opt_cache())
+    task = partial(
+        _measure_for_suite,
+        instance=instance,
+        trials=trials,
+        seed=seed,
+        opt=opt,
+        engine=engine,
+    )
+    measurements = map_ordered(task, list(algorithms), workers=workers)
     return {
-        algorithm.name: measure_ratio(
-            instance, algorithm, trials=trials, seed=seed, opt=opt, engine=engine
-        )
-        for algorithm in algorithms
+        measurement.algorithm_name: measurement for measurement in measurements
     }

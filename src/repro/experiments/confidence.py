@@ -22,6 +22,7 @@ from repro.experiments.competitive_ratio import (
     estimate_opt,
     simulation_benefits,
 )
+from repro.experiments.opt_cache import default_opt_cache
 
 __all__ = [
     "bootstrap_mean_interval",
@@ -110,23 +111,33 @@ def measure_ratio_with_confidence(
     opt: Optional[OptEstimate] = None,
     opt_method: str = "auto",
     engine: str = "reference",
+    workers: int = 1,
 ) -> RatioWithConfidence:
     """Measure an algorithm's ratio with a bootstrap confidence interval.
 
     The ratio interval is obtained by transforming the benefit interval
     through ``opt / x`` (OPT is treated as exact; when it comes from the LP
     relaxation the reported ratio is an upper bound either way).  ``engine``
-    routes the simulations exactly as in
+    and ``workers`` route the simulations exactly as in
     :func:`~repro.experiments.competitive_ratio.simulation_benefits` — this
-    is the most trial-hungry entry point, where the batch engine pays off
-    most.
+    is the most trial-hungry entry point, where the batch engine (and trial
+    chunking across worker processes) pays off most.  The per-trial benefit
+    sequence, and hence the bootstrap, is bit-identical for every engine and
+    worker count.
     """
     if opt is None:
-        opt = estimate_opt(instance.system, method=opt_method)
+        opt = estimate_opt(
+            instance.system, method=opt_method, cache=default_opt_cache()
+        )
     effective_trials = 1 if algorithm.is_deterministic else trials
     benefits = list(
         simulation_benefits(
-            instance, algorithm, trials=effective_trials, seed=seed, engine=engine
+            instance,
+            algorithm,
+            trials=effective_trials,
+            seed=seed,
+            engine=engine,
+            workers=workers,
         )
     )
     benefit_interval = bootstrap_mean_interval(benefits, level=level, seed=seed)

@@ -5,6 +5,13 @@ family of instances indexed by a parameter point, each instance is solved
 offline (for OPT) and simulated online for every algorithm under test, and
 the harness aggregates mean benefit, measured ratio and the applicable
 theoretical bounds into one row per (parameter point, algorithm).
+
+Since the orchestrator refactor the sweep body lives in
+:mod:`repro.experiments.orchestrator`: the harness decomposes the sweep into
+independent ``(point, instance)`` work units, executes them across
+``workers`` processes, and merges the results here in deterministic sweep
+order.  A parallel sweep is bit-identical to a serial one — same seeds, same
+float summation order — so ``workers`` is purely a wall-clock knob.
 """
 
 from __future__ import annotations
@@ -12,13 +19,15 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
 
 from repro.core.algorithm import OnlineAlgorithm
-from repro.core.bounds import bound_report
 from repro.core.instance import OnlineInstance
-from repro.core.statistics import compute_statistics
-from repro.experiments.competitive_ratio import OptEstimate, estimate_opt, measure_ratio
+from repro.experiments.orchestrator import (
+    SweepUnitResult,
+    build_sweep_units,
+    run_units,
+)
 
 __all__ = ["ExperimentRow", "SweepResult", "run_sweep", "summarize_rows"]
 
@@ -93,6 +102,58 @@ class SweepResult:
         return seen
 
 
+def _merge_point(
+    label: str,
+    point_results: Sequence[SweepUnitResult],
+    algorithms: Sequence[OnlineAlgorithm],
+    sweep: SweepResult,
+) -> None:
+    """Fold one point's unit results into sweep rows.
+
+    The aggregation arithmetic — which values are summed, in which order —
+    is exactly the serial harness's historical loop, applied to results that
+    arrive pre-sorted in instance order; this is what makes a parallel sweep
+    reproduce a serial one float for float.
+    """
+    count = len(point_results)
+    mean_opt = sum(result.opt.value for result in point_results) / count
+    mean_theorem1 = sum(result.bounds.theorem1 for result in point_results) / count
+    mean_corollary6 = sum(result.bounds.corollary6 for result in point_results) / count
+    mean_best = sum(result.bounds.best for result in point_results) / count
+    mean_k_max = sum(result.stats.k_max for result in point_results) / count
+    mean_sigma_max = sum(result.stats.sigma_max for result in point_results) / count
+
+    for algorithm_index, algorithm in enumerate(algorithms):
+        benefits = [
+            result.measurements[algorithm_index].mean_benefit
+            for result in point_results
+        ]
+        ratios = [
+            result.measurements[algorithm_index].ratio for result in point_results
+        ]
+        finite_ratios = [value for value in ratios if math.isfinite(value)]
+        mean_ratio = (
+            sum(finite_ratios) / len(finite_ratios) if finite_ratios else float("inf")
+        )
+        max_ratio = max(ratios) if ratios else float("inf")
+        sweep.rows.append(
+            ExperimentRow(
+                parameter_label=label,
+                algorithm_name=algorithm.name,
+                num_instances=count,
+                mean_benefit=sum(benefits) / len(benefits),
+                mean_opt=mean_opt,
+                mean_ratio=mean_ratio,
+                max_ratio=max_ratio,
+                theorem1_bound=mean_theorem1,
+                corollary6_bound=mean_corollary6,
+                best_bound=mean_best,
+                k_max=mean_k_max,
+                sigma_max=mean_sigma_max,
+            )
+        )
+
+
 def run_sweep(
     name: str,
     parameter_points: Sequence[Tuple[str, InstanceFactory]],
@@ -102,6 +163,7 @@ def run_sweep(
     seed: int = 0,
     opt_method: str = "auto",
     engine: str = "reference",
+    workers: int = 1,
 ) -> SweepResult:
     """Run a parameter sweep.
 
@@ -120,64 +182,29 @@ def run_sweep(
         Simulation engine routed to :func:`measure_ratio` — ``"reference"``,
         ``"batch"`` or ``"auto"``.  The engines agree trial for trial, so the
         sweep's numbers do not depend on this; only its runtime does.
+    workers:
+        Worker processes for the ``(point, instance)`` work units.
+        ``workers=1`` runs everything in-process; any other count produces
+        **bit-identical** rows (the orchestrator merges unit results in
+        sweep order with the serial summation arithmetic), so this too is a
+        runtime knob only.
     """
+    units = build_sweep_units(parameter_points, instances_per_point, seed)
+    results = run_units(
+        units,
+        algorithms,
+        trials=trials_per_instance,
+        opt_method=opt_method,
+        engine=engine,
+        workers=workers,
+    )
+
     sweep = SweepResult(name=name)
-    for point_index, (label, factory) in enumerate(parameter_points):
-        instances: List[OnlineInstance] = []
-        opts: List[OptEstimate] = []
-        bounds = []
-        stats_list = []
-        for instance_index in range(instances_per_point):
-            rng = random.Random((seed, point_index, instance_index).__hash__() & 0x7FFFFFFF)
-            instance = factory(rng)
-            instances.append(instance)
-            opts.append(estimate_opt(instance.system, method=opt_method))
-            stats = compute_statistics(instance.system)
-            stats_list.append(stats)
-            bounds.append(bound_report(stats))
-
-        mean_opt = sum(opt.value for opt in opts) / len(opts)
-        mean_theorem1 = sum(report.theorem1 for report in bounds) / len(bounds)
-        mean_corollary6 = sum(report.corollary6 for report in bounds) / len(bounds)
-        mean_best = sum(report.best for report in bounds) / len(bounds)
-        mean_k_max = sum(stats.k_max for stats in stats_list) / len(stats_list)
-        mean_sigma_max = sum(stats.sigma_max for stats in stats_list) / len(stats_list)
-
-        for algorithm in algorithms:
-            benefits = []
-            ratios = []
-            for instance, opt in zip(instances, opts):
-                measurement = measure_ratio(
-                    instance,
-                    algorithm,
-                    trials=trials_per_instance,
-                    seed=seed + point_index,
-                    opt=opt,
-                    engine=engine,
-                )
-                benefits.append(measurement.mean_benefit)
-                ratios.append(measurement.ratio)
-            finite_ratios = [value for value in ratios if math.isfinite(value)]
-            mean_ratio = (
-                sum(finite_ratios) / len(finite_ratios) if finite_ratios else float("inf")
-            )
-            max_ratio = max(ratios) if ratios else float("inf")
-            sweep.rows.append(
-                ExperimentRow(
-                    parameter_label=label,
-                    algorithm_name=algorithm.name,
-                    num_instances=len(instances),
-                    mean_benefit=sum(benefits) / len(benefits),
-                    mean_opt=mean_opt,
-                    mean_ratio=mean_ratio,
-                    max_ratio=max_ratio,
-                    theorem1_bound=mean_theorem1,
-                    corollary6_bound=mean_corollary6,
-                    best_bound=mean_best,
-                    k_max=mean_k_max,
-                    sigma_max=mean_sigma_max,
-                )
-            )
+    for point_index, (label, _factory) in enumerate(parameter_points):
+        point_results = [
+            result for result in results if result.point_index == point_index
+        ]
+        _merge_point(label, point_results, algorithms, sweep)
     return sweep
 
 

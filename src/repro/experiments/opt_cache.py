@@ -1,0 +1,127 @@
+"""Caching of offline-optimum estimates, keyed by set-system *content*.
+
+A sweep measures many algorithms against the same instances, and benchmark
+suites re-solve structurally identical systems across parameter points and
+invocations.  The offline solve (branch and bound or LP) dominates that cost,
+and its result depends only on the set system — not on which algorithm asked,
+and not on which ``SetSystem`` *object* happens to hold the data.  The cache
+therefore keys on a canonical fingerprint of the system's content (sets,
+weights, capacities) plus the estimation parameters, so two equal systems
+built independently — e.g. regenerated from the same seed in another worker
+process — share one solve.
+
+The cache is a plain LRU with hit/miss counters (pinned by
+``tests/test_orchestrator.py``).  Each worker process owns one
+:func:`default_opt_cache` instance; cached values are immutable
+``OptEstimate`` records, so sharing them between callers is safe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Callable, Optional, TypeVar
+
+from repro.core.set_system import SetSystem
+
+__all__ = ["OptCache", "default_opt_cache", "system_fingerprint"]
+
+V = TypeVar("V")
+
+
+def system_fingerprint(system: SetSystem) -> str:
+    """A canonical content hash of a set system.
+
+    Two systems with the same sets (ids and members), weights and capacities
+    produce the same fingerprint regardless of construction order or object
+    identity.  Identifiers are rendered with ``repr`` — the same rendering
+    the package uses for deterministic ordering — and floats with ``repr``
+    as well, which round-trips every distinct float64 to a distinct string.
+    """
+    digest = hashlib.sha256()
+    for set_id in system.set_ids:
+        digest.update(repr(set_id).encode("utf-8"))
+        digest.update(b"\x1e")
+        digest.update(repr(system.weight(set_id)).encode("utf-8"))
+        digest.update(b"\x1e")
+        for element in sorted(system.members(set_id), key=repr):
+            digest.update(repr(element).encode("utf-8"))
+            digest.update(b"\x1f")
+        digest.update(b"\x1d")
+    for element in system.element_ids:
+        digest.update(repr(element).encode("utf-8"))
+        digest.update(b"\x1e")
+        digest.update(str(system.capacity(element)).encode("utf-8"))
+        digest.update(b"\x1d")
+    return digest.hexdigest()
+
+
+class OptCache:
+    """An LRU cache for offline-optimum estimates.
+
+    ``maxsize`` bounds the entry count (least-recently-used eviction);
+    ``hits`` / ``misses`` count lookups for tests and benchmark reports.
+    The cache itself is value-agnostic — :func:`repro.experiments.competitive_ratio.estimate_opt`
+    stores its ``OptEstimate`` records here under a key that includes the
+    estimation method and the exact-solver set limit, so estimates computed
+    under different policies never alias.
+    """
+
+    def __init__(self, maxsize: int = 256) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be at least 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[str, object]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def key(self, system: SetSystem, method: str, exact_set_limit: int) -> str:
+        """The cache key for one (system content, estimation policy) pair."""
+        return f"{system_fingerprint(system)}|{method}|{exact_set_limit}"
+
+    def get_or_compute(self, key: str, compute: Callable[[], V]) -> V:
+        """Return the cached value for ``key``, computing and storing on miss."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            value = compute()
+            self._entries[key] = value
+            if len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+            return value
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return value
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"OptCache(entries={len(self._entries)}, hits={self.hits}, "
+            f"misses={self.misses}, maxsize={self.maxsize})"
+        )
+
+
+#: The per-process shared cache (one per worker; created lazily).
+_DEFAULT_CACHE: Optional[OptCache] = None
+
+
+def default_opt_cache() -> OptCache:
+    """The process-wide shared :class:`OptCache`.
+
+    Worker processes each materialize their own copy on first use, so a
+    parallel sweep gets per-worker OPT reuse without any cross-process
+    synchronization (cache contents never influence results, only runtime).
+    """
+    global _DEFAULT_CACHE
+    if _DEFAULT_CACHE is None:
+        _DEFAULT_CACHE = OptCache()
+    return _DEFAULT_CACHE

@@ -1,0 +1,210 @@
+"""Parallel sweep orchestration: decompose, execute, merge deterministically.
+
+A parameter sweep is an embarrassingly parallel computation hiding inside a
+serial loop: every ``(parameter point, instance)`` pair needs an offline OPT
+solve, instance statistics and one measurement per algorithm — and none of
+that work depends on any other pair.  This module makes the decomposition
+explicit, in the PRAM style of the related parallel-algorithms literature:
+
+1. **Decompose** (:func:`build_sweep_units`): the parent process draws every
+   instance up front — instance generation is cheap and keeping it in one
+   place pins the RNG stream — and wraps each ``(point, instance)`` pair in
+   a self-contained, picklable :class:`SweepUnit`.
+2. **Execute** (:func:`run_units`): the units are mapped over a process pool
+   (:func:`~repro.experiments.parallel.map_ordered`; ``workers=1`` stays
+   in-process).  Each worker solves OPT through its per-process
+   :func:`~repro.experiments.opt_cache.default_opt_cache`, compiles the
+   instance once through the engine's compile cache, and measures every
+   algorithm on it.
+3. **Merge** (:func:`merge_sweep`): unit results come back aligned with the
+   submission order, and the merge aggregates them point by point with the
+   same float arithmetic — the same summation order — as the serial loop.
+
+**Determinism contract:** for fixed inputs, ``run_sweep(..., workers=n)``
+returns *bit-identical* rows for every ``n``.  Per-unit seeds are derived
+with :func:`~repro.experiments.parallel.stable_seed` (not ``hash()``), every
+simulation seed is a pure function of the unit, and the merge never consumes
+results in completion order.  ``tests/test_orchestrator.py`` enforces the
+contract at workers ∈ {1, 2, 4}.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from functools import partial
+from typing import Callable, List, Sequence, Tuple
+
+from repro.core.algorithm import OnlineAlgorithm
+from repro.core.bounds import BoundReport, bound_report
+from repro.core.instance import OnlineInstance
+from repro.core.statistics import InstanceStatistics, compute_statistics
+from repro.experiments.competitive_ratio import (
+    OptEstimate,
+    RatioMeasurement,
+    estimate_opt,
+    measure_ratio,
+    validate_engine,
+)
+from repro.experiments.opt_cache import default_opt_cache
+from repro.experiments.parallel import map_ordered, resolve_workers, stable_seed
+
+__all__ = [
+    "SweepUnit",
+    "SweepUnitResult",
+    "build_sweep_units",
+    "run_units",
+    "instance_seed",
+]
+
+InstanceFactory = Callable[[random.Random], OnlineInstance]
+
+
+def instance_seed(base_seed: int, point_index: int, instance_index: int) -> int:
+    """The RNG seed for one drawn instance of a sweep.
+
+    A documented, stable replacement for the historical
+    ``(seed, point_index, instance_index).__hash__() & 0x7FFFFFFF`` idiom:
+    tuple hashing varies across interpreters and ``PYTHONHASHSEED`` values,
+    so seeds derived from it were not reproducible guarantees.  The mix is
+    :func:`~repro.experiments.parallel.stable_seed` over a tagged component
+    list, so any process — including a pool worker regenerating an instance
+    from its indices — derives the identical RNG stream.
+    """
+    return stable_seed("sweep-instance", base_seed, point_index, instance_index)
+
+
+@dataclass(frozen=True)
+class SweepUnit:
+    """One independent work unit of a sweep: one instance at one point.
+
+    Units are self-contained and picklable: a worker process needs nothing
+    beyond the unit, the algorithm list and the measurement parameters.  The
+    instance is shipped with the unit (drawn in the parent, so factories may
+    be lambdas/closures — only the *instance* crosses the process boundary).
+    ``measure_seed`` is the simulation seed shared by every algorithm on
+    this unit, preserving the harness's paired-comparison convention.
+    """
+
+    point_index: int
+    instance_index: int
+    label: str
+    instance: OnlineInstance
+    measure_seed: int
+
+
+@dataclass(frozen=True)
+class SweepUnitResult:
+    """Everything a sweep needs from one executed unit.
+
+    ``measurements`` is aligned with the algorithm list passed to
+    :func:`run_units`.  The record carries the unit's indices so the merge
+    can re-group by point without trusting arrival order.
+    """
+
+    point_index: int
+    instance_index: int
+    opt: OptEstimate
+    stats: InstanceStatistics
+    bounds: BoundReport
+    measurements: Tuple[RatioMeasurement, ...]
+
+
+def build_sweep_units(
+    parameter_points: Sequence[Tuple[str, InstanceFactory]],
+    instances_per_point: int,
+    seed: int,
+) -> List[SweepUnit]:
+    """Draw every instance of the sweep and wrap it in a work unit.
+
+    Instances are generated here, in the parent process, in deterministic
+    ``(point, instance)`` order; each draw gets its own RNG seeded by
+    :func:`instance_seed`, so the stream consumed by one factory can never
+    leak into the next draw.
+    """
+    if instances_per_point < 1:
+        raise ValueError(
+            f"instances_per_point must be at least 1, got {instances_per_point}"
+        )
+    units: List[SweepUnit] = []
+    for point_index, (label, factory) in enumerate(parameter_points):
+        for instance_index in range(instances_per_point):
+            rng = random.Random(instance_seed(seed, point_index, instance_index))
+            units.append(
+                SweepUnit(
+                    point_index=point_index,
+                    instance_index=instance_index,
+                    label=label,
+                    instance=factory(rng),
+                    measure_seed=seed + point_index,
+                )
+            )
+    return units
+
+
+def _execute_unit(
+    unit: SweepUnit,
+    algorithms: Sequence[OnlineAlgorithm],
+    trials: int,
+    opt_method: str,
+    engine: str,
+) -> SweepUnitResult:
+    """Execute one work unit (runs in a worker process when ``workers > 1``).
+
+    The OPT solve goes through the worker's per-process
+    :func:`~repro.experiments.opt_cache.default_opt_cache` (shared across
+    every algorithm and point the worker sees), and all algorithms reuse one
+    compiled instance via the engine's compile cache — the two caches the
+    serial pipeline used to miss.
+    """
+    system = unit.instance.system
+    opt = estimate_opt(system, method=opt_method, cache=default_opt_cache())
+    stats = compute_statistics(system)
+    bounds = bound_report(stats)
+    measurements = tuple(
+        measure_ratio(
+            unit.instance,
+            algorithm,
+            trials=trials,
+            seed=unit.measure_seed,
+            opt=opt,
+            engine=engine,
+        )
+        for algorithm in algorithms
+    )
+    return SweepUnitResult(
+        point_index=unit.point_index,
+        instance_index=unit.instance_index,
+        opt=opt,
+        stats=stats,
+        bounds=bounds,
+        measurements=measurements,
+    )
+
+
+def run_units(
+    units: Sequence[SweepUnit],
+    algorithms: Sequence[OnlineAlgorithm],
+    trials: int,
+    opt_method: str = "auto",
+    engine: str = "reference",
+    workers: int = 1,
+) -> List[SweepUnitResult]:
+    """Execute the work units across ``workers`` processes, in unit order.
+
+    The returned list is aligned with ``units`` regardless of which worker
+    finished first (``map_ordered`` guarantees submission-order results), so
+    downstream merging is deterministic.  A unit that raises — a protocol
+    violation, a solver error — propagates its original exception to the
+    caller, from worker processes included.
+    """
+    validate_engine(engine)
+    resolve_workers(workers)
+    task = partial(
+        _execute_unit,
+        algorithms=list(algorithms),
+        trials=trials,
+        opt_method=opt_method,
+        engine=engine,
+    )
+    return map_ordered(task, list(units), workers=workers)

@@ -36,13 +36,14 @@ from repro.workloads import random_weighted_instance, uniform_both_instance
 __all__ = ["self_check", "main"]
 
 
-def _check_theorem1(seed: int, trials: int, engine: str) -> Dict[str, object]:
+def _check_theorem1(seed: int, trials: int, engine: str, workers: int) -> Dict[str, object]:
     instance = random_weighted_instance(
         28, 40, (2, 4), random.Random(seed), weight_range=(1.0, 6.0)
     )
     stats = compute_statistics(instance.system)
     measurement = measure_ratio(
-        instance, RandPrAlgorithm(), trials=trials, seed=seed, engine=engine
+        instance, RandPrAlgorithm(), trials=trials, seed=seed, engine=engine,
+        workers=workers,
     )
     bound = theorem1_upper_bound(stats)
     return {
@@ -53,13 +54,14 @@ def _check_theorem1(seed: int, trials: int, engine: str) -> Dict[str, object]:
     }
 
 
-def _check_corollary6(seed: int, trials: int, engine: str) -> Dict[str, object]:
+def _check_corollary6(seed: int, trials: int, engine: str, workers: int) -> Dict[str, object]:
     instance = random_weighted_instance(
         36, 30, (2, 4), random.Random(seed + 1), weight_range=(1.0, 6.0)
     )
     stats = compute_statistics(instance.system)
     measurement = measure_ratio(
-        instance, RandPrAlgorithm(), trials=trials, seed=seed, engine=engine
+        instance, RandPrAlgorithm(), trials=trials, seed=seed, engine=engine,
+        workers=workers,
     )
     bound = corollary6_upper_bound(stats)
     return {
@@ -70,10 +72,11 @@ def _check_corollary6(seed: int, trials: int, engine: str) -> Dict[str, object]:
     }
 
 
-def _check_corollary7(seed: int, trials: int, engine: str) -> Dict[str, object]:
+def _check_corollary7(seed: int, trials: int, engine: str, workers: int) -> Dict[str, object]:
     instance = uniform_both_instance(18, 3, 3, random.Random(seed + 2))
     measurement = measure_ratio(
-        instance, RandPrAlgorithm(), trials=trials, seed=seed, engine=engine
+        instance, RandPrAlgorithm(), trials=trials, seed=seed, engine=engine,
+        workers=workers,
     )
     bound = corollary7_upper_bound(instance.system)
     return {
@@ -84,7 +87,7 @@ def _check_corollary7(seed: int, trials: int, engine: str) -> Dict[str, object]:
     }
 
 
-def _check_theorem3(seed: int, trials: int, engine: str) -> Dict[str, object]:
+def _check_theorem3(seed: int, trials: int, engine: str, workers: int) -> Dict[str, object]:
     outcome = run_deterministic_adversary(GreedyWeightAlgorithm(), sigma=3, k=3)
     bound = theorem3_lower_bound(3, 3)
     return {
@@ -95,13 +98,18 @@ def _check_theorem3(seed: int, trials: int, engine: str) -> Dict[str, object]:
     }
 
 
-def _check_lemma1(seed: int, trials: int, engine: str) -> Dict[str, object]:
+def _check_lemma1(seed: int, trials: int, engine: str, workers: int) -> Dict[str, object]:
     instance = random_weighted_instance(
         12, 16, (2, 3), random.Random(seed + 3), weight_range=(1.0, 5.0)
     )
     predicted = expected_benefit_closed_form(instance.system)
     benefits = simulation_benefits(
-        instance, RandPrAlgorithm(), max(trials * 10, 500), seed=seed, engine=engine
+        instance,
+        RandPrAlgorithm(),
+        max(trials * 10, 500),
+        seed=seed,
+        engine=engine,
+        workers=workers,
     )
     measured = sum(benefits) / len(benefits)
     relative_error = abs(measured - predicted) / max(predicted, 1e-9)
@@ -114,13 +122,16 @@ def _check_lemma1(seed: int, trials: int, engine: str) -> Dict[str, object]:
 
 
 def self_check(
-    seed: int = 0, trials: int = 40, engine: str = "auto"
+    seed: int = 0, trials: int = 40, engine: str = "auto", workers: int = 1
 ) -> List[Dict[str, object]]:
     """Run every quick claim check and return one row per claim.
 
     ``engine`` selects the simulator for the Monte-Carlo checks (the batch
     engine and the reference simulator agree trial for trial; ``"auto"``
-    simply makes the self-check faster).
+    simply makes the self-check faster).  ``workers`` splits each check's
+    simulation trials across worker processes — like the engine choice, it
+    changes the wall clock, never the verdicts (the trial chunks concatenate
+    to the identical benefit sequence).
     """
     checks = (
         _check_theorem1,
@@ -129,13 +140,26 @@ def self_check(
         _check_theorem3,
         _check_lemma1,
     )
-    return [check(seed, trials, engine) for check in checks]
+    return [check(seed, trials, engine, workers) for check in checks]
 
 
 def main(argv: List[str] = None) -> int:
     """CLI entry point; returns a non-zero exit code if any claim check fails."""
     parser = argparse.ArgumentParser(
-        description="Quick self-check of the OSP reproduction against the paper's claims."
+        description="Quick self-check of the OSP reproduction against the paper's claims.",
+        epilog=(
+            "examples:\n"
+            "  python -m repro.experiments.runner\n"
+            "      default self-check (batch engine where supported, one process)\n"
+            "  python -m repro.experiments.runner --workers 4\n"
+            "      split the Monte-Carlo trials of each check over 4 worker\n"
+            "      processes; verdicts and measured numbers are identical\n"
+            "  python -m repro.experiments.runner --engine reference --workers 2\n"
+            "      exercise the per-arrival reference simulator, two processes\n"
+            "  python -m repro.experiments.runner --trials 200 --seed 7\n"
+            "      a heavier, reseeded run (more trials per randomized check)"
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument("--seed", type=int, default=0, help="base random seed")
     parser.add_argument(
@@ -148,10 +172,20 @@ def main(argv: List[str] = None) -> int:
         help="simulation engine: the vectorized batch engine ('auto'/'batch') "
         "or the per-arrival reference simulator ('reference')",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the simulation trials (default 1: in-process); "
+        "any value yields bit-identical results — this is a wall-clock knob",
+    )
     arguments = parser.parse_args(argv)
 
     rows = self_check(
-        seed=arguments.seed, trials=arguments.trials, engine=arguments.engine
+        seed=arguments.seed,
+        trials=arguments.trials,
+        engine=arguments.engine,
+        workers=arguments.workers,
     )
     print(
         format_table(

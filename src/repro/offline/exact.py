@@ -5,18 +5,40 @@ the instances used to *measure* competitive ratios in the benchmarks are
 small enough for an exact solver with good pruning.  The solver maximizes the
 total weight of a collection of sets such that every element ``u`` is used by
 at most ``b(u)`` chosen sets.
+
+Pruning uses two upper bounds on what the unexplored suffix can still add,
+both precomputed with numpy (replacing the original pure-Python suffix-sum
+loop):
+
+* the **suffix weight sum** — the loosest bound, checked first because it is
+  one float comparison;
+* a **fractional knapsack bound**: any feasible completion consumes one unit
+  of element capacity per (set, member) incidence, so the sets chosen from
+  the suffix satisfy ``sum |S| <= R`` where ``R`` is the total residual
+  capacity at the node.  Relaxing the per-element constraints to that single
+  budget gives a fractional knapsack over the suffix, whose optimum — greedy
+  by weight density, precomputed as per-suffix prefix-sum tables — upper
+  bounds the integral completion.  The bound is capacity-aware, so it
+  prunes deep nodes that the weight sum alone never could.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Tuple
+
+import numpy as np
 
 from repro.core.set_system import ElementId, SetId, SetSystem
 from repro.exceptions import SolverError
 from repro.offline.greedy_offline import greedy_offline_packing
 
 __all__ = ["ExactSolution", "solve_exact"]
+
+#: Above this set count the O(m^2) knapsack tables are skipped (the suffix
+#: weight bound alone is kept); exact solving is impractical there anyway.
+_KNAPSACK_TABLE_SET_LIMIT = 512
 
 
 @dataclass(frozen=True)
@@ -32,6 +54,36 @@ class ExactSolution:
     def num_sets(self) -> int:
         """The number of sets in the solution."""
         return len(self.chosen_sets)
+
+
+def _knapsack_tables(
+    weights: np.ndarray, sizes: np.ndarray
+) -> Tuple[List[List[float]], List[List[float]], List[float]]:
+    """Per-suffix fractional-knapsack prefix tables, built vectorized.
+
+    For every suffix start ``i`` the sets ``i..m-1`` are ranked by weight
+    density ``w/|S|`` (descending; empty sets rank first — they consume no
+    capacity).  The tables hold, per suffix, the running capacity consumption
+    and running weight of that ranking, so a node evaluates its bound with
+    one bisect: take whole sets while the budget lasts, then a fractional
+    share of the next one.
+
+    Rather than sorting every suffix separately, the sets are argsorted by
+    density once; row ``i`` of the tables is the cumulative sum of the
+    density-ordered sizes/weights masked to positions belonging to the
+    suffix — an ``(m, m)`` ``np.cumsum``.
+    """
+    m = len(weights)
+    with np.errstate(divide="ignore"):
+        density = np.where(sizes > 0, weights / np.maximum(sizes, 1), np.inf)
+    # Stable descending order: equal densities keep branching order.
+    order = np.argsort(-density, kind="stable")
+    ordered_sizes = sizes[order].astype(np.float64)
+    ordered_weights = weights[order]
+    in_suffix = order[np.newaxis, :] >= np.arange(m)[:, np.newaxis]  # (m, m)
+    size_table = np.cumsum(np.where(in_suffix, ordered_sizes, 0.0), axis=1)
+    weight_table = np.cumsum(np.where(in_suffix, ordered_weights, 0.0), axis=1)
+    return size_table.tolist(), weight_table.tolist(), density[order].tolist()
 
 
 def solve_exact(
@@ -61,11 +113,25 @@ def solve_exact(
         element: system.capacity(element) for element in system.element_ids
     }
 
-    # Suffix sums of weights: the loosest possible bound on what the
-    # remaining sets can still add.
-    suffix = [0.0] * (len(weights) + 1)
-    for index in range(len(weights) - 1, -1, -1):
-        suffix[index] = suffix[index + 1] + weights[index]
+    m = len(set_ids)
+    weights_array = np.asarray(weights, dtype=np.float64)
+    sizes_array = np.fromiter(
+        (len(member_set) for member_set in members), dtype=np.int64, count=m
+    )
+
+    # Suffix sums of weights (one reversed cumsum): the loosest possible
+    # bound on what the remaining sets can still add.
+    suffix = np.zeros(m + 1, dtype=np.float64)
+    if m:
+        suffix[:m] = np.cumsum(weights_array[::-1])[::-1]
+    suffix_list = suffix.tolist()
+
+    use_knapsack = 0 < m <= _KNAPSACK_TABLE_SET_LIMIT
+    if use_knapsack:
+        size_rows, weight_rows, ordered_density = _knapsack_tables(
+            weights_array, sizes_array
+        )
+    total_capacity = sum(capacities.values())
 
     if initial_solution is None:
         warm = greedy_offline_packing(system)
@@ -79,6 +145,7 @@ def solve_exact(
 
     usage: Dict[ElementId, int] = {element: 0 for element in capacities}
     chosen: List[SetId] = []
+    used_units = 0
     nodes = 0
     budget_exhausted = False
 
@@ -89,14 +156,41 @@ def solve_exact(
         return True
 
     def take(index: int) -> None:
+        nonlocal used_units
         for element in members[index]:
             usage[element] += 1
+        used_units += len(members[index])
         chosen.append(set_ids[index])
 
     def untake(index: int) -> None:
+        nonlocal used_units
         for element in members[index]:
             usage[element] -= 1
+        used_units -= len(members[index])
         chosen.pop()
+
+    def knapsack_bound(index: int) -> float:
+        """Fractional-knapsack upper bound on the suffix's addable weight.
+
+        Any feasible completion from ``index`` consumes at most the current
+        residual capacity ``R = total_capacity - used_units`` summed over all
+        elements, and a set ``S`` consumes exactly ``|S|`` units, so the
+        completion's weight is at most the fractional knapsack optimum with
+        budget ``R`` over the suffix — whole sets in density order, then a
+        fractional share of the first set that no longer fits.
+        """
+        residual = total_capacity - used_units
+        size_row = size_rows[index]
+        cutoff = bisect_right(size_row, residual)
+        if cutoff >= m:
+            return weight_rows[index][m - 1]
+        bound = weight_rows[index][cutoff - 1] if cutoff else 0.0
+        spare = residual - (size_row[cutoff - 1] if cutoff else 0.0)
+        if spare > 0:
+            # ordered_density[cutoff] is finite: an infinite-density (empty)
+            # set adds no capacity, so it can never sit at the cutoff.
+            bound += spare * ordered_density[cutoff]
+        return bound
 
     def descend(index: int, current_weight: float) -> None:
         nonlocal best_choice, best_weight, nodes, budget_exhausted
@@ -109,9 +203,13 @@ def solve_exact(
         if current_weight > best_weight:
             best_weight = current_weight
             best_choice = tuple(chosen)
-        if index >= len(set_ids):
+        if index >= m:
             return
-        if current_weight + suffix[index] <= best_weight:
+        # Cheap bound first (one comparison); the capacity-aware knapsack
+        # bound only runs at nodes the weight sum failed to prune.
+        if current_weight + suffix_list[index] <= best_weight:
+            return
+        if use_knapsack and current_weight + knapsack_bound(index) <= best_weight:
             return
         # Branch 1: take the set (when feasible).
         if fits(index):

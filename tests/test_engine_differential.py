@@ -7,8 +7,9 @@ randomized instances drawn from **every** workload generator family
 
 * for deterministic algorithms — the completed set family and the benefit
   are *identical*;
-* for randomized algorithms (randPr, hashed randPr, uniform priorities) —
-  shared-seed paired trials agree **trial by trial**, which is far stronger
+* for randomized algorithms (randPr, hashed randPr, uniform priorities,
+  uniform-random assignment with its per-arrival draws) — shared-seed paired
+  trials agree **trial by trial**, which is far stronger
   than the statistical-tolerance requirement: trial ``b`` of the batch must
   complete exactly the sets of ``simulate(instance, algo, random.Random(seed + b))``,
   and the per-trial benefit floats must be bit-equal;
@@ -30,6 +31,7 @@ from repro.algorithms import (
     RandPrAlgorithm,
     SmallestSetFirstAlgorithm,
     StaticOrderAlgorithm,
+    UniformRandomAlgorithm,
     UnweightedPriorityAlgorithm,
 )
 from repro.core import InstanceBuilder, simulate_batch, simulate_many
@@ -134,6 +136,7 @@ RANDOMIZED_ALGORITHMS = [
     RandPrAlgorithm,
     HashedRandPrAlgorithm,  # salt=None: fresh salt per trial from the trial RNG
     UnweightedPriorityAlgorithm,
+    UniformRandomAlgorithm,  # per-arrival randomness: replayed per-step RNG
 ]
 
 
@@ -185,6 +188,20 @@ def test_randomized_distribution_matches_on_larger_batch():
     aggregated = batch_from_results(instance, reference, seed=5)
     assert batch.equals(aggregated)
     assert batch.std_benefit == aggregated.std_benefit
+
+
+def test_uniform_random_replay_covers_selection_set_branch():
+    """Dense arrivals force ``random.sample`` into its rejection-set branch.
+
+    The batch engine replays the sample draws inline; the pool branch covers
+    parent widths up to 21, the rejection-set branch everything above.  A
+    many-sets/few-elements instance produces widths well past the threshold,
+    so this pins the replay on the branch the main corpus rarely reaches.
+    """
+    instance = random_online_instance(120, 12, (2, 4), random.Random(11))
+    widths = [arrival.load for arrival in instance.arrivals()]
+    assert max(widths) > 21, "corpus instance too sparse to exercise the branch"
+    _assert_exact_agreement(instance, UniformRandomAlgorithm(), trials=12, seed=31)
 
 
 def test_different_seeds_disagree():

@@ -173,11 +173,14 @@ def test_trials_must_be_positive():
 
 
 def test_unsupported_algorithm_raises():
-    from repro.algorithms import UniformRandomAlgorithm
+    # HashedRandPr with a custom hash family cannot be replayed (the engine
+    # only knows the default family); unknown kind strings fail up front.
+    from repro.algorithms import HashedRandPrAlgorithm
 
+    custom = HashedRandPrAlgorithm(hash_family=lambda set_id, salt: 0.5)
     instance = random_online_instance(5, 8, (2, 3), random.Random(0))
     with pytest.raises(UnsupportedAlgorithmError):
-        simulate_batch(instance, UniformRandomAlgorithm(), trials=2)
+        simulate_batch(instance, custom, trials=2)
     with pytest.raises(UnsupportedAlgorithmError):
         simulate_batch(instance, "no-such-kind", trials=2)
 

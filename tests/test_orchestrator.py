@@ -1,0 +1,301 @@
+"""Tests for the parallel sweep orchestrator and its supporting caches.
+
+The contract under test: parallelism is a *wall-clock* knob, never a
+numerics knob.  ``run_sweep`` must return bit-identical rows at workers
+∈ {1, 2, 4}; trial chunking must concatenate to the identical benefit
+sequence; worker crashes must surface the original exception; and the OPT /
+compiled-instance caches must hit when (and only when) the content matches.
+"""
+
+import random
+
+import pytest
+
+from repro.algorithms import (
+    GreedyWeightAlgorithm,
+    RandPrAlgorithm,
+    UniformRandomAlgorithm,
+)
+from repro.core import simulate_batch
+from repro.core.algorithm import OnlineAlgorithm
+from repro.engine import clear_compile_cache, compile_cache_stats
+from repro.exceptions import AlgorithmProtocolError
+from repro.experiments import (
+    OptCache,
+    estimate_opt,
+    instance_seed,
+    measure_ratio_with_confidence,
+    measure_suite,
+    partition_trials,
+    run_sweep,
+    stable_seed,
+)
+from repro.experiments.competitive_ratio import simulation_benefits
+from repro.experiments.opt_cache import system_fingerprint
+from repro.workloads import random_online_instance
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _points():
+    points = []
+    for num_elements in (30, 20):
+        def factory(rng, num_elements=num_elements):
+            return random_online_instance(
+                14, num_elements, (2, 3), rng, weight_range=(1.0, 5.0)
+            )
+
+        points.append((f"n={num_elements}", factory))
+    return points
+
+
+def _sweep(workers, engine="auto", algorithms=None):
+    return run_sweep(
+        "orchestrator-test",
+        _points(),
+        algorithms
+        or [RandPrAlgorithm(), GreedyWeightAlgorithm(), UniformRandomAlgorithm()],
+        instances_per_point=2,
+        trials_per_instance=10,
+        seed=5,
+        engine=engine,
+        workers=workers,
+    )
+
+
+class TestStableSeed:
+    def test_pinned_values(self):
+        # Frozen outputs: stable_seed is a cross-version determinism contract,
+        # so any change to its encoding must fail this test loudly.
+        assert stable_seed(0) == 668664208450035680
+        assert stable_seed("sweep-instance", 0, 0, 0) == 5463517088171824964
+        assert stable_seed(1, 2, 3) == 8898541379578239556
+
+    def test_distinct_components_distinct_seeds(self):
+        seeds = {
+            stable_seed(seed, point, inst)
+            for seed in range(3)
+            for point in range(4)
+            for inst in range(4)
+        }
+        assert len(seeds) == 3 * 4 * 4
+
+    def test_type_tagging_separates_int_from_str(self):
+        assert stable_seed(1) != stable_seed("1")
+
+    def test_rejects_unhashable_components(self):
+        with pytest.raises(TypeError):
+            stable_seed(1.5)
+        with pytest.raises(TypeError):
+            stable_seed(True)
+
+    def test_range(self):
+        for value in (stable_seed(i) for i in range(50)):
+            assert 0 <= value < 2**63
+
+    def test_instance_seed_is_stable(self):
+        assert instance_seed(5, 0, 0) == stable_seed("sweep-instance", 5, 0, 0)
+        assert instance_seed(5, 0, 0) != instance_seed(5, 0, 1)
+        assert instance_seed(5, 0, 0) != instance_seed(5, 1, 0)
+
+
+class TestSerialParallelDifferential:
+    def test_rows_bit_identical_across_worker_counts(self):
+        baseline = _sweep(workers=1)
+        for workers in WORKER_COUNTS[1:]:
+            assert _sweep(workers=workers).rows == baseline.rows
+
+    def test_rows_bit_identical_across_engines_and_workers(self):
+        reference = _sweep(workers=1, engine="reference")
+        for workers in WORKER_COUNTS:
+            assert _sweep(workers=workers, engine="auto").rows == reference.rows
+
+    def test_simulation_benefits_chunking_is_exact(self):
+        instance = random_online_instance(
+            16, 24, (2, 4), random.Random(2), weight_range=(1.0, 6.0)
+        )
+        for engine in ("reference", "auto"):
+            serial = list(
+                simulation_benefits(
+                    instance, RandPrAlgorithm(), trials=23, seed=9, engine=engine
+                )
+            )
+            for workers in (2, 3, 4):
+                chunked = list(
+                    simulation_benefits(
+                        instance,
+                        RandPrAlgorithm(),
+                        trials=23,
+                        seed=9,
+                        engine=engine,
+                        workers=workers,
+                    )
+                )
+                assert chunked == serial  # float-exact, not approx
+
+    def test_measure_suite_workers_identical(self):
+        instance = random_online_instance(
+            14, 20, (2, 3), random.Random(4), weight_range=(1.0, 5.0)
+        )
+        algorithms = [RandPrAlgorithm(), GreedyWeightAlgorithm()]
+        serial = measure_suite(instance, algorithms, trials=8, seed=1, engine="auto")
+        parallel = measure_suite(
+            instance, algorithms, trials=8, seed=1, engine="auto", workers=2
+        )
+        assert set(serial) == set(parallel)
+        for name in serial:
+            assert serial[name].mean_benefit == parallel[name].mean_benefit
+            assert serial[name].std_benefit == parallel[name].std_benefit
+            assert serial[name].ratio == parallel[name].ratio
+
+    def test_measure_ratio_with_confidence_workers_identical(self):
+        instance = random_online_instance(
+            14, 20, (2, 3), random.Random(6), weight_range=(1.0, 5.0)
+        )
+        serial = measure_ratio_with_confidence(
+            instance, RandPrAlgorithm(), trials=24, seed=3, engine="auto"
+        )
+        parallel = measure_ratio_with_confidence(
+            instance, RandPrAlgorithm(), trials=24, seed=3, engine="auto", workers=3
+        )
+        assert serial.benefit == parallel.benefit
+        assert serial.ratio == parallel.ratio
+
+
+class _CrashingAlgorithm(OnlineAlgorithm):
+    """Raises from decide(); top-level so worker processes can unpickle it."""
+
+    name = "crasher"
+    is_deterministic = True
+
+    def decide(self, arrival):
+        raise RuntimeError("intentional crash inside a worker")
+
+
+class _ProtocolViolator(OnlineAlgorithm):
+    """Returns a non-parent set, tripping the simulator's validation."""
+
+    name = "violator"
+    is_deterministic = True
+
+    def decide(self, arrival):
+        return frozenset({"not-a-parent"})
+
+
+class TestWorkerErrorPropagation:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_crash_propagates_original_type(self, workers):
+        with pytest.raises(RuntimeError, match="intentional crash"):
+            _sweep(
+                workers=workers,
+                engine="reference",
+                algorithms=[_CrashingAlgorithm()],
+            )
+
+    @pytest.mark.parametrize("workers", (1, 2))
+    def test_protocol_violation_propagates(self, workers):
+        with pytest.raises(AlgorithmProtocolError):
+            _sweep(
+                workers=workers,
+                engine="reference",
+                algorithms=[_ProtocolViolator()],
+            )
+
+
+class TestPartitionTrials:
+    def test_covers_range_in_order(self):
+        for trials in (1, 2, 7, 23, 100):
+            for workers in (1, 2, 3, 8, 200):
+                chunks = partition_trials(trials, workers)
+                covered = [
+                    offset + i for offset, count in chunks for i in range(count)
+                ]
+                assert covered == list(range(trials))
+                assert all(count >= 1 for _offset, count in chunks)
+                assert len(chunks) == min(workers, trials)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            partition_trials(0, 2)
+        with pytest.raises(ValueError):
+            partition_trials(5, 0)
+
+
+class TestOptCache:
+    def _system(self, seed=0, weight=2.0):
+        from repro.core import SetSystem
+
+        return SetSystem(
+            sets={"A": ["u", "v"], "B": ["v", "w"], "C": ["x"]},
+            weights={"A": weight, "B": 1.0, "C": 3.0},
+        )
+
+    def test_hit_on_equal_content_different_objects(self):
+        cache = OptCache()
+        first = estimate_opt(self._system(), cache=cache)
+        second = estimate_opt(self._system(), cache=cache)  # a distinct object
+        assert cache.misses == 1 and cache.hits == 1
+        assert second is first  # the cached record itself is shared
+
+    def test_miss_on_different_weights(self):
+        cache = OptCache()
+        estimate_opt(self._system(weight=2.0), cache=cache)
+        estimate_opt(self._system(weight=4.0), cache=cache)
+        assert cache.misses == 2 and cache.hits == 0
+
+    def test_miss_on_different_method_or_limit(self):
+        cache = OptCache()
+        estimate_opt(self._system(), method="exact", cache=cache)
+        estimate_opt(self._system(), method="lp", cache=cache)
+        estimate_opt(self._system(), method="exact", exact_set_limit=10, cache=cache)
+        assert cache.misses == 3 and cache.hits == 0
+
+    def test_lru_eviction(self):
+        cache = OptCache(maxsize=2)
+        estimate_opt(self._system(weight=1.0), cache=cache)
+        estimate_opt(self._system(weight=2.0), cache=cache)
+        estimate_opt(self._system(weight=3.0), cache=cache)  # evicts weight=1.0
+        assert len(cache) == 2
+        estimate_opt(self._system(weight=1.0), cache=cache)
+        assert cache.misses == 4 and cache.hits == 0
+
+    def test_fingerprint_ignores_construction_order(self):
+        from repro.core import SetSystem
+
+        forward = SetSystem(sets={"A": ["u", "v"], "B": ["w"]})
+        backward = SetSystem(sets={"B": ["w"], "A": ["v", "u"]})
+        assert system_fingerprint(forward) == system_fingerprint(backward)
+
+    def test_fingerprint_sensitive_to_capacities(self):
+        from repro.core import SetSystem
+
+        unit = SetSystem(sets={"A": ["u"], "B": ["u"]})
+        doubled = SetSystem(sets={"A": ["u"], "B": ["u"]}, capacities={"u": 2})
+        assert system_fingerprint(unit) != system_fingerprint(doubled)
+
+    def test_cached_value_matches_uncached(self):
+        cache = OptCache()
+        cached = estimate_opt(self._system(), cache=cache)
+        plain = estimate_opt(self._system())
+        assert cached.value == plain.value
+        assert cached.method == plain.method
+
+
+class TestCompiledInstanceCache:
+    def test_sweep_compiles_each_instance_once(self):
+        clear_compile_cache()
+        instance = random_online_instance(
+            12, 18, (2, 3), random.Random(8), weight_range=(1.0, 4.0)
+        )
+        for algorithm in ("randPr", "greedy-weight", "first-listed"):
+            simulate_batch(instance, algorithm, trials=4, seed=0)
+        stats = compile_cache_stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 2
+
+    def test_distinct_instances_compile_separately(self):
+        clear_compile_cache()
+        for seed in (1, 2):
+            instance = random_online_instance(10, 15, (2, 3), random.Random(seed))
+            simulate_batch(instance, "randPr", trials=2, seed=0)
+        assert compile_cache_stats()["misses"] == 2
