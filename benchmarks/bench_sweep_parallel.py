@@ -106,6 +106,9 @@ def _run_configuration(points, workers, engine, instances_per_point, trials):
         seed=SEED,
         engine=engine,
         workers=workers,
+        # Engine/worker timings must stay store-free even under an exported
+        # OSP_STORE; the persistent store has its own benchmark (E17).
+        store=False,
     )
     return sweep, time.perf_counter() - start
 
@@ -225,6 +228,12 @@ def main(argv=None):
             rows, title=f"E16: end-to-end sweep orchestration (workers={workers})"
         )
     )
+    if workers != PARALLEL_WORKERS:
+        # The 2.5x floor is defined for the 4-worker headline configuration;
+        # an OSP_BENCH_WORKERS override is exploratory, so report only.
+        print(f"\nspeedup at workers={workers}: {speedup:.1f}x (floor not enforced; "
+              f"the {MIN_SPEEDUP}x floor applies at workers={PARALLEL_WORKERS})")
+        return 0
     print(f"\nheadline speedup: {speedup:.1f}x (floor {MIN_SPEEDUP}x)")
     return 0 if speedup >= MIN_SPEEDUP else 1
 

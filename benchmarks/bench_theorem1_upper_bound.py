@@ -98,7 +98,23 @@ def test_e1_theorem1_corollary6(run_once, experiment_report):
         f"\nworst randPr ratio {summary['max_ratio']:.3f} vs worst bound "
         f"{summary['max_bound']:.3f}"
     )
-    experiment_report("E1_theorem1_corollary6", text)
+    experiment_report(
+        "E1_theorem1_corollary6",
+        text,
+        rows=rows,
+        columns=[
+            "parameter",
+            "algorithm",
+            "mean_opt",
+            "mean_benefit",
+            "mean_ratio",
+            "thm1_bound",
+            "cor6_bound",
+            "k_max",
+            "sigma_max",
+        ],
+        title=sweep.name,
+    )
 
     # The headline check: randPr respects the paper's bound on every point.
     assert summary["all_within_cor6"] == 1.0

@@ -64,7 +64,13 @@ def test_e2_randomized_lower_bound(run_once, experiment_report):
         title="E2: online algorithms on the Lemma 9 distribution "
         "(ratio must grow with ell)",
     )
-    experiment_report("E2_theorem2_randomized_lb", text)
+    experiment_report(
+        "E2_theorem2_randomized_lb",
+        text,
+        rows=rows,
+        title="E2: online algorithms on the Lemma 9 distribution "
+        "(ratio must grow with ell)",
+    )
 
     # Shape check: the measured ratio of every algorithm grows with ell, and
     # at the largest ell all algorithms are far from constant-competitive.

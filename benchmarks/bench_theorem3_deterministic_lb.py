@@ -64,7 +64,13 @@ def test_e3_deterministic_lower_bound(run_once, experiment_report):
         title="E3: adaptive adversary vs deterministic algorithms "
         "(forced_ratio must be >= paper_bound = sigma^(k-1))",
     )
-    experiment_report("E3_theorem3_deterministic_lb", text)
+    experiment_report(
+        "E3_theorem3_deterministic_lb",
+        text,
+        rows=rows,
+        title="E3: adaptive adversary vs deterministic algorithms "
+        "(forced_ratio must be >= paper_bound = sigma^(k-1))",
+    )
 
     for row in rows:
         assert row["alg_completed"] <= 1

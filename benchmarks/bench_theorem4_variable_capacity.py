@@ -70,7 +70,13 @@ def test_e4_variable_capacity(run_once, experiment_report):
         title="E4: variable capacities — measured ratio vs Theorem 4 bound "
         "(ratio falls as adjusted load falls)",
     )
-    experiment_report("E4_theorem4_variable_capacity", text)
+    experiment_report(
+        "E4_theorem4_variable_capacity",
+        text,
+        rows=rows,
+        title="E4: variable capacities — measured ratio vs Theorem 4 bound "
+        "(ratio falls as adjusted load falls)",
+    )
 
     randpr_rows = [row for row in rows if row["algorithm"] == "randPr"]
     for row in randpr_rows:

@@ -76,7 +76,12 @@ def test_e5_uniform_set_size(run_once, experiment_report):
         rows,
         title="E5: uniform set size (Theorem 5) and uniform size+load (Corollary 7)",
     )
-    experiment_report("E5_theorem5_uniform_k", text)
+    experiment_report(
+        "E5_theorem5_uniform_k",
+        text,
+        rows=rows,
+        title="E5: uniform set size (Theorem 5) and uniform size+load (Corollary 7)",
+    )
 
     for row in rows:
         assert row["measured_ratio"] <= row["bound"] + 0.35

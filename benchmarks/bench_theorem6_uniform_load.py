@@ -53,7 +53,12 @@ def test_e6_uniform_load(run_once, experiment_report):
         rows,
         title="E6: uniform element load — measured ratio vs k_mean*sqrt(sigma)",
     )
-    experiment_report("E6_theorem6_uniform_load", text)
+    experiment_report(
+        "E6_theorem6_uniform_load",
+        text,
+        rows=rows,
+        title="E6: uniform element load — measured ratio vs k_mean*sqrt(sigma)",
+    )
 
     randpr_rows = [row for row in rows if row["algorithm"] == "randPr"]
     random_rows = [row for row in rows if row["algorithm"] == "uniform-random"]

@@ -4,9 +4,19 @@ Every benchmark module regenerates one experiment from DESIGN.md (E1-E14):
 it runs the workload the paper's claim describes, prints the resulting table
 (visible with ``pytest benchmarks/ --benchmark-only -s``) and also writes it
 to ``benchmarks/_results/<experiment>.txt`` so the numbers survive output
-capturing.  The ``run_once`` fixture times the experiment body exactly once
-under pytest-benchmark — these are scientific experiments, not
-micro-benchmarks, so repeated timing rounds would only waste the budget.
+capturing.  When the benchmark passes its raw rows along, a Markdown twin
+(``_results/<experiment>.md``, rendered by
+:func:`repro.experiments.report.format_markdown_table`) is written as well —
+those are the tables EXPERIMENTS.md quotes.  The ``run_once`` fixture times
+the experiment body exactly once under pytest-benchmark — these are
+scientific experiments, not micro-benchmarks, so repeated timing rounds
+would only waste the budget.
+
+Persistent store: exporting ``OSP_STORE=<path>`` makes every sweep in the
+suite read/write the file-backed solution store (completed work units and
+OPT solves are skipped on the next invocation; see
+:mod:`repro.experiments.store`).  The session fixture below announces the
+store and prints its hit/miss counters at the end of the run.
 """
 
 from __future__ import annotations
@@ -15,17 +25,52 @@ import pathlib
 
 import pytest
 
+from repro.experiments.report import format_markdown_table
+from repro.experiments.store import store_for_path, store_path_from_env
+
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "_results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def solution_store_report():
+    """Announce the ``OSP_STORE`` store (if any) and report its counters."""
+    path = store_path_from_env()
+    if path is None:
+        yield None
+        return
+    store = store_for_path(path)
+    print(f"\n[benchmarks] persistent solution store: {store.path}")
+    yield store
+    stats = store.stats()
+    print(
+        f"\n[benchmarks] store {store.path}: "
+        f"{stats['unit_hits']} unit hit(s), {stats['unit_misses']} miss(es); "
+        f"{stats['opt_hits']} OPT hit(s), {stats['opt_misses']} miss(es); "
+        f"{stats['opt_entries']} OPT + {stats['unit_entries']} unit entries on disk"
+    )
 
 
 @pytest.fixture
 def experiment_report():
-    """A callable that prints a report and persists it under _results/."""
+    """A callable that prints a report and persists it under _results/.
 
-    def _report(experiment_id: str, text: str) -> None:
+    ``rows``/``columns``/``title`` are optional: when the experiment passes
+    its raw row dictionaries, the report is *also* written as
+    ``_results/<experiment>.md`` — a GitHub-flavoured Markdown table suitable
+    for quoting in EXPERIMENTS.md — alongside the plain-text ``.txt``.
+    """
+
+    def _report(experiment_id, text, rows=None, columns=None, title=None):
         RESULTS_DIR.mkdir(exist_ok=True)
         path = RESULTS_DIR / f"{experiment_id}.txt"
         path.write_text(text + "\n", encoding="utf-8")
+        if rows is not None:
+            markdown = format_markdown_table(
+                rows, columns=columns, title=title or experiment_id
+            )
+            (RESULTS_DIR / f"{experiment_id}.md").write_text(
+                markdown + "\n", encoding="utf-8"
+            )
         print()
         print(text)
 

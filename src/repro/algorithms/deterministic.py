@@ -31,6 +31,9 @@ class FirstListedAlgorithm(StatelessPriorityAlgorithm):
 
     name = "first-listed"
     is_deterministic = True
+    #: No behaviour-affecting constructor state: safe to key by type+name
+    #: in the persistent store (see repro.experiments.store.algorithm_identity).
+    cache_identity = ""
 
     def decide(self, arrival: ElementArrival) -> FrozenSet[SetId]:
         return frozenset(arrival.parents[: arrival.capacity])
@@ -51,6 +54,11 @@ class StaticOrderAlgorithm(StatelessPriorityAlgorithm):
         super().__init__()
         self._salt = salt
 
+    @property
+    def cache_identity(self) -> str:
+        """Extra identity for the persistent store: the order is salt-dependent."""
+        return f"salt={self._salt!r}"
+
     def priority(self, set_id: SetId) -> float:
         return hash_unit_interval(set_id, salt=self._salt)
 
@@ -65,6 +73,9 @@ class LargestSetFirstAlgorithm(StatelessPriorityAlgorithm):
 
     name = "largest-set-first"
     is_deterministic = True
+    #: No behaviour-affecting constructor state: safe to key by type+name
+    #: in the persistent store (see repro.experiments.store.algorithm_identity).
+    cache_identity = ""
 
     def priority(self, set_id: SetId) -> float:
         info = self.set_infos.get(set_id)
@@ -80,6 +91,9 @@ class SmallestSetFirstAlgorithm(StatelessPriorityAlgorithm):
 
     name = "smallest-set-first"
     is_deterministic = True
+    #: No behaviour-affecting constructor state: safe to key by type+name
+    #: in the persistent store (see repro.experiments.store.algorithm_identity).
+    cache_identity = ""
 
     def priority(self, set_id: SetId) -> float:
         info = self.set_infos.get(set_id)

@@ -79,6 +79,9 @@ class GreedyWeightAlgorithm(_ActivityTrackingAlgorithm):
 
     name = "greedy-weight"
     is_deterministic = True
+    #: No behaviour-affecting constructor state: safe to key by type+name
+    #: in the persistent store (see repro.experiments.store.algorithm_identity).
+    cache_identity = ""
 
     def decide(self, arrival: ElementArrival) -> FrozenSet[SetId]:
         ranked = sorted(
@@ -104,6 +107,9 @@ class GreedyProgressAlgorithm(_ActivityTrackingAlgorithm):
 
     name = "greedy-progress"
     is_deterministic = True
+    #: No behaviour-affecting constructor state: safe to key by type+name
+    #: in the persistent store (see repro.experiments.store.algorithm_identity).
+    cache_identity = ""
 
     def decide(self, arrival: ElementArrival) -> FrozenSet[SetId]:
         ranked = sorted(
@@ -129,6 +135,9 @@ class GreedyCommittedAlgorithm(_ActivityTrackingAlgorithm):
 
     name = "greedy-committed"
     is_deterministic = True
+    #: No behaviour-affecting constructor state: safe to key by type+name
+    #: in the persistent store (see repro.experiments.store.algorithm_identity).
+    cache_identity = ""
 
     def decide(self, arrival: ElementArrival) -> FrozenSet[SetId]:
         ranked = sorted(

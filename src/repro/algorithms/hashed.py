@@ -66,6 +66,20 @@ class HashedRandPrAlgorithm(OnlineAlgorithm):
         """The salt in effect for the current run."""
         return self._salt
 
+    @property
+    def cache_identity(self) -> Optional[str]:
+        """Extra identity for the persistent store.
+
+        The configured salt fully determines behaviour (a ``None`` salt is
+        drawn from the simulation RNG, i.e. from the seed — still a pure
+        function of the stored key's inputs).  A custom hash family cannot
+        be fingerprinted, so it makes the algorithm *uncacheable*
+        (``cache_identity is None`` → the store is bypassed).
+        """
+        if self._hash_family is not None:
+            return None
+        return f"salt={self._configured_salt!r}"
+
     def start(self, set_infos: Mapping[SetId, SetInfo], rng: random.Random) -> None:
         self._weights = {
             set_id: (info.weight if info.weight > 0 else 1e-12)

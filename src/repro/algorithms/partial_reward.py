@@ -41,6 +41,11 @@ class HedgingAlgorithm(OnlineAlgorithm):
         self._priorities: Dict[SetId, float] = {}
         self._rng = random.Random()
 
+    @property
+    def cache_identity(self) -> str:
+        """Extra identity for the persistent store: behaviour depends on epsilon."""
+        return f"epsilon={self._epsilon!r}"
+
     def start(self, set_infos: Mapping[SetId, SetInfo], rng: random.Random) -> None:
         self._rng = rng
         self._priorities = {}
@@ -74,6 +79,9 @@ class ProportionalShareAlgorithm(OnlineAlgorithm):
 
     name = "proportional-share"
     is_deterministic = False
+    #: No behaviour-affecting constructor state: safe to key by type+name
+    #: in the persistent store (see repro.experiments.store.algorithm_identity).
+    cache_identity = ""
 
     def __init__(self) -> None:
         self._weights: Dict[SetId, float] = {}

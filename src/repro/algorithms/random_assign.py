@@ -26,6 +26,9 @@ class UniformRandomAlgorithm(OnlineAlgorithm):
 
     name = "uniform-random"
     is_deterministic = False
+    #: No behaviour-affecting constructor state: safe to key by type+name
+    #: in the persistent store (see repro.experiments.store.algorithm_identity).
+    cache_identity = ""
 
     def __init__(self) -> None:
         self._rng = random.Random()
@@ -50,6 +53,9 @@ class UnweightedPriorityAlgorithm(OnlineAlgorithm):
 
     name = "uniform-priority"
     is_deterministic = False
+    #: No behaviour-affecting constructor state: safe to key by type+name
+    #: in the persistent store (see repro.experiments.store.algorithm_identity).
+    cache_identity = ""
 
     def __init__(self) -> None:
         self._priorities: Dict[SetId, float] = {}

@@ -41,6 +41,11 @@ class RandPrAlgorithm(OnlineAlgorithm):
         self._tie_break_by_id = tie_break_by_id
         self._priorities: Dict[SetId, float] = {}
 
+    @property
+    def cache_identity(self) -> str:
+        """Extra identity for the persistent store (see ``algorithm_identity``)."""
+        return f"tie_break_by_id={self._tie_break_by_id}"
+
     def start(self, set_infos: Mapping[SetId, SetInfo], rng: random.Random) -> None:
         self._priorities = {}
         # Iterate in a deterministic order so a fixed seed gives a fixed run.

@@ -64,6 +64,18 @@ class BatchResult:
     count.  ``mean_benefit``/``std_benefit`` aggregate exactly the way the
     experiment harness aggregates ``simulate_many`` output (sample standard
     deviation, ``ddof=1``).
+
+    >>> from repro.core import OnlineInstance, SetSystem
+    >>> system = SetSystem(sets={"A": ["u", "v"], "B": ["v", "w"]},
+    ...                    weights={"A": 2.0, "B": 1.0})
+    >>> result = simulate_batch(OnlineInstance(system, name="demo"),
+    ...                         "greedy-weight", trials=2, seed=0)
+    >>> result
+    BatchResult(algorithm='greedy-weight', trials=2, mean_benefit=2.000)
+    >>> result.completed_sets(0)
+    frozenset({'A'})
+    >>> result.completed_count_distribution()
+    {1: 2}
     """
 
     algorithm_name: str
@@ -373,6 +385,22 @@ def simulate_batch(
         — the same seeding convention as
         :func:`repro.core.simulation.simulate_many` — so paired comparisons
         agree trial by trial, not just in distribution.
+
+    Trial ``b`` is *bit-identical* to the corresponding reference run:
+
+    >>> import random
+    >>> from repro.core import OnlineInstance, SetSystem
+    >>> from repro.core.simulation import simulate
+    >>> from repro.algorithms import RandPrAlgorithm
+    >>> system = SetSystem(sets={"A": ["u", "v"], "B": ["v", "w"]},
+    ...                    weights={"A": 2.0, "B": 1.0})
+    >>> instance = OnlineInstance(system, name="demo")
+    >>> batch = simulate_batch(instance, "randPr", trials=3, seed=7)
+    >>> reference = simulate(instance, RandPrAlgorithm(), rng=random.Random(7))
+    >>> batch.completed_sets(0) == reference.completed_sets
+    True
+    >>> float(batch.benefits[0]) == reference.benefit
+    True
     """
     if trials < 1:
         raise ValueError(f"trials must be at least 1, got {trials}")
@@ -425,6 +453,17 @@ def batch_from_results(
     This is the API bridge the differential tests (and engine-agnostic
     callers) rely on: both engines end up in the same result shape, so
     "exactly equal" is a single array comparison.
+
+    >>> from repro.core import OnlineInstance, SetSystem
+    >>> from repro.core.simulation import simulate_many
+    >>> from repro.algorithms import GreedyWeightAlgorithm
+    >>> system = SetSystem(sets={"A": ["u", "v"], "B": ["v", "w"]},
+    ...                    weights={"A": 2.0, "B": 1.0})
+    >>> instance = OnlineInstance(system, name="demo")
+    >>> runs = simulate_many(instance, GreedyWeightAlgorithm(), trials=2, seed=0)
+    >>> bridged = batch_from_results(instance, runs)
+    >>> bridged.equals(simulate_batch(instance, "greedy-weight", trials=2, seed=0))
+    True
     """
     compiled = compiled_for(instance)
     if not results:

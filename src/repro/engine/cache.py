@@ -36,6 +36,14 @@ def compiled_for(
 
     A :class:`CompiledInstance` argument passes straight through, so callers
     that manage their own compilation are unaffected.
+
+    >>> from repro.core import OnlineInstance, SetSystem
+    >>> clear_compile_cache()
+    >>> instance = OnlineInstance(SetSystem(sets={"A": ["u"], "B": ["u"]}))
+    >>> compiled_for(instance) is compiled_for(instance)   # one compilation
+    True
+    >>> compiled_for(compiled_for(instance)) is compiled_for(instance)
+    True
     """
     global _HITS, _MISSES
     if isinstance(instance, CompiledInstance):
@@ -52,12 +60,25 @@ def compiled_for(
 
 
 def compile_cache_stats() -> Dict[str, int]:
-    """Hit/miss/size counters of the per-process compile cache."""
+    """Hit/miss/size counters of the per-process compile cache.
+
+    >>> from repro.core import OnlineInstance, SetSystem
+    >>> clear_compile_cache()
+    >>> instance = OnlineInstance(SetSystem(sets={"A": ["u"], "B": ["u"]}))
+    >>> _ = compiled_for(instance); _ = compiled_for(instance)
+    >>> compile_cache_stats()
+    {'hits': 1, 'misses': 1, 'entries': 1}
+    """
     return {"hits": _HITS, "misses": _MISSES, "entries": len(_CACHE)}
 
 
 def clear_compile_cache() -> None:
-    """Drop every cached compilation and reset the counters (test hook)."""
+    """Drop every cached compilation and reset the counters (test hook).
+
+    >>> clear_compile_cache()
+    >>> compile_cache_stats()
+    {'hits': 0, 'misses': 0, 'entries': 0}
+    """
     global _HITS, _MISSES
     _CACHE.clear()
     _HITS = 0

@@ -65,6 +65,17 @@ class CompiledInstance:
         key; a dense rank reproduces that comparison with integers, leaving
         later key levels (progress, identifier) to break weight ties exactly
         as the reference implementations do.
+
+    >>> from repro.core import OnlineInstance, SetSystem
+    >>> system = SetSystem(sets={"A": ["u", "v"], "B": ["v", "w"]},
+    ...                    weights={"A": 2.0, "B": 1.0})
+    >>> compiled = compile_instance(OnlineInstance(system, name="demo"))
+    >>> compiled
+    CompiledInstance('demo', sets=2, steps=3, incidences=4)
+    >>> compiled.set_ids
+    ('A', 'B')
+    >>> compiled.parents_of_step(1)   # element "v" belongs to both sets
+    array([0, 1])
     """
 
     name: str
@@ -111,6 +122,15 @@ def compile_instance(instance: OnlineInstance) -> CompiledInstance:
     order), and the parents of every step are stored in ascending column
     order — so a *stable* sort of a priority row breaks ties exactly like the
     reference algorithms' ``(-priority, repr(set_id))`` sort key.
+
+    >>> from repro.core import OnlineInstance, SetSystem
+    >>> system = SetSystem(sets={"A": ["u", "v"], "B": ["v", "w"]},
+    ...                    weights={"A": 2.0, "B": 1.0})
+    >>> compiled = compile_instance(OnlineInstance(system, name="demo"))
+    >>> compiled.weights.tolist(), compiled.sizes.tolist()
+    ([2.0, 1.0], [2, 2])
+    >>> compiled.weight_class.tolist()   # dense descending weight rank
+    [0, 1]
     """
     system = instance.system
     set_ids = system.set_ids

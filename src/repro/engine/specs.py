@@ -29,6 +29,18 @@ supported:
 (or ``None`` when the algorithm cannot be vectorized — e.g. a custom hash
 family), and :func:`resolve_spec` normalizes everything callers may pass to
 :func:`~repro.engine.batch.simulate_batch`.
+
+The three families partition the supported kind vocabulary:
+
+>>> sorted(GREEDY_KINDS)
+['greedy-committed', 'greedy-progress', 'greedy-weight']
+>>> sorted(PER_STEP_RANDOM_KINDS)
+['uniform-random']
+>>> sorted(STATIC_PRIORITY_KINDS)  # doctest: +NORMALIZE_WHITESPACE
+['first-listed', 'largest-set-first', 'randPr', 'randPr-hashed',
+ 'smallest-set-first', 'static-order', 'uniform-priority']
+>>> SUPPORTED_KINDS == STATIC_PRIORITY_KINDS | GREEDY_KINDS | PER_STEP_RANDOM_KINDS
+True
 """
 
 from __future__ import annotations
@@ -96,6 +108,15 @@ class AlgorithmSpec:
         to draw a fresh salt per trial from the trial RNG (mirroring
         ``HashedRandPrAlgorithm(salt=None)``).  For ``static-order``: the
         salt of the static hash order (default ``"static-order"``).
+
+    >>> AlgorithmSpec("randPr").is_deterministic
+    False
+    >>> AlgorithmSpec("greedy-weight").is_deterministic
+    True
+    >>> AlgorithmSpec("warp-drive")  # doctest: +ELLIPSIS
+    Traceback (most recent call last):
+        ...
+    repro.exceptions.UnsupportedAlgorithmError: unknown batch algorithm kind 'warp-drive'; ...
     """
 
     kind: str
@@ -127,6 +148,14 @@ def spec_for_algorithm(algorithm: OnlineAlgorithm) -> Optional[AlgorithmSpec]:
     ``None`` means the algorithm cannot be vectorized (a custom hash family,
     or an algorithm type the engine does not know); callers should fall back
     to the reference simulator.
+
+    >>> from repro.algorithms import RandPrAlgorithm
+    >>> spec_for_algorithm(RandPrAlgorithm())
+    AlgorithmSpec(kind='randPr', salt=None)
+    >>> class CustomAlgorithm(RandPrAlgorithm):
+    ...     pass                          # subclasses may override behaviour,
+    >>> spec_for_algorithm(CustomAlgorithm()) is None    # so: not replayable
+    True
     """
     # Imported here: the algorithm modules import repro.core, which in turn
     # re-exports the engine, so a module-level import would be circular.
@@ -192,6 +221,12 @@ def resolve_spec(
     Accepts a spec, a kind string, or a reference algorithm object.  Raises
     :class:`~repro.exceptions.UnsupportedAlgorithmError` when the algorithm
     has no vectorized equivalent.
+
+    >>> resolve_spec("greedy-weight")
+    AlgorithmSpec(kind='greedy-weight', salt=None)
+    >>> from repro.algorithms import RandPrAlgorithm
+    >>> resolve_spec(RandPrAlgorithm()) == resolve_spec("randPr")
+    True
     """
     if isinstance(algorithm, AlgorithmSpec):
         return algorithm
@@ -223,6 +258,16 @@ def priority_matrix(
     ``RandPrAlgorithm.start`` do.  Draws go through the same scalar helpers
     (:func:`sample_priority`, :func:`hash_priority`) on Python floats, so the
     values are bit-identical, not merely statistically equivalent.
+
+    >>> from repro.core import OnlineInstance, SetSystem
+    >>> from repro.engine.compile import compile_instance
+    >>> system = SetSystem(sets={"A": ["u", "v"], "B": ["v", "w"]},
+    ...                    weights={"A": 2.0, "B": 1.0})
+    >>> compiled = compile_instance(OnlineInstance(system, name="demo"))
+    >>> priority_matrix(AlgorithmSpec("randPr"), compiled, trials=3, seed=0).shape
+    (3, 2)
+    >>> priority_matrix(AlgorithmSpec("first-listed"), compiled, trials=3, seed=0)
+    array([[-0., -1.]])
     """
     m = compiled.num_sets
     # Python floats, so the arithmetic inside the scalar helpers is the very

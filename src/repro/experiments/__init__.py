@@ -29,6 +29,15 @@ from repro.experiments.parallel import (
     workers_from_env,
 )
 from repro.experiments.report import banner, format_markdown_table, format_sweep, format_table
+from repro.experiments.store import (
+    SolutionStore,
+    StoreCorruptionWarning,
+    active_store,
+    set_default_store_path,
+    store_for_path,
+    store_path_from_env,
+    unit_key,
+)
 
 __all__ = [
     "ConfidenceInterval",
@@ -59,4 +68,11 @@ __all__ = [
     "format_markdown_table",
     "format_sweep",
     "format_table",
+    "SolutionStore",
+    "StoreCorruptionWarning",
+    "active_store",
+    "set_default_store_path",
+    "store_for_path",
+    "store_path_from_env",
+    "unit_key",
 ]

@@ -17,21 +17,20 @@ float summation order — so ``workers`` is purely a wall-clock knob.
 from __future__ import annotations
 
 import math
-import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
 
 from repro.core.algorithm import OnlineAlgorithm
-from repro.core.instance import OnlineInstance
 from repro.experiments.orchestrator import (
+    InstanceFactory,
     SweepUnitResult,
     build_sweep_units,
     run_units,
 )
+from repro.experiments.store import store_path_from_env
 
 __all__ = ["ExperimentRow", "SweepResult", "run_sweep", "summarize_rows"]
 
-InstanceFactory = Callable[[random.Random], OnlineInstance]
 
 
 @dataclass(frozen=True)
@@ -164,6 +163,7 @@ def run_sweep(
     opt_method: str = "auto",
     engine: str = "reference",
     workers: int = 1,
+    store: Union[str, bool, None] = None,
 ) -> SweepResult:
     """Run a parameter sweep.
 
@@ -188,7 +188,27 @@ def run_sweep(
         **bit-identical** rows (the orchestrator merges unit results in
         sweep order with the serial summation arithmetic), so this too is a
         runtime knob only.
+    store:
+        Optional path of a persistent
+        :class:`~repro.experiments.store.SolutionStore` file.  Completed
+        ``(point, instance)`` units found in the store are skipped and fresh
+        ones are persisted, so an interrupted sweep resumes where it stopped
+        and a repeated invocation answers from disk.  When omitted
+        (``None``), the ``OSP_STORE`` environment variable supplies the
+        default; pass ``False`` to force persistence off even when
+        ``OSP_STORE`` is set (benchmarks use this for their store-off
+        baselines).  A third runtime-only knob: rows are bit-identical with
+        the store on, off, warm or cold.
     """
+    if store is None:
+        store = store_path_from_env()
+    elif store is False:
+        store = None
+    elif store is True:
+        raise ValueError(
+            "store=True is not a store path; pass a path, None (OSP_STORE "
+            "default) or False (force off)"
+        )
     units = build_sweep_units(parameter_points, instances_per_point, seed)
     results = run_units(
         units,
@@ -197,6 +217,7 @@ def run_sweep(
         opt_method=opt_method,
         engine=engine,
         workers=workers,
+        store=store,
     )
 
     sweep = SweepResult(name=name)

@@ -14,11 +14,21 @@ The cache is a plain LRU with hit/miss counters (pinned by
 ``tests/test_orchestrator.py``).  Each worker process owns one
 :func:`default_opt_cache` instance; cached values are immutable
 ``OptEstimate`` records, so sharing them between callers is safe.
+
+Below the in-memory LRU sits an optional *persistent* tier: a
+:class:`~repro.experiments.store.SolutionStore` attached via the ``store``
+parameter (or automatically from the ``OSP_STORE`` environment variable for
+the default cache).  A memory miss then consults the store before computing,
+and every computed value is written back to both tiers — so repeated
+benchmark invocations, and all worker processes of a pool, share one durable
+set of OPT solves.  The store never changes a value, only where it comes
+from; ``store_hits`` counts the middle-tier answers.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
 from collections import OrderedDict
 from typing import Callable, Optional, TypeVar
 
@@ -65,14 +75,23 @@ class OptCache:
     stores its ``OptEstimate`` records here under a key that includes the
     estimation method and the exact-solver set limit, so estimates computed
     under different policies never alias.
+
+    ``store`` optionally attaches a persistent
+    :class:`~repro.experiments.store.SolutionStore` as a read-through /
+    write-back tier below the LRU: a memory miss consults the store before
+    computing, and computed values are written to both.  ``store_hits``
+    counts lookups the store answered (these still increment ``misses`` —
+    the memory tier did miss).
     """
 
-    def __init__(self, maxsize: int = 256) -> None:
+    def __init__(self, maxsize: int = 256, store=None) -> None:
         if maxsize < 1:
             raise ValueError(f"maxsize must be at least 1, got {maxsize}")
         self.maxsize = maxsize
+        self.store = store
         self.hits = 0
         self.misses = 0
+        self.store_hits = 0
         self._entries: "OrderedDict[str, object]" = OrderedDict()
 
     def __len__(self) -> int:
@@ -83,12 +102,24 @@ class OptCache:
         return f"{system_fingerprint(system)}|{method}|{exact_set_limit}"
 
     def get_or_compute(self, key: str, compute: Callable[[], V]) -> V:
-        """Return the cached value for ``key``, computing and storing on miss."""
+        """Return the cached value for ``key``, computing and storing on miss.
+
+        Lookup order: memory LRU, then the attached persistent store (if
+        any), then ``compute()``.  Values found in the store are promoted to
+        memory; computed values are written back to both tiers.
+        """
         try:
             value = self._entries[key]
         except KeyError:
             self.misses += 1
-            value = compute()
+            stored = self.store.get_opt(key) if self.store is not None else None
+            if stored is not None:
+                self.store_hits += 1
+                value = stored
+            else:
+                value = compute()
+                if self.store is not None:
+                    self.store.put_opt(key, value)
             self._entries[key] = value
             if len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
@@ -98,10 +129,15 @@ class OptCache:
         return value
 
     def clear(self) -> None:
-        """Drop every entry and reset the counters."""
+        """Drop every in-memory entry and reset the counters.
+
+        The persistent store (if attached) is left untouched — clearing the
+        memory tier is what simulates a fresh process in tests/benchmarks.
+        """
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.store_hits = 0
 
     def __repr__(self) -> str:
         return (
@@ -110,8 +146,11 @@ class OptCache:
         )
 
 
-#: The per-process shared cache (one per worker; created lazily).
+#: The per-process shared cache (one per worker; created lazily), with the
+#: PID it was configured in — a fork-started worker must re-attach its own
+#: store connection rather than reuse the parent's.
 _DEFAULT_CACHE: Optional[OptCache] = None
+_DEFAULT_CACHE_PID: Optional[int] = None
 
 
 def default_opt_cache() -> OptCache:
@@ -120,8 +159,29 @@ def default_opt_cache() -> OptCache:
     Worker processes each materialize their own copy on first use, so a
     parallel sweep gets per-worker OPT reuse without any cross-process
     synchronization (cache contents never influence results, only runtime).
+
+    When the ``OSP_STORE`` environment variable names a store file, the
+    per-process :class:`~repro.experiments.store.SolutionStore` for that
+    path is attached as the cache's persistent tier — the environment is
+    inherited by pool workers, so one exported variable gives *every*
+    process of a sweep the same durable OPT store.
     """
-    global _DEFAULT_CACHE
+    global _DEFAULT_CACHE, _DEFAULT_CACHE_PID
+    pid = os.getpid()
     if _DEFAULT_CACHE is None:
         _DEFAULT_CACHE = OptCache()
+        _DEFAULT_CACHE_PID = pid
+    elif _DEFAULT_CACHE_PID != pid:
+        # Fork-started worker: the in-memory entries are plain immutable
+        # values and stay valid, but an attached store wraps the *parent's*
+        # SQLite connection, which must not be used across fork() — detach
+        # so this process re-attaches its own connection below.
+        _DEFAULT_CACHE.store = None
+        _DEFAULT_CACHE_PID = pid
+    if _DEFAULT_CACHE.store is None:
+        # Imported lazily: repro.experiments.store fingerprints instances
+        # through this module, so a top-level import would be circular.
+        from repro.experiments.store import active_store
+
+        _DEFAULT_CACHE.store = active_store()
     return _DEFAULT_CACHE

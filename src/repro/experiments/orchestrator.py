@@ -31,15 +31,16 @@ contract at workers ∈ {1, 2, 4}.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from functools import partial
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.algorithm import OnlineAlgorithm
 from repro.core.bounds import BoundReport, bound_report
 from repro.core.instance import OnlineInstance
 from repro.core.statistics import InstanceStatistics, compute_statistics
 from repro.experiments.competitive_ratio import (
+    EXACT_SOLVER_SET_LIMIT,
     OptEstimate,
     RatioMeasurement,
     estimate_opt,
@@ -48,6 +49,7 @@ from repro.experiments.competitive_ratio import (
 )
 from repro.experiments.opt_cache import default_opt_cache
 from repro.experiments.parallel import map_ordered, resolve_workers, stable_seed
+from repro.experiments.store import store_for_path, unit_key
 
 __all__ = [
     "SweepUnit",
@@ -70,6 +72,11 @@ def instance_seed(base_seed: int, point_index: int, instance_index: int) -> int:
     :func:`~repro.experiments.parallel.stable_seed` over a tagged component
     list, so any process — including a pool worker regenerating an instance
     from its indices — derives the identical RNG stream.
+
+    >>> instance_seed(0, 0, 0)   # frozen: same value on every platform
+    5463517088171824964
+    >>> instance_seed(0, 0, 1) != instance_seed(0, 0, 0)
+    True
     """
     return stable_seed("sweep-instance", base_seed, point_index, instance_index)
 
@@ -84,6 +91,14 @@ class SweepUnit:
     be lambdas/closures — only the *instance* crosses the process boundary).
     ``measure_seed`` is the simulation seed shared by every algorithm on
     this unit, preserving the harness's paired-comparison convention.
+
+    >>> from repro.core import OnlineInstance, SetSystem
+    >>> system = SetSystem(sets={"A": ["u", "v"], "B": ["v", "w"]},
+    ...                    weights={"A": 2.0, "B": 1.0})
+    >>> unit = SweepUnit(point_index=0, instance_index=1, label="demo-point",
+    ...                  instance=OnlineInstance(system), measure_seed=5)
+    >>> (unit.point_index, unit.instance_index, unit.measure_seed)
+    (0, 1, 5)
     """
 
     point_index: int
@@ -100,6 +115,19 @@ class SweepUnitResult:
     ``measurements`` is aligned with the algorithm list passed to
     :func:`run_units`.  The record carries the unit's indices so the merge
     can re-group by point without trusting arrival order.
+
+    >>> from repro.algorithms import GreedyWeightAlgorithm
+    >>> from repro.core import OnlineInstance, SetSystem
+    >>> system = SetSystem(sets={"A": ["u", "v"], "B": ["v", "w"]},
+    ...                    weights={"A": 2.0, "B": 1.0})
+    >>> units = build_sweep_units(
+    ...     [("demo", lambda rng: OnlineInstance(system, name="demo"))],
+    ...     instances_per_point=1, seed=0)
+    >>> result = run_units(units, [GreedyWeightAlgorithm()], trials=1)[0]
+    >>> result.opt
+    OptEstimate(2.0000, exact, exact)
+    >>> result.measurements[0].ratio
+    1.0
     """
 
     point_index: int
@@ -121,6 +149,17 @@ def build_sweep_units(
     ``(point, instance)`` order; each draw gets its own RNG seeded by
     :func:`instance_seed`, so the stream consumed by one factory can never
     leak into the next draw.
+
+    >>> from repro.core import OnlineInstance, SetSystem
+    >>> system = SetSystem(sets={"A": ["u", "v"], "B": ["v", "w"]},
+    ...                    weights={"A": 2.0, "B": 1.0})
+    >>> units = build_sweep_units(
+    ...     [("demo-point", lambda rng: OnlineInstance(system, name="demo"))],
+    ...     instances_per_point=2, seed=0)
+    >>> [(u.point_index, u.instance_index, u.label) for u in units]
+    [(0, 0, 'demo-point'), (0, 1, 'demo-point')]
+    >>> units[0].measure_seed    # seed + point_index, shared by the point
+    0
     """
     if instances_per_point < 1:
         raise ValueError(
@@ -148,6 +187,7 @@ def _execute_unit(
     trials: int,
     opt_method: str,
     engine: str,
+    store_path: Optional[str] = None,
 ) -> SweepUnitResult:
     """Execute one work unit (runs in a worker process when ``workers > 1``).
 
@@ -156,23 +196,67 @@ def _execute_unit(
     every algorithm and point the worker sees), and all algorithms reuse one
     compiled instance via the engine's compile cache — the two caches the
     serial pipeline used to miss.
+
+    With ``store_path`` set, the whole unit is additionally checked against
+    the persistent :class:`~repro.experiments.store.SolutionStore` first: a
+    unit whose content-addressed :func:`~repro.experiments.store.unit_key`
+    is already stored is *skipped* (its stored result is returned with this
+    unit's indices), which is what makes an interrupted sweep resumable —
+    a re-run recomputes only the units the crash left unfinished.  Stored
+    results are bit-identical to recomputed ones, so the store can never
+    change a sweep's rows.  The store is also attached below the worker's
+    OPT cache, so even a unit-level miss reuses persisted offline solves.
     """
-    system = unit.instance.system
-    opt = estimate_opt(system, method=opt_method, cache=default_opt_cache())
-    stats = compute_statistics(system)
-    bounds = bound_report(stats)
-    measurements = tuple(
-        measure_ratio(
+    store = store_for_path(store_path) if store_path else None
+    key = None
+    if store is not None:
+        key = unit_key(
             unit.instance,
-            algorithm,
-            trials=trials,
-            seed=unit.measure_seed,
-            opt=opt,
-            engine=engine,
+            unit.measure_seed,
+            algorithms,
+            trials,
+            opt_method,
+            EXACT_SOLVER_SET_LIMIT,
         )
-        for algorithm in algorithms
-    )
-    return SweepUnitResult(
+        if key is not None:
+            stored = store.get_unit(key)
+            if stored is not None:
+                # The key excludes the unit's position in its sweep, so an
+                # equal-content unit from another sweep shape can be reused;
+                # only the indices are rewritten for this sweep's merge.
+                return replace(
+                    stored,
+                    point_index=unit.point_index,
+                    instance_index=unit.instance_index,
+                )
+    cache = default_opt_cache()
+    # For the duration of this unit the sweep's store (or its absence) wins
+    # over whatever the cache had attached — a store=None sweep must not
+    # keep writing OPT solves into a previous sweep's file.  The previous
+    # attachment (e.g. the OSP_STORE default) is restored afterwards, so
+    # one sweep's explicit store never shadows the environment store for
+    # later callers in the same process.
+    previous_store = cache.store
+    cache.store = store
+    try:
+        system = unit.instance.system
+        opt = estimate_opt(system, method=opt_method, cache=cache)
+        stats = compute_statistics(system)
+        bounds = bound_report(stats)
+        measurements = tuple(
+            measure_ratio(
+                unit.instance,
+                algorithm,
+                trials=trials,
+                seed=unit.measure_seed,
+                opt=opt,
+                engine=engine,
+            )
+            for algorithm in algorithms
+        )
+    finally:
+        cache.store = previous_store
+    result = SweepUnitResult(
         point_index=unit.point_index,
         instance_index=unit.instance_index,
         opt=opt,
@@ -180,6 +264,9 @@ def _execute_unit(
         bounds=bounds,
         measurements=measurements,
     )
+    if store is not None and key is not None:
+        store.put_unit(key, result)
+    return result
 
 
 def run_units(
@@ -189,6 +276,7 @@ def run_units(
     opt_method: str = "auto",
     engine: str = "reference",
     workers: int = 1,
+    store: Optional[str] = None,
 ) -> List[SweepUnitResult]:
     """Execute the work units across ``workers`` processes, in unit order.
 
@@ -197,6 +285,28 @@ def run_units(
     downstream merging is deterministic.  A unit that raises — a protocol
     violation, a solver error — propagates its original exception to the
     caller, from worker processes included.
+
+    ``store`` optionally names a persistent
+    :class:`~repro.experiments.store.SolutionStore` file (the *path* is
+    shipped to workers; each process opens its own connection).  Stored
+    units are skipped and every freshly computed unit is persisted, making
+    the sweep resumable across crashes and re-invocations.  Like ``engine``
+    and ``workers``, the store is a wall-clock knob only: the results are
+    bit-identical with the store enabled, disabled, warm or cold.
+
+    >>> from repro.algorithms import GreedyWeightAlgorithm, RandPrAlgorithm
+    >>> from repro.core import OnlineInstance, SetSystem
+    >>> system = SetSystem(sets={"A": ["u", "v"], "B": ["v", "w"]},
+    ...                    weights={"A": 2.0, "B": 1.0})
+    >>> units = build_sweep_units(
+    ...     [("demo", lambda rng: OnlineInstance(system, name="demo"))],
+    ...     instances_per_point=1, seed=0)
+    >>> results = run_units(units, [GreedyWeightAlgorithm(), RandPrAlgorithm()],
+    ...                     trials=4, engine="auto")
+    >>> len(results), len(results[0].measurements)   # one unit, two algorithms
+    (1, 2)
+    >>> results[0].measurements[0].algorithm_name
+    'greedy-weight'
     """
     validate_engine(engine)
     resolve_workers(workers)
@@ -206,5 +316,6 @@ def run_units(
         trials=trials,
         opt_method=opt_method,
         engine=engine,
+        store_path=str(store) if store is not None else None,
     )
     return map_ordered(task, list(units), workers=workers)

@@ -2,7 +2,10 @@
 
 The benchmark harness prints its tables through these helpers so that the
 output of ``pytest benchmarks/ --benchmark-only`` doubles as the textual
-reproduction of the paper's claims (EXPERIMENTS.md quotes them).
+reproduction of the paper's claims: each experiment's table lands in
+``benchmarks/_results/<id>.txt``, with a :func:`format_markdown_table` twin
+in ``<id>.md`` for experiments that report raw rows — those Markdown tables
+are what EXPERIMENTS.md quotes, section by section.
 """
 
 from __future__ import annotations

@@ -29,7 +29,13 @@ from repro.experiments.competitive_ratio import (
     measure_ratio,
     simulation_benefits,
 )
+from repro.experiments.opt_cache import default_opt_cache
 from repro.experiments.report import format_table
+from repro.experiments.store import (
+    active_store,
+    set_default_store_path,
+    store_path_from_env,
+)
 from repro.lowerbounds import run_deterministic_adversary
 from repro.workloads import random_weighted_instance, uniform_both_instance
 
@@ -43,7 +49,7 @@ def _check_theorem1(seed: int, trials: int, engine: str, workers: int) -> Dict[s
     stats = compute_statistics(instance.system)
     measurement = measure_ratio(
         instance, RandPrAlgorithm(), trials=trials, seed=seed, engine=engine,
-        workers=workers,
+        workers=workers, opt_cache=default_opt_cache(),
     )
     bound = theorem1_upper_bound(stats)
     return {
@@ -61,7 +67,7 @@ def _check_corollary6(seed: int, trials: int, engine: str, workers: int) -> Dict
     stats = compute_statistics(instance.system)
     measurement = measure_ratio(
         instance, RandPrAlgorithm(), trials=trials, seed=seed, engine=engine,
-        workers=workers,
+        workers=workers, opt_cache=default_opt_cache(),
     )
     bound = corollary6_upper_bound(stats)
     return {
@@ -76,7 +82,7 @@ def _check_corollary7(seed: int, trials: int, engine: str, workers: int) -> Dict
     instance = uniform_both_instance(18, 3, 3, random.Random(seed + 2))
     measurement = measure_ratio(
         instance, RandPrAlgorithm(), trials=trials, seed=seed, engine=engine,
-        workers=workers,
+        workers=workers, opt_cache=default_opt_cache(),
     )
     bound = corollary7_upper_bound(instance.system)
     return {
@@ -157,7 +163,10 @@ def main(argv: List[str] = None) -> int:
             "  python -m repro.experiments.runner --engine reference --workers 2\n"
             "      exercise the per-arrival reference simulator, two processes\n"
             "  python -m repro.experiments.runner --trials 200 --seed 7\n"
-            "      a heavier, reseeded run (more trials per randomized check)"
+            "      a heavier, reseeded run (more trials per randomized check)\n"
+            "  python -m repro.experiments.runner --store .osp-store.sqlite\n"
+            "      persist OPT solves to a file-backed store; the second\n"
+            "      invocation answers them from disk (identical verdicts)"
         ),
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
@@ -179,7 +188,22 @@ def main(argv: List[str] = None) -> int:
         help="worker processes for the simulation trials (default 1: in-process); "
         "any value yields bit-identical results — this is a wall-clock knob",
     )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="persistent solution-store file shared by all processes "
+        "(default: the OSP_STORE environment variable; unset disables "
+        "persistence); like --engine/--workers this never changes results",
+    )
     arguments = parser.parse_args(argv)
+
+    if arguments.store is not None:
+        # Published via OSP_STORE so pool workers inherit the same file.
+        set_default_store_path(arguments.store)
+    store_path = store_path_from_env()
+    if store_path is not None:
+        print(f"solution store: {store_path}")
 
     rows = self_check(
         seed=arguments.seed,
@@ -196,6 +220,14 @@ def main(argv: List[str] = None) -> int:
         )
     )
     all_hold = all(row["holds"] for row in rows)
+    store = active_store()
+    if store is not None:
+        stats = store.stats()
+        print(
+            f"\nstore: {stats['opt_hits']} OPT solve(s) answered from disk, "
+            f"{stats['opt_misses']} computed fresh; "
+            f"{stats['opt_entries']} entries persisted"
+        )
     print()
     print("ALL CLAIMS HOLD" if all_hold else "SOME CLAIMS FAILED — see table above")
     return 0 if all_hold else 1

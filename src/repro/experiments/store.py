@@ -1,0 +1,518 @@
+"""A persistent, cross-process store for OPT solutions and sweep results.
+
+The in-memory :class:`~repro.experiments.opt_cache.OptCache` dies with its
+process, so every benchmark invocation — and every worker process inside one
+— re-solves the same branch-and-bound OPT instances from scratch.  This
+module adds the missing durable tier: a content-addressed, file-backed
+:class:`SolutionStore` shared by all worker processes, layered *under* the
+in-memory cache as a read-through/write-back tier.  The lookup order is
+
+    memory ``OptCache``  →  ``SolutionStore`` (SQLite file)  →  compute
+
+and every computed value is written back to both tiers, so a warm second
+invocation answers the dominant offline solves (and, for full sweeps, whole
+``(point, instance, algorithms)`` work units) from disk.
+
+**Keys are content hashes, not identities.**  An OPT entry is keyed by the
+set system's content fingerprint plus the estimation policy
+(``sha256(system)|method|exact_set_limit`` — see
+:func:`~repro.experiments.opt_cache.system_fingerprint`); a sweep-unit entry
+by :func:`unit_key`, a SHA-256 over the instance fingerprint (system content
++ arrival order + name), the measurement seed, the trial count, the OPT
+policy and the ordered algorithm identities.  A changed instance therefore
+*misses* — it can never silently reuse a stale solution — and every stored
+row carries a SHA-256 checksum of its payload, so a garbled row is detected,
+warned about and dropped instead of being deserialized.
+
+**Crash safety.**  The store is a single SQLite file: writers go through
+SQLite's journal (``synchronous=FULL``, the fsync-on-commit default), and
+concurrent writers of the same key converge to one entry via
+``INSERT OR IGNORE`` under SQLite's file locking (``busy_timeout`` retries).
+A store file that cannot be opened — truncated, overwritten, or from an
+incompatible format version — is *quarantined*: renamed to
+``<path>.corrupt[-N]`` with a warning, and a fresh store takes its place.
+Results are never affected; the store changes wall-clock only.
+
+**Determinism contract.**  Stored payloads are pickled result records
+(plain dataclasses of Python floats), so a warm read returns bit-identical
+values to the cold compute it replaced.  ``benchmarks/bench_store_warm.py``
+and ``tests/test_store.py`` assert sweep rows are bit-identical across
+{store on, off} × {cold, warm} × worker counts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import sqlite3
+import warnings
+from typing import Dict, Optional, Sequence
+
+from repro.core.instance import OnlineInstance
+
+__all__ = [
+    "STORE_FORMAT_VERSION",
+    "STORE_ENV_VAR",
+    "SolutionStore",
+    "StoreCorruptionWarning",
+    "algorithm_identity",
+    "instance_fingerprint",
+    "unit_key",
+    "store_for_path",
+    "store_path_from_env",
+    "set_default_store_path",
+    "active_store",
+]
+
+#: Bumped whenever the meaning of stored values changes (simulation
+#: semantics, key composition, payload encoding).  A store written under a
+#: different version is quarantined wholesale rather than partially reused.
+STORE_FORMAT_VERSION = 1
+
+#: Environment variable naming the default store file.  Set in the parent
+#: process (e.g. by ``runner --store`` or the benchmark suite) it is
+#: inherited by pool workers, so every process shares one file.
+STORE_ENV_VAR = "OSP_STORE"
+
+
+class StoreCorruptionWarning(UserWarning):
+    """Warns that a store file or row failed validation and was quarantined."""
+
+
+def algorithm_identity(algorithm) -> Optional[str]:
+    """A stable identity string for an algorithm, or ``None`` if uncacheable.
+
+    The identity is the algorithm's type (module-qualified) plus its
+    ``name``, extended by the algorithm's ``cache_identity`` attribute —
+    the explicit opt-in declaring that the attribute (possibly empty)
+    captures *all* behaviour-affecting constructor state.  Every library
+    algorithm opts in (``RandPrAlgorithm`` exposes its tie-break flag,
+    ``HedgingAlgorithm`` its epsilon, the salted algorithms their salt);
+    ``cache_identity = None`` — or no attribute at all, the default for
+    unknown user algorithms — declares the algorithm **uncacheable**, and
+    units measuring it bypass the store entirely.  Defaulting unknown
+    algorithms to uncacheable is deliberate: two differently-configured
+    instances of the same class must never silently share stored results.
+    """
+    extra = getattr(algorithm, "cache_identity", None)
+    if extra is None:
+        return None
+    base = (
+        f"{type(algorithm).__module__}.{type(algorithm).__qualname__}"
+        f"|{algorithm.name}"
+    )
+    return f"{base}|{extra}" if extra else base
+
+
+def instance_fingerprint(instance: OnlineInstance) -> str:
+    """A content hash of an online instance: system + arrival order + name.
+
+    Extends :func:`~repro.experiments.opt_cache.system_fingerprint` (sets,
+    weights, capacities) with the arrival order — simulation results depend
+    on it — and the instance name, which is embedded in stored measurement
+    records.
+    """
+    # Imported here: opt_cache imports this module lazily for the default
+    # store attachment, so a top-level import would be circular.
+    from repro.experiments.opt_cache import system_fingerprint
+
+    digest = hashlib.sha256()
+    digest.update(system_fingerprint(instance.system).encode("ascii"))
+    digest.update(b"\x1d")
+    digest.update(repr(instance.name).encode("utf-8"))
+    digest.update(b"\x1d")
+    for element in instance.arrival_order:
+        digest.update(repr(element).encode("utf-8"))
+        digest.update(b"\x1f")
+    return digest.hexdigest()
+
+
+def unit_key(
+    instance: OnlineInstance,
+    measure_seed: int,
+    algorithms: Sequence,
+    trials: int,
+    opt_method: str,
+    exact_set_limit: int,
+) -> Optional[str]:
+    """The store key of one sweep work unit, or ``None`` if uncacheable.
+
+    The key is a SHA-256 over every input that determines the unit's result:
+    the instance content fingerprint, the shared measurement seed, the trial
+    count, the OPT estimation policy and the *ordered* algorithm identities.
+    The simulation engine and the worker count are deliberately excluded —
+    the engines agree trial for trial and parallelism is a wall-clock knob,
+    so including either would only split the cache between equal results.
+
+    ``None`` (any algorithm without a stable identity) marks the unit as
+    uncacheable; callers must compute it and must not consult the store.
+    """
+    identities = []
+    for algorithm in algorithms:
+        identity = algorithm_identity(algorithm)
+        if identity is None:
+            return None
+        identities.append(identity)
+    digest = hashlib.sha256()
+    for part in (
+        f"osp-unit-v{STORE_FORMAT_VERSION}",
+        instance_fingerprint(instance),
+        str(measure_seed),
+        str(trials),
+        opt_method,
+        str(exact_set_limit),
+        *identities,
+    ):
+        digest.update(part.encode("utf-8"))
+        digest.update(b"\x1e")
+    return digest.hexdigest()
+
+
+def _checksum(payload: bytes) -> str:
+    return hashlib.sha256(payload).hexdigest()
+
+
+def _quarantine_path(path: str) -> str:
+    """The first free ``<path>.corrupt[-N]`` name."""
+    candidate = f"{path}.corrupt"
+    counter = 1
+    while os.path.exists(candidate):
+        candidate = f"{path}.corrupt-{counter}"
+        counter += 1
+    return candidate
+
+
+class SolutionStore:
+    """A file-backed, content-addressed store of computed experiment results.
+
+    One SQLite file holds two tables — ``opt`` (offline-optimum estimates,
+    keyed by :meth:`~repro.experiments.opt_cache.OptCache.key`) and ``units``
+    (whole sweep-unit results, keyed by :func:`unit_key`) — each row a
+    pickled payload with a SHA-256 checksum.  The store is safe to share
+    between concurrent worker processes: writes use ``INSERT OR IGNORE``
+    (first writer wins; every writer computed the identical value) under
+    SQLite's locking, and reads that hit a garbled row warn, drop the row and
+    report a miss instead of crashing.
+
+    Counters (``opt_hits``/``opt_misses``/``unit_hits``/``unit_misses``/
+    ``integrity_failures``) are per-process and exposed via :meth:`stats`.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self.opt_hits = 0
+        self.opt_misses = 0
+        self.unit_hits = 0
+        self.unit_misses = 0
+        self.integrity_failures = 0
+        self._connection = self._open()
+
+    # ------------------------------------------------------------------
+    # Connection management and quarantine
+    # ------------------------------------------------------------------
+    def _open(self) -> sqlite3.Connection:
+        """Open (and validate) the store file, quarantining it on corruption.
+
+        Opening retries a few times because concurrent workers may race on a
+        corrupt file: the first worker quarantines it and rebuilds a fresh
+        store, and a sibling whose open also failed must then *retry the
+        connect* (the file it failed on is gone) rather than crash.  In the
+        worst interleaving a sibling can quarantine a just-rebuilt (valid)
+        store — that costs warm-start entries, never correctness, since
+        every open connection keeps operating on its own (possibly renamed)
+        file and results never depend on the store.
+        """
+        last_error: Optional[sqlite3.DatabaseError] = None
+        for _attempt in range(3):
+            try:
+                return self._connect_and_validate()
+            except sqlite3.OperationalError as exc:
+                # Cannot-open errors (the path is a directory, permissions,
+                # a held lock) are environment problems, not corruption:
+                # surface them, never rename the user's path over them.
+                raise exc
+            except sqlite3.DatabaseError as exc:
+                last_error = exc
+                if os.path.isfile(self.path):
+                    # Corrupt content (truncated/garbled file): move it aside.
+                    self._quarantine(f"unreadable store file ({exc})")
+                # else: a sibling process already quarantined it — retry the
+                # connect, which will build (or join) the fresh store.
+        raise last_error
+
+    def _connect_and_validate(self) -> sqlite3.Connection:
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        connection = sqlite3.connect(self.path, timeout=30.0)
+        try:
+            connection.execute("PRAGMA busy_timeout = 30000")
+            connection.execute(
+                "CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT)"
+            )
+            connection.execute(
+                "CREATE TABLE IF NOT EXISTS opt "
+                "(key TEXT PRIMARY KEY, payload BLOB NOT NULL, checksum TEXT NOT NULL)"
+            )
+            connection.execute(
+                "CREATE TABLE IF NOT EXISTS units "
+                "(key TEXT PRIMARY KEY, payload BLOB NOT NULL, checksum TEXT NOT NULL)"
+            )
+            connection.execute(
+                "INSERT OR IGNORE INTO meta VALUES ('format_version', ?)",
+                (str(STORE_FORMAT_VERSION),),
+            )
+            connection.commit()
+            row = connection.execute(
+                "SELECT value FROM meta WHERE key = 'format_version'"
+            ).fetchone()
+        except sqlite3.DatabaseError:
+            connection.close()
+            raise
+        if row is None or row[0] != str(STORE_FORMAT_VERSION):
+            connection.close()
+            found = None if row is None else row[0]
+            self._quarantine(
+                f"format version {found!r} != {STORE_FORMAT_VERSION} "
+                "(written by an incompatible repo revision)"
+            )
+            return self._connect_and_validate()
+        return connection
+
+    def _quarantine(self, reason: str) -> Optional[str]:
+        """Move the store file aside with a warning; ``None`` if nothing moved.
+
+        Only regular files are ever quarantined — a directory (or anything
+        else) at the path is the user's data, not a corrupt store, and must
+        be left untouched.
+        """
+        self.integrity_failures += 1
+        if not os.path.isfile(self.path):
+            return None
+        destination = _quarantine_path(self.path)
+        os.replace(self.path, destination)
+        warnings.warn(
+            f"quarantined solution store {self.path!r} -> {destination!r}: "
+            f"{reason}; starting a fresh store (results are unaffected — "
+            "only warm-start time is lost)",
+            StoreCorruptionWarning,
+            stacklevel=3,
+        )
+        return destination
+
+    def close(self) -> None:
+        """Close the connection and evict this store from the path registry.
+
+        Eviction matters: without it a later :func:`store_for_path` call
+        would hand out this dead instance, whose reads silently miss and
+        whose counters raise — a fresh open must get a fresh connection.
+        """
+        self._connection.close()
+        if _OPEN_STORES.get(self.path) is self:
+            del _OPEN_STORES[self.path]
+
+    # ------------------------------------------------------------------
+    # Row access
+    # ------------------------------------------------------------------
+    def _get(self, table: str, key: str):
+        try:
+            row = self._connection.execute(
+                f"SELECT payload, checksum FROM {table} WHERE key = ?", (key,)
+            ).fetchone()
+        except sqlite3.DatabaseError as exc:
+            self.integrity_failures += 1
+            warnings.warn(
+                f"solution store read failed for {table}[{key[:12]}…]: {exc}; "
+                "treating as a miss",
+                StoreCorruptionWarning,
+                stacklevel=4,
+            )
+            return None
+        if row is None:
+            return None
+        payload, checksum = row
+        if _checksum(payload) != checksum:
+            self.integrity_failures += 1
+            self._delete(table, key)
+            warnings.warn(
+                f"solution store row {table}[{key[:12]}…] failed its checksum; "
+                "dropped the garbled row and recomputing",
+                StoreCorruptionWarning,
+                stacklevel=4,
+            )
+            return None
+        try:
+            return pickle.loads(payload)
+        except Exception as exc:  # unpicklable despite a valid checksum
+            self.integrity_failures += 1
+            self._delete(table, key)
+            warnings.warn(
+                f"solution store row {table}[{key[:12]}…] failed to deserialize "
+                f"({exc}); dropped the row and recomputing",
+                StoreCorruptionWarning,
+                stacklevel=4,
+            )
+            return None
+
+    def _delete(self, table: str, key: str) -> None:
+        try:
+            self._connection.execute(f"DELETE FROM {table} WHERE key = ?", (key,))
+            self._connection.commit()
+        except sqlite3.DatabaseError:
+            pass
+
+    def _put(self, table: str, key: str, value) -> None:
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        try:
+            # First writer wins: concurrent writers of one key computed the
+            # same value (keys are content hashes over every input), so
+            # ignoring the later insert converges to a single entry.
+            self._connection.execute(
+                f"INSERT OR IGNORE INTO {table} VALUES (?, ?, ?)",
+                (key, payload, _checksum(payload)),
+            )
+            self._connection.commit()
+        except sqlite3.DatabaseError as exc:
+            warnings.warn(
+                f"solution store write failed for {table}[{key[:12]}…]: {exc}; "
+                "continuing without persisting",
+                StoreCorruptionWarning,
+                stacklevel=4,
+            )
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def get_opt(self, key: str):
+        """The stored OPT estimate under ``key``, or ``None`` on miss."""
+        value = self._get("opt", key)
+        if value is None:
+            self.opt_misses += 1
+        else:
+            self.opt_hits += 1
+        return value
+
+    def put_opt(self, key: str, value) -> None:
+        """Persist an OPT estimate under its content-addressed key."""
+        self._put("opt", key, value)
+
+    def get_unit(self, key: str):
+        """The stored sweep-unit result under ``key``, or ``None`` on miss."""
+        value = self._get("units", key)
+        if value is None:
+            self.unit_misses += 1
+        else:
+            self.unit_hits += 1
+        return value
+
+    def put_unit(self, key: str, value) -> None:
+        """Persist a completed sweep-unit result under its :func:`unit_key`."""
+        self._put("units", key, value)
+
+    def __len__(self) -> int:
+        counts = 0
+        for table in ("opt", "units"):
+            counts += self._connection.execute(
+                f"SELECT COUNT(*) FROM {table}"
+            ).fetchone()[0]
+        return counts
+
+    def stats(self) -> Dict[str, int]:
+        """Per-process hit/miss/integrity counters plus stored-entry counts."""
+        opt_count = self._connection.execute("SELECT COUNT(*) FROM opt").fetchone()[0]
+        unit_count = self._connection.execute(
+            "SELECT COUNT(*) FROM units"
+        ).fetchone()[0]
+        return {
+            "opt_hits": self.opt_hits,
+            "opt_misses": self.opt_misses,
+            "unit_hits": self.unit_hits,
+            "unit_misses": self.unit_misses,
+            "integrity_failures": self.integrity_failures,
+            "opt_entries": int(opt_count),
+            "unit_entries": int(unit_count),
+        }
+
+    def integrity_report(self) -> Dict[str, int]:
+        """Re-checksum every stored row, dropping (and counting) garbled ones."""
+        report = {"checked": 0, "dropped": 0}
+        for table in ("opt", "units"):
+            rows = self._connection.execute(
+                f"SELECT key, payload, checksum FROM {table}"
+            ).fetchall()
+            for key, payload, checksum in rows:
+                report["checked"] += 1
+                if _checksum(payload) != checksum:
+                    report["dropped"] += 1
+                    self.integrity_failures += 1
+                    self._delete(table, key)
+        if report["dropped"]:
+            warnings.warn(
+                f"solution store {self.path!r}: dropped {report['dropped']} "
+                "garbled row(s) during the integrity sweep",
+                StoreCorruptionWarning,
+                stacklevel=2,
+            )
+        return report
+
+    def __repr__(self) -> str:
+        return (
+            f"SolutionStore({self.path!r}, opt_hits={self.opt_hits}, "
+            f"unit_hits={self.unit_hits})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Per-process store registry and the process-wide default
+# ----------------------------------------------------------------------
+
+#: One open store per path per process (SQLite connections are not picklable;
+#: worker processes receive the *path* and open their own connection here).
+#: The registry is PID-stamped: a fork-started pool worker inherits the dict
+#: but must never reuse the parent's connections (SQLite forbids carrying a
+#: connection across ``fork()``), so a PID mismatch drops the inherited
+#: references — without closing them, they belong to the parent — and the
+#: child reopens its own.
+_OPEN_STORES: Dict[str, SolutionStore] = {}
+_OPEN_STORES_PID = os.getpid()
+
+
+def store_for_path(path) -> SolutionStore:
+    """The per-process :class:`SolutionStore` for ``path`` (opened once)."""
+    global _OPEN_STORES_PID
+    if os.getpid() != _OPEN_STORES_PID:
+        _OPEN_STORES.clear()
+        _OPEN_STORES_PID = os.getpid()
+    key = os.path.abspath(str(path))
+    store = _OPEN_STORES.get(key)
+    if store is None:
+        store = SolutionStore(key)
+        _OPEN_STORES[key] = store
+    return store
+
+
+def store_path_from_env() -> Optional[str]:
+    """The store path named by ``OSP_STORE``, or ``None`` (empty counts as unset)."""
+    raw = os.environ.get(STORE_ENV_VAR)
+    return raw if raw else None
+
+
+def set_default_store_path(path: Optional[str]) -> None:
+    """Set (or clear, with ``None``) the process-wide default store path.
+
+    The path is published through the ``OSP_STORE`` environment variable so
+    that worker processes forked or spawned afterwards inherit it — that is
+    what makes one ``--store`` flag cover a whole process pool.
+    """
+    if path is None:
+        os.environ.pop(STORE_ENV_VAR, None)
+    else:
+        os.environ[STORE_ENV_VAR] = str(path)
+
+
+def active_store() -> Optional[SolutionStore]:
+    """The store named by ``OSP_STORE``, opened per-process, or ``None``."""
+    path = store_path_from_env()
+    if path is None:
+        return None
+    return store_for_path(path)

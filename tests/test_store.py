@@ -1,0 +1,560 @@
+"""Tests for the persistent solution store (:mod:`repro.experiments.store`).
+
+The contract under test mirrors the orchestrator's: the store is a
+*wall-clock* knob, never a numerics knob.  Sweep rows must be bit-identical
+with the store enabled, disabled, warm or cold, at any worker count; two
+processes writing the same key must converge to one entry; and a damaged
+store file (or row) must be quarantined with a warning — never crash a run,
+never silently serve garbled data.
+"""
+
+import os
+import pickle
+import sqlite3
+import subprocess
+import sys
+import warnings
+
+import pytest
+
+from repro.algorithms import (
+    GreedyWeightAlgorithm,
+    RandPrAlgorithm,
+    UniformRandomAlgorithm,
+)
+from repro.algorithms.deterministic import StaticOrderAlgorithm
+from repro.algorithms.hashed import HashedRandPrAlgorithm
+from repro.engine import clear_compile_cache
+from repro.experiments import (
+    OptCache,
+    SolutionStore,
+    StoreCorruptionWarning,
+    estimate_opt,
+    run_sweep,
+    store_for_path,
+    unit_key,
+)
+from repro.experiments.opt_cache import default_opt_cache
+from repro.experiments.store import (
+    STORE_ENV_VAR,
+    algorithm_identity,
+    instance_fingerprint,
+    set_default_store_path,
+    store_path_from_env,
+)
+from repro.workloads import random_online_instance
+
+import random
+
+
+@pytest.fixture(autouse=True)
+def _isolate_default_cache(monkeypatch):
+    """Keep the process-wide default cache free of test store attachments."""
+    monkeypatch.delenv(STORE_ENV_VAR, raising=False)
+    cache = default_opt_cache()
+    cache.clear()
+    cache.store = None
+    clear_compile_cache()
+    yield
+    cache = default_opt_cache()
+    cache.clear()
+    cache.store = None
+
+
+def _system(weight=2.0):
+    from repro.core import SetSystem
+
+    return SetSystem(
+        sets={"A": ["u", "v"], "B": ["v", "w"], "C": ["x"]},
+        weights={"A": weight, "B": 1.0, "C": 3.0},
+    )
+
+
+def _points():
+    points = []
+    for num_elements in (30, 20):
+        def factory(rng, num_elements=num_elements):
+            return random_online_instance(
+                14, num_elements, (2, 3), rng, weight_range=(1.0, 5.0)
+            )
+
+        points.append((f"n={num_elements}", factory))
+    return points
+
+
+def _sweep(store=None, workers=1):
+    return run_sweep(
+        "store-test",
+        _points(),
+        [RandPrAlgorithm(), GreedyWeightAlgorithm(), UniformRandomAlgorithm()],
+        instances_per_point=2,
+        trials_per_instance=10,
+        seed=5,
+        engine="auto",
+        workers=workers,
+        store=store,
+    )
+
+
+class TestSolutionStoreBasics:
+    def test_opt_roundtrip(self, tmp_path):
+        store = SolutionStore(str(tmp_path / "s.sqlite"))
+        assert store.get_opt("k1") is None
+        estimate = estimate_opt(_system())
+        store.put_opt("k1", estimate)
+        assert store.get_opt("k1") == estimate
+        assert store.stats()["opt_entries"] == 1
+        assert store.stats()["opt_hits"] == 1
+        assert store.stats()["opt_misses"] == 1
+
+    def test_first_writer_wins(self, tmp_path):
+        store = SolutionStore(str(tmp_path / "s.sqlite"))
+        store.put_opt("k", "first")
+        store.put_opt("k", "second")
+        assert store.get_opt("k") == "first"
+        assert store.stats()["opt_entries"] == 1
+
+    def test_persists_across_connections(self, tmp_path):
+        path = str(tmp_path / "s.sqlite")
+        first = SolutionStore(path)
+        first.put_unit("u", {"rows": [1.0, 2.5]})
+        first.close()
+        second = SolutionStore(path)
+        assert second.get_unit("u") == {"rows": [1.0, 2.5]}
+
+    def test_store_for_path_is_per_process_singleton(self, tmp_path):
+        path = str(tmp_path / "s.sqlite")
+        assert store_for_path(path) is store_for_path(path)
+
+    def test_close_evicts_from_registry(self, tmp_path):
+        path = str(tmp_path / "s.sqlite")
+        store = store_for_path(path)
+        store.put_opt("k", "v")
+        store.close()
+        reopened = store_for_path(path)
+        assert reopened is not store  # a dead store must never be handed out
+        assert reopened.get_opt("k") == "v"
+        assert reopened.stats()["opt_entries"] == 1
+
+    def test_env_wiring(self, tmp_path):
+        path = str(tmp_path / "env.sqlite")
+        set_default_store_path(path)
+        try:
+            assert store_path_from_env() == os.environ[STORE_ENV_VAR] == path
+            cache = default_opt_cache()
+            cache.store = None
+            assert default_opt_cache().store is store_for_path(path)
+        finally:
+            set_default_store_path(None)
+            default_opt_cache().store = None
+        assert store_path_from_env() is None
+
+
+class TestOptCacheStoreTier:
+    def test_read_through_write_back(self, tmp_path):
+        store = SolutionStore(str(tmp_path / "s.sqlite"))
+        first_cache = OptCache(store=store)
+        estimate = estimate_opt(_system(), cache=first_cache)
+        assert first_cache.misses == 1 and first_cache.store_hits == 0
+        assert store.stats()["opt_entries"] == 1
+
+        # A fresh cache (a "new process") is answered by the store tier.
+        second_cache = OptCache(store=store)
+        again = estimate_opt(_system(), cache=second_cache)
+        assert again == estimate
+        assert second_cache.misses == 1 and second_cache.store_hits == 1
+
+        # And the value is now promoted to memory: no further store reads.
+        hits_before = store.opt_hits
+        estimate_opt(_system(), cache=second_cache)
+        assert second_cache.hits == 1
+        assert store.opt_hits == hits_before
+
+    def test_store_never_changes_value(self, tmp_path):
+        store = SolutionStore(str(tmp_path / "s.sqlite"))
+        stored = estimate_opt(_system(), cache=OptCache(store=store))
+        fresh = estimate_opt(_system())
+        warm = estimate_opt(_system(), cache=OptCache(store=store))
+        assert stored == fresh == warm
+
+
+class TestSweepBitIdentity:
+    def test_rows_identical_store_off_cold_warm_across_workers(self, tmp_path):
+        baseline = _sweep(store=None)
+        for workers in (1, 2):
+            path = str(tmp_path / f"s{workers}.sqlite")
+            cold = _sweep(store=path, workers=workers)
+            warm = _sweep(store=path, workers=workers)
+            assert cold.rows == baseline.rows
+            assert warm.rows == baseline.rows
+
+    def test_warm_sweep_is_answered_from_the_store(self, tmp_path):
+        path = str(tmp_path / "s.sqlite")
+        _sweep(store=path)
+        store = store_for_path(path)
+        assert store.stats()["unit_entries"] == 4
+        before = store.unit_hits
+        _sweep(store=path)
+        assert store.unit_hits == before + 4
+
+    def test_resume_completes_a_partial_store(self, tmp_path):
+        # Simulate a crash after two of four units: store only a prefix by
+        # running a one-instance-per-point sweep into the same file first.
+        path = str(tmp_path / "s.sqlite")
+        run_sweep(
+            "store-test",
+            _points(),
+            [RandPrAlgorithm(), GreedyWeightAlgorithm(), UniformRandomAlgorithm()],
+            instances_per_point=1,
+            trials_per_instance=10,
+            seed=5,
+            engine="auto",
+            store=path,
+        )
+        store = store_for_path(path)
+        assert store.stats()["unit_entries"] == 2
+        hits_before = store.unit_hits
+        resumed = _sweep(store=path)
+        # The two stored units were reused; only the two new ones ran.
+        assert store.unit_hits == hits_before + 2
+        assert store.stats()["unit_entries"] == 4
+        assert resumed.rows == _sweep(store=None).rows
+
+    def test_store_none_does_not_leak_previous_attachment(self, tmp_path):
+        # A sweep with an explicit store must not leave that store attached
+        # to the process-wide OPT cache: a later store=None sweep would
+        # silently keep persisting into (and reading from) the old file.
+        path = str(tmp_path / "s.sqlite")
+        _sweep(store=path)
+        store = store_for_path(path)
+        entries_before = store.stats()["opt_entries"]
+        run_sweep(
+            "store-test",
+            _points(),
+            [RandPrAlgorithm()],
+            instances_per_point=2,
+            trials_per_instance=10,
+            seed=6,  # different content: would add entries if leaked
+            engine="auto",
+            store=None,
+        )
+        assert store.stats()["opt_entries"] == entries_before
+        assert default_opt_cache().store is None
+
+    def test_store_false_forces_persistence_off(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "env.sqlite")
+        monkeypatch.setenv(STORE_ENV_VAR, path)
+        forced_off = _sweep(store=False)
+        stats = store_for_path(path).stats()
+        assert stats["opt_entries"] == 0 and stats["unit_entries"] == 0
+        # None (the default) *does* honour OSP_STORE…
+        via_env = _sweep(store=None)
+        assert store_for_path(path).stats()["unit_entries"] == 4
+        assert via_env.rows == forced_off.rows
+        # …and True is a type error, not a path.
+        with pytest.raises(ValueError):
+            _sweep(store=True)
+
+    def test_explicit_store_does_not_shadow_env_store(self, tmp_path, monkeypatch):
+        env_path = str(tmp_path / "env.sqlite")
+        explicit_path = str(tmp_path / "explicit.sqlite")
+        monkeypatch.setenv(STORE_ENV_VAR, env_path)
+        _sweep(store=explicit_path)
+        assert store_for_path(explicit_path).stats()["unit_entries"] == 4
+        # The sweep's explicit store applied only inside its units: the
+        # process default is still the environment store, so later direct
+        # users persist where OSP_STORE says, not into the sweep's file.
+        assert default_opt_cache().store is store_for_path(env_path)
+        estimate_opt(_system(), cache=default_opt_cache())
+        assert store_for_path(env_path).stats()["opt_entries"] == 1
+        explicit_entries = store_for_path(explicit_path).stats()["opt_entries"]
+        estimate_opt(_system(weight=4.0), cache=default_opt_cache())
+        assert store_for_path(explicit_path).stats()["opt_entries"] == explicit_entries
+
+    def test_cross_sweep_reuse_rewrites_indices(self, tmp_path):
+        # A one-point sweep stores units at point_index 0; a two-point sweep
+        # whose *second* point has identical content must reuse them and
+        # still merge correctly (indices are rewritten on load).
+        path = str(tmp_path / "s.sqlite")
+        algorithms = [RandPrAlgorithm()]
+        points = _points()
+        seeds_differ = run_sweep(
+            "store-test", points, algorithms, instances_per_point=2,
+            trials_per_instance=10, seed=5, engine="auto", store=path,
+        )
+        store = store_for_path(path)
+        hits_before = store.unit_hits
+        # Same content at a shifted position: single-point sweep of point 0.
+        single = run_sweep(
+            "store-test", points[:1], algorithms, instances_per_point=2,
+            trials_per_instance=10, seed=5, engine="auto", store=path,
+        )
+        assert store.unit_hits == hits_before + 2
+        assert [row.mean_ratio for row in single.rows] == [
+            row.mean_ratio
+            for row in seeds_differ.rows
+            if row.parameter_label == "n=30"
+        ]
+
+
+class TestAlgorithmIdentity:
+    def test_base_identity_includes_type_and_name(self):
+        identity = algorithm_identity(RandPrAlgorithm())
+        assert "randpr" in identity.lower()
+        assert identity == algorithm_identity(RandPrAlgorithm())
+
+    def test_unknown_algorithm_without_cache_identity_is_uncacheable(self):
+        from repro.core.algorithm import OnlineAlgorithm
+
+        class MysteryAlgorithm(OnlineAlgorithm):
+            name = "mystery"
+            is_deterministic = True
+
+            def __init__(self, knob=0):
+                self._knob = knob
+
+            def decide(self, arrival):
+                return frozenset(arrival.parents[: arrival.capacity])
+
+        # No cache_identity opt-in: the key cannot capture `knob`, so the
+        # store must be bypassed rather than risk serving knob=0 results
+        # for a knob=1 run.
+        assert algorithm_identity(MysteryAlgorithm(knob=1)) is None
+        instance = random_online_instance(6, 8, (2, 3), random.Random(0))
+        assert unit_key(instance, 1, [MysteryAlgorithm()], 5, "auto", 60) is None
+
+    def test_constructor_state_distinguishes_same_class_instances(self):
+        from repro.algorithms.partial_reward import HedgingAlgorithm
+
+        assert algorithm_identity(RandPrAlgorithm(tie_break_by_id=True)) != (
+            algorithm_identity(RandPrAlgorithm(tie_break_by_id=False))
+        )
+        assert algorithm_identity(HedgingAlgorithm(epsilon=0.1)) != (
+            algorithm_identity(HedgingAlgorithm(epsilon=0.5))
+        )
+
+    def test_salted_algorithms_distinguished_by_salt(self):
+        a = algorithm_identity(StaticOrderAlgorithm(salt="a"))
+        b = algorithm_identity(StaticOrderAlgorithm(salt="b"))
+        assert a != b
+        ha = algorithm_identity(HashedRandPrAlgorithm(salt="a"))
+        hb = algorithm_identity(HashedRandPrAlgorithm(salt="b"))
+        hn = algorithm_identity(HashedRandPrAlgorithm())
+        assert len({ha, hb, hn}) == 3
+
+    def test_custom_hash_family_is_uncacheable(self):
+        from repro.distributed.hashing import UniversalHashFamily
+
+        algorithm = HashedRandPrAlgorithm(hash_family=UniversalHashFamily(seed=1))
+        assert algorithm_identity(algorithm) is None
+        instance = random_online_instance(6, 8, (2, 3), random.Random(0))
+        assert unit_key(instance, 1, [algorithm], 5, "auto", 60) is None
+
+    def test_unit_key_sensitive_to_each_input(self):
+        instance = random_online_instance(6, 8, (2, 3), random.Random(0))
+        other = random_online_instance(6, 8, (2, 3), random.Random(1))
+        algorithms = [RandPrAlgorithm()]
+        base = unit_key(instance, 1, algorithms, 5, "auto", 60)
+        assert base is not None
+        assert base != unit_key(other, 1, algorithms, 5, "auto", 60)
+        assert base != unit_key(instance, 2, algorithms, 5, "auto", 60)
+        assert base != unit_key(instance, 1, algorithms, 6, "auto", 60)
+        assert base != unit_key(instance, 1, algorithms, 5, "exact", 60)
+        assert base != unit_key(instance, 1, algorithms, 5, "auto", 50)
+        assert base != unit_key(
+            instance, 1, [RandPrAlgorithm(), GreedyWeightAlgorithm()], 5, "auto", 60
+        )
+
+    def test_instance_fingerprint_covers_order_and_name(self):
+        instance = random_online_instance(6, 8, (2, 3), random.Random(0))
+        shuffled = instance.shuffled(random.Random(1))
+        assert instance_fingerprint(instance) != instance_fingerprint(shuffled)
+        renamed = instance.with_order(instance.arrival_order, name="other")
+        assert instance_fingerprint(instance) != instance_fingerprint(renamed)
+        rebuilt = instance.with_order(instance.arrival_order)
+        assert instance_fingerprint(instance) == instance_fingerprint(rebuilt)
+
+
+_WRITER_SCRIPT = """
+import sys
+from repro.experiments.store import SolutionStore
+
+path, key, value = sys.argv[1], sys.argv[2], sys.argv[3]
+store = SolutionStore(path)
+for _ in range(200):
+    store.put_opt(key, value)
+print(store.get_opt(key))
+"""
+
+
+class TestConcurrency:
+    def test_concurrent_writers_converge_to_one_entry(self, tmp_path):
+        path = str(tmp_path / "s.sqlite")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, ["src", env.get("PYTHONPATH")])
+        )
+        processes = [
+            subprocess.Popen(
+                [sys.executable, "-c", _WRITER_SCRIPT, path, "shared-key", f"value-{i}"],
+                env=env,
+                cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            for i in range(4)
+        ]
+        outputs = [process.communicate(timeout=120) for process in processes]
+        assert all(process.returncode == 0 for process in processes), outputs
+
+        store = SolutionStore(path)
+        assert store.stats()["opt_entries"] == 1
+        winner = store.get_opt("shared-key")
+        assert winner in {f"value-{i}" for i in range(4)}
+        # Every process observed the same single entry once it was written.
+        final_reads = {out.strip().splitlines()[-1] for out, _err in outputs}
+        assert final_reads == {winner}
+
+    def test_parallel_sweep_workers_share_one_store(self, tmp_path):
+        path = str(tmp_path / "s.sqlite")
+        _sweep(store=path, workers=4)
+        store = store_for_path(path)
+        stats = store.stats()
+        assert stats["unit_entries"] == 4  # one entry per unit, no duplicates
+        assert _sweep(store=path, workers=4).rows == _sweep(store=None).rows
+
+
+class TestCorruptionHandling:
+    def test_garbled_file_is_quarantined_with_warning(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        path.write_text("this is not a sqlite database, not even close")
+        with pytest.warns(StoreCorruptionWarning, match="quarantined"):
+            store = SolutionStore(str(path))
+        # The damaged file was moved aside, and the fresh store works.
+        assert (tmp_path / "s.sqlite.corrupt").exists()
+        store.put_opt("k", "value")
+        assert store.get_opt("k") == "value"
+
+    def test_directory_at_store_path_is_never_quarantined(self, tmp_path):
+        # A directory at the path is the user's data, not a corrupt store:
+        # opening must fail loudly and leave the directory untouched.
+        directory = tmp_path / "results"
+        directory.mkdir()
+        (directory / "precious.txt").write_text("user data")
+        with pytest.raises(sqlite3.OperationalError):
+            SolutionStore(str(directory))
+        assert directory.is_dir()
+        assert (directory / "precious.txt").read_text() == "user data"
+        assert not (tmp_path / "results.corrupt").exists()
+
+    def test_truncated_file_is_quarantined(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        store = SolutionStore(str(path))
+        store.put_opt("k", "value")
+        store.close()
+        data = path.read_bytes()
+        path.write_bytes(data[: max(16, len(data) // 8)])
+        with pytest.warns(StoreCorruptionWarning):
+            reopened = SolutionStore(str(path))
+        assert reopened.get_opt("k") is None  # fresh store, not a crash
+        reopened.put_opt("k", "value-2")
+        assert reopened.get_opt("k") == "value-2"
+
+    def test_wrong_format_version_is_quarantined(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        store = SolutionStore(str(path))
+        store.put_opt("k", "value")
+        store.close()
+        connection = sqlite3.connect(str(path))
+        connection.execute("UPDATE meta SET value = '999' WHERE key = 'format_version'")
+        connection.commit()
+        connection.close()
+        with pytest.warns(StoreCorruptionWarning, match="format version"):
+            reopened = SolutionStore(str(path))
+        assert reopened.get_opt("k") is None
+
+    def test_garbled_row_is_dropped_not_served(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        store = SolutionStore(str(path))
+        store.put_opt("k", {"value": 1.5})
+        store.close()
+        connection = sqlite3.connect(str(path))
+        connection.execute(
+            "UPDATE opt SET payload = ? WHERE key = 'k'",
+            (b"garbage-bytes-not-a-pickle",),
+        )
+        connection.commit()
+        connection.close()
+        reopened = SolutionStore(str(path))
+        with pytest.warns(StoreCorruptionWarning, match="checksum"):
+            assert reopened.get_opt("k") is None
+        assert reopened.integrity_failures == 1
+        assert reopened.stats()["opt_entries"] == 0  # the bad row was dropped
+
+    def test_row_with_forged_checksum_fails_deserialization_safely(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        store = SolutionStore(str(path))
+        store.put_opt("k", "value")
+        store.close()
+        import hashlib
+
+        garbage = b"\x80\x05garbage-that-is-not-a-valid-pickle"
+        connection = sqlite3.connect(str(path))
+        connection.execute(
+            "UPDATE opt SET payload = ?, checksum = ? WHERE key = 'k'",
+            (garbage, hashlib.sha256(garbage).hexdigest()),
+        )
+        connection.commit()
+        connection.close()
+        reopened = SolutionStore(str(path))
+        with pytest.warns(StoreCorruptionWarning, match="deserialize"):
+            assert reopened.get_opt("k") is None
+
+    def test_integrity_report_checks_every_row(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        store = SolutionStore(str(path))
+        store.put_opt("a", 1)
+        store.put_unit("b", 2)
+        assert store.integrity_report() == {"checked": 2, "dropped": 0}
+
+    def test_concurrent_opens_of_a_corrupt_file_never_crash(self, tmp_path):
+        # Workers racing on a corrupt store must all end up with a working
+        # store (one quarantines, the rest retry onto the rebuilt file) —
+        # never a crashed sweep.
+        path = str(tmp_path / "s.sqlite")
+        (tmp_path / "s.sqlite").write_text("definitely not a sqlite database")
+        script = (
+            "import sys, warnings\n"
+            "from repro.experiments.store import SolutionStore\n"
+            "with warnings.catch_warnings():\n"
+            "    warnings.simplefilter('ignore')\n"
+            "    store = SolutionStore(sys.argv[1])\n"
+            "store.put_opt('k', 'v')\n"
+            "assert store.get_opt('k') == 'v'\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, ["src", env.get("PYTHONPATH")])
+        )
+        processes = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, path],
+                env=env,
+                cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            for _ in range(4)
+        ]
+        outputs = [process.communicate(timeout=120) for process in processes]
+        assert all(process.returncode == 0 for process in processes), outputs
+
+    def test_sweep_survives_a_corrupt_store_file(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        path.write_text("garbage")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", StoreCorruptionWarning)
+            sweep = _sweep(store=str(path))
+        assert sweep.rows == _sweep(store=None).rows
