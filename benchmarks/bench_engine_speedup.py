@@ -8,16 +8,46 @@ array operations, so the same 1000-trial estimate should run an order of
 magnitude faster *while returning bit-identical per-trial benefits* (the
 differential suite pins the exactness; this benchmark pins the speed).
 
-Headline claim checked here: >= 10x trial throughput at 1000 trials of
-randPr on a 200-set / 400-element instance, with the batch time *including*
-instance compilation and priority generation.
+Two phases are measured:
+
+* **end-to-end trials** (the historical headline): ``simulate_many`` vs.
+  ``simulate_batch``, batch timings taken cold (compile cache warm, but the
+  RNG-bridge draw cache cleared per run so priority generation is included).
+  Floor: >= 10x at 1000 randPr trials on the 200-set / 400-element instance.
+* **priority setup** (the RNG-bridge phase, new): the per-trial priority
+  *generation* alone — for the reference engine the ``random.Random(seed+b)``
+  construction plus ``algorithm.start`` per trial (exactly ``simulate_many``'s
+  per-trial setup), for the batch engine
+  :func:`~repro.engine.specs.priority_matrix`.  Reported per kind (cold) and
+  for the standard suite pair randPr + uniform-priority, which shares one
+  vectorized draw table (`repro.engine.rng`'s cache) the way ``measure_suite``
+  does.  Floors: >= 5x for the suite pair, >= 3x for cold randPr alone —
+  the cold randPr path is bounded below by 200k scalar libm ``pow`` calls
+  (the one stage that *cannot* be vectorized bit-exactly; see
+  ``docs/INTERNALS-rng.md``), which is also why the draw-table sharing is
+  part of the headline number.
+
+Run directly for the CI smoke mode::
+
+    python benchmarks/bench_engine_speedup.py --smoke
+
+which runs the full setup-phase measurement (it is sub-second), asserts both
+setup floors and a small bit-identity probe, and skips only the minute-scale
+end-to-end phase.
 """
 
+import argparse
 import random
+import sys
 import time
 
-from repro.algorithms import HashedRandPrAlgorithm, RandPrAlgorithm
+from repro.algorithms import (
+    HashedRandPrAlgorithm,
+    RandPrAlgorithm,
+    UnweightedPriorityAlgorithm,
+)
 from repro.core import simulate_batch, simulate_many
+from repro.engine import AlgorithmSpec, clear_uniform_cache, compiled_for, priority_matrix
 from repro.experiments import format_table
 from repro.workloads import random_online_instance
 
@@ -28,8 +58,13 @@ WEIGHT_RANGE = (1.0, 6.0)
 TRIALS = 1000
 SEED = 42
 
-#: The acceptance floor for the headline configuration.
+#: The acceptance floor for the end-to-end headline configuration.
 MIN_SPEEDUP = 10.0
+
+#: Setup-phase floors (see the module docstring): the suite pair shares one
+#: draw table; cold randPr alone is libm-pow-bound.
+SETUP_SUITE_MIN_SPEEDUP = 5.0
+SETUP_COLD_MIN_SPEEDUP = 3.0
 
 
 def _instance():
@@ -48,8 +83,10 @@ def _compare(instance, algorithm, trials, seed):
 
     The reference loop is timed once (it is long enough for timer noise not
     to matter and has no lazy-initialization cost); the batch engine is
-    warmed once (first-call numpy setup) and then timed best-of-3, which is
-    the standard way to measure a sub-100ms kernel.
+    warmed once (first-call numpy setup) and then timed best-of-3 with the
+    RNG-bridge draw cache cleared each round, so every timed run regenerates
+    its priorities — the speedup includes priority generation, not just the
+    replay.
     """
     start = time.perf_counter()
     reference = simulate_many(instance, algorithm, trials=trials, seed=seed)
@@ -58,6 +95,7 @@ def _compare(instance, algorithm, trials, seed):
     simulate_batch(instance, algorithm, trials=min(trials, 10), seed=seed)  # warm-up
     batch_seconds = float("inf")
     for _ in range(3):
+        clear_uniform_cache()
         start = time.perf_counter()
         batch = simulate_batch(instance, algorithm, trials=trials, seed=seed)
         batch_seconds = min(batch_seconds, time.perf_counter() - start)
@@ -77,6 +115,98 @@ def _compare(instance, algorithm, trials, seed):
         "batch_trials_per_sec": int(trials / batch_seconds),
         "mean_benefit": round(batch.mean_benefit, 4),
     }
+
+
+# ----------------------------------------------------------------------
+# Priority-setup phase
+# ----------------------------------------------------------------------
+
+
+def _reference_setup_seconds(instance, algorithm, trials, seed, rounds=3):
+    """Best-of-``rounds`` timing of ``simulate_many``'s per-trial setup.
+
+    The per-trial setup is rng construction + set-info copy + ``start`` —
+    exactly what the reference engine pays before any arrival.  Best-of on
+    *both* sides of the comparison (here and in :func:`_batch_setup_seconds`)
+    keeps the reported ratio stable on loaded machines: min/min converges to
+    the quiet-machine ratio, while a single noisy pass on either side would
+    swing the floor check both ways.
+    """
+    set_infos = instance.system.set_infos()
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for trial in range(trials):
+            rng = random.Random(seed + trial)
+            infos = dict(set_infos)
+            algorithm.start(infos, rng)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _batch_setup_seconds(compiled, specs, trials, seed, rounds=3):
+    """Best-of-``rounds`` cold timing of the given priority-matrix sequence.
+
+    The draw cache is cleared before every round, so a multi-spec sequence
+    measures exactly what a suite pays: the first randomized spec generates
+    the shared draw table, later ones reuse it.
+    """
+    best = float("inf")
+    for _ in range(rounds):
+        clear_uniform_cache()
+        start = time.perf_counter()
+        for spec in specs:
+            priority_matrix(spec, compiled, trials, seed)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_setup_phase(instance, trials, seed):
+    """Measure the priority-setup phase; returns (rows, suite_speedup, cold_speedup)."""
+    compiled = compiled_for(instance)
+    priority_matrix(AlgorithmSpec("randPr"), compiled, 8, seed)  # warm numpy
+
+    reference_randpr = _reference_setup_seconds(
+        instance, RandPrAlgorithm(), trials, seed
+    )
+    reference_uniform = _reference_setup_seconds(
+        instance, UnweightedPriorityAlgorithm(), trials, seed
+    )
+    batch_randpr = _batch_setup_seconds(
+        compiled, [AlgorithmSpec("randPr")], trials, seed
+    )
+    batch_uniform = _batch_setup_seconds(
+        compiled, [AlgorithmSpec("uniform-priority")], trials, seed
+    )
+    batch_suite = _batch_setup_seconds(
+        compiled,
+        [AlgorithmSpec("randPr"), AlgorithmSpec("uniform-priority")],
+        trials,
+        seed,
+    )
+
+    def row(phase, reference_seconds, batch_seconds):
+        return {
+            "setup phase": phase,
+            "ref_ms": round(reference_seconds * 1e3, 1),
+            "batch_ms": round(batch_seconds * 1e3, 1),
+            "speedup": round(reference_seconds / batch_seconds, 1),
+            "ref_trials_per_sec": int(trials / reference_seconds),
+            "batch_trials_per_sec": int(trials / batch_seconds),
+        }
+
+    rows = [
+        row("randPr (cold)", reference_randpr, batch_randpr),
+        row("uniform-priority (cold)", reference_uniform, batch_uniform),
+        row(
+            "suite: randPr + uniform-priority (shared draw table)",
+            reference_randpr + reference_uniform,
+            batch_suite,
+        ),
+    ]
+    suite_speedup = (reference_randpr + reference_uniform) / batch_suite
+    cold_speedup = reference_randpr / batch_randpr
+    return rows, suite_speedup, cold_speedup
 
 
 def test_e15_engine_speedup(run_once, experiment_report):
@@ -103,3 +233,86 @@ def test_e15_engine_speedup(run_once, experiment_report):
 
     # The headline acceptance bar: >= 10x at 1000 randPr trials.
     assert rows[0]["speedup"] >= MIN_SPEEDUP
+
+
+def test_e15b_priority_setup_speedup(run_once, experiment_report):
+    def experiment():
+        return run_setup_phase(_instance(), TRIALS, seed=7)
+
+    rows, suite_speedup, cold_speedup = run_once(experiment)
+    text = format_table(
+        rows,
+        title=(
+            f"E15b: priority-setup phase, reference per-trial start vs "
+            f"RNG-bridge priority_matrix ({NUM_SETS} sets, {TRIALS} trials)"
+        ),
+    )
+    text += (
+        f"\n\nheadline: suite setup -> {suite_speedup:.1f}x "
+        f"(floor: {SETUP_SUITE_MIN_SPEEDUP}x); "
+        f"cold randPr setup -> {cold_speedup:.1f}x "
+        f"(floor: {SETUP_COLD_MIN_SPEEDUP}x)"
+    )
+    experiment_report("E15b_priority_setup", text)
+
+    assert suite_speedup >= SETUP_SUITE_MIN_SPEEDUP
+    assert cold_speedup >= SETUP_COLD_MIN_SPEEDUP
+
+
+def _smoke():
+    """CI smoke: the setup-phase floors plus a small bit-identity probe."""
+    instance = _instance()
+    # Exactness probe first — a speedup between unequal computations is void.
+    algorithm = RandPrAlgorithm()
+    batch = simulate_batch(instance, algorithm, trials=20, seed=7)
+    for trial, result in enumerate(simulate_many(instance, algorithm, trials=20, seed=7)):
+        assert batch.completed_sets(trial) == result.completed_sets
+        assert float(batch.benefits[trial]) == result.benefit
+    print("bit-identity probe OK (20 shared-seed randPr trials)")
+
+    # Two attempts: a load spike on a shared CI runner can depress one whole
+    # measurement; a *persistent* regression fails both.
+    for attempt in (1, 2):
+        rows, suite_speedup, cold_speedup = run_setup_phase(instance, TRIALS, seed=7)
+        for entry in rows:
+            print(
+                f"{entry['setup phase']}: ref {entry['ref_ms']}ms, "
+                f"batch {entry['batch_ms']}ms -> {entry['speedup']}x"
+            )
+        if (
+            suite_speedup >= SETUP_SUITE_MIN_SPEEDUP
+            and cold_speedup >= SETUP_COLD_MIN_SPEEDUP
+        ):
+            break
+        print(f"floors missed on attempt {attempt}, remeasuring")
+    assert suite_speedup >= SETUP_SUITE_MIN_SPEEDUP, (
+        f"suite setup speedup {suite_speedup:.1f}x below the "
+        f"{SETUP_SUITE_MIN_SPEEDUP}x floor"
+    )
+    assert cold_speedup >= SETUP_COLD_MIN_SPEEDUP, (
+        f"cold randPr setup speedup {cold_speedup:.1f}x below the "
+        f"{SETUP_COLD_MIN_SPEEDUP}x floor"
+    )
+    print(
+        f"smoke OK: suite setup {suite_speedup:.1f}x "
+        f"(floor {SETUP_SUITE_MIN_SPEEDUP}x), cold randPr {cold_speedup:.1f}x "
+        f"(floor {SETUP_COLD_MIN_SPEEDUP}x)"
+    )
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the setup-phase floors and a bit-identity probe (CI mode)",
+    )
+    args = parser.parse_args(argv)
+    if not args.smoke:
+        parser.error("run under pytest for the full benchmark, or pass --smoke")
+    return _smoke()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

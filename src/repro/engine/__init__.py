@@ -13,11 +13,23 @@ The engine is *exact*, not approximate: trial ``b`` of a batch reproduces
 ``simulate(instance, algorithm, rng=random.Random(seed + b))`` set-for-set.
 ``tests/test_engine_differential.py`` enforces that contract against the
 reference simulator across every workload generator.
+
+Randomized priority draws run through :mod:`repro.engine.rng` — a bit-exact
+numpy replay of CPython's Mersenne Twister (vectorized seeding + an MT19937
+state transplant; ``docs/INTERNALS-rng.md`` has the details).
 """
 
 from repro.engine.batch import BatchResult, batch_from_results, simulate_batch
 from repro.engine.cache import clear_compile_cache, compile_cache_stats, compiled_for
 from repro.engine.compile import CompiledInstance, compile_instance
+from repro.engine.rng import (
+    clear_uniform_cache,
+    exact_pow,
+    state_matrix,
+    transplant_rng,
+    uniform_cache_stats,
+    uniform_matrix,
+)
 from repro.engine.specs import (
     GREEDY_KINDS,
     PER_STEP_RANDOM_KINDS,
@@ -46,4 +58,10 @@ __all__ = [
     "priority_matrix",
     "resolve_spec",
     "spec_for_algorithm",
+    "transplant_rng",
+    "state_matrix",
+    "uniform_matrix",
+    "exact_pow",
+    "clear_uniform_cache",
+    "uniform_cache_stats",
 ]

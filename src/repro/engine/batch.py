@@ -12,11 +12,14 @@ Exactness contract (enforced by ``tests/test_engine_differential.py``):
 for every supported algorithm, trial ``b`` of
 ``simulate_batch(instance, algorithm, trials, seed)`` completes **exactly**
 the same sets as ``simulate(instance, algorithm, rng=random.Random(seed + b))``
-— the randomness is replayed bit-for-bit (see :mod:`repro.engine.specs`),
-the tie-breaks coincide with the reference ``(-priority, repr)`` sort key,
-and even the benefit floats are summed in the reference order.  The batch
-engine is therefore a drop-in replacement for aggregating ``simulate_many``
-output, not a statistical approximation of it.
+— the randomness is replayed bit-for-bit (static-priority draws through the
+vectorized :mod:`repro.engine.rng` bridge, per-step draws through the scalar
+stream replay below; see :mod:`repro.engine.specs` and
+``docs/INTERNALS-rng.md``), the tie-breaks coincide with the reference
+``(-priority, repr)`` sort key, and even the benefit floats are summed in
+the reference order.  The batch engine is therefore a drop-in replacement
+for aggregating ``simulate_many`` output, not a statistical approximation
+of it.
 
 When to use which engine: use the batch engine for Monte-Carlo estimation
 (many trials of a supported algorithm on a fixed instance); use the
@@ -229,8 +232,12 @@ def _run_uniform_random(
 
     Returns the ``(trials, m)`` completed mask.  The algorithm draws fresh
     randomness at every arrival (``rng.sample`` over the parent sets), so
-    there is no static priority row to precompute; instead the engine replays
-    each trial's RNG stream exactly as the reference algorithm consumes it.
+    there is no static priority row to precompute — its draw order depends on
+    the arrival sequence, which is exactly the condition that disqualifies a
+    kind from the vectorized :mod:`repro.engine.rng` draw table (the
+    "draw-order contract" of ``docs/INTERNALS-rng.md``); instead the engine
+    replays each trial's RNG stream exactly as the reference algorithm
+    consumes it.
     ``random.sample`` selects *positions* that depend only on the population
     size, the draw count and the RNG state, and every draw bottoms out in
     ``getrandbits``; replaying that selection inline (the pool swap for small

@@ -65,6 +65,12 @@ class CompiledInstance:
         key; a dense rank reproduces that comparison with integers, leaving
         later key levels (progress, identifier) to break weight ties exactly
         as the reference implementations do.
+    priority_exponents:
+        ``(m,)`` float64 — ``1.0 / clamped_weights``, the per-column
+        inverse-CDF exponents of the ``R_w`` priority distribution.  IEEE
+        division is correctly rounded, so the elementwise quotient is
+        bit-equal to the scalar ``1.0 / weight`` the reference algorithms
+        compute per draw (``tests/test_engine_rng.py`` pins this).
 
     >>> from repro.core import OnlineInstance, SetSystem
     >>> system = SetSystem(sets={"A": ["u", "v"], "B": ["v", "w"]},
@@ -88,6 +94,7 @@ class CompiledInstance:
     step_parents: np.ndarray = field(repr=False)
     step_capacities: np.ndarray = field(repr=False)
     weight_class: np.ndarray = field(repr=False)
+    priority_exponents: np.ndarray = field(repr=False)
 
     @property
     def num_sets(self) -> int:
@@ -173,4 +180,5 @@ def compile_instance(instance: OnlineInstance) -> CompiledInstance:
         step_parents=np.asarray(parents_flat, dtype=np.int64),
         step_capacities=capacities,
         weight_class=weight_class.astype(np.int64),
+        priority_exponents=1.0 / clamped,
     )

@@ -12,7 +12,11 @@ supported:
   draws *bit for bit* — same RNG seeding (``random.Random(seed + trial)``),
   same draw order (``repr`` order of the set identifiers), same zero-weight
   clamp — so a batch trial and the corresponding ``simulate_many`` trial
-  make identical decisions.
+  make identical decisions.  The randomized kinds draw whole trial rows
+  through the :mod:`repro.engine.rng` bridge (a vectorized numpy replay of
+  CPython's Mersenne Twister; see ``docs/INTERNALS-rng.md`` for the
+  state-transplant trick and the *draw-order contract* a kind must satisfy
+  to be vectorizable this way).
 * **greedy** algorithms (``greedy-weight``, ``greedy-progress``,
   ``greedy-committed``): the priority of a set depends on its alive/progress
   state, so the engine recomputes an integer sort key per arrival from the
@@ -23,7 +27,10 @@ supported:
   each trial's RNG stream call-for-call (the same ``random.Random(seed + b)``
   and the same ``sample`` invocations as the reference algorithm) to recover
   the assignment decisions, then finishes the bookkeeping as array
-  operations.
+  operations.  This is the documented *fallback family* of the RNG bridge:
+  its reference draw order interleaves state-dependent ``sample`` calls with
+  the arrival loop, which violates the draw-order contract
+  (``docs/INTERNALS-rng.md``), so the scalar replay is kept deliberately.
 
 :func:`spec_for_algorithm` maps a reference algorithm object to its spec
 (or ``None`` when the algorithm cannot be vectorized — e.g. a custom hash
@@ -53,6 +60,10 @@ import numpy as np
 
 from repro.core.algorithm import OnlineAlgorithm
 from repro.core.priorities import hash_priority, hash_unit_interval, sample_priority
+# Submodule import (not a package-attribute read): repro.engine.rng has no
+# engine-internal imports, so this resolves even while repro.engine itself is
+# still initializing.
+from repro.engine import rng as rng_bridge
 from repro.engine.compile import CompiledInstance
 from repro.exceptions import UnsupportedAlgorithmError
 
@@ -253,11 +264,15 @@ def priority_matrix(
     Returns shape ``(trials, m)`` for randomized kinds and ``(1, m)`` for
     deterministic ones (the single row broadcasts over the batch).  The
     randomized draws replay the reference algorithms exactly: trial ``b``
-    uses ``random.Random(seed + b)`` and draws per set in column (``repr``)
-    order, which is precisely what ``simulate_many`` +
-    ``RandPrAlgorithm.start`` do.  Draws go through the same scalar helpers
-    (:func:`sample_priority`, :func:`hash_priority`) on Python floats, so the
-    values are bit-identical, not merely statistically equivalent.
+    uses the stream of ``random.Random(seed + b)`` and draws per set in
+    column (``repr``) order, which is precisely what ``simulate_many`` +
+    ``RandPrAlgorithm.start`` do.  The draws themselves come from the
+    :mod:`repro.engine.rng` bridge — a vectorized, bit-exact numpy replay of
+    CPython's Mersenne Twister — and the ``R_w`` inverse-CDF transform goes
+    through :func:`~repro.engine.rng.exact_pow` (the same C-library ``pow``
+    the scalar helpers call), so the values are bit-identical, not merely
+    statistically equivalent.  ``docs/INTERNALS-rng.md`` documents the
+    replay and the draw-order contract a new vectorizable kind must satisfy.
 
     >>> from repro.core import OnlineInstance, SetSystem
     >>> from repro.engine.compile import compile_instance
@@ -275,29 +290,27 @@ def priority_matrix(
     clamped = [float(value) for value in compiled.clamped_weights]
 
     if spec.kind == "randPr":
-        # Inlined sample_priority: the exponents 1.0/w are computed once (the
-        # same floats sample_priority would compute per call) and each draw
-        # is ``rng.random() ** exponent`` — operand-for-operand the reference
-        # arithmetic.  sample_priority additionally redraws a 0.0 uniform;
-        # a zero priority can only come from such a draw (probability
-        # ~2^-53), so that trial is replayed through the scalar helper.
-        exponents = [1.0 / weight for weight in clamped]
-        matrix = np.empty((trials, m), dtype=np.float64)
-        for trial in range(trials):
-            draw = random.Random(seed + trial).random
-            row = [draw() ** exponent for exponent in exponents]
-            if 0.0 in row:
-                rng = random.Random(seed + trial)
-                row = [sample_priority(weight, rng) for weight in clamped]
-            matrix[trial] = row
+        # One vectorized draw table + the exact inverse-CDF transform.  The
+        # reference draw for column j of trial b is the j-th
+        # ``random.Random(seed + b).random()`` value raised to 1/w_j —
+        # uniform_matrix replays the former bit for bit and exact_pow applies
+        # the very libm ``pow`` the reference ``**`` calls.  sample_priority
+        # additionally *redraws* a 0.0 uniform; a zero draw (probability
+        # ~2^-53 per entry) desynchronizes that trial's stream from the
+        # precomputed row, so such trials are replayed through the scalar
+        # helper instead.
+        uniforms = rng_bridge.uniform_matrix(seed, trials, m)
+        matrix = rng_bridge.exact_pow(uniforms, compiled.priority_exponents)
+        zero_rows = np.flatnonzero((uniforms == 0.0).any(axis=1))
+        for trial in zero_rows.tolist():
+            replay = random.Random(seed + trial)
+            matrix[trial] = [sample_priority(weight, replay) for weight in clamped]
         return matrix
 
     if spec.kind == "uniform-priority":
-        matrix = np.empty((trials, m), dtype=np.float64)
-        for trial in range(trials):
-            draw = random.Random(seed + trial).random
-            matrix[trial] = [draw() for _ in range(m)]
-        return matrix
+        # The draw table *is* the priority matrix (randPr with R_1 applies
+        # no transform at all).  Copy: the cached bridge table is read-only.
+        return rng_bridge.uniform_matrix(seed, trials, m).copy()
 
     if spec.kind == "randPr-hashed":
         if spec.salt is not None:
@@ -306,13 +319,21 @@ def priority_matrix(
                 for set_id, weight in zip(compiled.set_ids, clamped)
             ]
             return np.asarray(row, dtype=np.float64).reshape(1, m)
-        matrix = np.empty((trials, m), dtype=np.float64)
-        for trial in range(trials):
-            rng = random.Random(seed + trial)
-            salt = f"salt-{rng.getrandbits(64):016x}"
-            for column, (set_id, weight) in enumerate(zip(compiled.set_ids, clamped)):
-                matrix[trial, column] = hash_priority(set_id, weight, salt=salt)
-        return matrix
+        # Fresh salt per trial, replayed through the bridge
+        # (``getrandbits(64)`` is the first generator pair); the per-set
+        # SHA-256 evaluations dominate and have no vectorized form, so the
+        # hash loop stays scalar while the inverse-CDF transform shares
+        # exact_pow with the randPr path.
+        salts = rng_bridge.getrandbits64(seed, trials)
+        uniforms = np.empty((trials, m), dtype=np.float64)
+        for trial, salt_value in enumerate(salts):
+            salt = f"salt-{salt_value:016x}"
+            uniforms[trial] = [
+                hash_unit_interval(set_id, salt=salt) for set_id in compiled.set_ids
+            ]
+        # hash_priority nudges an exactly-zero hash away from the origin.
+        np.copyto(uniforms, 2.0 ** -64, where=(uniforms == 0.0))
+        return rng_bridge.exact_pow(uniforms, compiled.priority_exponents)
 
     if spec.kind == "static-order":
         salt = spec.salt if spec.salt is not None else "static-order"

@@ -151,6 +151,11 @@ class OptCache:
 #: store connection rather than reuse the parent's.
 _DEFAULT_CACHE: Optional[OptCache] = None
 _DEFAULT_CACHE_PID: Optional[int] = None
+#: The OSP_STORE path behind the cache's current store attachment, or ``None``
+#: when the attachment is explicit (or absent).  Tracked so that *clearing*
+#: the environment default detaches the store again — without it, OPT solves
+#: would keep flowing into a store file the caller already disabled.
+_DEFAULT_CACHE_ENV_ATTACHMENT: Optional[str] = None
 
 
 def default_opt_cache() -> OptCache:
@@ -166,7 +171,7 @@ def default_opt_cache() -> OptCache:
     inherited by pool workers, so one exported variable gives *every*
     process of a sweep the same durable OPT store.
     """
-    global _DEFAULT_CACHE, _DEFAULT_CACHE_PID
+    global _DEFAULT_CACHE, _DEFAULT_CACHE_PID, _DEFAULT_CACHE_ENV_ATTACHMENT
     pid = os.getpid()
     if _DEFAULT_CACHE is None:
         _DEFAULT_CACHE = OptCache()
@@ -177,11 +182,28 @@ def default_opt_cache() -> OptCache:
         # SQLite connection, which must not be used across fork() — detach
         # so this process re-attaches its own connection below.
         _DEFAULT_CACHE.store = None
+        _DEFAULT_CACHE_ENV_ATTACHMENT = None
         _DEFAULT_CACHE_PID = pid
-    if _DEFAULT_CACHE.store is None:
-        # Imported lazily: repro.experiments.store fingerprints instances
-        # through this module, so a top-level import would be circular.
-        from repro.experiments.store import active_store
+    # Imported lazily: repro.experiments.store fingerprints instances
+    # through this module, so a top-level import would be circular.
+    from repro.experiments.store import active_store, store_path_from_env
 
+    if _DEFAULT_CACHE_ENV_ATTACHMENT is not None:
+        expected = os.path.abspath(_DEFAULT_CACHE_ENV_ATTACHMENT)
+        current = _DEFAULT_CACHE.store
+        if current is None or current.path != expected:
+            # The attachment changed hands (an explicit store was set, or
+            # the store was detached): the environment bookkeeping is stale
+            # and the explicit choice is left alone.
+            _DEFAULT_CACHE_ENV_ATTACHMENT = None
+        elif store_path_from_env() != _DEFAULT_CACHE_ENV_ATTACHMENT:
+            # The environment default was cleared (or repointed) after this
+            # cache attached it: detach, so the new default applies below
+            # and a disabled OSP_STORE really stops persisting.
+            _DEFAULT_CACHE.store = None
+            _DEFAULT_CACHE_ENV_ATTACHMENT = None
+    if _DEFAULT_CACHE.store is None:
         _DEFAULT_CACHE.store = active_store()
+        if _DEFAULT_CACHE.store is not None:
+            _DEFAULT_CACHE_ENV_ATTACHMENT = store_path_from_env()
     return _DEFAULT_CACHE

@@ -38,10 +38,24 @@ Results are never affected; the store changes wall-clock only.
 values to the cold compute it replaced.  ``benchmarks/bench_store_warm.py``
 and ``tests/test_store.py`` assert sweep rows are bit-identical across
 {store on, off} × {cold, warm} × worker counts.
+
+**Command line.**  ``python -m repro.experiments.store`` ships the three
+maintenance verbs (see :func:`main` and the README's "Store maintenance"
+section): ``inspect`` (read-only summary + optional checksum audit),
+``vacuum`` (drop garbled rows, reclaim file space) and ``merge`` (combine
+store files, e.g. per-machine stores after a fleet run).
+
+The two module constants are part of the on-disk contract:
+
+>>> STORE_FORMAT_VERSION
+1
+>>> STORE_ENV_VAR
+'OSP_STORE'
 """
 
 from __future__ import annotations
 
+import argparse
 import hashlib
 import os
 import pickle
@@ -63,6 +77,7 @@ __all__ = [
     "store_path_from_env",
     "set_default_store_path",
     "active_store",
+    "main",
 ]
 
 #: Bumped whenever the meaning of stored values changes (simulation
@@ -77,7 +92,14 @@ STORE_ENV_VAR = "OSP_STORE"
 
 
 class StoreCorruptionWarning(UserWarning):
-    """Warns that a store file or row failed validation and was quarantined."""
+    """Warns that a store file or row failed validation and was quarantined.
+
+    Corruption never fails a run — results are recomputed and only warm-start
+    time is lost — so the signal is an ordinary :class:`UserWarning`:
+
+    >>> issubclass(StoreCorruptionWarning, UserWarning)
+    True
+    """
 
 
 def algorithm_identity(algorithm) -> Optional[str]:
@@ -94,6 +116,15 @@ def algorithm_identity(algorithm) -> Optional[str]:
     units measuring it bypass the store entirely.  Defaulting unknown
     algorithms to uncacheable is deliberate: two differently-configured
     instances of the same class must never silently share stored results.
+
+    >>> from repro.algorithms import RandPrAlgorithm
+    >>> algorithm_identity(RandPrAlgorithm())
+    'repro.algorithms.randpr.RandPrAlgorithm|randPr|tie_break_by_id=True'
+    >>> class CustomAlgorithm(RandPrAlgorithm):
+    ...     pass                        # no explicit opt-in of its own…
+    >>> CustomAlgorithm.cache_identity = None
+    >>> algorithm_identity(CustomAlgorithm()) is None     # …is uncacheable
+    True
     """
     extra = getattr(algorithm, "cache_identity", None)
     if extra is None:
@@ -112,6 +143,16 @@ def instance_fingerprint(instance: OnlineInstance) -> str:
     weights, capacities) with the arrival order — simulation results depend
     on it — and the instance name, which is embedded in stored measurement
     records.
+
+    >>> from repro.core import OnlineInstance, SetSystem
+    >>> system = SetSystem(sets={"A": ["u", "v"]}, weights={"A": 2.0})
+    >>> first = instance_fingerprint(OnlineInstance(system, name="demo"))
+    >>> len(first)                       # a SHA-256 hex digest
+    64
+    >>> first == instance_fingerprint(OnlineInstance(system, name="demo"))
+    True
+    >>> first == instance_fingerprint(OnlineInstance(system, name="renamed"))
+    False
     """
     # Imported here: opt_cache imports this module lazily for the default
     # store attachment, so a top-level import would be circular.
@@ -147,6 +188,20 @@ def unit_key(
 
     ``None`` (any algorithm without a stable identity) marks the unit as
     uncacheable; callers must compute it and must not consult the store.
+
+    >>> from repro.algorithms import RandPrAlgorithm, UniformRandomAlgorithm
+    >>> from repro.core import OnlineInstance, SetSystem
+    >>> system = SetSystem(sets={"A": ["u", "v"]}, weights={"A": 2.0})
+    >>> instance = OnlineInstance(system, name="demo")
+    >>> key = unit_key(instance, 5, [RandPrAlgorithm()], 10, "auto", 18)
+    >>> len(key)
+    64
+    >>> key == unit_key(instance, 6, [RandPrAlgorithm()], 10, "auto", 18)
+    False
+    >>> class OpaqueAlgorithm(UniformRandomAlgorithm):
+    ...     cache_identity = None        # uncacheable: no stable identity
+    >>> unit_key(instance, 5, [OpaqueAlgorithm()], 10, "auto", 18) is None
+    True
     """
     identities = []
     for algorithm in algorithms:
@@ -197,6 +252,18 @@ class SolutionStore:
 
     Counters (``opt_hits``/``opt_misses``/``unit_hits``/``unit_misses``/
     ``integrity_failures``) are per-process and exposed via :meth:`stats`.
+
+    >>> import os, tempfile
+    >>> path = os.path.join(tempfile.mkdtemp(), "demo.sqlite")
+    >>> store = SolutionStore(path)
+    >>> store.put_opt("some-content-key", 3.5)
+    >>> store.get_opt("some-content-key")
+    3.5
+    >>> store.get_opt("never-stored") is None
+    True
+    >>> store                                    # doctest: +ELLIPSIS
+    SolutionStore('...demo.sqlite', opt_hits=1, unit_hits=0)
+    >>> store.close()
     """
 
     def __init__(self, path: str) -> None:
@@ -230,8 +297,15 @@ class SolutionStore:
             except sqlite3.OperationalError as exc:
                 # Cannot-open errors (the path is a directory, permissions,
                 # a held lock) are environment problems, not corruption:
-                # surface them, never rename the user's path over them.
-                raise exc
+                # they are never quarantined — but they *are* retried,
+                # because a sibling quarantining the file between this
+                # connect and its validation surfaces exactly here, with a
+                # flavor that depends on the interleaving ("attempt to
+                # write a readonly database" / "disk I/O error" against
+                # the renamed-away inode).  The race resolves on the next
+                # connect; a genuine environment problem fails every retry
+                # and surfaces unchanged, with the user's file untouched.
+                last_error = exc
             except sqlite3.DatabaseError as exc:
                 last_error = exc
                 if os.path.isfile(self.path):
@@ -478,7 +552,14 @@ _OPEN_STORES_PID = os.getpid()
 
 
 def store_for_path(path) -> SolutionStore:
-    """The per-process :class:`SolutionStore` for ``path`` (opened once)."""
+    """The per-process :class:`SolutionStore` for ``path`` (opened once).
+
+    >>> import os, tempfile
+    >>> path = os.path.join(tempfile.mkdtemp(), "shared.sqlite")
+    >>> store_for_path(path) is store_for_path(path)    # one connection/path
+    True
+    >>> store_for_path(path).close()    # eviction: next call reopens fresh
+    """
     global _OPEN_STORES_PID
     if os.getpid() != _OPEN_STORES_PID:
         _OPEN_STORES.clear()
@@ -492,7 +573,19 @@ def store_for_path(path) -> SolutionStore:
 
 
 def store_path_from_env() -> Optional[str]:
-    """The store path named by ``OSP_STORE``, or ``None`` (empty counts as unset)."""
+    """The store path named by ``OSP_STORE``, or ``None`` (empty counts as unset).
+
+    >>> import os
+    >>> previous = os.environ.get(STORE_ENV_VAR)
+    >>> os.environ[STORE_ENV_VAR] = ""
+    >>> store_path_from_env() is None       # empty string counts as unset
+    True
+    >>> os.environ[STORE_ENV_VAR] = "/tmp/example.sqlite"
+    >>> store_path_from_env()
+    '/tmp/example.sqlite'
+    >>> _ = (os.environ.pop(STORE_ENV_VAR, None) if previous is None
+    ...      else os.environ.update({STORE_ENV_VAR: previous}))
+    """
     raw = os.environ.get(STORE_ENV_VAR)
     return raw if raw else None
 
@@ -503,6 +596,16 @@ def set_default_store_path(path: Optional[str]) -> None:
     The path is published through the ``OSP_STORE`` environment variable so
     that worker processes forked or spawned afterwards inherit it — that is
     what makes one ``--store`` flag cover a whole process pool.
+
+    >>> import os
+    >>> previous = os.environ.get(STORE_ENV_VAR)
+    >>> set_default_store_path("/tmp/example.sqlite")
+    >>> store_path_from_env()
+    '/tmp/example.sqlite'
+    >>> set_default_store_path(None)
+    >>> store_path_from_env() is None
+    True
+    >>> set_default_store_path(previous)    # leave the session as it was
     """
     if path is None:
         os.environ.pop(STORE_ENV_VAR, None)
@@ -511,8 +614,210 @@ def set_default_store_path(path: Optional[str]) -> None:
 
 
 def active_store() -> Optional[SolutionStore]:
-    """The store named by ``OSP_STORE``, opened per-process, or ``None``."""
+    """The store named by ``OSP_STORE``, opened per-process, or ``None``.
+
+    >>> import os, tempfile
+    >>> previous = os.environ.get(STORE_ENV_VAR)
+    >>> set_default_store_path(None)
+    >>> active_store() is None
+    True
+    >>> path = os.path.join(tempfile.mkdtemp(), "env.sqlite")
+    >>> set_default_store_path(path)
+    >>> active_store().path == path
+    True
+    >>> active_store().close()
+    >>> set_default_store_path(previous)
+    """
     path = store_path_from_env()
     if path is None:
         return None
     return store_for_path(path)
+
+
+# ----------------------------------------------------------------------
+# Command-line maintenance: python -m repro.experiments.store
+# ----------------------------------------------------------------------
+
+
+def _open_readonly(path: str) -> sqlite3.Connection:
+    """Open an *existing* store file read-only, refusing rather than repairing.
+
+    The maintenance verbs that only look at a store (``inspect``, ``merge``
+    sources) must never create an empty store at a mistyped path, and must
+    never quarantine a file the user pointed them at — a version mismatch or
+    unreadable file is reported as an error, not "fixed".
+    """
+    if not os.path.isfile(path):
+        raise SystemExit(f"error: {path!r} is not a store file")
+    connection = sqlite3.connect(f"file:{os.path.abspath(path)}?mode=ro", uri=True)
+    try:
+        row = connection.execute(
+            "SELECT value FROM meta WHERE key = 'format_version'"
+        ).fetchone()
+    except sqlite3.DatabaseError as exc:
+        connection.close()
+        raise SystemExit(f"error: {path!r} is not a readable solution store ({exc})")
+    if row is None or row[0] != str(STORE_FORMAT_VERSION):
+        connection.close()
+        found = None if row is None else row[0]
+        raise SystemExit(
+            f"error: {path!r} has store format version {found!r}, this repo "
+            f"reads version {STORE_FORMAT_VERSION}"
+        )
+    return connection
+
+
+def _audit_rows(connection: sqlite3.Connection):
+    """Yield ``(table, key, payload, checksum, ok)`` for every stored row."""
+    for table in ("opt", "units"):
+        for key, payload, checksum in connection.execute(
+            f"SELECT key, payload, checksum FROM {table}"
+        ):
+            yield table, key, payload, checksum, _checksum(payload) == checksum
+
+
+def _cli_inspect(args) -> int:
+    connection = _open_readonly(args.path)
+    try:
+        counts = {
+            table: connection.execute(f"SELECT COUNT(*) FROM {table}").fetchone()[0]
+            for table in ("opt", "units")
+        }
+        print(f"solution store {os.path.abspath(args.path)}")
+        print(f"  format version: {STORE_FORMAT_VERSION}")
+        print(f"  opt entries:    {counts['opt']}")
+        print(f"  unit entries:   {counts['units']}")
+        print(f"  file size:      {os.path.getsize(args.path)} bytes")
+        if args.check:
+            garbled = sum(1 for *_ignored, ok in _audit_rows(connection) if not ok)
+            total = counts["opt"] + counts["units"]
+            print(f"  checksum audit: {total - garbled}/{total} rows valid")
+            if garbled:
+                print(f"  ({garbled} garbled row(s); run vacuum to drop them)")
+                return 1
+    finally:
+        connection.close()
+    return 0
+
+
+def _cli_vacuum(args) -> int:
+    size_before = os.path.getsize(args.path) if os.path.isfile(args.path) else None
+    if size_before is None:
+        raise SystemExit(f"error: {args.path!r} is not a store file")
+    # Pre-validate read-only: a version-mismatched or unreadable file must be
+    # *refused* here — opening it through SolutionStore directly would
+    # quarantine (rename away) the user's file and then report success.
+    _open_readonly(args.path).close()
+    store = SolutionStore(args.path)
+    try:
+        report = store.integrity_report()
+        store._connection.execute("VACUUM")
+        store._connection.commit()
+    finally:
+        store.close()
+    size_after = os.path.getsize(args.path)
+    print(
+        f"vacuumed {os.path.abspath(args.path)}: checked {report['checked']} "
+        f"row(s), dropped {report['dropped']} garbled, "
+        f"{size_before} -> {size_after} bytes"
+    )
+    return 0
+
+
+def _cli_merge(args) -> int:
+    # Validate everything *before* touching the destination: an aborted
+    # merge (bad source path, source == destination) must not leave a
+    # freshly created empty store behind.
+    for source_path in args.sources:
+        if os.path.abspath(source_path) == os.path.abspath(args.destination):
+            raise SystemExit("error: a merge source equals the destination")
+        _open_readonly(source_path).close()
+    # A *fresh* destination is created on demand, but an existing file must
+    # be a valid same-version store — refuse rather than quarantine it.
+    if os.path.exists(args.destination):
+        _open_readonly(args.destination).close()
+    destination = SolutionStore(args.destination)
+    inserted = {"opt": 0, "units": 0}
+    examined = skipped = 0
+    try:
+        for source_path in args.sources:
+            source = _open_readonly(source_path)
+            try:
+                for table, key, payload, checksum, ok in _audit_rows(source):
+                    examined += 1
+                    if not ok:
+                        skipped += 1
+                        continue
+                    cursor = destination._connection.execute(
+                        f"INSERT OR IGNORE INTO {table} VALUES (?, ?, ?)",
+                        (key, payload, checksum),
+                    )
+                    inserted[table] += cursor.rowcount
+            finally:
+                source.close()
+        destination._connection.commit()
+    finally:
+        destination.close()
+    print(
+        f"merged {len(args.sources)} store(s) into "
+        f"{os.path.abspath(args.destination)}: examined {examined} row(s), "
+        f"added {inserted['opt']} opt + {inserted['units']} unit entries, "
+        f"skipped {skipped} garbled"
+    )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """The ``python -m repro.experiments.store`` maintenance CLI.
+
+    Three verbs: ``inspect`` (read-only summary, ``--check`` audits every
+    row's checksum), ``vacuum`` (drop garbled rows and reclaim file space)
+    and ``merge`` (combine store files; garbled source rows are skipped,
+    duplicate keys keep the destination's copy).
+
+    >>> import os, tempfile
+    >>> path = os.path.join(tempfile.mkdtemp(), "demo.sqlite")
+    >>> store = SolutionStore(path)
+    >>> store.put_opt("content-key", 2.5)
+    >>> store.close()
+    >>> main(["inspect", path])                  # doctest: +ELLIPSIS
+    solution store ...demo.sqlite
+      format version: 1
+      opt entries:    1
+      unit entries:   0
+      file size:      ... bytes
+    0
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.store",
+        description="Inspect and maintain persistent OSP solution stores.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    inspect_parser = commands.add_parser(
+        "inspect", help="print a read-only summary of a store file"
+    )
+    inspect_parser.add_argument("path", help="store file to inspect")
+    inspect_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="additionally verify every row's SHA-256 checksum",
+    )
+    inspect_parser.set_defaults(handler=_cli_inspect)
+
+    vacuum_parser = commands.add_parser(
+        "vacuum", help="drop garbled rows and reclaim file space"
+    )
+    vacuum_parser.add_argument("path", help="store file to vacuum (modified in place)")
+    vacuum_parser.set_defaults(handler=_cli_vacuum)
+
+    merge_parser = commands.add_parser(
+        "merge", help="merge source stores into a destination store"
+    )
+    merge_parser.add_argument("destination", help="store file to merge into (created if missing)")
+    merge_parser.add_argument("sources", nargs="+", help="store files to merge from")
+    merge_parser.set_defaults(handler=_cli_merge)
+
+    args = parser.parse_args(argv)
+    return args.handler(args)
+

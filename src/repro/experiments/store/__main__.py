@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.experiments.store`` (see :func:`main`)."""
+
+import sys
+
+from repro.experiments.store import main
+
+if __name__ == "__main__":
+    sys.exit(main())

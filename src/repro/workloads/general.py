@@ -26,6 +26,14 @@ def random_general_packing_instance(
     Each set demands a random number of resources (``resources_per_set``),
     with an integer demand drawn from ``demand_range`` on each; each resource
     has a capacity drawn from ``capacity_range``.
+
+    >>> import random
+    >>> general = random_general_packing_instance(
+    ...     5, 6, (2, 3), (1, 2), (1, 3), random.Random(4))
+    >>> general.num_sets
+    5
+    >>> sorted(general.set_ids)
+    ['S0', 'S1', 'S2', 'S3', 'S4']
     """
     if num_sets < 1 or num_resources < 1:
         raise OspError("need at least one set and one resource")
@@ -77,6 +85,13 @@ def bandwidth_reservation_instance(
     link (resource) offers ``link_capacity`` units.  A flow is admitted end to
     end only if it receives its bandwidth on *every* link — a natural
     integer-demand generalization of the paper's multi-hop scenario.
+
+    >>> import random
+    >>> flows = bandwidth_reservation_instance(4, 6, 2, 2, random.Random(5))
+    >>> flows.num_sets
+    4
+    >>> sorted(flows.set_ids)
+    ['flow0', 'flow1', 'flow2', 'flow3']
     """
     if num_flows < 1 or num_links < 1:
         raise OspError("need at least one flow and one link")

@@ -34,6 +34,15 @@ def random_set_system(
 
     Elements that end up in no set are dropped (they would be irrelevant to
     both the algorithms and the bounds).
+
+    >>> import random
+    >>> system = random_set_system(5, 8, (2, 3), random.Random(0))
+    >>> system.num_sets
+    5
+    >>> all(2 <= system.size(set_id) <= 3 for set_id in system.set_ids)
+    True
+    >>> system.is_unit_capacity()    # the default capacity range is (1, 1)
+    True
     """
     if num_sets < 1 or num_elements < 1:
         raise OspError("need at least one set and one element")
@@ -73,7 +82,19 @@ def random_online_instance(
     capacity_range: Tuple[int, int] = (1, 1),
     name: str = "",
 ) -> OnlineInstance:
-    """A random instance with a uniformly random arrival order."""
+    """A random instance with a uniformly random arrival order.
+
+    Deterministic given the RNG: the same seed reproduces both the system
+    and the arrival order.
+
+    >>> import random
+    >>> instance = random_online_instance(6, 10, (2, 3), random.Random(1), name="demo")
+    >>> instance.name
+    'demo'
+    >>> replay = random_online_instance(6, 10, (2, 3), random.Random(1), name="demo")
+    >>> replay.arrival_order == instance.arrival_order
+    True
+    """
     system = random_set_system(
         num_sets,
         num_elements,
@@ -95,7 +116,17 @@ def random_weighted_instance(
     weight_range: Tuple[float, float] = (1.0, 10.0),
     name: str = "",
 ) -> OnlineInstance:
-    """Shorthand for a weighted unit-capacity random instance."""
+    """Shorthand for a weighted unit-capacity random instance.
+
+    >>> import random
+    >>> instance = random_weighted_instance(
+    ...     5, 9, (2, 3), random.Random(2), weight_range=(1.0, 6.0))
+    >>> all(1.0 <= instance.system.weight(s) <= 6.0
+    ...     for s in instance.system.set_ids)
+    True
+    >>> instance.system.is_unit_capacity()
+    True
+    """
     return random_online_instance(
         num_sets,
         num_elements,
@@ -116,7 +147,15 @@ def random_variable_capacity_instance(
     weight_range: Tuple[float, float] = (1.0, 1.0),
     name: str = "",
 ) -> OnlineInstance:
-    """Shorthand for a variable-capacity random instance (for Theorem 4)."""
+    """Shorthand for a variable-capacity random instance (for Theorem 4).
+
+    >>> import random
+    >>> instance = random_variable_capacity_instance(
+    ...     5, 9, (2, 3), (1, 3), random.Random(3))
+    >>> all(1 <= instance.system.capacity(u) <= 3
+    ...     for u in instance.system.element_ids)
+    True
+    """
     if capacity_range[0] < 1:
         raise OspError("capacities must be at least 1")
     return random_online_instance(

@@ -37,6 +37,12 @@ def full_gadget_instance(
 
     By Lemma 8 any feasible solution contains at most one set, making this
     the canonical "everything conflicts" instance.
+
+    >>> instance = full_gadget_instance(2, 3)
+    >>> instance.system.num_sets       # all M * N gadget sets
+    6
+    >>> instance.name
+    'full-gadget(2,3)'
     """
     gadget = Gadget(num_rows, num_columns)
     builder = InstanceBuilder(name=name or f"full-gadget({num_rows},{num_columns})")
@@ -62,6 +68,13 @@ def disjoint_blocks_instance(
     interaction.  OPT therefore equals ``num_blocks``, and on this instance
     randPr completes exactly one set per block with probability 1 (all the
     block's elements agree on the block's maximum-priority set).
+
+    >>> instance = disjoint_blocks_instance(4, 3, 5)
+    >>> instance.system.num_sets, instance.num_steps
+    (12, 20)
+    >>> from repro.core import simulate_batch
+    >>> simulate_batch(instance, "randPr", trials=5, seed=0).mean_completed
+    4.0
     """
     if num_blocks < 1 or sets_per_block < 1 or elements_per_block < 1:
         raise OspError("blocks, sets per block and elements per block must be positive")
@@ -92,6 +105,11 @@ def t_design_style_instance(
     ``j ≠ j'`` for any two sets sharing a transversal) holds by construction.
     OPT can complete a full column (``t`` sets); an online algorithm is left
     with roughly ``O(log t)`` of the sets it committed to.
+
+    >>> import random
+    >>> instance = t_design_style_instance(3, random.Random(0))
+    >>> instance.system.num_sets, instance.num_steps    # t^2 sets, t + t^2 probes
+    (9, 12)
     """
     if t < 2:
         raise OspError(f"the construction needs t >= 2, got {t}")

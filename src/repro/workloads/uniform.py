@@ -74,7 +74,15 @@ def uniform_set_size_instance(
     rng: random.Random,
     name: str = "",
 ) -> OnlineInstance:
-    """All sets have exactly ``set_size`` elements; loads are whatever falls out."""
+    """All sets have exactly ``set_size`` elements; loads are whatever falls out.
+
+    >>> import random
+    >>> instance = uniform_set_size_instance(6, 12, 3, random.Random(0))
+    >>> {instance.system.size(set_id) for set_id in instance.system.set_ids}
+    {3}
+    >>> instance.name
+    'uniform-k3'
+    """
     if set_size < 1 or set_size > num_elements:
         raise OspError(
             f"set size must be in [1, {num_elements}], got {set_size}"
@@ -102,6 +110,11 @@ def uniform_load_instance(
     Built element-first: each element independently picks ``load`` distinct
     sets.  Sets that end up empty are dropped so that every remaining set is
     completable.
+
+    >>> import random
+    >>> instance = uniform_load_instance(8, 12, 3, random.Random(1))
+    >>> {len(instance.system.parents(u)) for u in instance.system.element_ids}
+    {3}
     """
     if load < 1 or load > num_sets:
         raise OspError(f"load must be in [1, {num_sets}], got {load}")
@@ -137,6 +150,15 @@ def uniform_both_instance(
     (set, element) incidences, so the degree constraints are exact while the
     overlap structure is random.  A deterministic cyclic assignment is the
     fallback if the repair loop fails to converge.
+
+    >>> import random
+    >>> instance = uniform_both_instance(6, 3, 3, random.Random(2))
+    >>> {instance.system.size(set_id) for set_id in instance.system.set_ids}
+    {3}
+    >>> instance.num_steps        # num_sets * set_size / load elements
+    6
+    >>> {len(instance.system.parents(u)) for u in instance.system.element_ids}
+    {3}
     """
     if set_size < 1:
         raise OspError(f"set size must be positive, got {set_size}")

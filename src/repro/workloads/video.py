@@ -24,7 +24,14 @@ __all__ = ["VideoWorkload", "make_video_workload"]
 
 @dataclass(frozen=True)
 class VideoWorkload:
-    """A synthetic video workload in both packet-level and OSP form."""
+    """A synthetic video workload in both packet-level and OSP form.
+
+    >>> workload = make_video_workload(2, 3, seed=7)
+    >>> workload.num_flows, workload.num_frames
+    (2, 6)
+    >>> workload.max_burst >= 1
+    True
+    """
 
     trace: Trace
     instance: OnlineInstance
@@ -57,6 +64,13 @@ def make_video_workload(
     The defaults give a moderately overloaded bottleneck: several flows whose
     large I-frames fragment into multi-packet sets that collide in bursts
     exceeding the link capacity — the regime the paper's algorithm targets.
+
+    >>> workload = make_video_workload(2, 3, seed=7)
+    >>> workload.instance.name
+    'video(flows=2,seed=7)'
+    >>> make_video_workload(2, 3, seed=7).instance.arrival_order == \
+        workload.instance.arrival_order
+    True
     """
     rng = random.Random(seed)
     generator = VideoTraceGenerator(

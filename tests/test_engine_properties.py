@@ -217,3 +217,27 @@ def test_subclassed_algorithm_is_not_silently_replayed():
         for result in simulate_many(instance, TweakedRandPr(), trials=4, seed=3)
     ]
     assert list(auto) == reference
+
+
+@settings(max_examples=40, deadline=None)
+@given(instance=small_systems(), seed=st.integers(min_value=0, max_value=2**16))
+def test_bridge_priority_rows_equal_scalar_reference_rows(instance, seed):
+    """The vectorized randPr priority rows are *bit-identical* to the scalar
+    per-trial construction on hypothesis systems (zero weights, duplicate
+    weights, singleton systems included) — the matrix-level form of the
+    engines' trial-by-trial agreement."""
+    from repro.core.priorities import sample_priority
+    from repro.engine import AlgorithmSpec, priority_matrix
+
+    compiled = compile_instance(instance)
+    trials = 4
+    vectorized = priority_matrix(AlgorithmSpec("randPr"), compiled, trials, seed)
+    clamped = [float(value) for value in compiled.clamped_weights]
+    exponents = [1.0 / weight for weight in clamped]
+    for trial in range(trials):
+        draw = random.Random(seed + trial).random
+        row = [draw() ** exponent for exponent in exponents]
+        if 0.0 in row:
+            replay = random.Random(seed + trial)
+            row = [sample_priority(weight, replay) for weight in clamped]
+        assert vectorized[trial].tolist() == row

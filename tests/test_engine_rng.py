@@ -1,0 +1,418 @@
+"""The RNG bridge's exactness certificate (``repro.engine.rng``).
+
+Every layer of the numpy replay is pinned against the CPython original it
+mirrors:
+
+* :func:`state_matrix` (the vectorized ``init_by_array`` seeding) against
+  ``random.Random(seed).getstate()``, across small, zero, negative,
+  multi-digit and mixed-digit-count seeds;
+* :func:`uniform_matrix` against per-trial ``random.Random(seed + b).random()``
+  loops, across twist-block boundaries;
+* :func:`transplant_rng` (the ``getstate`` → ``set_state`` bridge) against
+  the source generator it was transplanted from;
+* :func:`getrandbits64` against ``random.Random(seed + b).getrandbits(64)``;
+* :func:`exact_pow` against CPython's scalar ``**`` (the property the numpy
+  SIMD ``**`` does *not* have, which is why exact_pow exists);
+* the rewritten :func:`~repro.engine.specs.priority_matrix` against the
+  scalar per-trial reference construction it replaced, including the
+  zero-draw fallback and the scalar-replay routes the bridge must *not*
+  absorb (the draw-order-contract fallbacks).
+"""
+
+import math
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import RandPrAlgorithm, UniformRandomAlgorithm
+from repro.core import OnlineInstance, SetSystem, simulate_batch, simulate_many
+from repro.core.priorities import hash_priority, sample_priority
+from repro.engine import (
+    AlgorithmSpec,
+    clear_uniform_cache,
+    exact_pow,
+    priority_matrix,
+    spec_for_algorithm,
+    state_matrix,
+    transplant_rng,
+    uniform_cache_stats,
+    uniform_matrix,
+)
+from repro.engine import rng as rng_bridge
+from repro.engine import specs as specs_module
+from repro.engine.cache import compiled_for
+from repro.engine.compile import compile_instance
+from repro.exceptions import UnsupportedAlgorithmError
+from repro.workloads import random_weighted_instance
+
+# ----------------------------------------------------------------------
+# state_matrix: the vectorized init_by_array seeding
+# ----------------------------------------------------------------------
+
+ASSORTED_SEEDS = [
+    0,
+    1,
+    7,
+    2024,
+    -5,  # CPython seeds by absolute value
+    2**31,
+    2**32 - 1,  # largest single-digit key
+    2**32,  # smallest two-digit key
+    2**32 + 1,
+    2**64 + 12345,  # three-digit key
+    -(2**33 + 9),
+]
+
+
+def test_state_matrix_matches_getstate_for_assorted_seeds():
+    matrix = state_matrix(ASSORTED_SEEDS)
+    assert matrix.shape == (len(ASSORTED_SEEDS), rng_bridge.MT_N)
+    for row, seed in zip(matrix, ASSORTED_SEEDS):
+        reference = random.Random(seed).getstate()[1][:-1]
+        assert tuple(int(word) for word in row) == reference, seed
+
+
+def test_state_matrix_handles_mixed_digit_counts_in_one_batch():
+    """A trial range straddling 2**32 mixes one- and two-digit seeding keys."""
+    seeds = list(range(2**32 - 3, 2**32 + 3))
+    matrix = state_matrix(seeds)
+    for row, seed in zip(matrix, seeds):
+        assert tuple(int(word) for word in row) == random.Random(seed).getstate()[1][:-1]
+
+
+def test_state_matrix_empty():
+    assert state_matrix([]).shape == (0, rng_bridge.MT_N)
+
+
+# ----------------------------------------------------------------------
+# uniform_matrix: the vectorized draw table
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("draws", [1, 5, 311, 312, 313, 624, 625, 700])
+def test_uniform_matrix_replays_reference_draws(draws):
+    """Bit-equal across twist-block boundaries (312 pairs consume one block)."""
+    clear_uniform_cache()
+    table = uniform_matrix(1000, trials=4, draws=draws)
+    for trial in range(4):
+        reference = random.Random(1000 + trial)
+        assert list(table[trial]) == [reference.random() for _ in range(draws)]
+
+
+def test_uniform_matrix_negative_and_large_seeds():
+    clear_uniform_cache()
+    for seed in (-7, 2**32 - 2, 2**63):
+        table = uniform_matrix(seed, trials=3, draws=10)
+        for trial in range(3):
+            reference = random.Random(seed + trial)
+            assert list(table[trial]) == [reference.random() for _ in range(10)]
+
+
+def test_uniform_matrix_is_read_only_and_cached():
+    clear_uniform_cache()
+    first = uniform_matrix(5, trials=4, draws=6)
+    assert not first.flags.writeable
+    with pytest.raises((ValueError, RuntimeError)):
+        first[0, 0] = 0.5
+    second = uniform_matrix(5, trials=4, draws=6)
+    assert second is first  # cache hit returns the same object
+    stats = uniform_cache_stats()
+    assert stats["hits"] == 1 and stats["misses"] == 1 and stats["entries"] == 1
+    clear_uniform_cache()
+    assert uniform_cache_stats() == {"hits": 0, "misses": 0, "entries": 0}
+
+
+def test_uniform_matrix_cache_is_bounded():
+    clear_uniform_cache()
+    for seed in range(10):
+        uniform_matrix(seed, trials=2, draws=2)
+    assert uniform_cache_stats()["entries"] <= 4
+
+
+def test_uniform_matrix_degenerate_shapes():
+    clear_uniform_cache()
+    assert uniform_matrix(0, trials=0, draws=5).shape == (0, 5)
+    assert uniform_matrix(0, trials=5, draws=0).shape == (5, 0)
+    with pytest.raises(ValueError):
+        uniform_matrix(0, trials=-1, draws=5)
+
+
+def test_uniform_matrix_spans_trial_blocks():
+    """Trial counts beyond the internal block size still line up per trial."""
+    clear_uniform_cache()
+    block = rng_bridge._TRIAL_BLOCK
+    trials = block + 3
+    table = uniform_matrix(42, trials=trials, draws=2)
+    for trial in (0, block - 1, block, trials - 1):
+        reference = random.Random(42 + trial)
+        assert list(table[trial]) == [reference.random() for _ in range(2)]
+
+
+# ----------------------------------------------------------------------
+# transplant_rng: the getstate -> set_state bridge
+# ----------------------------------------------------------------------
+
+
+def test_transplant_replays_long_streams():
+    source = random.Random(99)
+    mirror = transplant_rng(random.Random(99))
+    # 2000 draws cross several twist regenerations.
+    assert [source.random() for _ in range(2000)] == list(mirror.random_sample(2000))
+
+
+def test_transplant_mid_stream_and_non_int_seeds():
+    source = random.Random("a string seed")
+    _ = [source.random() for _ in range(137)]  # advance to mid-block
+    mirror = transplant_rng(source)
+    assert [source.random() for _ in range(500)] == list(mirror.random_sample(500))
+
+
+def test_transplant_is_independent_after_copy():
+    source = random.Random(3)
+    mirror = transplant_rng(source)
+    _ = mirror.random_sample(10)
+    fresh = random.Random(3)
+    assert source.random() == fresh.random()  # source state untouched
+
+
+# ----------------------------------------------------------------------
+# getrandbits64
+# ----------------------------------------------------------------------
+
+
+def test_getrandbits64_matches_reference():
+    assert rng_bridge.getrandbits64(2024, trials=64) == [
+        random.Random(2024 + trial).getrandbits(64) for trial in range(64)
+    ]
+    assert rng_bridge.getrandbits64(0, trials=0) == []
+
+
+# ----------------------------------------------------------------------
+# exact_pow: bit-equality with the scalar reference transform
+# ----------------------------------------------------------------------
+
+
+def test_exact_pow_matches_scalar_pow():
+    rng = random.Random(1)
+    base = np.array([[rng.random() for _ in range(23)] for _ in range(17)])
+    exponents = [1.0 / rng.uniform(0.01, 50.0) for _ in range(23)]
+    result = exact_pow(base, exponents)
+    for row_out, row_in in zip(result, base):
+        expected = [value**exponent for value, exponent in zip(row_in.tolist(), exponents)]
+        assert row_out.tolist() == expected
+
+
+def test_exact_pow_unit_exponent_columns_are_copied():
+    base = np.array([[0.25, 0.5], [0.75, 0.125]])
+    result = exact_pow(base, [1.0, 2.0])
+    assert result[:, 0].tolist() == [0.25, 0.75]  # pow(x, 1) == x (C99 Annex F)
+    assert result[:, 1].tolist() == [0.5**2.0, 0.125**2.0]
+
+
+def test_exact_pow_validates_shapes():
+    with pytest.raises(ValueError):
+        exact_pow(np.zeros(3), [1.0])  # not 2-D
+    with pytest.raises(ValueError):
+        exact_pow(np.zeros((2, 3)), [1.0, 2.0])  # exponent count mismatch
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    uniform=st.floats(min_value=0.0, max_value=1.0, exclude_min=False),
+    weight=st.floats(min_value=1e-12, max_value=1e6),
+)
+def test_math_pow_is_float_pow(uniform, weight):
+    """``math.pow`` and ``**`` are the same libm call on the engine's domain.
+
+    exact_pow relies on this: the reference algorithms compute ``u ** (1/w)``
+    via ``float.__pow__`` while the bridge's tight loop calls ``math.pow``.
+    """
+    exponent = 1.0 / weight
+    assert math.pow(uniform, exponent) == uniform**exponent
+
+
+@settings(max_examples=100, deadline=None)
+@given(weight=st.floats(min_value=1e-12, max_value=1e6))
+def test_vectorized_exponents_match_scalar_division(weight):
+    """``compile_instance``'s ``1.0 / clamped`` equals per-call ``1.0 / w``."""
+    vectorized = (1.0 / np.array([weight], dtype=np.float64))[0]
+    assert float(vectorized) == 1.0 / weight
+
+
+# ----------------------------------------------------------------------
+# priority_matrix: new vectorized path vs. the scalar construction
+# ----------------------------------------------------------------------
+
+
+def _compiled(num_sets=14, num_elements=20, seed=3, weight_range=(1.0, 6.0)):
+    instance = random_weighted_instance(
+        num_sets, num_elements, (2, 4), random.Random(seed), weight_range=weight_range
+    )
+    return compile_instance(instance)
+
+
+def _scalar_randpr_matrix(compiled, trials, seed):
+    """The pre-bridge scalar construction (kept as the correctness oracle)."""
+    clamped = [float(value) for value in compiled.clamped_weights]
+    exponents = [1.0 / weight for weight in clamped]
+    matrix = np.empty((trials, compiled.num_sets), dtype=np.float64)
+    for trial in range(trials):
+        draw = random.Random(seed + trial).random
+        row = [draw() ** exponent for exponent in exponents]
+        if 0.0 in row:
+            replay = random.Random(seed + trial)
+            row = [sample_priority(weight, replay) for weight in clamped]
+        matrix[trial] = row
+    return matrix
+
+
+@pytest.mark.parametrize("seed", [0, 17, 2024])
+def test_randpr_priority_matrix_is_bit_identical_to_scalar_path(seed):
+    clear_uniform_cache()
+    compiled = _compiled(seed=seed % 7 + 1)
+    vectorized = priority_matrix(AlgorithmSpec("randPr"), compiled, trials=25, seed=seed)
+    scalar = _scalar_randpr_matrix(compiled, trials=25, seed=seed)
+    assert np.array_equal(vectorized, scalar)
+
+
+def test_randpr_priority_matrix_with_unit_and_zero_weights():
+    """Unit weights take the copy shortcut; zero weights take the clamp."""
+    system = SetSystem(
+        sets={"A": ["u", "v"], "B": ["v", "w"], "C": ["u", "w"]},
+        weights={"A": 1.0, "B": 0.0, "C": 3.5},
+    )
+    compiled = compile_instance(OnlineInstance(system, name="mixed"))
+    vectorized = priority_matrix(AlgorithmSpec("randPr"), compiled, trials=40, seed=5)
+    scalar = _scalar_randpr_matrix(compiled, trials=40, seed=5)
+    assert np.array_equal(vectorized, scalar)
+
+
+@pytest.mark.parametrize("seed", [0, 9])
+def test_uniform_priority_matrix_is_bit_identical_to_scalar_path(seed):
+    clear_uniform_cache()
+    compiled = _compiled(seed=seed + 2)
+    vectorized = priority_matrix(
+        AlgorithmSpec("uniform-priority"), compiled, trials=30, seed=seed
+    )
+    matrix = np.empty((30, compiled.num_sets))
+    for trial in range(30):
+        draw = random.Random(seed + trial).random
+        matrix[trial] = [draw() for _ in range(compiled.num_sets)]
+    assert np.array_equal(vectorized, matrix)
+    assert vectorized.flags.writeable  # the public matrix is caller-owned
+
+
+def test_hashed_fresh_salt_matrix_is_bit_identical_to_scalar_path():
+    compiled = _compiled(seed=11)
+    clamped = [float(value) for value in compiled.clamped_weights]
+    vectorized = priority_matrix(
+        AlgorithmSpec("randPr-hashed"), compiled, trials=6, seed=77
+    )
+    matrix = np.empty((6, compiled.num_sets))
+    for trial in range(6):
+        reference = random.Random(77 + trial)
+        salt = f"salt-{reference.getrandbits(64):016x}"
+        matrix[trial] = [
+            hash_priority(set_id, weight, salt=salt)
+            for set_id, weight in zip(compiled.set_ids, clamped)
+        ]
+    assert np.array_equal(vectorized, matrix)
+
+
+def test_zero_draw_trial_falls_back_to_scalar_replay(monkeypatch):
+    """A 0.0 uniform (probability ~2^-53) must reroute that trial — and only
+    that trial — through the scalar ``sample_priority`` replay."""
+    compiled = _compiled(seed=4)
+    m = compiled.num_sets
+    trials, seed = 5, 123
+    real_table = np.array(uniform_matrix(seed, trials, m))
+    doctored = real_table.copy()
+    doctored[2, 1] = 0.0  # inject the astronomically unlikely draw
+    doctored.setflags(write=False)
+    monkeypatch.setattr(
+        specs_module.rng_bridge, "uniform_matrix", lambda *args: doctored
+    )
+    calls = []
+    real_sample_priority = sample_priority
+
+    def counting_sample_priority(weight, rng):
+        calls.append(weight)
+        return real_sample_priority(weight, rng)
+
+    monkeypatch.setattr(specs_module, "sample_priority", counting_sample_priority)
+    matrix = priority_matrix(AlgorithmSpec("randPr"), compiled, trials=trials, seed=seed)
+    assert len(calls) == m  # exactly one trial replayed through the helper
+    scalar = _scalar_randpr_matrix(compiled, trials=trials, seed=seed)
+    for trial in (0, 1, 3, 4):
+        assert matrix[trial].tolist() == scalar[trial].tolist()
+    # The doctored trial replays the true stream (whose draws are nonzero).
+    assert matrix[2].tolist() == scalar[2].tolist()
+
+
+# ----------------------------------------------------------------------
+# Draw-order-contract fallbacks: what the bridge must NOT absorb
+# ----------------------------------------------------------------------
+
+
+def test_unvectorizable_subclass_resolves_to_none_and_reference_engine():
+    """A subclass may override behaviour: spec resolution must refuse it and
+    the reference simulator must remain the (unchanged) execution route."""
+
+    class TweakedRandPr(RandPrAlgorithm):
+        def start(self, set_infos, rng):  # pragma: no cover - behaviour probe
+            super().start(set_infos, rng)
+
+    assert spec_for_algorithm(TweakedRandPr()) is None
+    with pytest.raises(UnsupportedAlgorithmError):
+        simulate_batch(_instance_small(), TweakedRandPr(), trials=2, seed=0)
+    # The reference route still runs it (and is what engine="auto" picks).
+    results = simulate_many(_instance_small(), TweakedRandPr(), trials=2, seed=0)
+    baseline = simulate_many(_instance_small(), RandPrAlgorithm(), trials=2, seed=0)
+    assert [r.completed_sets for r in results] == [r.completed_sets for r in baseline]
+
+
+def _instance_small():
+    return random_weighted_instance(
+        8, 12, (2, 3), random.Random(6), weight_range=(1.0, 4.0)
+    )
+
+
+def test_per_step_random_kind_routes_through_scalar_replay(monkeypatch):
+    """uniform-random interleaves per-arrival draws: it must bypass the
+    priority-matrix path entirely and keep the scalar stream replay."""
+
+    def exploding_priority_matrix(*args, **kwargs):  # pragma: no cover - guard
+        raise AssertionError("uniform-random must not take the static-priority path")
+
+    import repro.engine.batch as batch_module
+
+    monkeypatch.setattr(batch_module, "priority_matrix", exploding_priority_matrix)
+    instance = _instance_small()
+    batch = simulate_batch(instance, UniformRandomAlgorithm(), trials=6, seed=44)
+    reference = simulate_many(instance, UniformRandomAlgorithm(), trials=6, seed=44)
+    for trial, result in enumerate(reference):
+        assert batch.completed_sets(trial) == result.completed_sets
+
+
+# ----------------------------------------------------------------------
+# End-to-end: simulate_batch with the bridge active
+# ----------------------------------------------------------------------
+
+
+def test_simulate_batch_unchanged_by_uniform_cache_state():
+    instance = _instance_small()
+    clear_uniform_cache()
+    cold = simulate_batch(instance, "randPr", trials=10, seed=3)
+    warm = simulate_batch(instance, "randPr", trials=10, seed=3)
+    clear_uniform_cache()
+    recold = simulate_batch(instance, "randPr", trials=10, seed=3)
+    assert cold.equals(warm) and cold.equals(recold)
+
+
+def test_compiled_exponents_match_reference_floats():
+    compiled = compiled_for(_instance_small())
+    clamped = [float(value) for value in compiled.clamped_weights]
+    assert compiled.priority_exponents.tolist() == [1.0 / weight for weight in clamped]
