@@ -8,13 +8,13 @@ array operations, so the same 1000-trial estimate should run an order of
 magnitude faster *while returning bit-identical per-trial benefits* (the
 differential suite pins the exactness; this benchmark pins the speed).
 
-Two phases are measured:
+Three phases are measured:
 
 * **end-to-end trials** (the historical headline): ``simulate_many`` vs.
   ``simulate_batch``, batch timings taken cold (compile cache warm, but the
   RNG-bridge draw cache cleared per run so priority generation is included).
   Floor: >= 10x at 1000 randPr trials on the 200-set / 400-element instance.
-* **priority setup** (the RNG-bridge phase, new): the per-trial priority
+* **priority setup** (the RNG-bridge phase): the per-trial priority
   *generation* alone — for the reference engine the ``random.Random(seed+b)``
   construction plus ``algorithm.start`` per trial (exactly ``simulate_many``'s
   per-trial setup), for the batch engine
@@ -26,14 +26,23 @@ Two phases are measured:
   (the one stage that *cannot* be vectorized bit-exactly; see
   ``docs/INTERNALS-rng.md``), which is also why the draw-table sharing is
   part of the headline number.
+* **uniform-random trials** (E15c, the word-stream phase): end-to-end trial
+  throughput of ``UniformRandomAlgorithm`` — the per-arrival randomized
+  baseline whose ``random.sample`` draws cannot use a precomputed priority
+  row.  The batch engine replays the selection over batched per-trial
+  MT19937 word streams (:class:`repro.engine.rng.WordStreams`); before the
+  rewrite the replay was a per-trial Python loop barely faster than the
+  reference simulator.  Floor: >= 3x reference trial throughput at
+  1000 trials (measured well above; the margin grows with the batch since
+  the vectorized replay's step cost is amortized over all trials).
 
 Run directly for the CI smoke mode::
 
     python benchmarks/bench_engine_speedup.py --smoke
 
-which runs the full setup-phase measurement (it is sub-second), asserts both
-setup floors and a small bit-identity probe, and skips only the minute-scale
-end-to-end phase.
+which runs the setup-phase measurement and a reduced-batch uniform-random
+phase (both sub-second on a quiet machine), asserts all three floors and the
+bit-identity probes, and skips only the minute-scale end-to-end phase.
 """
 
 import argparse
@@ -44,6 +53,7 @@ import time
 from repro.algorithms import (
     HashedRandPrAlgorithm,
     RandPrAlgorithm,
+    UniformRandomAlgorithm,
     UnweightedPriorityAlgorithm,
 )
 from repro.core import simulate_batch, simulate_many
@@ -65,6 +75,13 @@ MIN_SPEEDUP = 10.0
 #: draw table; cold randPr alone is libm-pow-bound.
 SETUP_SUITE_MIN_SPEEDUP = 5.0
 SETUP_COLD_MIN_SPEEDUP = 3.0
+
+#: Uniform-random (word-stream replay) floors: >= 3x reference trial
+#: throughput at the full batch; the smoke mode uses a reduced batch (the
+#: reference loop is the slow side) against the same floor.
+UNIFORM_MIN_SPEEDUP = 3.0
+UNIFORM_TRIALS = 1000
+UNIFORM_SMOKE_TRIALS = 200
 
 
 def _instance():
@@ -259,8 +276,37 @@ def test_e15b_priority_setup_speedup(run_once, experiment_report):
     assert cold_speedup >= SETUP_COLD_MIN_SPEEDUP
 
 
+def test_e15c_uniform_random_speedup(run_once, experiment_report):
+    """E15c — trial throughput of the word-stream uniform-random replay.
+
+    ``_compare`` asserts per-trial bit-identity between the engines before
+    any timing is trusted, so the floor measures equal computations.
+    """
+
+    def experiment():
+        instance = _instance()
+        return [_compare(instance, UniformRandomAlgorithm(), UNIFORM_TRIALS, seed=7)]
+
+    rows = run_once(experiment)
+    text = format_table(
+        rows,
+        title=(
+            f"E15c: uniform-random trials, per-trial scalar reference vs "
+            f"word-stream batch replay ({NUM_SETS} sets x {NUM_ELEMENTS} "
+            f"elements, shared seeds)"
+        ),
+    )
+    text += (
+        f"\n\nheadline: uniform-random at {UNIFORM_TRIALS} trials -> "
+        f"{rows[0]['speedup']}x (floor: {UNIFORM_MIN_SPEEDUP}x)"
+    )
+    experiment_report("E15c_uniform_random", text)
+
+    assert rows[0]["speedup"] >= UNIFORM_MIN_SPEEDUP
+
+
 def _smoke():
-    """CI smoke: the setup-phase floors plus a small bit-identity probe."""
+    """CI smoke: setup-phase + uniform-random floors plus bit-identity probes."""
     instance = _instance()
     # Exactness probe first — a speedup between unequal computations is void.
     algorithm = RandPrAlgorithm()
@@ -293,10 +339,31 @@ def _smoke():
         f"cold randPr setup speedup {cold_speedup:.1f}x below the "
         f"{SETUP_COLD_MIN_SPEEDUP}x floor"
     )
+
+    # Uniform-random word-stream phase, reduced batch (_compare also runs the
+    # per-trial bit-identity probe); same two-attempt load tolerance.
+    for attempt in (1, 2):
+        row = _compare(
+            instance, UniformRandomAlgorithm(), UNIFORM_SMOKE_TRIALS, seed=7
+        )
+        print(
+            f"uniform-random ({UNIFORM_SMOKE_TRIALS} trials): "
+            f"ref {row['ref_seconds']}s, batch {row['batch_seconds']}s "
+            f"-> {row['speedup']}x"
+        )
+        if row["speedup"] >= UNIFORM_MIN_SPEEDUP:
+            break
+        print(f"uniform-random floor missed on attempt {attempt}, remeasuring")
+    assert row["speedup"] >= UNIFORM_MIN_SPEEDUP, (
+        f"uniform-random trial throughput {row['speedup']}x below the "
+        f"{UNIFORM_MIN_SPEEDUP}x floor"
+    )
+
     print(
         f"smoke OK: suite setup {suite_speedup:.1f}x "
         f"(floor {SETUP_SUITE_MIN_SPEEDUP}x), cold randPr {cold_speedup:.1f}x "
-        f"(floor {SETUP_COLD_MIN_SPEEDUP}x)"
+        f"(floor {SETUP_COLD_MIN_SPEEDUP}x), uniform-random {row['speedup']}x "
+        f"(floor {UNIFORM_MIN_SPEEDUP}x)"
     )
     return 0
 

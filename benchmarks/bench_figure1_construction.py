@@ -12,12 +12,10 @@ stage III: ell^4 of load ell^2 - ell plus ell^2 - ell of load ell^2;
 stage IV: ell^5 of load 1; opt >= ell^3; sigma_max = ell^2).
 """
 
-import random
-
 from repro.core import compute_statistics
 from repro.core.statistics import load_histogram
 from repro.experiments import format_table
-from repro.lowerbounds import build_lemma9_instance, theoretical_profile
+from repro.lowerbounds import stored_lemma9_instance, theoretical_profile
 
 ELLS = (2, 3, 4)
 
@@ -26,7 +24,8 @@ def test_e8_figure1_construction(run_once, experiment_report):
     def experiment():
         rows = []
         for ell in ELLS:
-            sample = build_lemma9_instance(ell, random.Random(ell))
+            # (ell, seed)-memoized via the persistent store under OSP_STORE.
+            sample = stored_lemma9_instance(ell, seed=ell)
             profile = theoretical_profile(ell)
             stats = compute_statistics(sample.instance.system)
             histogram = load_histogram(sample.instance.system)

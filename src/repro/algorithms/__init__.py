@@ -43,7 +43,14 @@ __all__ = [
 
 
 def default_algorithm_suite():
-    """The standard list of algorithms compared throughout the benchmarks."""
+    """The standard list of algorithms compared throughout the benchmarks.
+
+    >>> [algorithm.name for algorithm in default_algorithm_suite()]
+    ... # doctest: +NORMALIZE_WHITESPACE
+    ['randPr', 'randPr-hashed', 'greedy-weight', 'greedy-progress',
+     'greedy-committed', 'first-listed', 'static-order', 'uniform-random',
+     'uniform-priority']
+    """
     return [
         RandPrAlgorithm(),
         HashedRandPrAlgorithm(salt="bench"),

@@ -27,6 +27,13 @@ class FirstListedAlgorithm(StatelessPriorityAlgorithm):
 
     This models a router that serves packets in arrival order within a burst
     with no regard for frame structure.
+
+    >>> import random
+    >>> from repro.core.instance import ElementArrival
+    >>> algorithm = FirstListedAlgorithm()
+    >>> algorithm.start({}, random.Random(0))
+    >>> sorted(algorithm.decide(ElementArrival("u", capacity=1, parents=("B", "A"))))
+    ['B']
     """
 
     name = "first-listed"
@@ -45,6 +52,16 @@ class StaticOrderAlgorithm(StatelessPriorityAlgorithm):
     The order is derived by hashing set identifiers with a fixed salt, so it
     is deterministic across runs.  Unlike randPr the order does not depend on
     weights, making it a useful ablation of the R_w priority distribution.
+
+    >>> import random
+    >>> from repro.core.instance import ElementArrival
+    >>> algorithm = StaticOrderAlgorithm()
+    >>> algorithm.start({}, random.Random(0))
+    >>> arrival = ElementArrival("u", capacity=1, parents=("A", "B", "C"))
+    >>> algorithm.decide(arrival) == StaticOrderAlgorithm().decide(arrival)
+    True
+    >>> StaticOrderAlgorithm(salt="other").cache_identity
+    "salt='other'"
     """
 
     name = "static-order"
@@ -69,6 +86,15 @@ class LargestSetFirstAlgorithm(StatelessPriorityAlgorithm):
     Large frames are the most fragile (they need the most elements), so a
     policy that protects them is a plausible heuristic; the benchmarks show
     it is usually the wrong call compared to randPr.
+
+    >>> import random
+    >>> from repro.core.instance import ElementArrival
+    >>> from repro.core.set_system import SetInfo
+    >>> algorithm = LargestSetFirstAlgorithm()
+    >>> infos = {"A": SetInfo("A", 1.0, size=2), "B": SetInfo("B", 1.0, size=5)}
+    >>> algorithm.start(infos, random.Random(0))
+    >>> sorted(algorithm.decide(ElementArrival("u", capacity=1, parents=("A", "B"))))
+    ['B']
     """
 
     name = "largest-set-first"
@@ -87,6 +113,15 @@ class SmallestSetFirstAlgorithm(StatelessPriorityAlgorithm):
 
     Small frames need the fewest successes to complete, so favouring them
     maximizes the count of completed frames under light contention.
+
+    >>> import random
+    >>> from repro.core.instance import ElementArrival
+    >>> from repro.core.set_system import SetInfo
+    >>> algorithm = SmallestSetFirstAlgorithm()
+    >>> infos = {"A": SetInfo("A", 1.0, size=2), "B": SetInfo("B", 1.0, size=5)}
+    >>> algorithm.start(infos, random.Random(0))
+    >>> sorted(algorithm.decide(ElementArrival("u", capacity=1, parents=("A", "B"))))
+    ['A']
     """
 
     name = "smallest-set-first"

@@ -40,7 +40,19 @@ def _admit_greedily(arrival: GeneralArrival, ranked) -> FrozenSet[SetId]:
 
 
 class GeneralRandPrAlgorithm(GeneralOnlineAlgorithm):
-    """Generalized randPr: static R_w priorities, greedy admission per resource."""
+    """Generalized randPr: static R_w priorities, greedy admission per resource.
+
+    >>> import random
+    >>> from repro.core.general_packing import GeneralArrival
+    >>> from repro.core.set_system import SetInfo
+    >>> algorithm = GeneralRandPrAlgorithm()
+    >>> infos = {"A": SetInfo("A", 1.0, 2), "B": SetInfo("B", 1.0, 2)}
+    >>> algorithm.start(infos, random.Random(1))
+    >>> arrival = GeneralArrival("r", capacity=3, demands={"A": 2, "B": 2})
+    >>> chosen, = algorithm.decide(arrival)  # capacity 3 admits only the winner
+    >>> chosen == max(("A", "B"), key=algorithm.priority_of)
+    True
+    """
 
     name = "general-randPr"
     is_deterministic = False
@@ -92,7 +104,18 @@ class _AliveTrackingGeneralAlgorithm(GeneralOnlineAlgorithm):
 
 
 class GeneralGreedyWeightAlgorithm(_AliveTrackingGeneralAlgorithm):
-    """Serve the heaviest still-alive sets first at every resource."""
+    """Serve the heaviest still-alive sets first at every resource.
+
+    >>> import random
+    >>> from repro.core.general_packing import GeneralArrival
+    >>> from repro.core.set_system import SetInfo
+    >>> algorithm = GeneralGreedyWeightAlgorithm()
+    >>> infos = {"A": SetInfo("A", 4.0, 2), "B": SetInfo("B", 1.0, 2)}
+    >>> algorithm.start(infos, random.Random(0))
+    >>> arrival = GeneralArrival("r", capacity=2, demands={"A": 2, "B": 1})
+    >>> sorted(algorithm.decide(arrival))    # A's demand exhausts the capacity
+    ['A']
+    """
 
     name = "general-greedy-weight"
     is_deterministic = True
@@ -112,7 +135,18 @@ class GeneralGreedyWeightAlgorithm(_AliveTrackingGeneralAlgorithm):
 
 
 class GeneralDensityAlgorithm(_AliveTrackingGeneralAlgorithm):
-    """Serve sets by weight per unit of demand on the arriving resource."""
+    """Serve sets by weight per unit of demand on the arriving resource.
+
+    >>> import random
+    >>> from repro.core.general_packing import GeneralArrival
+    >>> from repro.core.set_system import SetInfo
+    >>> algorithm = GeneralDensityAlgorithm()
+    >>> infos = {"A": SetInfo("A", 4.0, 2), "B": SetInfo("B", 3.0, 2)}
+    >>> algorithm.start(infos, random.Random(0))
+    >>> arrival = GeneralArrival("r", capacity=2, demands={"A": 4, "B": 1})
+    >>> sorted(algorithm.decide(arrival))    # density: B pays 3/unit, A only 1
+    ['B']
+    """
 
     name = "general-density"
     is_deterministic = True

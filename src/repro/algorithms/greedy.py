@@ -75,6 +75,17 @@ class GreedyWeightAlgorithm(_ActivityTrackingAlgorithm):
 
     Dead sets (ones that already lost an element) are never preferred over
     alive ones, since they can no longer pay anything.
+
+    >>> import random
+    >>> from repro.core.instance import ElementArrival
+    >>> from repro.core.set_system import SetInfo
+    >>> algorithm = GreedyWeightAlgorithm()
+    >>> infos = {"A": SetInfo("A", 3.0, 2), "B": SetInfo("B", 1.0, 2)}
+    >>> algorithm.start(infos, random.Random(0))
+    >>> sorted(algorithm.decide(ElementArrival("u", capacity=1, parents=("A", "B"))))
+    ['A']
+    >>> algorithm.is_alive("B")      # B lost its element: dead from now on
+    False
     """
 
     name = "greedy-weight"
@@ -103,6 +114,17 @@ class GreedyProgressAlgorithm(_ActivityTrackingAlgorithm):
     Ties are broken towards heavier sets, then by identifier.  This is the
     "protect sunk work" heuristic: a frame that has already received most of
     its packets is the most costly to abandon.
+
+    >>> import random
+    >>> from repro.core.instance import ElementArrival
+    >>> from repro.core.set_system import SetInfo
+    >>> algorithm = GreedyProgressAlgorithm()
+    >>> infos = {"A": SetInfo("A", 1.0, 5), "B": SetInfo("B", 1.0, 2)}
+    >>> algorithm.start(infos, random.Random(0))
+    >>> sorted(algorithm.decide(ElementArrival("u", capacity=1, parents=("A", "B"))))
+    ['B']
+    >>> algorithm.remaining("B")     # one of B's two elements is banked
+    1
     """
 
     name = "greedy-progress"
@@ -131,6 +153,16 @@ class GreedyCommittedAlgorithm(_ActivityTrackingAlgorithm):
 
     Among alive parents, sets with at least one previously assigned element
     outrank fresh sets; further ties go to weight and then progress.
+
+    >>> import random
+    >>> from repro.core.instance import ElementArrival
+    >>> from repro.core.set_system import SetInfo
+    >>> algorithm = GreedyCommittedAlgorithm()
+    >>> infos = {"A": SetInfo("A", 1.0, 2), "B": SetInfo("B", 9.0, 2)}
+    >>> algorithm.start(infos, random.Random(0))
+    >>> _ = algorithm.decide(ElementArrival("u", capacity=1, parents=("A",)))
+    >>> sorted(algorithm.decide(ElementArrival("v", capacity=1, parents=("A", "B"))))
+    ['A']
     """
 
     name = "greedy-committed"

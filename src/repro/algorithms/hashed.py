@@ -42,6 +42,22 @@ class HashedRandPrAlgorithm(OnlineAlgorithm):
         to use instead of the default SHA-256-based hash.  The paper notes
         that ``k_max * σ_max``-wise independence suffices; a universal family
         lets experiments probe how little independence is enough in practice.
+
+    Two servers sharing a salt decide identically with zero communication,
+    whatever their local RNGs do:
+
+    >>> import random
+    >>> from repro.core.instance import ElementArrival
+    >>> from repro.core.set_system import SetInfo
+    >>> first = HashedRandPrAlgorithm(salt="shared")
+    >>> second = HashedRandPrAlgorithm(salt="shared")
+    >>> infos = {"A": SetInfo("A", 2.0, 2), "B": SetInfo("B", 1.0, 2)}
+    >>> first.start(infos, random.Random(0)); second.start(infos, random.Random(999))
+    >>> arrival = ElementArrival("u", capacity=1, parents=("A", "B"))
+    >>> first.decide(arrival) == second.decide(arrival)
+    True
+    >>> first.priority_of("A") == second.priority_of("A")
+    True
     """
 
     name = "randPr-hashed"

@@ -29,6 +29,20 @@ class HedgingAlgorithm(OnlineAlgorithm):
     random parents instead.  Under all-or-nothing rewards any ``epsilon > 0``
     only hurts; under partial rewards a small ``epsilon`` spreads near-misses
     across more sets and can raise the relaxed benefit.
+
+    >>> import random
+    >>> from repro.core.instance import ElementArrival
+    >>> from repro.core.set_system import SetInfo
+    >>> algorithm = HedgingAlgorithm(epsilon=0.0)    # never re-randomizes
+    >>> infos = {"A": SetInfo("A", 1.0, 1), "B": SetInfo("B", 1.0, 1)}
+    >>> algorithm.start(infos, random.Random(5))
+    >>> chosen, = algorithm.decide(ElementArrival("u", capacity=1, parents=("A", "B")))
+    >>> chosen == max(("A", "B"), key=algorithm._priorities.get)  # pure randPr ranking
+    True
+    >>> HedgingAlgorithm(epsilon=2.0)
+    Traceback (most recent call last):
+        ...
+    ValueError: epsilon must be in [0, 1], got 2.0
     """
 
     name = "hedging"
@@ -75,6 +89,16 @@ class ProportionalShareAlgorithm(OnlineAlgorithm):
     replacement, where a set's selection probability is proportional to its
     weight.  This is the memoryless analogue of randPr's weight sensitivity
     and serves as a second hedging-style baseline for partial rewards.
+
+    >>> import random
+    >>> from repro.core.instance import ElementArrival
+    >>> from repro.core.set_system import SetInfo
+    >>> algorithm = ProportionalShareAlgorithm()
+    >>> infos = {"A": SetInfo("A", 5.0, 1), "B": SetInfo("B", 1.0, 1)}
+    >>> algorithm.start(infos, random.Random(3))
+    >>> arrival = ElementArrival("u", capacity=2, parents=("A", "B"))
+    >>> sorted(algorithm.decide(arrival))    # capacity covers both parents
+    ['A', 'B']
     """
 
     name = "proportional-share"

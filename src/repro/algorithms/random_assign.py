@@ -22,7 +22,23 @@ __all__ = ["UniformRandomAlgorithm", "UnweightedPriorityAlgorithm"]
 
 
 class UniformRandomAlgorithm(OnlineAlgorithm):
-    """Assign each element to ``b(u)`` parent sets chosen uniformly at random."""
+    """Assign each element to ``b(u)`` parent sets chosen uniformly at random.
+
+    Every decision is one ``rng.sample`` over the parent list — fresh
+    randomness per arrival, nothing remembered between arrivals (which is
+    exactly why complete sets are rare; see the module docstring).  The
+    batch engine replays these per-arrival draws over vectorized word
+    streams (:mod:`repro.engine.rng`), bit-equal to this reference:
+
+    >>> import random
+    >>> from repro.core.instance import ElementArrival
+    >>> algorithm = UniformRandomAlgorithm()
+    >>> algorithm.start({}, random.Random(11))
+    >>> mirror = random.Random(11)
+    >>> arrival = ElementArrival("u", capacity=1, parents=("A", "B", "C"))
+    >>> algorithm.decide(arrival) == frozenset(mirror.sample(["A", "B", "C"], 1))
+    True
+    """
 
     name = "uniform-random"
     is_deterministic = False
@@ -49,6 +65,18 @@ class UnweightedPriorityAlgorithm(OnlineAlgorithm):
 
     On unweighted instances this coincides with randPr; on weighted instances
     it demonstrates why the ``R_w`` distribution matters (benchmark E12).
+
+    >>> import random
+    >>> from repro.core.instance import ElementArrival
+    >>> from repro.core.set_system import SetInfo
+    >>> algorithm = UnweightedPriorityAlgorithm()
+    >>> infos = {"A": SetInfo("A", 9.0, 1), "B": SetInfo("B", 1.0, 1)}
+    >>> algorithm.start(infos, random.Random(2))
+    >>> mirror = random.Random(2)
+    >>> priorities = {"A": mirror.random(), "B": mirror.random()}  # weights ignored
+    >>> chosen, = algorithm.decide(ElementArrival("u", capacity=1, parents=("A", "B")))
+    >>> chosen == max(priorities, key=priorities.get)
+    True
     """
 
     name = "uniform-priority"

@@ -32,6 +32,22 @@ class RandPrAlgorithm(OnlineAlgorithm):
         Priorities drawn from a continuous distribution are almost surely
         distinct, but floating point collisions are possible; ties are broken
         by set-identifier representation so runs are reproducible.
+
+    One ``R_w`` draw per set in ``sorted(..., key=repr)`` order (for unit
+    weights ``R_1`` is plain uniform), then every element goes to the
+    highest-priority parents:
+
+    >>> import random
+    >>> from repro.core.instance import ElementArrival
+    >>> from repro.core.set_system import SetInfo
+    >>> algorithm = RandPrAlgorithm()
+    >>> infos = {"A": SetInfo("A", 1.0, 2), "B": SetInfo("B", 1.0, 2)}
+    >>> algorithm.start(infos, random.Random(7))
+    >>> algorithm.priority_of("A") == random.Random(7).random()
+    True
+    >>> chosen, = algorithm.decide(ElementArrival("u", capacity=1, parents=("A", "B")))
+    >>> chosen == max(("A", "B"), key=algorithm.priority_of)
+    True
     """
 
     name = "randPr"

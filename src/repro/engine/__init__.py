@@ -14,21 +14,25 @@ The engine is *exact*, not approximate: trial ``b`` of a batch reproduces
 ``tests/test_engine_differential.py`` enforces that contract against the
 reference simulator across every workload generator.
 
-Randomized priority draws run through :mod:`repro.engine.rng` — a bit-exact
-numpy replay of CPython's Mersenne Twister (vectorized seeding + an MT19937
-state transplant; ``docs/INTERNALS-rng.md`` has the details).
+Randomized draws run through :mod:`repro.engine.rng` — a bit-exact numpy
+replay of CPython's Mersenne Twister: static-priority kinds read a
+vectorized ``random()`` draw table, and per-arrival kinds
+(``uniform-random``) replay ``random.sample`` over batched per-trial word
+streams (``docs/INTERNALS-rng.md`` has the details).
 """
 
 from repro.engine.batch import BatchResult, batch_from_results, simulate_batch
 from repro.engine.cache import clear_compile_cache, compile_cache_stats, compiled_for
 from repro.engine.compile import CompiledInstance, compile_instance
 from repro.engine.rng import (
+    WordStreams,
     clear_uniform_cache,
     exact_pow,
     state_matrix,
     transplant_rng,
     uniform_cache_stats,
     uniform_matrix,
+    word_matrix,
 )
 from repro.engine.specs import (
     GREEDY_KINDS,
@@ -61,6 +65,8 @@ __all__ = [
     "transplant_rng",
     "state_matrix",
     "uniform_matrix",
+    "word_matrix",
+    "WordStreams",
     "exact_pow",
     "clear_uniform_cache",
     "uniform_cache_stats",

@@ -13,8 +13,8 @@ for every supported algorithm, trial ``b`` of
 ``simulate_batch(instance, algorithm, trials, seed)`` completes **exactly**
 the same sets as ``simulate(instance, algorithm, rng=random.Random(seed + b))``
 — the randomness is replayed bit-for-bit (static-priority draws through the
-vectorized :mod:`repro.engine.rng` bridge, per-step draws through the scalar
-stream replay below; see :mod:`repro.engine.specs` and
+vectorized :mod:`repro.engine.rng` draw table, per-step ``sample`` draws
+through the bridge's batched word streams; see :mod:`repro.engine.specs` and
 ``docs/INTERNALS-rng.md``), the tie-breaks coincide with the reference
 ``(-priority, repr)`` sort key, and even the benefit floats are summed in
 the reference order.  The batch engine is therefore a drop-in replacement
@@ -44,6 +44,7 @@ from repro.core.algorithm import OnlineAlgorithm
 from repro.core.instance import OnlineInstance
 from repro.core.set_system import SetId
 from repro.core.statistics import statistics_from_benefits
+from repro.engine import rng as rng_bridge
 from repro.engine.cache import compiled_for
 from repro.engine.compile import CompiledInstance
 from repro.engine.specs import (
@@ -225,44 +226,31 @@ def _sample_uses_pool(width: int, take: int) -> bool:
     return width <= setsize
 
 
-def _run_uniform_random(
-    compiled: CompiledInstance, trials: int, seed: int
-) -> np.ndarray:
-    """Replay all trials of the uniform-random assignment algorithm.
+#: Cap on redraw rounds per vectorized retry loop (the ``_randbelow`` bound
+#: rejection and the rejection-set duplicate rejection).  Every round accepts
+#: with probability > 1/2, so a trial still retrying after this many rounds
+#: has probability < 2**-64 per loop — astronomically unlikely, but the
+#: replay must stay exact even then: such trials *bail out* of the batch and
+#: are replayed through the scalar per-trial loop instead.
+_MAX_REPLAY_ROUNDS = 64
 
-    Returns the ``(trials, m)`` completed mask.  The algorithm draws fresh
-    randomness at every arrival (``rng.sample`` over the parent sets), so
-    there is no static priority row to precompute — its draw order depends on
-    the arrival sequence, which is exactly the condition that disqualifies a
-    kind from the vectorized :mod:`repro.engine.rng` draw table (the
-    "draw-order contract" of ``docs/INTERNALS-rng.md``); instead the engine
-    replays each trial's RNG stream exactly as the reference algorithm
-    consumes it.
-    ``random.sample`` selects *positions* that depend only on the population
-    size, the draw count and the RNG state, and every draw bottoms out in
-    ``getrandbits``; replaying that selection inline (the pool swap for small
-    populations, the rejection set for large ones, each index drawn by the
-    ``_randbelow`` retry loop) reproduces the reference draws over the actual
-    parent tuples bit for bit while skipping ``sample``'s per-call sequence
-    type checks — the dominant cost at hundreds of thousands of arrivals.
-    The differential suite pins this replay against the real
-    ``rng.sample`` across every workload family, so a change to CPython's
-    selection algorithm would fail loudly, not drift silently.
+#: Trials are replayed in blocks of this many rows so the per-block word
+#: streams stay a few megabytes regardless of the total trial count
+#: (mirroring the draw-table blocking in :mod:`repro.engine.rng`).
+_UNIFORM_TRIAL_BLOCK = 4096
 
-    The replay is necessarily a Python loop (it must consume the very same
-    Mersenne-Twister stream), but it skips the reference simulator's per-step
-    protocol validation, per-parent dict bookkeeping and frozenset
-    construction, and the completion bookkeeping happens once per trial as an
-    array scatter.
+
+def _uniform_random_steps(compiled: CompiledInstance) -> list:
+    """Per-step constants of the uniform-random replay, shared by all trials.
+
+    Steps where the element fits every parent (``take == width``) consume RNG
+    but can never kill a set; steps with no parents consume nothing at all
+    (the reference algorithm returns before touching the RNG) and are
+    dropped here.
     """
-    m = compiled.num_sets
     indptr = compiled.step_indptr
     parents = compiled.step_parents
     capacities = compiled.step_capacities
-
-    # Per-step constants, precomputed once for the whole batch.  Steps where
-    # the element fits every parent (take == width) consume RNG but can
-    # never kill a set; steps with no parents consume nothing at all.
     steps = []
     for step in range(compiled.num_steps):
         columns = parents[indptr[step] : indptr[step + 1]]
@@ -270,48 +258,190 @@ def _run_uniform_random(
         if width == 0:
             continue
         take = min(int(capacities[step]), width)
-        steps.append(
-            (columns.tolist(), width, take, _sample_uses_pool(width, take))
-        )
+        steps.append((columns, width, take, _sample_uses_pool(width, take)))
+    return steps
 
-    completed = np.ones((trials, m), dtype=bool)
-    for trial in range(trials):
-        getrandbits = random.Random(seed + trial).getrandbits
-        dropped = []
-        for columns, width, take, use_pool in steps:
-            if use_pool:
-                pool = list(range(width))
-                chosen = []
-                for draw in range(take):
-                    bound = width - draw
-                    bits = bound.bit_length()
+
+def _masked_randbelow(
+    streams: "rng_bridge.WordStreams",
+    bound: int,
+    bits: int,
+    mask: np.ndarray,
+    bailed: np.ndarray,
+) -> np.ndarray:
+    """One ``_randbelow(bound)`` per masked trial, replayed over word streams.
+
+    Vectorizes CPython's rejection loop (``getrandbits(bits)`` until the
+    value falls below ``bound``): every round redraws only the trials still
+    rejecting, so each trial consumes exactly as many words as its reference
+    stream.  Trials that exhaust :data:`_MAX_REPLAY_ROUNDS` are marked in
+    ``bailed`` (in place) for the scalar fallback.  Returns a full-batch
+    ``int64`` array; entries outside ``mask & ~bailed`` are meaningless
+    placeholders (zeros — always a valid index).
+    """
+    position = np.zeros(streams.trials, dtype=np.int64)
+    pending = mask & ~bailed
+    for _round in range(_MAX_REPLAY_ROUNDS):
+        if not pending.any():
+            return position
+        position[pending] = streams.getrandbits(bits, pending)
+        pending = pending & (position >= bound)
+    bailed |= pending
+    position[pending] = 0  # last drawn value was rejected (>= bound): replace
+    return position
+
+
+def _replay_uniform_block(steps: list, seed: int, completed: np.ndarray) -> None:
+    """Replay one trial block of the uniform-random algorithm, vectorized.
+
+    ``completed`` is the block's ``(batch, m)`` all-``True`` mask, updated in
+    place.  Trial ``b`` consumes the stream of ``random.Random(seed + b)``
+    through a :class:`~repro.engine.rng.WordStreams` word matrix; both
+    ``random.sample`` branches run as array operations over the whole batch
+    at once, with masked draws keeping each trial's stream position exact
+    through the ragged ``_randbelow`` retry loops.  Trials whose retry tails
+    outlive :data:`_MAX_REPLAY_ROUNDS` fall back to the scalar per-trial
+    replay at the end.
+    """
+    batch = completed.shape[0]
+    streams = rng_bridge.WordStreams(seed, batch)
+    rows = np.arange(batch)
+    bailed = np.zeros(batch, dtype=bool)
+    for columns, width, take, use_pool in steps:
+        if bailed.all():
+            break
+        # Positions default to 0 (a valid index) wherever a trial is bailed
+        # or mid-retry, so the full-batch gathers/scatters below stay in
+        # bounds; bailed rows are recomputed wholesale afterwards.
+        chosen = np.zeros((batch, take), dtype=np.int64)
+        if use_pool:
+            # random.sample's pool branch: partial Fisher-Yates over an
+            # index pool, one swap per draw, batched across trials.
+            pool = np.tile(np.arange(width, dtype=np.int64), (batch, 1))
+            for draw in range(take):
+                bound = width - draw
+                position = _masked_randbelow(
+                    streams, bound, bound.bit_length(), ~bailed, bailed
+                )
+                chosen[:, draw] = pool[rows, position]
+                pool[rows, position] = pool[:, bound - 1].copy()
+        else:
+            # random.sample's rejection-set branch: draw positions below
+            # width, redrawing duplicates.  The duplicate check compares
+            # against each trial's own earlier draws of this step.
+            bits = width.bit_length()
+            for draw in range(take):
+                position = _masked_randbelow(
+                    streams, width, bits, ~bailed, bailed
+                )
+                if draw:
+                    duplicate = ~bailed & (
+                        position[:, np.newaxis] == chosen[:, :draw]
+                    ).any(axis=1)
+                    rounds = 0
+                    while duplicate.any():
+                        rounds += 1
+                        if rounds > _MAX_REPLAY_ROUNDS:
+                            bailed |= duplicate
+                            break
+                        redrawn = _masked_randbelow(
+                            streams, width, bits, duplicate, bailed
+                        )
+                        duplicate &= ~bailed
+                        position[duplicate] = redrawn[duplicate]
+                        duplicate &= (
+                            position[:, np.newaxis] == chosen[:, :draw]
+                        ).any(axis=1)
+                chosen[:, draw] = position
+        if take < width:
+            assigned = np.zeros((batch, width), dtype=bool)
+            assigned[rows[:, np.newaxis], chosen] = True
+            completed[:, columns] &= assigned
+    for trial in np.flatnonzero(bailed).tolist():
+        completed[trial] = True
+        dropped = _replay_uniform_trial_scalar(
+            steps, random.Random(seed + trial).getrandbits
+        )
+        if dropped:
+            completed[trial, dropped] = False
+
+
+def _replay_uniform_trial_scalar(steps: list, getrandbits) -> list:
+    """One trial's scalar stream replay; returns the dropped column indices.
+
+    This is the pre-vectorization replay loop, kept as the fallback for
+    trials whose retry tails exceed :data:`_MAX_REPLAY_ROUNDS` (and as the
+    plainest statement of what the batched version must reproduce).  It
+    consumes ``getrandbits`` exactly as ``random.sample`` does: the pool swap
+    for small populations, the rejection set for large ones, each index
+    drawn through the ``_randbelow`` retry loop.
+    """
+    dropped = []
+    for columns, width, take, use_pool in steps:
+        if use_pool:
+            pool = list(range(width))
+            chosen = []
+            for draw in range(take):
+                bound = width - draw
+                bits = bound.bit_length()
+                position = getrandbits(bits)
+                while position >= bound:
                     position = getrandbits(bits)
-                    while position >= bound:
-                        position = getrandbits(bits)
-                    chosen.append(pool[position])
-                    pool[position] = pool[bound - 1]
-            else:
-                bits = width.bit_length()
-                selected = set()
-                for draw in range(take):
+                chosen.append(pool[position])
+                pool[position] = pool[bound - 1]
+        else:
+            bits = width.bit_length()
+            selected = set()
+            for draw in range(take):
+                position = getrandbits(bits)
+                while position >= width:
+                    position = getrandbits(bits)
+                while position in selected:
                     position = getrandbits(bits)
                     while position >= width:
                         position = getrandbits(bits)
-                    while position in selected:
-                        position = getrandbits(bits)
-                        while position >= width:
-                            position = getrandbits(bits)
-                    selected.add(position)
-                chosen = selected
-            if take < width:
-                keep = set(chosen)
-                dropped.extend(
-                    column
-                    for position, column in enumerate(columns)
-                    if position not in keep
-                )
-        if dropped:
-            completed[trial, dropped] = False
+                selected.add(position)
+            chosen = selected
+        if take < width:
+            keep = set(chosen)
+            dropped.extend(
+                column
+                for position, column in enumerate(columns.tolist())
+                if position not in keep
+            )
+    return dropped
+
+
+def _run_uniform_random(
+    compiled: CompiledInstance, trials: int, seed: int
+) -> np.ndarray:
+    """Replay all trials of the uniform-random assignment algorithm.
+
+    Returns the ``(trials, m)`` completed mask.  The algorithm draws fresh
+    randomness at every arrival (``rng.sample`` over the parent sets), so
+    there is no static priority row to precompute — per-arrival consumption
+    disqualifies the kind from the precomputed ``random()`` draw table of
+    :mod:`repro.engine.rng`.  But ``random.sample`` selects *positions* that
+    depend only on the population size, the draw count and the RNG state,
+    and every draw bottoms out in ``getrandbits`` — one raw 32-bit word per
+    call — so the selection replays over the bridge's per-trial **word
+    streams** instead (:class:`~repro.engine.rng.WordStreams`): the pool-swap
+    branch and the rejection-set branch both run as array operations over
+    all trials at once, with masked draws advancing each trial's stream
+    position independently through the ragged ``_randbelow`` retry loops
+    (see ``docs/INTERNALS-rng.md``).  The scalar per-trial replay survives
+    only as the fallback for pathological retry tails
+    (:data:`_MAX_REPLAY_ROUNDS`).  The differential suite pins the replay
+    against the real ``rng.sample`` across every workload family, so a
+    change to CPython's selection algorithm would fail loudly, not drift
+    silently.
+    """
+    m = compiled.num_sets
+    steps = _uniform_random_steps(compiled)
+    completed = np.ones((trials, m), dtype=bool)
+    for start in range(0, trials, _UNIFORM_TRIAL_BLOCK):
+        stop = min(start + _UNIFORM_TRIAL_BLOCK, trials)
+        _replay_uniform_block(steps, seed + start, completed[start:stop])
     return completed
 
 

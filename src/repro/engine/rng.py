@@ -29,6 +29,15 @@ CPython's Mersenne Twister in numpy:
   (off by one ulp on a few percent of inputs on this stack), so the transform
   deliberately stays on scalar ``math.pow`` per element — exactness beats
   vectorization here, and the draws dominate the old cost anyway.
+* Algorithms that consume the RNG *during* the arrival loop (uniform-random's
+  per-arrival ``sample`` calls) cannot use a precomputed draw table, but their
+  draws still bottom out in ``getrandbits`` — one raw 32-bit word per call.
+  :func:`word_matrix` exposes the underlying ``(trials, words)`` table of raw
+  tempered outputs, and :class:`WordStreams` layers a batched
+  ``getrandbits(bits)`` replay on top of it: every trial owns an independent
+  read position, a draw advances only the trials named by a mask (so the
+  ragged ``_randbelow`` retry loops consume the right number of words per
+  trial), and the word table grows past twist boundaries on demand.
 
 ``docs/INTERNALS-rng.md`` documents the trick, why ``getstate`` →
 ``set_state`` is exact, and the draw-order contract a new vectorizable
@@ -56,6 +65,8 @@ __all__ = [
     "transplant_rng",
     "state_matrix",
     "uniform_matrix",
+    "word_matrix",
+    "WordStreams",
     "getrandbits64",
     "exact_pow",
     "clear_uniform_cache",
@@ -291,6 +302,117 @@ def _word_matrix_T(seeds: Sequence[int], num_words: int) -> np.ndarray:
         _temper(mt[:take], out[produced : produced + take], scratch_a)
         produced += take
     return out
+
+
+def word_matrix(seed: int, trials: int, words: int) -> np.ndarray:
+    """The exact ``(trials, words)`` table of raw 32-bit generator outputs.
+
+    Entry ``[b, k]`` is the ``k``-th tempered MT19937 word of
+    ``random.Random(seed + b)`` — the value ``getrandbits(32)`` would return
+    on its ``k``-th call, and the raw stream underneath ``random()``,
+    ``getrandbits`` and ``sample``.  This is the static (fixed word count)
+    form of the per-trial word stream; :class:`WordStreams` is the dynamic
+    one, for consumers whose per-trial word counts are data-dependent.
+
+    >>> import random
+    >>> table = word_matrix(99, trials=2, words=4)
+    >>> reference = random.Random(99 + 1)          # trial b=1
+    >>> [reference.getrandbits(32) for _ in range(4)] == list(table[1])
+    True
+    """
+    if trials < 0 or words < 0:
+        raise ValueError(f"trials and words must be non-negative, got {trials}, {words}")
+    produced = _word_matrix_T([seed + b for b in range(trials)], words)
+    return np.ascontiguousarray(produced.T)
+
+
+class WordStreams:
+    """Per-trial raw MT19937 word streams with independently advancing positions.
+
+    Stream ``b`` replays the tempered 32-bit outputs of
+    ``random.Random(seed + b)`` (the batch engine's trial seeding), produced
+    by the same vectorized seeding/twist/temper pipeline as
+    :func:`uniform_matrix` and grown past twist boundaries on demand.  On top
+    of the raw words, :meth:`getrandbits` is a *batched* replay of CPython's
+    ``getrandbits(bits)`` for ``bits <= 32`` — one word consumed per call per
+    selected trial — and the ``mask`` parameter is what makes data-dependent
+    consumption replayable: a ``_randbelow`` retry loop advances only the
+    trials that actually redraw, so per-trial positions stay in lockstep with
+    the reference streams even when consumption is ragged across the batch.
+
+    >>> import random
+    >>> streams = WordStreams(seed=3, trials=2)
+    >>> reference = [random.Random(3 + b) for b in range(2)]
+    >>> list(streams.getrandbits(5)) == [r.getrandbits(5) for r in reference]
+    True
+    >>> import numpy as np
+    >>> _ = streams.getrandbits(7, mask=np.array([True, False]))  # trial 0 only
+    >>> streams.positions.tolist()
+    [2, 1]
+    """
+
+    def __init__(self, seed: int, trials: int) -> None:
+        if trials < 0:
+            raise ValueError(f"trials must be non-negative, got {trials}")
+        self.trials = trials
+        self._mt = _state_matrix_T([seed + b for b in range(trials)])
+        #: The number of words each trial has consumed so far (read-only to
+        #: callers; advanced by :meth:`getrandbits`).
+        self.positions = np.zeros(trials, dtype=np.int64)
+        # The word window: rows [_base, _base + len) of the per-trial streams.
+        # Rows every trial has consumed are discarded as the window slides
+        # (see _ensure), so memory tracks the *spread* between the slowest
+        # and fastest trial — not the total stream length — and long arrival
+        # sequences never accumulate the whole history.
+        self._base = 0
+        self._words = np.empty((0, trials), dtype=np.uint32)
+        self._scratch_a = np.empty((MT_N, trials), dtype=np.uint32)
+        self._scratch_b = np.empty((MT_N - 1, trials), dtype=np.uint32)
+
+    @property
+    def words_produced(self) -> int:
+        """How many words per trial have been generated (grows in twist blocks)."""
+        return self._base + self._words.shape[0]
+
+    def _ensure(self, words: int) -> None:
+        if words - self._base <= self._words.shape[0]:
+            return
+        # Slide the window: rows below every trial's position can never be
+        # read again.  Discarding in at-least-block-sized steps keeps the
+        # copy amortized against the twist work that produced the rows.
+        floor = int(self.positions.min()) if self.trials else 0
+        drop = floor - self._base
+        if drop >= MT_N:
+            self._words = self._words[drop:].copy()
+            self._base += drop
+        while self._base + self._words.shape[0] < words:
+            _twist(self._mt, self._scratch_a[: MT_N - 1], self._scratch_b)
+            block = np.empty((MT_N, self.trials), dtype=np.uint32)
+            _temper(self._mt, block, self._scratch_a)
+            self._words = np.concatenate([self._words, block], axis=0)
+
+    def getrandbits(self, bits: int, mask: "np.ndarray | None" = None) -> np.ndarray:
+        """The next ``getrandbits(bits)`` value of each selected trial.
+
+        Replays CPython exactly for ``1 <= bits <= 32``: one raw word is
+        consumed and its top ``bits`` bits returned (``word >> (32 - bits)``).
+        ``mask`` selects which trials draw (all of them when ``None``); only
+        those trials' positions advance.  Returns an ``int64`` array of
+        length ``mask.sum()``, in ascending trial order.
+        """
+        if not 1 <= bits <= 32:
+            raise ValueError(f"bits must be in 1..32, got {bits}")
+        if mask is None:
+            indices = np.arange(self.trials)
+        else:
+            indices = np.flatnonzero(mask)
+        if indices.size == 0:
+            return np.empty(0, dtype=np.int64)
+        positions = self.positions[indices]
+        self._ensure(int(positions.max()) + 1)
+        words = self._words[positions - self._base, indices]
+        self.positions[indices] = positions + 1
+        return (words >> np.uint32(32 - bits)).astype(np.int64)
 
 
 # ----------------------------------------------------------------------

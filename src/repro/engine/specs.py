@@ -23,14 +23,17 @@ supported:
   batch state matrices.  These are deterministic, so every trial of a batch
   is the same run ("degenerate" batches).
 * **per-step-random** algorithms (``uniform-random``): a fresh draw happens
-  at every arrival, so no static priority row exists.  The engine replays
-  each trial's RNG stream call-for-call (the same ``random.Random(seed + b)``
-  and the same ``sample`` invocations as the reference algorithm) to recover
-  the assignment decisions, then finishes the bookkeeping as array
-  operations.  This is the documented *fallback family* of the RNG bridge:
-  its reference draw order interleaves state-dependent ``sample`` calls with
-  the arrival loop, which violates the draw-order contract
-  (``docs/INTERNALS-rng.md``), so the scalar replay is kept deliberately.
+  at every arrival, so no static priority row exists — the state-dependent
+  ``sample`` calls interleave with the arrival loop, which rules out the
+  precomputed ``random()`` draw table (the draw-order contract of
+  ``docs/INTERNALS-rng.md``).  The engine instead replays the selection over
+  the bridge's per-trial **word streams**
+  (:class:`~repro.engine.rng.WordStreams`): every ``sample`` draw bottoms
+  out in ``getrandbits`` — one raw 32-bit word per call — so both ``sample``
+  branches run as array operations over all trials at once, with masked
+  draws advancing each trial's stream position independently through the
+  ragged ``_randbelow`` retry loops.  A scalar per-trial replay survives
+  only as the fallback for pathological retry tails.
 
 :func:`spec_for_algorithm` maps a reference algorithm object to its spec
 (or ``None`` when the algorithm cannot be vectorized — e.g. a custom hash
@@ -95,7 +98,8 @@ STATIC_PRIORITY_KINDS = frozenset(
 GREEDY_KINDS = frozenset({"greedy-weight", "greedy-progress", "greedy-committed"})
 
 #: Kinds that draw fresh randomness at every arrival (no static priority row
-#: exists); the engine replays the per-step RNG stream instead.
+#: exists); the engine replays the per-step draws over batched per-trial
+#: word streams (:class:`repro.engine.rng.WordStreams`) instead.
 PER_STEP_RANDOM_KINDS = frozenset({"uniform-random"})
 
 SUPPORTED_KINDS = STATIC_PRIORITY_KINDS | GREEDY_KINDS | PER_STEP_RANDOM_KINDS

@@ -238,12 +238,23 @@ def _quarantine_path(path: str) -> str:
     return candidate
 
 
+#: Every payload table of the store file, in display order.  ``constructions``
+#: was added after the first release of format version 1; the verbs that read
+#: *foreign* files (CLI inspect/merge sources) therefore tolerate its absence
+#: (see :func:`_existing_payload_tables`), while every file this code opens
+#: for writing gets all three created on connect.
+_PAYLOAD_TABLES = ("opt", "units", "constructions")
+
+
 class SolutionStore:
     """A file-backed, content-addressed store of computed experiment results.
 
-    One SQLite file holds two tables — ``opt`` (offline-optimum estimates,
-    keyed by :meth:`~repro.experiments.opt_cache.OptCache.key`) and ``units``
-    (whole sweep-unit results, keyed by :func:`unit_key`) — each row a
+    One SQLite file holds three payload tables — ``opt`` (offline-optimum
+    estimates, keyed by :meth:`~repro.experiments.opt_cache.OptCache.key`),
+    ``units`` (whole sweep-unit results, keyed by :func:`unit_key`) and
+    ``constructions`` (deterministic-per-key instance constructions, e.g.
+    the Lemma 9 samples of
+    :func:`repro.lowerbounds.stored_lemma9_instance`) — each row a
     pickled payload with a SHA-256 checksum.  The store is safe to share
     between concurrent worker processes: writes use ``INSERT OR IGNORE``
     (first writer wins; every writer computed the identical value) under
@@ -251,7 +262,8 @@ class SolutionStore:
     report a miss instead of crashing.
 
     Counters (``opt_hits``/``opt_misses``/``unit_hits``/``unit_misses``/
-    ``integrity_failures``) are per-process and exposed via :meth:`stats`.
+    ``construction_hits``/``construction_misses``/``integrity_failures``)
+    are per-process and exposed via :meth:`stats`.
 
     >>> import os, tempfile
     >>> path = os.path.join(tempfile.mkdtemp(), "demo.sqlite")
@@ -272,6 +284,8 @@ class SolutionStore:
         self.opt_misses = 0
         self.unit_hits = 0
         self.unit_misses = 0
+        self.construction_hits = 0
+        self.construction_misses = 0
         self.integrity_failures = 0
         self._connection = self._open()
 
@@ -330,6 +344,10 @@ class SolutionStore:
             )
             connection.execute(
                 "CREATE TABLE IF NOT EXISTS units "
+                "(key TEXT PRIMARY KEY, payload BLOB NOT NULL, checksum TEXT NOT NULL)"
+            )
+            connection.execute(
+                "CREATE TABLE IF NOT EXISTS constructions "
                 "(key TEXT PRIMARY KEY, payload BLOB NOT NULL, checksum TEXT NOT NULL)"
             )
             connection.execute(
@@ -483,9 +501,28 @@ class SolutionStore:
         """Persist a completed sweep-unit result under its :func:`unit_key`."""
         self._put("units", key, value)
 
+    def get_construction(self, key: str):
+        """The stored instance construction under ``key``, or ``None`` on miss.
+
+        Construction keys are caller-chosen strings that must encode every
+        input of the (deterministic) construction — e.g.
+        ``"lemma9|ell=2|seed=7"`` for
+        :func:`repro.lowerbounds.stored_lemma9_instance`.
+        """
+        value = self._get("constructions", key)
+        if value is None:
+            self.construction_misses += 1
+        else:
+            self.construction_hits += 1
+        return value
+
+    def put_construction(self, key: str, value) -> None:
+        """Persist a deterministic instance construction under its key."""
+        self._put("constructions", key, value)
+
     def __len__(self) -> int:
         counts = 0
-        for table in ("opt", "units"):
+        for table in _PAYLOAD_TABLES:
             counts += self._connection.execute(
                 f"SELECT COUNT(*) FROM {table}"
             ).fetchone()[0]
@@ -493,24 +530,29 @@ class SolutionStore:
 
     def stats(self) -> Dict[str, int]:
         """Per-process hit/miss/integrity counters plus stored-entry counts."""
-        opt_count = self._connection.execute("SELECT COUNT(*) FROM opt").fetchone()[0]
-        unit_count = self._connection.execute(
-            "SELECT COUNT(*) FROM units"
-        ).fetchone()[0]
+        counts = {
+            table: self._connection.execute(
+                f"SELECT COUNT(*) FROM {table}"
+            ).fetchone()[0]
+            for table in _PAYLOAD_TABLES
+        }
         return {
             "opt_hits": self.opt_hits,
             "opt_misses": self.opt_misses,
             "unit_hits": self.unit_hits,
             "unit_misses": self.unit_misses,
+            "construction_hits": self.construction_hits,
+            "construction_misses": self.construction_misses,
             "integrity_failures": self.integrity_failures,
-            "opt_entries": int(opt_count),
-            "unit_entries": int(unit_count),
+            "opt_entries": int(counts["opt"]),
+            "unit_entries": int(counts["units"]),
+            "construction_entries": int(counts["constructions"]),
         }
 
     def integrity_report(self) -> Dict[str, int]:
         """Re-checksum every stored row, dropping (and counting) garbled ones."""
         report = {"checked": 0, "dropped": 0}
-        for table in ("opt", "units"):
+        for table in _PAYLOAD_TABLES:
             rows = self._connection.execute(
                 f"SELECT key, payload, checksum FROM {table}"
             ).fetchall()
@@ -667,9 +709,24 @@ def _open_readonly(path: str) -> sqlite3.Connection:
     return connection
 
 
+def _existing_payload_tables(connection: sqlite3.Connection):
+    """The payload tables present in a (possibly older) store file.
+
+    Format version 1 files written before the ``constructions`` table
+    existed are still valid stores; read-only verbs must not assume it.
+    """
+    present = {
+        row[0]
+        for row in connection.execute(
+            "SELECT name FROM sqlite_master WHERE type = 'table'"
+        )
+    }
+    return tuple(table for table in _PAYLOAD_TABLES if table in present)
+
+
 def _audit_rows(connection: sqlite3.Connection):
     """Yield ``(table, key, payload, checksum, ok)`` for every stored row."""
-    for table in ("opt", "units"):
+    for table in _existing_payload_tables(connection):
         for key, payload, checksum in connection.execute(
             f"SELECT key, payload, checksum FROM {table}"
         ):
@@ -679,18 +736,20 @@ def _audit_rows(connection: sqlite3.Connection):
 def _cli_inspect(args) -> int:
     connection = _open_readonly(args.path)
     try:
+        tables = _existing_payload_tables(connection)
         counts = {
             table: connection.execute(f"SELECT COUNT(*) FROM {table}").fetchone()[0]
-            for table in ("opt", "units")
+            for table in tables
         }
         print(f"solution store {os.path.abspath(args.path)}")
         print(f"  format version: {STORE_FORMAT_VERSION}")
-        print(f"  opt entries:    {counts['opt']}")
-        print(f"  unit entries:   {counts['units']}")
+        print(f"  opt entries:    {counts.get('opt', 0)}")
+        print(f"  unit entries:   {counts.get('units', 0)}")
+        print(f"  construction entries: {counts.get('constructions', 0)}")
         print(f"  file size:      {os.path.getsize(args.path)} bytes")
         if args.check:
             garbled = sum(1 for *_ignored, ok in _audit_rows(connection) if not ok)
-            total = counts["opt"] + counts["units"]
+            total = sum(counts.values())
             print(f"  checksum audit: {total - garbled}/{total} rows valid")
             if garbled:
                 print(f"  ({garbled} garbled row(s); run vacuum to drop them)")
@@ -737,7 +796,7 @@ def _cli_merge(args) -> int:
     if os.path.exists(args.destination):
         _open_readonly(args.destination).close()
     destination = SolutionStore(args.destination)
-    inserted = {"opt": 0, "units": 0}
+    inserted = {table: 0 for table in _PAYLOAD_TABLES}
     examined = skipped = 0
     try:
         for source_path in args.sources:
@@ -761,7 +820,8 @@ def _cli_merge(args) -> int:
     print(
         f"merged {len(args.sources)} store(s) into "
         f"{os.path.abspath(args.destination)}: examined {examined} row(s), "
-        f"added {inserted['opt']} opt + {inserted['units']} unit entries, "
+        f"added {inserted['opt']} opt + {inserted['units']} unit + "
+        f"{inserted['constructions']} construction entries, "
         f"skipped {skipped} garbled"
     )
     return 0
@@ -785,6 +845,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
       format version: 1
       opt entries:    1
       unit entries:   0
+      construction entries: 0
       file size:      ... bytes
     0
     """

@@ -14,6 +14,7 @@ from repro.lowerbounds.gadget import Gadget, apply_gadget
 from repro.lowerbounds.randomized_construction import (
     Lemma9Instance,
     build_lemma9_instance,
+    stored_lemma9_instance,
     theoretical_profile,
 )
 
@@ -28,5 +29,6 @@ __all__ = [
     "apply_gadget",
     "Lemma9Instance",
     "build_lemma9_instance",
+    "stored_lemma9_instance",
     "theoretical_profile",
 ]

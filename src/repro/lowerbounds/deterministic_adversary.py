@@ -31,7 +31,15 @@ __all__ = ["AdversaryResult", "run_deterministic_adversary"]
 
 @dataclass(frozen=True)
 class AdversaryResult:
-    """The outcome of playing the Theorem 3 adversary against an algorithm."""
+    """The outcome of playing the Theorem 3 adversary against an algorithm.
+
+    >>> from repro.algorithms import GreedyWeightAlgorithm
+    >>> result = run_deterministic_adversary(GreedyWeightAlgorithm(), sigma=3, k=2)
+    >>> result.theoretical_lower_bound       # sigma ** (k - 1)
+    3
+    >>> result.ratio >= result.theoretical_lower_bound
+    True
+    """
 
     instance: OnlineInstance
     algorithm_name: str
@@ -88,6 +96,20 @@ def run_deterministic_adversary(
 
     Returns the constructed instance, what the algorithm completed on it, and
     a feasible optimal solution of size at least the number of phase-1 groups.
+
+    >>> from repro.algorithms import FirstListedAlgorithm
+    >>> result = run_deterministic_adversary(FirstListedAlgorithm(), sigma=2, k=2)
+    >>> result.instance.system.num_sets      # sigma ** k sets of size k
+    4
+    >>> result.algorithm_benefit <= 1        # the adversary starves the algorithm
+    True
+    >>> result.opt_benefit                   # one abandoned set per phase-1 group
+    2
+    >>> from repro.algorithms import RandPrAlgorithm
+    >>> run_deterministic_adversary(RandPrAlgorithm(), 2, 2)  # doctest: +ELLIPSIS
+    Traceback (most recent call last):
+        ...
+    repro.exceptions.ConstructionError: the Theorem 3 adversary applies only...
     """
     if not algorithm.is_deterministic:
         raise ConstructionError(

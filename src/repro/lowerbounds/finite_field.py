@@ -23,7 +23,11 @@ __all__ = ["is_prime", "factor_prime_power", "is_prime_power", "FiniteField"]
 
 
 def is_prime(value: int) -> bool:
-    """Deterministic primality check (trial division; inputs here are small)."""
+    """Deterministic primality check (trial division; inputs here are small).
+
+    >>> [value for value in range(12) if is_prime(value)]
+    [2, 3, 5, 7, 11]
+    """
     if value < 2:
         return False
     if value < 4:
@@ -39,7 +43,15 @@ def is_prime(value: int) -> bool:
 
 
 def factor_prime_power(value: int) -> Tuple[int, int]:
-    """Write ``value`` as ``p^m`` with ``p`` prime; raise if impossible."""
+    """Write ``value`` as ``p^m`` with ``p`` prime; raise if impossible.
+
+    >>> factor_prime_power(8)
+    (2, 3)
+    >>> factor_prime_power(12)                 # doctest: +ELLIPSIS
+    Traceback (most recent call last):
+        ...
+    repro.exceptions.ConstructionError: 12 is not a prime power...
+    """
     if value < 2:
         raise ConstructionError(f"{value} is not a prime power")
     for p in range(2, value + 1):
@@ -58,7 +70,11 @@ def factor_prime_power(value: int) -> Tuple[int, int]:
 
 
 def is_prime_power(value: int) -> bool:
-    """Whether ``value`` is a prime power ``p^m`` with ``m >= 1``."""
+    """Whether ``value`` is a prime power ``p^m`` with ``m >= 1``.
+
+    >>> [q for q in range(2, 17) if is_prime_power(q)]
+    [2, 3, 4, 5, 7, 8, 9, 11, 13, 16]
+    """
     try:
         factor_prime_power(value)
     except ConstructionError:
@@ -173,6 +189,14 @@ class FiniteField:
     *is* the residue; in the extension case index ``i`` encodes the
     coefficient vector of the element in base ``p`` (lowest degree first), so
     indices 0..p-1 form the prime subfield.
+
+    >>> field = FiniteField(4)                 # GF(2^2), not Z/4Z
+    >>> field.characteristic, field.degree
+    (2, 2)
+    >>> field.add(2, 3), field.mul(2, 3)       # polynomial arithmetic mod 2
+    (1, 1)
+    >>> all(field.mul(a, field.inverse(a)) == 1 for a in field.elements() if a)
+    True
     """
 
     def __init__(self, order: int) -> None:

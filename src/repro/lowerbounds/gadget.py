@@ -35,6 +35,16 @@ class Gadget:
 
     Rows are the field-element indices ``0 .. M-1`` (a canonical choice of the
     subset ``F_M``); columns are ``0 .. N-1``.
+
+    >>> gadget = Gadget(2, 3)
+    >>> gadget.num_items
+    6
+    >>> gadget.slope_line(1, 2)        # {(i, 1*i + 2) : i in F_2} over GF(3)
+    ((0, 2), (1, 0))
+    >>> gadget.row_line(0)
+    ((0, 0), (0, 1), (0, 2))
+    >>> len(gadget.lines_through((1, 1)))  # one per slope, plus the row line
+    4
     """
 
     def __init__(self, num_rows: int, num_columns: int) -> None:
@@ -149,6 +159,18 @@ def apply_gadget(
     ``a``-major order), then — unless ``include_rows`` is False — the row
     lines.  Returns a small summary of what was added (for logging and
     tests).
+
+    >>> from repro.core.instance import InstanceBuilder
+    >>> builder = InstanceBuilder(name="demo")
+    >>> gadget = Gadget(2, 2)
+    >>> placement = {item: f"S{index}" for index, item in enumerate(gadget.items())}
+    >>> for set_id in placement.values():
+    ...     _ = builder.declare_set(set_id, 1.0)
+    >>> apply_gadget(builder, gadget, placement) == {
+    ...     "slope_elements": 4, "row_elements": 2, "elements_per_set": 3}
+    True
+    >>> builder.build().system.num_sets
+    4
     """
     expected_items = set(gadget.items())
     provided_items = set(placement)

@@ -25,6 +25,7 @@ IV.  Every set of ``S`` receives ``ell^2`` fresh load-one elements.
 
 from __future__ import annotations
 
+import os
 import random
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Tuple
@@ -35,12 +36,25 @@ from repro.exceptions import ConstructionError
 from repro.lowerbounds.finite_field import is_prime_power
 from repro.lowerbounds.gadget import Gadget, apply_gadget
 
-__all__ = ["Lemma9Instance", "build_lemma9_instance", "theoretical_profile"]
+__all__ = [
+    "Lemma9Instance",
+    "build_lemma9_instance",
+    "stored_lemma9_instance",
+    "theoretical_profile",
+]
 
 
 @dataclass(frozen=True)
 class Lemma9Instance:
-    """One sample from the Lemma 9 distribution, with its planted solution."""
+    """One sample from the Lemma 9 distribution, with its planted solution.
+
+    >>> import random
+    >>> sample = build_lemma9_instance(2, random.Random(0))
+    >>> sample.ell, sample.planted_benefit              # ell, ell ** 3
+    (2, 8)
+    >>> sample.stage_element_counts["stage1_elements"]  # ell ** 4
+    16
+    """
 
     instance: OnlineInstance
     planted_solution: FrozenSet[SetId]
@@ -58,6 +72,10 @@ def theoretical_profile(ell: int) -> Dict[str, float]:
 
     Returns the predicted number of sets, planted optimum, set sizes and the
     exact per-stage element counts; used by tests and the Figure 1 benchmark.
+
+    >>> profile = theoretical_profile(2)
+    >>> profile["num_sets"], profile["planted_opt"], profile["sigma_max"]
+    (16, 8, 4)
     """
     return {
         "num_sets": ell ** 4,
@@ -78,6 +96,19 @@ def build_lemma9_instance(ell: int, rng: random.Random) -> Lemma9Instance:
 
     ``ell`` must be a prime power of at least 2 (the gadget orders ``ell`` and
     ``ell^2`` must both be prime powers; the latter follows from the former).
+
+    >>> import random
+    >>> sample = build_lemma9_instance(2, random.Random(0))
+    >>> sample.instance.system.num_sets                 # ell ** 4
+    16
+    >>> len(sample.planted_solution)                    # ell ** 3, disjoint
+    8
+    >>> sample.instance.system.is_feasible_packing(sample.planted_solution)
+    True
+    >>> build_lemma9_instance(6, random.Random(0))      # doctest: +ELLIPSIS
+    Traceback (most recent call last):
+        ...
+    repro.exceptions.ConstructionError: ell must be a prime power...
     """
     if ell < 2:
         raise ConstructionError(f"the construction needs ell >= 2, got {ell}")
@@ -194,3 +225,61 @@ def build_lemma9_instance(ell: int, rng: random.Random) -> Lemma9Instance:
         ell=ell,
         stage_element_counts=counts,
     )
+
+
+def stored_lemma9_instance(ell: int, seed: int, store=None) -> Lemma9Instance:
+    """``build_lemma9_instance(ell, random.Random(seed))``, store-memoized.
+
+    The construction is a pure function of ``(ell, seed)`` — the only RNG it
+    consumes is the one seeded here — and at larger orders it dominates the
+    Theorem 2 benchmark's setup time, so the sample is memoized in the
+    persistent solution store (:mod:`repro.experiments.store`) under the key
+    ``lemma9|ell=<ell>|seed=<seed>``.  ``store`` follows the ``run_sweep``
+    convention: a :class:`~repro.experiments.store.SolutionStore` (or a
+    path), ``None`` to use the ``OSP_STORE``-named default, or ``False`` to
+    force memoization off.  Without a store this is exactly
+    :func:`build_lemma9_instance`; a warm hit returns the pickled sample,
+    byte-for-byte the one the cold call computed.
+
+    >>> import os, random, tempfile
+    >>> path = os.path.join(tempfile.mkdtemp(), "constructions.sqlite")
+    >>> cold = stored_lemma9_instance(2, seed=7, store=path)
+    >>> cold.planted_solution == build_lemma9_instance(2, random.Random(7)).planted_solution
+    True
+    >>> warm = stored_lemma9_instance(2, seed=7, store=path)   # answered from disk
+    >>> warm.planted_solution == cold.planted_solution
+    True
+    >>> from repro.experiments.store import store_for_path
+    >>> store_for_path(path).stats()["construction_hits"]
+    1
+    >>> store_for_path(path).close()
+    """
+    # Imported lazily: repro.lowerbounds is a core-layer package and must
+    # stay importable without the experiments layer (and the experiments
+    # package imports instances from core, so a top-level import could
+    # become circular as the layers grow).
+    from repro.experiments.store import active_store, store_for_path
+
+    if store is None:
+        backing = active_store()
+    elif store is False:
+        backing = None
+    elif isinstance(store, (str, os.PathLike)):
+        backing = store_for_path(store)
+    else:
+        backing = store
+
+    # Normalize once and use the normalized values for BOTH the key and the
+    # construction: keying on int(seed) while seeding with the raw value
+    # would let stored_lemma9_instance(2, 1.5) poison the (2, 1) entry.
+    ell = int(ell)
+    seed = int(seed)
+    key = f"lemma9|ell={ell}|seed={seed}"
+    if backing is not None:
+        cached = backing.get_construction(key)
+        if cached is not None:
+            return cached
+    sample = build_lemma9_instance(ell, random.Random(seed))
+    if backing is not None:
+        backing.put_construction(key, sample)
+    return sample

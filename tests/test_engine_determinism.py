@@ -51,17 +51,19 @@ def test_simulate_many_is_deterministic_within_process():
 _SUBPROCESS_SCRIPT = """
 import random
 from repro.core import simulate_batch, simulate_many
-from repro.algorithms import RandPrAlgorithm
+from repro.algorithms import RandPrAlgorithm, UniformRandomAlgorithm
 from repro.workloads import random_weighted_instance
 
 instance = random_weighted_instance(18, 26, (2, 4), random.Random(123), weight_range=(1.0, 6.0))
 batch = simulate_batch(instance, "randPr", trials=12, seed=99)
 reference = simulate_many(instance, RandPrAlgorithm(), trials=6, seed=99)
+uniform = simulate_batch(instance, UniformRandomAlgorithm(), trials=12, seed=99)
 print(repr([float(b) for b in batch.benefits]))
 print(repr([int(c) for c in batch.completed_counts]))
 print(repr(sorted(map(repr, batch.completed_sets(0)))))
 print(repr([r.benefit for r in reference]))
 print(repr(sorted(map(repr, reference[0].completed_sets))))
+print(repr([float(b) for b in uniform.benefits]))
 """
 
 
@@ -77,9 +79,12 @@ def _run_in_subprocess():
 
 def test_results_are_reproducible_across_processes():
     """Fresh interpreters (fresh hash seeds, fresh global RNGs) agree exactly."""
+    from repro.algorithms import UniformRandomAlgorithm
+
     instance = _instance()
     batch = simulate_batch(instance, "randPr", trials=12, seed=99)
     reference = simulate_many(instance, RandPrAlgorithm(), trials=6, seed=99)
+    uniform = simulate_batch(instance, UniformRandomAlgorithm(), trials=12, seed=99)
 
     lines = _run_in_subprocess()
     assert lines[0] == repr([float(b) for b in batch.benefits])
@@ -87,6 +92,7 @@ def test_results_are_reproducible_across_processes():
     assert lines[2] == repr(sorted(map(repr, batch.completed_sets(0))))
     assert lines[3] == repr([r.benefit for r in reference])
     assert lines[4] == repr(sorted(map(repr, reference[0].completed_sets)))
+    assert lines[5] == repr([float(b) for b in uniform.benefits])
 
 
 def test_algorithm_state_does_not_leak_between_trials():
@@ -151,6 +157,37 @@ def test_rng_bridge_frozen_values():
     ]
     live = random.Random(1)
     assert table[1].tolist() == [live.random() for _ in range(3)]
+
+
+def test_word_stream_frozen_values():
+    """Golden pins for the raw word-stream layer (the 32-bit outputs under
+    ``random()``/``getrandbits``/``sample``): same stability argument as the
+    draw-table pins above — these literals only move if CPython's generator
+    or the bridge's replay breaks, and either must fail loudly."""
+    from repro.engine import WordStreams, word_matrix
+
+    table = word_matrix(0, trials=2, words=3)
+    assert table[0].tolist() == [3626764237, 1654615998, 3255389356]
+    assert table[1].tolist() == [577090037, 2444712010, 3639700191]
+    live = random.Random(1)
+    assert table[1].tolist() == [live.getrandbits(32) for _ in range(3)]
+
+    streams = WordStreams(seed=0, trials=2)
+    # getrandbits(8) returns the top 8 bits of each raw word.
+    assert streams.getrandbits(8).tolist() == [3626764237 >> 24, 577090037 >> 24]
+    assert streams.getrandbits(32).tolist() == [1654615998, 2444712010]
+
+
+def test_uniform_random_batch_is_deterministic_within_process():
+    """The word-stream replay (per-arrival randomness) is as pure a function
+    of its arguments as the static-priority path."""
+    from repro.algorithms import UniformRandomAlgorithm
+
+    instance = _instance()
+    first = simulate_batch(instance, UniformRandomAlgorithm(), trials=10, seed=41)
+    random.seed(777)  # the global RNG must play no role
+    second = simulate_batch(instance, UniformRandomAlgorithm(), trials=10, seed=41)
+    assert first.equals(second)
 
 
 def test_priority_matrix_is_reproducible_across_processes():

@@ -8,9 +8,15 @@ mirrors:
   multi-digit and mixed-digit-count seeds;
 * :func:`uniform_matrix` against per-trial ``random.Random(seed + b).random()``
   loops, across twist-block boundaries;
+* :func:`word_matrix` and :class:`WordStreams` (the raw word-stream layer
+  under the per-arrival ``sample`` replay) against per-trial
+  ``getrandbits`` loops, including masked advancement (ragged per-trial
+  positions) and on-demand growth past twist boundaries;
 * :func:`transplant_rng` (the ``getstate`` → ``set_state`` bridge) against
   the source generator it was transplanted from;
 * :func:`getrandbits64` against ``random.Random(seed + b).getrandbits(64)``;
+* ``batch._sample_uses_pool`` against the branch CPython's ``random.sample``
+  actually takes (hypothesis, across the ``(width, take)`` plane);
 * :func:`exact_pow` against CPython's scalar ``**`` (the property the numpy
   SIMD ``**`` does *not* have, which is why exact_pow exists);
 * the rewritten :func:`~repro.engine.specs.priority_matrix` against the
@@ -21,6 +27,7 @@ mirrors:
 
 import math
 import random
+from collections.abc import Sequence
 
 import numpy as np
 import pytest
@@ -32,6 +39,7 @@ from repro.core import OnlineInstance, SetSystem, simulate_batch, simulate_many
 from repro.core.priorities import hash_priority, sample_priority
 from repro.engine import (
     AlgorithmSpec,
+    WordStreams,
     clear_uniform_cache,
     exact_pow,
     priority_matrix,
@@ -40,6 +48,7 @@ from repro.engine import (
     transplant_rng,
     uniform_cache_stats,
     uniform_matrix,
+    word_matrix,
 )
 from repro.engine import rng as rng_bridge
 from repro.engine import specs as specs_module
@@ -149,6 +158,120 @@ def test_uniform_matrix_spans_trial_blocks():
     for trial in (0, block - 1, block, trials - 1):
         reference = random.Random(42 + trial)
         assert list(table[trial]) == [reference.random() for _ in range(2)]
+
+
+# ----------------------------------------------------------------------
+# word_matrix / WordStreams: the raw word-stream layer
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("words", [1, 5, 623, 624, 625, 1300])
+def test_word_matrix_replays_raw_generator_words(words):
+    """Bit-equal raw 32-bit outputs across twist-block boundaries (624 words
+    consume one block)."""
+    table = word_matrix(77, trials=3, words=words)
+    assert table.shape == (3, words)
+    assert table.dtype == np.uint32
+    for trial in range(3):
+        reference = random.Random(77 + trial)
+        assert list(table[trial]) == [reference.getrandbits(32) for _ in range(words)]
+
+
+def test_word_matrix_degenerate_shapes():
+    assert word_matrix(0, trials=0, words=5).shape == (0, 5)
+    assert word_matrix(0, trials=5, words=0).shape == (5, 0)
+    with pytest.raises(ValueError):
+        word_matrix(0, trials=-1, words=5)
+
+
+def test_word_streams_replay_getrandbits_for_all_trials():
+    streams = WordStreams(seed=2024, trials=5)
+    references = [random.Random(2024 + trial) for trial in range(5)]
+    for bits in (1, 3, 7, 16, 31, 32):
+        drawn = streams.getrandbits(bits)
+        assert drawn.tolist() == [ref.getrandbits(bits) for ref in references]
+
+
+def test_word_streams_masked_advancement_keeps_per_trial_positions():
+    """Only masked trials consume a word: the exact property the ragged
+    ``_randbelow`` retry replay depends on."""
+    streams = WordStreams(seed=9, trials=4)
+    references = [random.Random(9 + trial) for trial in range(4)]
+    mask_rounds = [
+        np.array([True, True, True, True]),
+        np.array([True, False, True, False]),
+        np.array([False, False, True, False]),
+        np.array([True, True, False, True]),
+    ]
+    for mask in mask_rounds:
+        drawn = streams.getrandbits(5, mask)
+        expected = [references[t].getrandbits(5) for t in np.flatnonzero(mask)]
+        assert drawn.tolist() == expected
+    assert streams.positions.tolist() == [3, 2, 3, 2]
+
+
+def test_word_streams_grow_past_twist_boundaries_on_demand():
+    streams = WordStreams(seed=5, trials=2)
+    references = [random.Random(5 + trial) for trial in range(2)]
+    assert streams.words_produced == 0
+    first = streams.getrandbits(32)
+    assert streams.words_produced == rng_bridge.MT_N
+    assert first.tolist() == [ref.getrandbits(32) for ref in references]
+    # Push one trial across the first twist boundary; the other stays put.
+    only_first = np.array([True, False])
+    for _ in range(rng_bridge.MT_N + 10):
+        streams.getrandbits(32, only_first)
+    assert streams.words_produced == 2 * rng_bridge.MT_N
+    for _ in range(rng_bridge.MT_N + 10):
+        references[0].getrandbits(32)
+    drawn = streams.getrandbits(13)
+    assert drawn.tolist() == [ref.getrandbits(13) for ref in references]
+
+
+def test_word_streams_validate_arguments():
+    streams = WordStreams(seed=0, trials=2)
+    with pytest.raises(ValueError):
+        streams.getrandbits(0)
+    with pytest.raises(ValueError):
+        streams.getrandbits(33)
+    with pytest.raises(ValueError):
+        WordStreams(seed=0, trials=-1)
+    empty = WordStreams(seed=0, trials=0)
+    assert empty.getrandbits(8).shape == (0,)
+    assert empty.positions.shape == (0,)
+
+
+def test_word_streams_empty_mask_consumes_nothing():
+    streams = WordStreams(seed=1, trials=3)
+    none = streams.getrandbits(8, np.zeros(3, dtype=bool))
+    assert none.shape == (0,)
+    assert streams.positions.tolist() == [0, 0, 0]
+    assert streams.words_produced == 0  # no word was even generated
+
+
+def test_word_streams_window_slides_on_long_lockstep_streams():
+    """Fully-consumed rows are discarded: memory tracks the position spread,
+    not the total stream length, so long arrival sequences stay bounded."""
+    streams = WordStreams(seed=8, trials=3)
+    references = [random.Random(8 + trial) for trial in range(3)]
+    for _ in range(5 * rng_bridge.MT_N):
+        drawn = streams.getrandbits(9)
+        assert drawn.tolist() == [ref.getrandbits(9) for ref in references]
+    assert streams.words_produced == 5 * rng_bridge.MT_N
+    # The retained window holds at most the last couple of twist blocks.
+    assert streams._words.shape[0] <= 2 * rng_bridge.MT_N
+    # Sliding is invisible: the next draws still line up.
+    drawn = streams.getrandbits(32)
+    assert drawn.tolist() == [ref.getrandbits(32) for ref in references]
+
+
+def test_word_streams_agree_with_word_matrix():
+    """The dynamic stream and the static table are the same words."""
+    table = word_matrix(42, trials=3, words=8)
+    streams = WordStreams(seed=42, trials=3)
+    for k in range(8):
+        drawn = streams.getrandbits(32)
+        assert drawn.tolist() == [int(w) for w in table[:, k]]
 
 
 # ----------------------------------------------------------------------
@@ -380,9 +503,9 @@ def _instance_small():
     )
 
 
-def test_per_step_random_kind_routes_through_scalar_replay(monkeypatch):
+def test_per_step_random_kind_routes_through_word_stream_replay(monkeypatch):
     """uniform-random interleaves per-arrival draws: it must bypass the
-    priority-matrix path entirely and keep the scalar stream replay."""
+    priority-matrix path entirely and replay over the per-trial word streams."""
 
     def exploding_priority_matrix(*args, **kwargs):  # pragma: no cover - guard
         raise AssertionError("uniform-random must not take the static-priority path")
@@ -395,6 +518,101 @@ def test_per_step_random_kind_routes_through_scalar_replay(monkeypatch):
     reference = simulate_many(instance, UniformRandomAlgorithm(), trials=6, seed=44)
     for trial, result in enumerate(reference):
         assert batch.completed_sets(trial) == result.completed_sets
+
+
+@pytest.mark.parametrize("cap", [0, 1, 3])
+def test_uniform_random_retry_tail_bailout_replays_scalar(monkeypatch, cap):
+    """Trials whose vectorized retry loops hit the round cap must fall back
+    to the scalar per-trial replay — and still match the reference bit for
+    bit.  Forcing the cap down makes every (cap=0) or many (cap=1, 3) trials
+    take that path on an ordinary instance."""
+    import repro.engine.batch as batch_module
+
+    monkeypatch.setattr(batch_module, "_MAX_REPLAY_ROUNDS", cap)
+    instance = _instance_small()
+    batch = simulate_batch(instance, UniformRandomAlgorithm(), trials=8, seed=3)
+    reference = simulate_many(instance, UniformRandomAlgorithm(), trials=8, seed=3)
+    for trial, result in enumerate(reference):
+        assert batch.completed_sets(trial) == result.completed_sets
+        assert float(batch.benefits[trial]) == result.benefit
+
+
+def test_uniform_random_bailout_covers_the_rejection_set_branch(monkeypatch):
+    """Same bail-out guarantee on a dense instance (widths past the pool
+    threshold), where the duplicate-rejection loop is also in play."""
+    import repro.engine.batch as batch_module
+    from repro.workloads import random_online_instance
+
+    monkeypatch.setattr(batch_module, "_MAX_REPLAY_ROUNDS", 1)
+    instance = random_online_instance(120, 12, (2, 4), random.Random(11))
+    assert max(arrival.load for arrival in instance.arrivals()) > 21
+    batch = simulate_batch(instance, UniformRandomAlgorithm(), trials=6, seed=31)
+    reference = simulate_many(instance, UniformRandomAlgorithm(), trials=6, seed=31)
+    for trial, result in enumerate(reference):
+        assert batch.completed_sets(trial) == result.completed_sets
+
+
+def test_uniform_random_trial_blocking_is_invisible(monkeypatch):
+    """Splitting the batch into trial blocks must not change a single trial
+    (each block's word streams restart at ``seed + block_start``)."""
+    import repro.engine.batch as batch_module
+
+    instance = _instance_small()
+    whole = simulate_batch(instance, UniformRandomAlgorithm(), trials=9, seed=17)
+    monkeypatch.setattr(batch_module, "_UNIFORM_TRIAL_BLOCK", 4)
+    split = simulate_batch(instance, UniformRandomAlgorithm(), trials=9, seed=17)
+    assert whole.equals(split)
+
+
+# ----------------------------------------------------------------------
+# _sample_uses_pool: pinned against CPython's actual sample branch
+# ----------------------------------------------------------------------
+
+
+class _BranchProbe(Sequence):
+    """A sequence that records whether ``random.sample`` materialized it.
+
+    CPython's pool branch starts with ``pool = list(population)``, which
+    iterates the whole sequence; the rejection-set branch only ever indexes
+    the selected positions.  Observing ``__iter__`` therefore observes the
+    branch choice itself.
+    """
+
+    def __init__(self, width):
+        self.width = width
+        self.listed = False
+
+    def __len__(self):
+        return self.width
+
+    def __getitem__(self, index):
+        if not 0 <= index < self.width:
+            raise IndexError(index)
+        return index
+
+    def __iter__(self):
+        self.listed = True
+        return iter(range(self.width))
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    width=st.integers(min_value=1, max_value=3000),
+    take_fraction=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=2**32),
+)
+def test_sample_uses_pool_matches_cpython_branch_choice(width, take_fraction, seed):
+    """``_sample_uses_pool`` mirrors CPython's ``setsize`` heuristic; if an
+    upstream CPython release moved the threshold, the engine's replay would
+    take the wrong branch — this property makes that fail loudly across the
+    whole ``(width, take)`` plane the engine can encounter (``take >= 1``:
+    zero-take arrivals never call ``sample``)."""
+    from repro.engine.batch import _sample_uses_pool
+
+    take = max(1, round(take_fraction * width))
+    probe = _BranchProbe(width)
+    random.Random(seed).sample(probe, take)
+    assert _sample_uses_pool(width, take) == probe.listed
 
 
 # ----------------------------------------------------------------------

@@ -718,6 +718,117 @@ class TestStoreCli:
             main(["merge", str(path), str(path)])
 
 
+class TestConstructionMemoization:
+    """Store-backed memoization of the Lemma 9 construction (``constructions``
+    table): a warm hit returns the stored sample without rebuilding, keys
+    cover every input, and ``store=False`` forces the memoization off."""
+
+    def test_lemma9_warm_hit_skips_the_rebuild(self, tmp_path, monkeypatch):
+        import repro.lowerbounds.randomized_construction as construction_module
+        from repro.lowerbounds import build_lemma9_instance, stored_lemma9_instance
+
+        path = str(tmp_path / "constructions.sqlite")
+        cold = stored_lemma9_instance(2, seed=7, store=path)
+        direct = build_lemma9_instance(2, random.Random(7))
+        assert instance_fingerprint(cold.instance) == instance_fingerprint(
+            direct.instance
+        )
+        assert cold.planted_solution == direct.planted_solution
+
+        def exploding_build(*args, **kwargs):  # pragma: no cover - guard
+            raise AssertionError("warm hit must not rebuild the construction")
+
+        monkeypatch.setattr(
+            construction_module, "build_lemma9_instance", exploding_build
+        )
+        warm = stored_lemma9_instance(2, seed=7, store=path)
+        assert instance_fingerprint(warm.instance) == instance_fingerprint(
+            cold.instance
+        )
+        assert warm.planted_solution == cold.planted_solution
+        assert warm.stage_element_counts == cold.stage_element_counts
+        store = store_for_path(path)
+        assert store.stats()["construction_hits"] == 1
+        assert store.stats()["construction_entries"] == 1
+        store.close()
+
+    def test_key_covers_ell_and_seed(self, tmp_path):
+        from repro.lowerbounds import build_lemma9_instance, stored_lemma9_instance
+
+        store = SolutionStore(str(tmp_path / "keys.sqlite"))
+        first = stored_lemma9_instance(2, seed=0, store=store)
+        other_seed = stored_lemma9_instance(2, seed=1, store=store)
+        assert instance_fingerprint(first.instance) != instance_fingerprint(
+            other_seed.instance
+        )
+        assert store.stats()["construction_entries"] == 2
+        assert store.construction_hits == 0  # distinct keys: no reuse
+        # A non-int seed is normalized BEFORE both keying and construction,
+        # so the (2, 1) entry serves exactly build(2, Random(1))'s sample.
+        normalized = stored_lemma9_instance(2, seed=1.0, store=store)
+        assert store.construction_hits == 1
+        assert normalized.planted_solution == (
+            build_lemma9_instance(2, random.Random(1)).planted_solution
+        )
+        store.close()
+
+    def test_store_false_forces_memoization_off(self, tmp_path, monkeypatch):
+        from repro.lowerbounds import build_lemma9_instance, stored_lemma9_instance
+
+        env_path = str(tmp_path / "env.sqlite")
+        monkeypatch.setenv(STORE_ENV_VAR, env_path)
+        sample = stored_lemma9_instance(2, seed=4, store=False)
+        reference = build_lemma9_instance(2, random.Random(4))
+        assert sample.planted_solution == reference.planted_solution
+        assert not os.path.exists(env_path)  # nothing opened, nothing written
+
+    def test_none_uses_the_env_default_store(self, tmp_path, monkeypatch):
+        from repro.lowerbounds import stored_lemma9_instance
+
+        env_path = str(tmp_path / "env.sqlite")
+        monkeypatch.setenv(STORE_ENV_VAR, env_path)
+        stored_lemma9_instance(2, seed=9, store=None)
+        store = store_for_path(env_path)
+        assert store.stats()["construction_entries"] == 1
+        store.close()
+
+    def test_garbled_construction_row_is_dropped_and_recomputed(self, tmp_path):
+        from repro.lowerbounds import stored_lemma9_instance
+
+        path = str(tmp_path / "garbled.sqlite")
+        cold = stored_lemma9_instance(2, seed=3, store=path)
+        store_for_path(path).close()
+        connection = sqlite3.connect(path)
+        connection.execute("UPDATE constructions SET payload = ?", (b"garbage",))
+        connection.commit()
+        connection.close()
+        store = SolutionStore(path)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", StoreCorruptionWarning)
+            recomputed = stored_lemma9_instance(2, seed=3, store=store)
+        assert recomputed.planted_solution == cold.planted_solution
+        assert store.integrity_failures == 1
+        store.close()
+
+    def test_cli_inspect_and_merge_carry_constructions(self, tmp_path, capsys):
+        from repro.experiments.store import main
+        from repro.lowerbounds import stored_lemma9_instance
+
+        source = tmp_path / "with-constructions.sqlite"
+        sample = stored_lemma9_instance(2, seed=7, store=str(source))
+        store_for_path(str(source)).close()
+        assert main(["inspect", str(source)]) == 0
+        assert "construction entries: 1" in capsys.readouterr().out
+
+        destination = tmp_path / "merged.sqlite"
+        assert main(["merge", str(destination), str(source)]) == 0
+        assert "1 construction entries" in capsys.readouterr().out
+        merged = SolutionStore(str(destination))
+        carried = merged.get_construction("lemma9|ell=2|seed=7")
+        assert carried.planted_solution == sample.planted_solution
+        merged.close()
+
+
 class TestDefaultCacheEnvDetachment:
     """Clearing OSP_STORE must detach an env-derived default-cache store."""
 

@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Check relative links and anchors in the repository's Markdown files.
+
+The documentation map (``docs/README.md`` and the cross-links between
+``README.md``, ``EXPERIMENTS.md``, ``ROADMAP.md`` and ``docs/*.md``) is only
+useful while its links resolve.  This checker walks every inline Markdown
+link in the given files (default: ``README.md``, ``EXPERIMENTS.md`` and
+``docs/*.md``), skips external schemes (``http://``, ``https://``,
+``mailto:``), and verifies that
+
+* a relative target resolves to an existing file or directory, and
+* an ``#anchor`` (on another Markdown file or the file itself) matches a
+  heading, using GitHub's slug rules (lowercase, punctuation stripped,
+  spaces to hyphens, ``-N`` suffixes for duplicates).
+
+Fenced code blocks and inline code spans are ignored, so shell snippets
+containing ``[...]`` never produce false positives.  Exit status 0 means
+every link resolved; 1 lists the broken ones — which is what makes the CI
+job fail loudly instead of letting the docs rot.
+
+No third-party dependencies: run as ``python tools/check_markdown_links.py``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The documented default scope (extend via command-line arguments).
+DEFAULT_FILES = ("README.md", "EXPERIMENTS.md", "docs/*.md")
+
+_FENCE = re.compile(r"^(```|~~~)")
+_INLINE_CODE = re.compile(r"`[^`]*`")
+#: Inline links/images: [text](target) with an optional "title".
+_LINK = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)\s>]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+_EXTERNAL = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+
+
+def _strip_code(text: str) -> str:
+    """Blank out fenced code blocks and inline code spans, keeping line count."""
+    lines = []
+    in_fence = False
+    for line in text.splitlines():
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            lines.append("")
+            continue
+        lines.append("" if in_fence else _INLINE_CODE.sub("", line))
+    return "\n".join(lines)
+
+
+def _github_slug(heading: str) -> str:
+    """GitHub's heading-to-anchor slug (sans duplicate numbering)."""
+    # Strip inline markup that does not appear in the anchor.
+    text = _INLINE_CODE.sub(lambda match: match.group(0).strip("`"), heading)
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # [text](url) -> text
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def heading_anchors(path: Path) -> set:
+    """Every anchor GitHub generates for ``path``'s headings."""
+    anchors: set = set()
+    counts: dict = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        slug = _github_slug(match.group(2))
+        seen = counts.get(slug, 0)
+        counts[slug] = seen + 1
+        anchors.add(slug if seen == 0 else f"{slug}-{seen}")
+    return anchors
+
+
+def check_file(path: Path) -> list:
+    """All broken links of one Markdown file, as human-readable strings."""
+    problems = []
+    text = _strip_code(path.read_text(encoding="utf-8"))
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if _EXTERNAL.match(target):
+                continue  # external URL: out of scope (and flaky to probe)
+            raw_path, _, fragment = target.partition("#")
+            if raw_path:
+                resolved = (path.parent / raw_path).resolve()
+                if not resolved.exists():
+                    problems.append(
+                        f"{path.relative_to(REPO_ROOT)}:{line_number}: "
+                        f"broken link target {target!r} "
+                        f"(no such file: {raw_path})"
+                    )
+                    continue
+            else:
+                resolved = path
+            if fragment:
+                if resolved.is_dir() or resolved.suffix.lower() != ".md":
+                    continue  # anchors are only checkable on Markdown files
+                if fragment.lower() not in heading_anchors(resolved):
+                    problems.append(
+                        f"{path.relative_to(REPO_ROOT)}:{line_number}: "
+                        f"broken anchor {target!r} "
+                        f"(no heading slugs to '#{fragment}' in "
+                        f"{resolved.relative_to(REPO_ROOT)})"
+                    )
+    return problems
+
+
+def main(argv=None) -> int:
+    patterns = (argv if argv is not None else sys.argv[1:]) or list(DEFAULT_FILES)
+    files = []
+    for pattern in patterns:
+        matched = sorted(REPO_ROOT.glob(pattern))
+        if not matched:
+            print(f"error: pattern {pattern!r} matched no files", file=sys.stderr)
+            return 2
+        files.extend(path for path in matched if path.is_file())
+
+    problems = []
+    for path in files:
+        problems.extend(check_file(path))
+
+    if problems:
+        print(f"{len(problems)} broken link(s) in {len(files)} file(s):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"all relative links and anchors resolve across {len(files)} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
