@@ -1,0 +1,66 @@
+"""E18 — the battle harness: empirical frontiers against theorem bounds.
+
+Not a new paper table: this experiment drives the battle harness
+(:mod:`repro.battles`) over the smoke grid — randPr and the deterministic
+greedy-weight baseline against the Lemma 9 construction (Theorem 2 bound),
+the full finite-field gadget and synchronized bursts (Corollary 6 bound),
+and the adaptive Theorem 3 adversary — and reports each battle's frontier:
+how far the escalation got, the worst measured ratio at every visited
+instance size, and which theorem expression terminated it.
+
+Shape assertions anchor the harness to the theory:
+
+* the Lemma 9 ladder *crosses* its Theorem 2 expression (the construction
+  reaches its designed frontier),
+* the upper-bound families stay *below* Corollary 6 at every rung for
+  randPr (the bound is honored where it applies),
+* the Theorem 3 adversary forces ``ratio >= sigma^(k-1)`` at every rung of
+  the deterministic baseline's ladder and declines randomized opponents,
+* the whole match is bit-identical across worker counts (the wall-clock
+  knobs never touch the numbers).
+"""
+
+from repro.battles import run_smoke_match
+
+
+def test_e18_battle_frontiers(run_once, experiment_report):
+    def experiment():
+        match = run_smoke_match(workers=1, store=False)
+        # Determinism spot-check: the same grid at workers=2 is bit-identical.
+        assert run_smoke_match(workers=2, store=False) == match
+        rows = []
+        for battle in match.battles:
+            for point in battle.frontier.points:
+                rows.append(
+                    {
+                        "algorithm": battle.algorithm_name,
+                        "escalator": battle.escalator_name,
+                        "level": point.label,
+                        "num_sets": point.num_sets,
+                        "worst_ratio": round(point.ratio, 3),
+                        "bound": round(point.bound, 3),
+                        "stop": battle.stop_reason,
+                    }
+                )
+        return match, rows
+
+    match, rows = run_once(experiment)
+    from repro.experiments import format_table
+
+    title = "E18: battle frontiers — measured ratio vs theorem bound per size"
+    experiment_report("E18_battle_frontiers", format_table(rows, title=title),
+                      rows=rows, title=title)
+
+    # Lemma 9 reaches its Theorem 2 frontier for both combatants.
+    for algorithm in ("randPr", "greedy-weight"):
+        assert match.battle_for(algorithm, "lemma9").stop_reason == "bound-crossed"
+    # Upper-bound families honor Corollary 6 for randPr at every rung.
+    for escalator in ("full-gadget", "adversarial-burst"):
+        battle = match.battle_for("randPr", escalator)
+        assert battle.rounds, escalator
+        assert all(r.ratio < r.bound for r in battle.rounds), escalator
+    # The Theorem 3 adversary: declines randPr, forces the bound on greedy.
+    assert match.battle_for("randPr", "theorem3-adversary").stop_reason == "not-applicable"
+    adversary = match.battle_for("greedy-weight", "theorem3-adversary")
+    assert adversary.rounds
+    assert all(r.ratio >= r.bound for r in adversary.rounds)

@@ -1,0 +1,487 @@
+"""Escalators: the pluggable adversary side of a battle.
+
+An :class:`InstanceEscalator` wraps one of the library's adversarial
+constructions as an *escalation ladder*: ``num_levels`` rungs of growing
+instance size/degree, each of which it can play against an algorithm.  The
+contract has two layers:
+
+* **Static escalators** implement :meth:`InstanceEscalator.arena`, returning
+  an :class:`EscalationArena` — an instance, an optional precomputed OPT
+  certificate and the applicable :mod:`repro.core.bounds` expression for
+  that rung.  The default :meth:`InstanceEscalator.play` then measures the
+  algorithm on the arena with the harness's standard machinery.
+* **Adaptive escalators** override :meth:`InstanceEscalator.play` entirely —
+  the Theorem 3 adversary builds its instance *as a function of the
+  algorithm's own decisions*, so there is no algorithm-independent arena to
+  hand out.
+
+Escalators also declare ``applies_to`` (the Theorem 3 adversary only attacks
+deterministic algorithms), ``stop_when_crossed`` (adversaries that meet
+their bound *by construction* at every rung run the whole ladder instead of
+stopping at the first rung) and ``cache_identity`` (the opt-in that makes
+their rounds storable, mirroring the algorithms' contract).
+
+Concrete ladders provided here, one per construction family:
+
+=============================== ======================================== ============
+escalator                       construction                             bound
+=============================== ======================================== ============
+:class:`Lemma9Escalator`        :func:`~repro.lowerbounds.randomized_construction.stored_lemma9_instance`  Theorem 2
+:class:`GadgetEscalator`        :func:`~repro.workloads.structured.full_gadget_instance`                   Corollary 6
+:class:`TDesignEscalator`       :func:`~repro.workloads.structured.t_design_style_instance`                Corollary 6
+:class:`AdversarialBurstEscalator` :func:`~repro.workloads.adversarial.adversarial_burst_instance`         Corollary 6
+:class:`DeterministicAdversaryEscalator` :func:`~repro.lowerbounds.deterministic_adversary.run_deterministic_adversary` Theorem 3
+=============================== ======================================== ============
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.core.bounds import (
+    corollary6_upper_bound,
+    theorem2_lower_bound,
+    theorem3_lower_bound,
+)
+from repro.core.instance import OnlineInstance
+from repro.core.statistics import compute_statistics
+from repro.battles.battle import BattleRound, battle_ratio
+from repro.experiments.competitive_ratio import (
+    OptEstimate,
+    estimate_opt,
+    measure_ratio,
+)
+from repro.experiments.opt_cache import default_opt_cache
+from repro.lowerbounds.deterministic_adversary import run_deterministic_adversary
+from repro.lowerbounds.randomized_construction import stored_lemma9_instance
+from repro.workloads.adversarial import adversarial_burst_instance
+from repro.workloads.structured import full_gadget_instance, t_design_style_instance
+
+__all__ = [
+    "AdversarialBurstEscalator",
+    "DeterministicAdversaryEscalator",
+    "EscalationArena",
+    "GadgetEscalator",
+    "InstanceEscalator",
+    "Lemma9Escalator",
+    "TDesignEscalator",
+    "default_escalator_suite",
+]
+
+
+@dataclass(frozen=True)
+class EscalationArena:
+    """One rung of a static escalation ladder, ready to be played.
+
+    ``opt`` is an optional precomputed OPT certificate (the construction
+    families here know their optimum — the planted solution for Lemma 9,
+    exactly one set for a full gadget by Lemma 8, one frame per wave for
+    aligned bursts); ``None`` means the harness estimates OPT through the
+    standard cached pipeline.  ``bound`` is the applicable theorem expression
+    already evaluated for this arena's instance.
+
+    >>> from repro.workloads import full_gadget_instance
+    >>> arena = EscalationArena(instance=full_gadget_instance(2, 2),
+    ...                         opt=None, bound=4.24, label="gadget(2,2)")
+    >>> arena.label
+    'gadget(2,2)'
+    """
+
+    instance: OnlineInstance
+    opt: Optional[OptEstimate]
+    bound: float
+    label: str
+
+
+class InstanceEscalator(abc.ABC):
+    """The adversary side of a battle: a ladder of escalating instances.
+
+    Subclasses either implement :meth:`arena` (static constructions) or
+    override :meth:`play` wholesale (adaptive adversaries).  Class attributes
+    declare the escalator's battle behaviour:
+
+    ``name``
+        Stable display/keying name (also part of :func:`~repro.battles.battle.round_seed`).
+    ``bound_name``
+        Which theorem the per-round ``bound`` values come from.
+    ``cache_identity``
+        Opt-in identity string capturing *all* behaviour-affecting
+        constructor state, mirroring the algorithms' store contract;
+        ``None`` (the default) declares rounds uncacheable.
+    ``stop_when_crossed``
+        Whether a battle should stop at the first round whose measured ratio
+        reaches the bound (``True`` for constructions still chasing their
+        frontier) or run the full ladder (``False`` for adversaries that
+        meet their bound by construction at every rung).
+
+    >>> list(InstanceEscalator.__abstractmethods__)
+    ['num_levels']
+    """
+
+    name: str = "escalator"
+    bound_name: str = "corollary6"
+    cache_identity: Optional[str] = None
+    stop_when_crossed: bool = True
+
+    @property
+    @abc.abstractmethod
+    def num_levels(self) -> int:
+        """The number of rungs on this escalation ladder."""
+
+    def applies_to(self, algorithm) -> bool:
+        """Whether this escalator can battle ``algorithm`` (default: always)."""
+        return True
+
+    def arena(self, level: int, seed: int) -> EscalationArena:
+        """Build the rung-``level`` arena (static escalators only)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} is adaptive and overrides play() directly"
+        )
+
+    def play(
+        self,
+        algorithm,
+        level: int,
+        seed: int,
+        trials: int,
+        engine: str = "auto",
+        opt_method: str = "auto",
+    ) -> BattleRound:
+        """Play one round: build the arena, measure the algorithm on it.
+
+        OPT comes from the arena's certificate when the construction knows
+        it, and otherwise from :func:`~repro.experiments.competitive_ratio.estimate_opt`
+        through the per-process cache (and any store the battle attached).
+        The ratio is :func:`~repro.battles.battle.battle_ratio` — degenerate
+        rounds are neutral, never a ``ZeroDivisionError``.
+        """
+        arena = self.arena(level, seed)
+        system = arena.instance.system
+        opt = arena.opt
+        if opt is None:
+            opt = estimate_opt(system, method=opt_method, cache=default_opt_cache())
+        measurement = measure_ratio(
+            arena.instance,
+            algorithm,
+            trials=trials,
+            seed=seed,
+            opt=opt,
+            engine=engine,
+        )
+        return BattleRound(
+            level=level,
+            label=arena.label,
+            num_sets=system.num_sets,
+            trials=measurement.trials,
+            mean_benefit=measurement.mean_benefit,
+            opt_value=opt.value,
+            opt_method=opt.method,
+            ratio=battle_ratio(opt.value, measurement.mean_benefit),
+            bound=arena.bound,
+            bound_name=self.bound_name,
+        )
+
+
+class Lemma9Escalator(InstanceEscalator):
+    """The Theorem 2 finite-field construction, escalating the order ``ell``.
+
+    Each rung draws the Lemma 9 instance of the next prime-power order via
+    the store-memoized :func:`~repro.lowerbounds.randomized_construction.stored_lemma9_instance`
+    (the draw is a pure function of ``(ell, seed)``, so memoization is a
+    wall-clock knob).  OPT is certified by the planted solution — a *lower*
+    bound on the true optimum, so the measured ratio understates the true
+    one and a crossed bound is an honest crossing.  The round bound is the
+    Theorem 2 expression at the instance's own ``(k_max, sigma_max)``.
+
+    >>> escalator = Lemma9Escalator(ells=(2, 3))
+    >>> escalator.num_levels
+    2
+    >>> arena = escalator.arena(0, seed=7)
+    >>> arena.instance.system.num_sets      # ell ** 4
+    16
+    >>> arena.opt.value                     # planted benefit, ell ** 3
+    8.0
+    """
+
+    name = "lemma9"
+    bound_name = "theorem2"
+
+    def __init__(self, ells: Sequence[int] = (2, 3, 4, 5)) -> None:
+        self.ells = tuple(int(ell) for ell in ells)
+        if not self.ells:
+            raise ValueError("Lemma9Escalator needs at least one order")
+        self.cache_identity = f"ells={','.join(map(str, self.ells))}"
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.ells)
+
+    def arena(self, level: int, seed: int) -> EscalationArena:
+        ell = self.ells[level]
+        sample = stored_lemma9_instance(ell, seed=seed)
+        planted = float(sample.planted_benefit)
+        stats = compute_statistics(sample.instance.system)
+        return EscalationArena(
+            instance=sample.instance,
+            opt=OptEstimate(
+                value=planted,
+                method="planted",
+                is_exact=False,
+                lower_bound=planted,
+            ),
+            bound=theorem2_lower_bound(stats.k_max, stats.sigma_max),
+            label=f"ell={ell}",
+        )
+
+
+class GadgetEscalator(InstanceEscalator):
+    """The everything-conflicts gadget, escalating the order ``(M, N)``.
+
+    Each rung is :func:`~repro.workloads.structured.full_gadget_instance` at
+    the next order: all ``M * N`` sets of an ``(M, N)``-gadget, where by
+    Lemma 8 any two sets intersect — so OPT is exactly one set (weight 1.0)
+    and the measured ratio is ``1 / Pr[the algorithm completes a set]``.
+    The round bound is Corollary 6's ``k_max * sqrt(sigma_max)``.
+
+    >>> escalator = GadgetEscalator(orders=((2, 2), (2, 3)))
+    >>> arena = escalator.arena(1, seed=0)
+    >>> arena.instance.system.num_sets, arena.opt.value
+    (6, 1.0)
+    >>> arena.label
+    'gadget(2,3)'
+    """
+
+    name = "full-gadget"
+    bound_name = "corollary6"
+
+    def __init__(
+        self, orders: Sequence[Tuple[int, int]] = ((2, 2), (2, 3), (3, 4), (4, 5), (5, 7))
+    ) -> None:
+        self.orders = tuple((int(m), int(n)) for m, n in orders)
+        if not self.orders:
+            raise ValueError("GadgetEscalator needs at least one order")
+        self.cache_identity = (
+            f"orders={';'.join(f'{m}x{n}' for m, n in self.orders)}"
+        )
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.orders)
+
+    def arena(self, level: int, seed: int) -> EscalationArena:
+        num_rows, num_columns = self.orders[level]
+        instance = full_gadget_instance(num_rows, num_columns)
+        return EscalationArena(
+            instance=instance,
+            opt=OptEstimate(
+                value=1.0, method="lemma8", is_exact=True, lower_bound=1.0
+            ),
+            bound=corollary6_upper_bound(compute_statistics(instance.system)),
+            label=f"gadget({num_rows},{num_columns})",
+        )
+
+
+class TDesignEscalator(InstanceEscalator):
+    """The Section 4.2 warm-up construction, escalating the design order ``t``.
+
+    Each rung draws :func:`~repro.workloads.structured.t_design_style_instance`
+    at the next ``t`` from the round seed.  The construction's optimum (a
+    full column completes) is not certified here, so OPT goes through the
+    standard estimation pipeline — exact up to the solver limit.  The round
+    bound is Corollary 6.
+
+    >>> escalator = TDesignEscalator(ts=(2, 3))
+    >>> arena = escalator.arena(1, seed=0)
+    >>> arena.instance.system.num_sets      # t ** 2
+    9
+    >>> arena.opt is None                   # estimated, not certified
+    True
+    """
+
+    name = "t-design"
+    bound_name = "corollary6"
+
+    def __init__(self, ts: Sequence[int] = (2, 3, 4, 5)) -> None:
+        self.ts = tuple(int(t) for t in ts)
+        if not self.ts:
+            raise ValueError("TDesignEscalator needs at least one order")
+        self.cache_identity = f"ts={','.join(map(str, self.ts))}"
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.ts)
+
+    def arena(self, level: int, seed: int) -> EscalationArena:
+        t = self.ts[level]
+        instance = t_design_style_instance(t, random.Random(seed))
+        return EscalationArena(
+            instance=instance,
+            opt=None,
+            bound=corollary6_upper_bound(compute_statistics(instance.system)),
+            label=f"t={t}",
+        )
+
+
+class AdversarialBurstEscalator(InstanceEscalator):
+    """Synchronized traffic bursts, escalating burst size, frame size and waves.
+
+    Each rung is :func:`~repro.workloads.adversarial.adversarial_burst_instance`
+    at the next ``(burst_size, packets_per_frame, num_waves)`` triple.  The
+    waves are disjoint blocks of perfectly aligned frames at a capacity-one
+    link, so OPT completes exactly one frame per wave — an exact certificate
+    of ``num_waves * packets_per_frame`` (a frame's OSP weight defaults to
+    its packet count in the network reduction).  The round bound is
+    Corollary 6.
+
+    >>> escalator = AdversarialBurstEscalator(levels=((2, 2, 2), (3, 2, 3)))
+    >>> arena = escalator.arena(0, seed=0)
+    >>> arena.instance.system.num_sets      # burst_size * num_waves
+    4
+    >>> arena.opt.value                     # one weight-k frame per wave
+    4.0
+    """
+
+    name = "adversarial-burst"
+    bound_name = "corollary6"
+
+    def __init__(
+        self,
+        levels: Sequence[Tuple[int, int, int]] = (
+            (2, 2, 2),
+            (3, 2, 3),
+            (4, 3, 3),
+            (6, 3, 4),
+            (8, 4, 4),
+        ),
+    ) -> None:
+        self.levels = tuple((int(s), int(k), int(w)) for s, k, w in levels)
+        if not self.levels:
+            raise ValueError("AdversarialBurstEscalator needs at least one level")
+        self.cache_identity = (
+            f"levels={';'.join(f'{s}x{k}x{w}' for s, k, w in self.levels)}"
+        )
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.levels)
+
+    def arena(self, level: int, seed: int) -> EscalationArena:
+        burst_size, packets_per_frame, num_waves = self.levels[level]
+        instance = adversarial_burst_instance(
+            burst_size, packets_per_frame, num_waves
+        )
+        # One frame per wave, each of weight packets_per_frame (the network
+        # reduction weights a frame by its packet count).
+        opt_value = float(num_waves * packets_per_frame)
+        return EscalationArena(
+            instance=instance,
+            opt=OptEstimate(
+                value=opt_value,
+                method="aligned-waves",
+                is_exact=True,
+                lower_bound=opt_value,
+            ),
+            bound=corollary6_upper_bound(compute_statistics(instance.system)),
+            label=f"sigma={burst_size},k={packets_per_frame},waves={num_waves}",
+        )
+
+
+class DeterministicAdversaryEscalator(InstanceEscalator):
+    """The adaptive Theorem 3 adversary, escalating ``(sigma, k)``.
+
+    Adaptive: there is no algorithm-independent arena — the instance is built
+    from the algorithm's own decisions by
+    :func:`~repro.lowerbounds.deterministic_adversary.run_deterministic_adversary`,
+    so this escalator overrides :meth:`play` directly.  It only applies to
+    deterministic algorithms, and because the adversary forces
+    ``ratio >= sigma^(k-1)`` *by construction* at every rung,
+    ``stop_when_crossed`` is off — the battle walks the whole ladder and the
+    frontier records how the forced ratio grows with the instance size.
+
+    >>> from repro.algorithms import GreedyWeightAlgorithm, RandPrAlgorithm
+    >>> escalator = DeterministicAdversaryEscalator(params=((2, 2), (3, 2)))
+    >>> escalator.applies_to(RandPrAlgorithm())     # randomized: declined
+    False
+    >>> battle_round = escalator.play(GreedyWeightAlgorithm(), 0, seed=0, trials=5)
+    >>> battle_round.ratio >= battle_round.bound    # forced by construction
+    True
+    >>> battle_round.bound                          # sigma ** (k - 1)
+    2.0
+    """
+
+    name = "theorem3-adversary"
+    bound_name = "theorem3"
+    stop_when_crossed = False
+
+    def __init__(
+        self,
+        params: Sequence[Tuple[int, int]] = ((2, 2), (2, 3), (3, 2), (3, 3)),
+    ) -> None:
+        self.params = tuple((int(sigma), int(k)) for sigma, k in params)
+        if not self.params:
+            raise ValueError(
+                "DeterministicAdversaryEscalator needs at least one (sigma, k)"
+            )
+        self.cache_identity = (
+            f"params={';'.join(f'{sigma}x{k}' for sigma, k in self.params)}"
+        )
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.params)
+
+    def applies_to(self, algorithm) -> bool:
+        """The Theorem 3 construction only attacks deterministic algorithms."""
+        return bool(algorithm.is_deterministic)
+
+    def play(
+        self,
+        algorithm,
+        level: int,
+        seed: int,
+        trials: int,
+        engine: str = "auto",
+        opt_method: str = "auto",
+    ) -> BattleRound:
+        """Run the adaptive adversary; the round is its certified outcome.
+
+        The construction is deterministic (``seed``, ``trials``, ``engine``
+        and ``opt_method`` do not enter it — they are accepted to satisfy the
+        escalator contract), and both benefits come from the adversary's own
+        certificate: the sets the algorithm completed and the feasible OPT
+        solution built from the abandoned sets.
+        """
+        sigma, k = self.params[level]
+        result = run_deterministic_adversary(algorithm, sigma, k)
+        return BattleRound(
+            level=level,
+            label=f"sigma={sigma},k={k}",
+            num_sets=result.instance.system.num_sets,
+            trials=1,
+            mean_benefit=float(result.algorithm_benefit),
+            opt_value=float(result.opt_benefit),
+            opt_method="adversary-certificate",
+            ratio=result.ratio,
+            bound=theorem3_lower_bound(sigma, k),
+            bound_name=self.bound_name,
+        )
+
+
+def default_escalator_suite() -> list:
+    """The standard escalation ladders, one per construction family.
+
+    >>> [escalator.name for escalator in default_escalator_suite()]
+    ... # doctest: +NORMALIZE_WHITESPACE
+    ['lemma9', 'full-gadget', 't-design', 'adversarial-burst',
+     'theorem3-adversary']
+    """
+    return [
+        Lemma9Escalator(),
+        GadgetEscalator(),
+        TDesignEscalator(),
+        AdversarialBurstEscalator(),
+        DeterministicAdversaryEscalator(),
+    ]

@@ -44,6 +44,16 @@ class UnsupportedAlgorithmError(OspError):
     """
 
 
+class FrontierRegressionError(OspError):
+    """Raised when a fresh battle frontier is worse than the golden fixture.
+
+    Carries one line per regressed grid cell (see
+    :func:`repro.battles.match.check_frontiers`); a deliberate behaviour
+    change is acknowledged by regenerating the fixture with
+    ``python -m repro.battles --smoke --write-golden``.
+    """
+
+
 class ConstructionError(OspError):
     """Raised when a lower-bound construction receives invalid parameters.
 

@@ -30,11 +30,12 @@ from __future__ import annotations
 import hashlib
 import os
 from collections import OrderedDict
+from contextlib import contextmanager
 from typing import Callable, Optional, TypeVar
 
 from repro.core.set_system import SetSystem
 
-__all__ = ["OptCache", "default_opt_cache", "system_fingerprint"]
+__all__ = ["OptCache", "attached_store", "default_opt_cache", "system_fingerprint"]
 
 V = TypeVar("V")
 
@@ -144,6 +145,32 @@ class OptCache:
             f"OptCache(entries={len(self._entries)}, hits={self.hits}, "
             f"misses={self.misses}, maxsize={self.maxsize})"
         )
+
+
+@contextmanager
+def attached_store(cache: OptCache, store):
+    """Temporarily attach ``store`` (or ``None``) as ``cache``'s durable tier.
+
+    For the duration of the ``with`` block the caller's store choice — or its
+    explicit absence — wins over whatever the cache had attached; the previous
+    attachment (e.g. the ``OSP_STORE`` default) is restored afterwards, so one
+    caller's explicit store never shadows the environment store for later
+    callers in the same process.  Both the sweep orchestrator and the battle
+    harness scope their per-unit store attachments through this.
+
+    >>> cache = OptCache()
+    >>> with attached_store(cache, None):
+    ...     cache.store is None
+    True
+    >>> cache.store is None     # the previous attachment is restored
+    True
+    """
+    previous = cache.store
+    cache.store = store
+    try:
+        yield cache
+    finally:
+        cache.store = previous
 
 
 #: The per-process shared cache (one per worker; created lazily), with the

@@ -47,7 +47,7 @@ from repro.experiments.competitive_ratio import (
     measure_ratio,
     validate_engine,
 )
-from repro.experiments.opt_cache import default_opt_cache
+from repro.experiments.opt_cache import attached_store, default_opt_cache
 from repro.experiments.parallel import map_ordered, resolve_workers, stable_seed
 from repro.experiments.store import store_for_path, unit_key
 
@@ -229,16 +229,10 @@ def _execute_unit(
                     point_index=unit.point_index,
                     instance_index=unit.instance_index,
                 )
-    cache = default_opt_cache()
     # For the duration of this unit the sweep's store (or its absence) wins
     # over whatever the cache had attached — a store=None sweep must not
-    # keep writing OPT solves into a previous sweep's file.  The previous
-    # attachment (e.g. the OSP_STORE default) is restored afterwards, so
-    # one sweep's explicit store never shadows the environment store for
-    # later callers in the same process.
-    previous_store = cache.store
-    cache.store = store
-    try:
+    # keep writing OPT solves into a previous sweep's file.
+    with attached_store(default_opt_cache(), store) as cache:
         system = unit.instance.system
         opt = estimate_opt(system, method=opt_method, cache=cache)
         stats = compute_statistics(system)
@@ -254,8 +248,6 @@ def _execute_unit(
             )
             for algorithm in algorithms
         )
-    finally:
-        cache.store = previous_store
     result = SweepUnitResult(
         point_index=unit.point_index,
         instance_index=unit.instance_index,

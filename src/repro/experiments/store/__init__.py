@@ -239,22 +239,24 @@ def _quarantine_path(path: str) -> str:
 
 
 #: Every payload table of the store file, in display order.  ``constructions``
-#: was added after the first release of format version 1; the verbs that read
-#: *foreign* files (CLI inspect/merge sources) therefore tolerate its absence
-#: (see :func:`_existing_payload_tables`), while every file this code opens
-#: for writing gets all three created on connect.
-_PAYLOAD_TABLES = ("opt", "units", "constructions")
+#: and ``frontiers`` were added after the first release of format version 1;
+#: the verbs that read *foreign* files (CLI inspect/merge sources) therefore
+#: tolerate their absence (see :func:`_existing_payload_tables`), while every
+#: file this code opens for writing gets all four created on connect.
+_PAYLOAD_TABLES = ("opt", "units", "constructions", "frontiers")
 
 
 class SolutionStore:
     """A file-backed, content-addressed store of computed experiment results.
 
-    One SQLite file holds three payload tables — ``opt`` (offline-optimum
+    One SQLite file holds four payload tables — ``opt`` (offline-optimum
     estimates, keyed by :meth:`~repro.experiments.opt_cache.OptCache.key`),
-    ``units`` (whole sweep-unit results, keyed by :func:`unit_key`) and
+    ``units`` (whole sweep-unit results, keyed by :func:`unit_key`),
     ``constructions`` (deterministic-per-key instance constructions, e.g.
     the Lemma 9 samples of
-    :func:`repro.lowerbounds.stored_lemma9_instance`) — each row a
+    :func:`repro.lowerbounds.stored_lemma9_instance`) and ``frontiers``
+    (battle-round outcomes of :mod:`repro.battles`, keyed by
+    :func:`repro.battles.battle_key`) — each row a
     pickled payload with a SHA-256 checksum.  The store is safe to share
     between concurrent worker processes: writes use ``INSERT OR IGNORE``
     (first writer wins; every writer computed the identical value) under
@@ -262,8 +264,9 @@ class SolutionStore:
     report a miss instead of crashing.
 
     Counters (``opt_hits``/``opt_misses``/``unit_hits``/``unit_misses``/
-    ``construction_hits``/``construction_misses``/``integrity_failures``)
-    are per-process and exposed via :meth:`stats`.
+    ``construction_hits``/``construction_misses``/``frontier_hits``/
+    ``frontier_misses``/``integrity_failures``) are per-process and exposed
+    via :meth:`stats`.
 
     >>> import os, tempfile
     >>> path = os.path.join(tempfile.mkdtemp(), "demo.sqlite")
@@ -286,6 +289,8 @@ class SolutionStore:
         self.unit_misses = 0
         self.construction_hits = 0
         self.construction_misses = 0
+        self.frontier_hits = 0
+        self.frontier_misses = 0
         self.integrity_failures = 0
         self._connection = self._open()
 
@@ -348,6 +353,10 @@ class SolutionStore:
             )
             connection.execute(
                 "CREATE TABLE IF NOT EXISTS constructions "
+                "(key TEXT PRIMARY KEY, payload BLOB NOT NULL, checksum TEXT NOT NULL)"
+            )
+            connection.execute(
+                "CREATE TABLE IF NOT EXISTS frontiers "
                 "(key TEXT PRIMARY KEY, payload BLOB NOT NULL, checksum TEXT NOT NULL)"
             )
             connection.execute(
@@ -520,6 +529,25 @@ class SolutionStore:
         """Persist a deterministic instance construction under its key."""
         self._put("constructions", key, value)
 
+    def get_frontier(self, key: str):
+        """The stored battle-round outcome under ``key``, or ``None`` on miss.
+
+        Frontier keys come from :func:`repro.battles.battle_key`: a SHA-256
+        over every input that determines the round's outcome (escalator
+        identity, algorithm identity, level, seed, trials, OPT policy), with
+        the same ``STORE_FORMAT_VERSION`` discipline as :func:`unit_key`.
+        """
+        value = self._get("frontiers", key)
+        if value is None:
+            self.frontier_misses += 1
+        else:
+            self.frontier_hits += 1
+        return value
+
+    def put_frontier(self, key: str, value) -> None:
+        """Persist a completed battle round under its content-addressed key."""
+        self._put("frontiers", key, value)
+
     def __len__(self) -> int:
         counts = 0
         for table in _PAYLOAD_TABLES:
@@ -543,10 +571,13 @@ class SolutionStore:
             "unit_misses": self.unit_misses,
             "construction_hits": self.construction_hits,
             "construction_misses": self.construction_misses,
+            "frontier_hits": self.frontier_hits,
+            "frontier_misses": self.frontier_misses,
             "integrity_failures": self.integrity_failures,
             "opt_entries": int(counts["opt"]),
             "unit_entries": int(counts["units"]),
             "construction_entries": int(counts["constructions"]),
+            "frontier_entries": int(counts["frontiers"]),
         }
 
     def integrity_report(self) -> Dict[str, int]:
@@ -746,6 +777,7 @@ def _cli_inspect(args) -> int:
         print(f"  opt entries:    {counts.get('opt', 0)}")
         print(f"  unit entries:   {counts.get('units', 0)}")
         print(f"  construction entries: {counts.get('constructions', 0)}")
+        print(f"  frontier entries: {counts.get('frontiers', 0)}")
         print(f"  file size:      {os.path.getsize(args.path)} bytes")
         if args.check:
             garbled = sum(1 for *_ignored, ok in _audit_rows(connection) if not ok)
@@ -821,7 +853,8 @@ def _cli_merge(args) -> int:
         f"merged {len(args.sources)} store(s) into "
         f"{os.path.abspath(args.destination)}: examined {examined} row(s), "
         f"added {inserted['opt']} opt + {inserted['units']} unit + "
-        f"{inserted['constructions']} construction entries, "
+        f"{inserted['constructions']} construction + "
+        f"{inserted['frontiers']} frontier entries, "
         f"skipped {skipped} garbled"
     )
     return 0
@@ -846,6 +879,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
       opt entries:    1
       unit entries:   0
       construction entries: 0
+      frontier entries: 0
       file size:      ... bytes
     0
     """

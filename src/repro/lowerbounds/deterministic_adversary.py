@@ -60,7 +60,32 @@ class AdversaryResult:
 
     @property
     def ratio(self) -> float:
-        """The achieved competitive ratio ``opt / alg`` (``inf`` if alg got nothing)."""
+        """The achieved competitive ratio ``opt / alg``, degenerate cases explicit.
+
+        ``opt / alg`` only means something when the adversary produced a
+        non-empty OPT certificate:
+
+        * ``opt == 0`` — the constructed certificate is empty, so the round
+          says nothing about the algorithm; the ratio is the neutral ``1.0``
+          (never ``0/alg = 0``, which would absurdly claim the algorithm beat
+          the offline optimum — the true ratio is always at least 1).  This
+          also covers the ``0/0`` case without raising ``ZeroDivisionError``.
+        * ``alg == 0`` with ``opt > 0`` — the algorithm was starved while OPT
+          completed sets: ``inf``.
+
+        >>> degenerate = AdversaryResult(
+        ...     instance=None, algorithm_name="x", sigma=2, k=2,
+        ...     algorithm_completed=frozenset(), opt_solution=frozenset())
+        >>> degenerate.ratio        # 0/0: neutral, not ZeroDivisionError
+        1.0
+        >>> starved = AdversaryResult(
+        ...     instance=None, algorithm_name="x", sigma=2, k=2,
+        ...     algorithm_completed=frozenset(), opt_solution=frozenset({"S0"}))
+        >>> starved.ratio
+        inf
+        """
+        if self.opt_benefit == 0:
+            return 1.0
         if self.algorithm_benefit == 0:
             return float("inf")
         return self.opt_benefit / self.algorithm_benefit

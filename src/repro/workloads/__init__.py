@@ -1,5 +1,6 @@
-"""Workload generators: random, uniform, structured and video-derived instances."""
+"""Workload generators: random, uniform, structured, adversarial and video instances."""
 
+from repro.workloads.adversarial import adversarial_burst_instance
 from repro.workloads.general import (
     bandwidth_reservation_instance,
     random_general_packing_instance,
@@ -23,6 +24,7 @@ from repro.workloads.uniform import (
 from repro.workloads.video import VideoWorkload, make_video_workload
 
 __all__ = [
+    "adversarial_burst_instance",
     "bandwidth_reservation_instance",
     "random_general_packing_instance",
     "random_online_instance",

@@ -1,0 +1,64 @@
+"""Adversarial workloads: worst-case traffic cast as OSP instances.
+
+The network layer's :class:`~repro.network.traffic.AdversarialBurstGenerator`
+produces the synchronized-burst traces the paper's bounds are written for;
+this module exposes that construction at the workload layer, as a plain
+:class:`~repro.core.instance.OnlineInstance` factory matching the other
+workload families — which is what lets the battle harness
+(:mod:`repro.battles`) escalate burst size and wave count like any other
+instance parameter.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.core.instance import OnlineInstance
+from repro.network.traffic import AdversarialBurstGenerator
+
+__all__ = ["adversarial_burst_instance"]
+
+
+def adversarial_burst_instance(
+    burst_size: int,
+    packets_per_frame: int,
+    num_waves: int,
+    gap_slots: int = 0,
+    link_capacity: int = 1,
+    rng: Optional[random.Random] = None,
+    name: str = "",
+) -> OnlineInstance:
+    """An OSP instance of ``num_waves`` synchronized bursts of ``burst_size`` frames.
+
+    Every wave is ``burst_size`` perfectly aligned frames of
+    ``packets_per_frame`` packets at a capacity-``link_capacity`` link, so
+    each of the wave's slots is a burst of load ``burst_size`` — the regime
+    where the competitive bounds bite.  OPT completes ``link_capacity``
+    frames per wave; an online algorithm must commit before seeing the
+    collision resolve.  The construction is deterministic; ``rng`` is
+    accepted (and ignored) so the factory slots into the sweep/battle
+    ``(label, factory)`` convention unchanged.
+
+    >>> instance = adversarial_burst_instance(3, 2, 2)
+    >>> instance.system.num_sets          # burst_size * num_waves frames
+    6
+    >>> instance.num_steps                # packets_per_frame slots per wave
+    4
+    >>> from repro.core import compute_statistics
+    >>> compute_statistics(instance.system).sigma_max     # the burst size
+    3
+    >>> instance.name
+    'adversarial-burst(sigma=3,k=2,waves=2)'
+    """
+    generator = AdversarialBurstGenerator(
+        burst_size=burst_size,
+        packets_per_frame=packets_per_frame,
+        link_capacity=link_capacity,
+        gap_slots=gap_slots,
+    )
+    trace = generator.generate(num_waves, rng)
+    return trace.to_instance(
+        name=name
+        or f"adversarial-burst(sigma={burst_size},k={packets_per_frame},waves={num_waves})"
+    )

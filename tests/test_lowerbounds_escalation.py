@@ -1,0 +1,136 @@
+"""Property tests: the adversarial constructions stay valid as they escalate.
+
+The battle harness leans on the lower-bound constructions remaining *valid
+set systems* at every rung of an escalation ladder — the planted solutions
+stay capacity-feasible, the element/set counts track the closed forms, the
+gadget's incidence structure keeps its Lemma 8 property.  These tests sample
+orders/seeds with hypothesis and check exactly that, so a future change to a
+construction that silently breaks feasibility at larger orders is caught
+here rather than as a mysteriously shifted battle frontier.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import (
+    FirstListedAlgorithm,
+    GreedyWeightAlgorithm,
+    StaticOrderAlgorithm,
+)
+from repro.core.statistics import compute_statistics
+from repro.lowerbounds import (
+    Gadget,
+    build_lemma9_instance,
+    run_deterministic_adversary,
+    theoretical_profile,
+)
+from repro.workloads import adversarial_burst_instance, full_gadget_instance
+
+#: Prime-power Lemma 9 orders small enough for property-test budgets.
+LEMMA9_ORDERS = (2, 3)
+#: (M, N) gadget orders with N a prime power and M <= N.
+GADGET_ORDERS = ((1, 2), (2, 2), (2, 3), (3, 3), (3, 4), (4, 5), (5, 7), (7, 8))
+
+
+class TestLemma9Escalation:
+    @given(
+        ell=st.sampled_from(LEMMA9_ORDERS),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_planted_solution_stays_feasible(self, ell, seed):
+        sample = build_lemma9_instance(ell, random.Random(seed))
+        system = sample.instance.system
+        # The planted ell^3 disjoint sets must be a capacity-feasible packing
+        # at every order and under every draw.
+        assert len(sample.planted_solution) == ell**3
+        assert system.is_feasible_packing(sample.planted_solution)
+
+    @given(
+        ell=st.sampled_from(LEMMA9_ORDERS),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_counts_track_the_closed_forms(self, ell, seed):
+        sample = build_lemma9_instance(ell, random.Random(seed))
+        system = sample.instance.system
+        profile = theoretical_profile(ell)
+        stats = compute_statistics(system)
+        assert system.num_sets == profile["num_sets"]
+        assert stats.sigma_max == profile["sigma_max"]
+        assert sample.stage_element_counts["stage1_elements"] == profile["stage1_elements"]
+        assert sample.stage_element_counts["stage2_elements"] == profile["stage2_elements"]
+        # Set sizes: planted sets are one element shorter than the rest.
+        sizes = {len(system.members(set_id)) for set_id in system.set_ids}
+        assert sizes <= {profile["set_size_planted"], profile["set_size_other"]}
+
+
+class TestGadgetEscalation:
+    @given(order=st.sampled_from(GADGET_ORDERS))
+    @settings(max_examples=8, deadline=None)
+    def test_gadget_lines_stay_pairwise_intersecting(self, order):
+        # Lemma 8 at every escalation order: any two gadget sets intersect,
+        # so OPT on the full-gadget instance is exactly one set.
+        num_rows, num_columns = order
+        instance = full_gadget_instance(num_rows, num_columns)
+        system = instance.system
+        assert system.num_sets == num_rows * num_columns
+        members = {set_id: set(system.members(set_id)) for set_id in system.set_ids}
+        set_ids = sorted(members, key=repr)
+        for i, a in enumerate(set_ids):
+            for b in set_ids[i + 1 :]:
+                assert members[a] & members[b], f"{a} and {b} are disjoint"
+
+    @given(order=st.sampled_from(GADGET_ORDERS))
+    @settings(max_examples=8, deadline=None)
+    def test_gadget_load_profile(self, order):
+        # Slope lines have load M, the row line has load N; every item lies
+        # on one line per slope plus its row line.
+        num_rows, num_columns = order
+        gadget = Gadget(num_rows, num_columns)
+        for item in gadget.items():
+            lines = gadget.lines_through(item)
+            assert len(lines) == num_columns + 1
+            assert all(item in line for line in lines)
+
+
+class TestAdversaryEscalation:
+    @given(
+        sigma=st.integers(min_value=2, max_value=4),
+        k=st.integers(min_value=1, max_value=3),
+        algorithm=st.sampled_from(
+            [GreedyWeightAlgorithm(), FirstListedAlgorithm(), StaticOrderAlgorithm()]
+        ),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_certificates_stay_valid_as_parameters_grow(self, sigma, k, algorithm):
+        result = run_deterministic_adversary(algorithm, sigma, k)
+        system = result.instance.system
+        # sigma^k sets of size exactly k.
+        assert system.num_sets == sigma**k
+        assert all(len(system.members(set_id)) == k for set_id in system.set_ids)
+        # Both certificates are feasible packings of the built instance.
+        assert system.is_feasible_packing(result.opt_solution)
+        assert system.is_feasible_packing(result.algorithm_completed)
+        # The forced ratio meets the paper's bound; never a ZeroDivisionError.
+        assert result.algorithm_benefit <= 1
+        assert result.ratio >= result.theoretical_lower_bound
+
+    @given(
+        burst=st.integers(min_value=1, max_value=6),
+        k=st.integers(min_value=1, max_value=4),
+        waves=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_burst_instance_shape(self, burst, k, waves):
+        instance = adversarial_burst_instance(burst, k, waves)
+        system = instance.system
+        stats = compute_statistics(system)
+        assert system.num_sets == burst * waves
+        assert instance.num_steps == k * waves
+        assert stats.sigma_max == burst
+        # One frame per wave is feasible (the waves are disjoint in time).
+        one_per_wave = frozenset(f"w{w}.m0" for w in range(waves))
+        assert system.is_feasible_packing(one_per_wave)

@@ -822,7 +822,7 @@ class TestConstructionMemoization:
 
         destination = tmp_path / "merged.sqlite"
         assert main(["merge", str(destination), str(source)]) == 0
-        assert "1 construction entries" in capsys.readouterr().out
+        assert "1 construction" in capsys.readouterr().out
         merged = SolutionStore(str(destination))
         carried = merged.get_construction("lemma9|ell=2|seed=7")
         assert carried.planted_solution == sample.planted_solution
@@ -945,3 +945,59 @@ class TestQuarantineRaceRetry:
         with pytest.raises(sqlite3.OperationalError):
             SolutionStore(str(directory))
         assert directory.is_dir()  # surfaced, never renamed away
+
+
+class TestFrontierTable:
+    """The ``frontiers`` payload table backing the battle harness."""
+
+    def test_round_trip_and_counters(self, tmp_path):
+        store = SolutionStore(str(tmp_path / "frontiers.sqlite"))
+        assert store.get_frontier("missing") is None
+        assert store.frontier_misses == 1
+        store.put_frontier("battle-key", {"ratio": 2.0, "level": 0})
+        assert store.get_frontier("battle-key") == {"ratio": 2.0, "level": 0}
+        stats = store.stats()
+        assert stats["frontier_hits"] == 1
+        assert stats["frontier_misses"] == 1
+        assert stats["frontier_entries"] == 1
+        store.close()
+
+    def test_first_writer_wins(self, tmp_path):
+        store = SolutionStore(str(tmp_path / "frontiers.sqlite"))
+        store.put_frontier("key", "first")
+        store.put_frontier("key", "second")   # INSERT OR IGNORE: no overwrite
+        assert store.get_frontier("key") == "first"
+        store.close()
+
+    def test_garbled_frontier_row_is_dropped(self, tmp_path):
+        path = str(tmp_path / "frontiers.sqlite")
+        store = SolutionStore(path)
+        store.put_frontier("key", "value")
+        store.close()
+        connection = sqlite3.connect(path)
+        connection.execute("UPDATE frontiers SET payload = ?", (b"garbage",))
+        connection.commit()
+        connection.close()
+        reopened = SolutionStore(path)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", StoreCorruptionWarning)
+            assert reopened.get_frontier("key") is None
+        assert reopened.integrity_failures == 1
+        reopened.close()
+
+    def test_cli_inspect_and_merge_carry_frontiers(self, tmp_path, capsys):
+        from repro.experiments.store import main
+
+        source = tmp_path / "with-frontiers.sqlite"
+        store = SolutionStore(str(source))
+        store.put_frontier("battle-key", {"ratio": 1.5})
+        store.close()
+        assert main(["inspect", str(source)]) == 0
+        assert "frontier entries: 1" in capsys.readouterr().out
+
+        destination = tmp_path / "merged.sqlite"
+        assert main(["merge", str(destination), str(source)]) == 0
+        assert "1 frontier entries" in capsys.readouterr().out
+        merged = SolutionStore(str(destination))
+        assert merged.get_frontier("battle-key") == {"ratio": 1.5}
+        merged.close()
