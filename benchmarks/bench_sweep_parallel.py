@@ -181,6 +181,63 @@ def test_e16_sweep_parallel_speedup(run_once, experiment_report):
     assert speedup >= MIN_SPEEDUP
 
 
+#: Fault-free supervision overhead budget: the resilient pool may cost at
+#: most 5% over ``map_ordered`` (plus a small absolute grace for timer noise
+#: on shared CI runners).
+RESILIENT_OVERHEAD_FACTOR = 1.05
+RESILIENT_OVERHEAD_GRACE_SECONDS = 0.25
+
+
+def _resilient_overhead_probe(points, workers=2, repeats=3):
+    """Best-of-N timing: supervised vs. plain pool on a fault-free sweep.
+
+    The supervised pool must be a free upgrade when nothing fails — same
+    rows, and wall clock within :data:`RESILIENT_OVERHEAD_FACTOR` of
+    ``map_ordered`` (its event loop ticks instead of blocking on ``pool.map``,
+    which is where any overhead would come from).  Best-of-N damps scheduler
+    noise; an absolute grace keeps the check meaningful on tiny baselines.
+    """
+    from repro.experiments import RetryPolicy
+
+    policy = RetryPolicy()
+    plain_best = resilient_best = float("inf")
+    plain_rows = resilient_rows = None
+    for _ in range(repeats):
+        plain, plain_seconds = _run_configuration(points, workers, "auto", 2, 20)
+        plain_best = min(plain_best, plain_seconds)
+        plain_rows = plain.rows
+    for _ in range(repeats):
+        default_opt_cache().clear()
+        clear_compile_cache()
+        start = time.perf_counter()
+        resilient = run_sweep(
+            "E16 sweep",
+            _points(40, (100, 60)),
+            list(ALGORITHMS),
+            instances_per_point=2,
+            trials_per_instance=20,
+            seed=SEED,
+            engine="auto",
+            workers=workers,
+            store=False,
+            policy=policy,
+        )
+        resilient_best = min(resilient_best, time.perf_counter() - start)
+        resilient_rows = resilient.rows
+    assert resilient_rows == plain_rows, "supervision changed sweep rows"
+    budget = plain_best * RESILIENT_OVERHEAD_FACTOR + RESILIENT_OVERHEAD_GRACE_SECONDS
+    print(
+        f"resilient overhead probe (workers={workers}, best of {repeats}): "
+        f"plain {plain_best:.2f}s, supervised {resilient_best:.2f}s, "
+        f"budget {budget:.2f}s"
+    )
+    assert resilient_best <= budget, (
+        f"fault-free supervision overhead too high: {resilient_best:.2f}s vs "
+        f"budget {budget:.2f}s ({RESILIENT_OVERHEAD_FACTOR:.0%} of plain "
+        f"+ {RESILIENT_OVERHEAD_GRACE_SECONDS}s grace)"
+    )
+
+
 def _smoke(workers_list=(1, 2, 4)):
     """CI smoke: a small sweep, bit-identity asserted across worker counts."""
     points = _points(40, (100, 60))
@@ -192,7 +249,11 @@ def _smoke(workers_list=(1, 2, 4)):
             f"rows diverged at workers={workers} (engine=auto)"
         )
         print(f"workers={workers} engine=auto: {seconds:.2f}s, rows bit-identical")
-    print("smoke OK: parallel sweep is bit-identical to the serial reference")
+    _resilient_overhead_probe(points)
+    print(
+        "smoke OK: parallel sweep is bit-identical to the serial reference, "
+        "supervised pool within its fault-free overhead budget"
+    )
     return 0
 
 

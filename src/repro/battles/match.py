@@ -36,6 +36,7 @@ from repro.battles.escalators import (
 from repro.exceptions import FrontierRegressionError
 from repro.experiments.competitive_ratio import validate_engine
 from repro.experiments.parallel import map_ordered, resolve_workers
+from repro.experiments.resilience import FailureReport, RetryPolicy, map_resilient
 from repro.experiments.report import format_table
 from repro.experiments.store import store_path_from_env
 
@@ -75,9 +76,19 @@ class MatchResult:
     'not-applicable'
     >>> result.table().splitlines()[1].split()[:4]
     ['algorithm', 'escalator', 'rounds', 'stop']
+
+    ``failures`` is empty unless the match ran under a
+    :class:`~repro.experiments.resilience.RetryPolicy` and some grid cells
+    exhausted their retry budget; those battles are then absent from
+    ``battles`` and described by their
+    :class:`~repro.experiments.resilience.FailureReport` instead.
+
+    >>> result.failures
+    ()
     """
 
     battles: Tuple[BattleResult, ...]
+    failures: Tuple[FailureReport, ...] = ()
 
     @property
     def frontiers(self) -> Tuple[Frontier, ...]:
@@ -136,8 +147,9 @@ def run_match(
     max_rounds: Optional[int] = None,
     engine: str = "auto",
     opt_method: str = "auto",
-    workers: int = 1,
+    workers: "int | str" = 1,
     store=None,
+    policy: Optional[RetryPolicy] = None,
 ) -> MatchResult:
     """Battle every algorithm against every escalator.
 
@@ -149,6 +161,14 @@ def run_match(
     resolved *path* and open their own connections.  Like ``engine`` and
     ``workers``, the store only moves wall-clock time — the battles are
     bit-identical either way.
+
+    ``policy`` supervises the grid with
+    :func:`~repro.experiments.resilience.map_resilient`: crashed workers are
+    replaced (only the lost battles re-run), transient failures retry with
+    deterministic backoff, and a cell that exhausts its budget lands in
+    ``MatchResult.failures`` while the rest of the grid completes.  Battles
+    are pure functions of their task tuples, so a retried battle reproduces
+    the fault-free bits.
 
     >>> from repro.algorithms import GreedyWeightAlgorithm
     >>> from repro.battles.escalators import GadgetEscalator
@@ -175,6 +195,21 @@ def run_match(
         for algorithm in algorithms
         for escalator in escalators
     ]
+    if policy is not None:
+        labels = [
+            f"{algorithm.name} vs {escalator.name}"
+            for algorithm in algorithms
+            for escalator in escalators
+        ]
+        outcome = map_resilient(
+            _run_battle_task, tasks, workers=workers, policy=policy, labels=labels
+        )
+        return MatchResult(
+            battles=tuple(
+                battle for battle in outcome.results if battle is not None
+            ),
+            failures=tuple(outcome.failures),
+        )
     results = map_ordered(_run_battle_task, tasks, workers=workers)
     return MatchResult(battles=tuple(results))
 

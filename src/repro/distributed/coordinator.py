@@ -20,6 +20,7 @@ from repro.core.set_system import ElementId, SetId
 from repro.distributed.hashing import UniversalHashFamily
 from repro.distributed.node import NodeDecision, ServerNode
 from repro.exceptions import OspError
+from repro.experiments.parallel import stable_seed
 
 __all__ = ["DistributedOutcome", "DistributedCoordinator", "round_robin_placement"]
 
@@ -27,13 +28,23 @@ PlacementFunction = Callable[[ElementId], str]
 
 
 def round_robin_placement(node_ids: List[str]) -> PlacementFunction:
-    """A placement that spreads elements over nodes by a stable hash of their id."""
+    """A placement that spreads elements over nodes by a stable hash of their id.
+
+    The hash is :func:`~repro.experiments.parallel.stable_seed`, not the
+    built-in ``hash()``: string hashing is randomized per interpreter run
+    (``PYTHONHASHSEED``), so a ``hash()``-based placement would scatter the
+    same element onto different nodes in different processes — fatal for a
+    placement that several cooperating processes must agree on.  The
+    ``stable_seed`` routing is identical on every platform, interpreter and
+    hash seed (``tests/test_hashed_and_distributed.py`` checks this across
+    ``PYTHONHASHSEED`` values in subprocesses).
+    """
     if not node_ids:
         raise OspError("round-robin placement needs at least one node")
     ordered = list(node_ids)
 
     def place(element_id: ElementId) -> str:
-        return ordered[hash(repr(element_id)) % len(ordered)]
+        return ordered[stable_seed("placement", repr(element_id)) % len(ordered)]
 
     return place
 

@@ -54,6 +54,23 @@ class FrontierRegressionError(OspError):
     """
 
 
+class MeasurementFailedError(OspError):
+    """Raised when a resilient measurement exhausts its retry budget.
+
+    The measurement entry points (trial chunks, suite fan-outs) cannot
+    quarantine a failed unit the way a sweep can — dropping a trial chunk
+    would change the benefit sequence — so when every attempt of a unit
+    fails under a :class:`repro.experiments.resilience.RetryPolicy`, the
+    whole measurement fails with this error.  ``failures`` carries the
+    structured :class:`repro.experiments.resilience.FailureReport` records
+    (the runner CLI renders them as its JSON failure summary).
+    """
+
+    def __init__(self, message: str, failures=()):
+        super().__init__(message)
+        self.failures = tuple(failures)
+
+
 class ConstructionError(OspError):
     """Raised when a lower-bound construction receives invalid parameters.
 

@@ -13,6 +13,7 @@ from repro.experiments.competitive_ratio import (
     measure_ratio,
     measure_suite,
 )
+from repro.experiments.faults import Fault, FaultInjected, FaultPlan
 from repro.experiments.harness import ExperimentRow, SweepResult, run_sweep, summarize_rows
 from repro.experiments.opt_cache import OptCache, default_opt_cache
 from repro.experiments.orchestrator import (
@@ -21,12 +22,20 @@ from repro.experiments.orchestrator import (
     build_sweep_units,
     instance_seed,
     run_units,
+    run_units_resilient,
 )
 from repro.experiments.parallel import (
     map_ordered,
     partition_trials,
+    resolve_workers,
     stable_seed,
     workers_from_env,
+)
+from repro.experiments.resilience import (
+    FailureReport,
+    ResilientMapResult,
+    RetryPolicy,
+    map_resilient,
 )
 from repro.experiments.report import banner, format_markdown_table, format_sweep, format_table
 from repro.experiments.store import (
@@ -55,15 +64,24 @@ __all__ = [
     "summarize_rows",
     "OptCache",
     "default_opt_cache",
+    "Fault",
+    "FaultInjected",
+    "FaultPlan",
     "SweepUnit",
     "SweepUnitResult",
     "build_sweep_units",
     "instance_seed",
     "run_units",
+    "run_units_resilient",
     "map_ordered",
     "partition_trials",
+    "resolve_workers",
     "stable_seed",
     "workers_from_env",
+    "FailureReport",
+    "ResilientMapResult",
+    "RetryPolicy",
+    "map_resilient",
     "banner",
     "format_markdown_table",
     "format_sweep",

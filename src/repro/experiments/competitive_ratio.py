@@ -20,9 +20,14 @@ from repro.core.simulation import simulate_many
 from repro.core.statistics import statistics_from_benefits
 from repro.engine.batch import simulate_batch
 from repro.engine.specs import spec_for_algorithm
-from repro.exceptions import SolverError, UnsupportedAlgorithmError
+from repro.exceptions import (
+    MeasurementFailedError,
+    SolverError,
+    UnsupportedAlgorithmError,
+)
 from repro.experiments.opt_cache import OptCache, default_opt_cache
 from repro.experiments.parallel import map_ordered, partition_trials, resolve_workers
+from repro.experiments.resilience import RetryPolicy, map_resilient
 from repro.offline.exact import solve_exact
 from repro.offline.local_search import local_search_packing
 from repro.offline.lp import lp_relaxation_bound
@@ -203,7 +208,8 @@ def simulation_benefits(
     trials: int,
     seed: int = 0,
     engine: str = "reference",
-    workers: int = 1,
+    workers: "int | str" = 1,
+    policy: Optional[RetryPolicy] = None,
 ) -> Sequence[float]:
     """Per-trial benefits of ``trials`` shared-seed simulations.
 
@@ -223,16 +229,41 @@ def simulation_benefits(
     the chunks are concatenated in order, so the returned benefit sequence
     is *bit-identical* for every worker count.  Neither the engine nor the
     worker count ever changes the measurement — only the runtime.
+
+    ``policy`` routes the chunk fan-out through the supervised pool of
+    :func:`~repro.experiments.resilience.map_resilient` (crash recovery,
+    retry with deterministic backoff).  Unlike a sweep, a measurement cannot
+    *quarantine* a chunk — dropping trials would change the benefit
+    sequence — so a chunk that exhausts its retry budget raises
+    :class:`~repro.exceptions.MeasurementFailedError`.  Retried chunks
+    recompute the same bits, so the policy too is a runtime-only knob.
     """
     validate_engine(engine)
     workers = resolve_workers(workers)
     task = partial(
         _benefits_chunk, instance=instance, algorithm=algorithm, seed=seed, engine=engine
     )
-    if workers == 1:
+    if workers == 1 and policy is None:
         return task((0, trials))
     chunks = partition_trials(trials, workers)
     benefits: List[float] = []
+    if policy is not None:
+        outcome = map_resilient(
+            task,
+            chunks,
+            workers=workers,
+            policy=policy,
+            labels=[f"trials[{offset}:{offset + count}]" for offset, count in chunks],
+        )
+        if outcome.failures:
+            raise MeasurementFailedError(
+                f"{len(outcome.failures)} trial chunk(s) failed after retries: "
+                + ", ".join(report.label for report in outcome.failures),
+                failures=outcome.failures,
+            )
+        for chunk_benefits in outcome.results:
+            benefits.extend(chunk_benefits)
+        return benefits
     for chunk_benefits in map_ordered(task, chunks, workers=workers):
         benefits.extend(chunk_benefits)
     return benefits
@@ -246,17 +277,18 @@ def measure_ratio(
     opt: Optional[OptEstimate] = None,
     opt_method: str = "auto",
     engine: str = "reference",
-    workers: int = 1,
+    workers: "int | str" = 1,
     opt_cache: Optional[OptCache] = None,
+    policy: Optional[RetryPolicy] = None,
 ) -> RatioMeasurement:
     """Measure the empirical competitive ratio of one algorithm on one instance.
 
     The ratio is ``opt / mean_benefit``; a zero mean benefit yields ``inf``.
     A precomputed ``opt`` may be supplied to avoid repeating the (expensive)
     offline solve when several algorithms run on the same instance, or an
-    ``opt_cache`` to share solves by system content.  ``engine`` and
-    ``workers`` route the simulations (see :func:`simulation_benefits`);
-    neither changes the measured numbers.
+    ``opt_cache`` to share solves by system content.  ``engine``,
+    ``workers`` and ``policy`` route the simulations (see
+    :func:`simulation_benefits`); none of them changes the measured numbers.
     """
     if opt is None:
         opt = estimate_opt(instance.system, method=opt_method, cache=opt_cache)
@@ -269,6 +301,7 @@ def measure_ratio(
             seed=seed,
             engine=engine,
             workers=workers,
+            policy=policy,
         )
     )
     mean, std = statistics_from_benefits(benefits)
@@ -305,7 +338,8 @@ def measure_suite(
     seed: int = 0,
     opt_method: str = "auto",
     engine: str = "reference",
-    workers: int = 1,
+    workers: "int | str" = 1,
+    policy: Optional[RetryPolicy] = None,
 ) -> Dict[str, RatioMeasurement]:
     """Measure every algorithm on the same instance, sharing the OPT estimate.
 
@@ -315,6 +349,11 @@ def measure_suite(
     independent work units, fanned out across ``workers`` processes and
     merged back in ``algorithms`` order.  The result dictionary is identical
     for every worker count — all algorithms share the same seeds either way.
+
+    ``policy`` supervises the fan-out (crash recovery, deterministic-backoff
+    retries); an algorithm whose measurement exhausts its retry budget
+    raises :class:`~repro.exceptions.MeasurementFailedError` — a suite, like
+    a benefit sequence, is complete or failed, never partial.
     """
     opt = estimate_opt(instance.system, method=opt_method, cache=default_opt_cache())
     task = partial(
@@ -325,7 +364,24 @@ def measure_suite(
         opt=opt,
         engine=engine,
     )
-    measurements = map_ordered(task, list(algorithms), workers=workers)
+    if policy is not None:
+        outcome = map_resilient(
+            task,
+            list(algorithms),
+            workers=workers,
+            policy=policy,
+            labels=[algorithm.name for algorithm in algorithms],
+        )
+        if outcome.failures:
+            raise MeasurementFailedError(
+                f"{len(outcome.failures)} suite measurement(s) failed after "
+                "retries: "
+                + ", ".join(report.label for report in outcome.failures),
+                failures=outcome.failures,
+            )
+        measurements = outcome.results
+    else:
+        measurements = map_ordered(task, list(algorithms), workers=workers)
     return {
         measurement.algorithm_name: measurement for measurement in measurements
     }

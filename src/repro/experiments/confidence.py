@@ -23,6 +23,7 @@ from repro.experiments.competitive_ratio import (
     simulation_benefits,
 )
 from repro.experiments.opt_cache import default_opt_cache
+from repro.experiments.resilience import RetryPolicy
 
 __all__ = [
     "bootstrap_mean_interval",
@@ -111,19 +112,20 @@ def measure_ratio_with_confidence(
     opt: Optional[OptEstimate] = None,
     opt_method: str = "auto",
     engine: str = "reference",
-    workers: int = 1,
+    workers: "int | str" = 1,
+    policy: Optional[RetryPolicy] = None,
 ) -> RatioWithConfidence:
     """Measure an algorithm's ratio with a bootstrap confidence interval.
 
     The ratio interval is obtained by transforming the benefit interval
     through ``opt / x`` (OPT is treated as exact; when it comes from the LP
-    relaxation the reported ratio is an upper bound either way).  ``engine``
-    and ``workers`` route the simulations exactly as in
+    relaxation the reported ratio is an upper bound either way).  ``engine``,
+    ``workers`` and ``policy`` route the simulations exactly as in
     :func:`~repro.experiments.competitive_ratio.simulation_benefits` — this
     is the most trial-hungry entry point, where the batch engine (and trial
     chunking across worker processes) pays off most.  The per-trial benefit
-    sequence, and hence the bootstrap, is bit-identical for every engine and
-    worker count.
+    sequence, and hence the bootstrap, is bit-identical for every engine,
+    worker count and retry policy.
     """
     if opt is None:
         opt = estimate_opt(
@@ -138,6 +140,7 @@ def measure_ratio_with_confidence(
             seed=seed,
             engine=engine,
             workers=workers,
+            policy=policy,
         )
     )
     benefit_interval = bootstrap_mean_interval(benefits, level=level, seed=seed)

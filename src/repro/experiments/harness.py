@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.algorithm import OnlineAlgorithm
 from repro.experiments.orchestrator import (
@@ -26,7 +26,9 @@ from repro.experiments.orchestrator import (
     SweepUnitResult,
     build_sweep_units,
     run_units,
+    run_units_resilient,
 )
+from repro.experiments.resilience import FailureReport, RetryPolicy
 from repro.experiments.store import store_path_from_env
 
 __all__ = ["ExperimentRow", "SweepResult", "run_sweep", "summarize_rows"]
@@ -83,10 +85,24 @@ class ExperimentRow:
 
 @dataclass
 class SweepResult:
-    """All rows of one parameter sweep."""
+    """All rows of one parameter sweep.
+
+    ``failures`` is empty unless the sweep ran under a
+    :class:`~repro.experiments.resilience.RetryPolicy` and some units
+    exhausted their retry budget; those units' instances are then missing
+    from the affected rows (``num_instances`` says how many survived) and
+    each casualty is described by a structured
+    :class:`~repro.experiments.resilience.FailureReport`.
+    """
 
     name: str
     rows: List[ExperimentRow] = field(default_factory=list)
+    failures: List[FailureReport] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every unit of the sweep completed (no quarantined units)."""
+        return not self.failures
 
     def rows_for(self, algorithm_name: str) -> List[ExperimentRow]:
         """The rows belonging to one algorithm, in sweep order."""
@@ -113,8 +129,15 @@ def _merge_point(
     is exactly the serial harness's historical loop, applied to results that
     arrive pre-sorted in instance order; this is what makes a parallel sweep
     reproduce a serial one float for float.
+
+    A point whose every instance was quarantined by the resilient executor
+    contributes no rows (the sweep-level ``failures`` list names the
+    casualties); points with any surviving instance aggregate over the
+    survivors.
     """
     count = len(point_results)
+    if count == 0:
+        return
     mean_opt = sum(result.opt.value for result in point_results) / count
     mean_theorem1 = sum(result.bounds.theorem1 for result in point_results) / count
     mean_corollary6 = sum(result.bounds.corollary6 for result in point_results) / count
@@ -162,8 +185,10 @@ def run_sweep(
     seed: int = 0,
     opt_method: str = "auto",
     engine: str = "reference",
-    workers: int = 1,
+    workers: Union[int, str] = 1,
     store: Union[str, bool, None] = None,
+    policy: Optional[RetryPolicy] = None,
+    lease_ttl: float = 0.0,
 ) -> SweepResult:
     """Run a parameter sweep.
 
@@ -199,6 +224,22 @@ def run_sweep(
         ``OSP_STORE`` is set (benchmarks use this for their store-off
         baselines).  A third runtime-only knob: rows are bit-identical with
         the store on, off, warm or cold.
+    policy:
+        Optional :class:`~repro.experiments.resilience.RetryPolicy`.  When
+        set, units execute under the supervised pool of
+        :func:`~repro.experiments.orchestrator.run_units_resilient`: worker
+        crashes rebuild the pool and requeue only the lost units, transient
+        exceptions retry with deterministic backoff, and a unit that fails
+        ``max_attempts`` times is quarantined into ``SweepResult.failures``
+        while the healthy units complete.  Because every unit is a pure
+        function of its content, retries reproduce the exact bits a
+        fault-free run yields — a fourth runtime-only knob.
+    lease_ttl:
+        With a store and ``lease_ttl > 0``, each unit is claimed through
+        the store's advisory lease table before computing, letting several
+        independent processes share one manifest without (mostly)
+        duplicating work.  Purely advisory: results stay first-writer-wins
+        and bit-identical whether or not leases are used.
     """
     if store is None:
         store = store_path_from_env()
@@ -210,17 +251,33 @@ def run_sweep(
             "default) or False (force off)"
         )
     units = build_sweep_units(parameter_points, instances_per_point, seed)
-    results = run_units(
-        units,
-        algorithms,
-        trials=trials_per_instance,
-        opt_method=opt_method,
-        engine=engine,
-        workers=workers,
-        store=store,
-    )
+    failures: List[FailureReport] = []
+    if policy is not None:
+        maybe_results, failures = run_units_resilient(
+            units,
+            algorithms,
+            trials=trials_per_instance,
+            opt_method=opt_method,
+            engine=engine,
+            workers=workers,
+            store=store,
+            policy=policy,
+            lease_ttl=lease_ttl,
+        )
+        results = [result for result in maybe_results if result is not None]
+    else:
+        results = run_units(
+            units,
+            algorithms,
+            trials=trials_per_instance,
+            opt_method=opt_method,
+            engine=engine,
+            workers=workers,
+            store=store,
+            lease_ttl=lease_ttl,
+        )
 
-    sweep = SweepResult(name=name)
+    sweep = SweepResult(name=name, failures=failures)
     for point_index, (label, _factory) in enumerate(parameter_points):
         point_results = [
             result for result in results if result.point_index == point_index

@@ -30,7 +30,10 @@ contract at workers ∈ {1, 2, 4}.
 
 from __future__ import annotations
 
+import os
 import random
+import socket
+import time
 from dataclasses import dataclass, replace
 from functools import partial
 from typing import Callable, List, Optional, Sequence, Tuple
@@ -49,13 +52,21 @@ from repro.experiments.competitive_ratio import (
 )
 from repro.experiments.opt_cache import attached_store, default_opt_cache
 from repro.experiments.parallel import map_ordered, resolve_workers, stable_seed
+from repro.experiments.resilience import (
+    FailureReport,
+    ResilientMapResult,
+    RetryPolicy,
+    map_resilient,
+)
 from repro.experiments.store import store_for_path, unit_key
+from repro.exceptions import MeasurementFailedError
 
 __all__ = [
     "SweepUnit",
     "SweepUnitResult",
     "build_sweep_units",
     "run_units",
+    "run_units_resilient",
     "instance_seed",
 ]
 
@@ -181,6 +192,34 @@ def build_sweep_units(
     return units
 
 
+def _lease_owner() -> str:
+    """The advisory-lease owner token for this process: ``host:pid``."""
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
+def _await_or_claim(store, key: str, owner: str, lease_ttl: float):
+    """Wait for a leased unit's result, or steal the lease after its TTL.
+
+    Called when another process already holds the lease on ``key``.  Polls
+    the store for the holder's result; if none appears within ``lease_ttl``
+    seconds and the lease cannot be re-claimed (the holder keeps renewing),
+    returns ``None`` and the caller computes the unit anyway — duplicated
+    work is merely wasted wall-clock, and ``INSERT OR IGNORE`` first-writer-
+    wins keeps the stored bytes convergent no matter how many processes
+    race.  Returns the stored :class:`SweepUnitResult` when one appears.
+    """
+    deadline = time.monotonic() + lease_ttl
+    poll = min(0.05, max(lease_ttl / 10.0, 0.005))
+    while time.monotonic() < deadline:
+        time.sleep(poll)
+        stored = store.get_unit(key)
+        if stored is not None:
+            return stored
+        if store.claim_lease(key, owner, lease_ttl):
+            return None  # stolen: the holder expired without writing a result
+    return None
+
+
 def _execute_unit(
     unit: SweepUnit,
     algorithms: Sequence[OnlineAlgorithm],
@@ -188,6 +227,7 @@ def _execute_unit(
     opt_method: str,
     engine: str,
     store_path: Optional[str] = None,
+    lease_ttl: float = 0.0,
 ) -> SweepUnitResult:
     """Execute one work unit (runs in a worker process when ``workers > 1``).
 
@@ -206,6 +246,13 @@ def _execute_unit(
     results are bit-identical to recomputed ones, so the store can never
     change a sweep's rows.  The store is also attached below the worker's
     OPT cache, so even a unit-level miss reuses persisted offline solves.
+
+    With ``lease_ttl > 0`` (and a store), the unit is additionally *claimed*
+    through the store's advisory lease table before computing, so several
+    independent processes pointed at one manifest mostly avoid duplicating
+    work.  Leases are strictly advisory: a denied claim waits for the
+    holder's result, steals the lease once the TTL expires, and ultimately
+    computes the unit anyway — correctness never depends on the lease.
     """
     store = store_for_path(store_path) if store_path else None
     key = None
@@ -229,6 +276,16 @@ def _execute_unit(
                     point_index=unit.point_index,
                     instance_index=unit.instance_index,
                 )
+            if lease_ttl > 0:
+                owner = _lease_owner()
+                if not store.claim_lease(key, owner, lease_ttl):
+                    stored = _await_or_claim(store, key, owner, lease_ttl)
+                    if stored is not None:
+                        return replace(
+                            stored,
+                            point_index=unit.point_index,
+                            instance_index=unit.instance_index,
+                        )
     # For the duration of this unit the sweep's store (or its absence) wins
     # over whatever the cache had attached — a store=None sweep must not
     # keep writing OPT solves into a previous sweep's file.
@@ -258,6 +315,8 @@ def _execute_unit(
     )
     if store is not None and key is not None:
         store.put_unit(key, result)
+        if lease_ttl > 0:
+            store.release_lease(key, _lease_owner())
     return result
 
 
@@ -267,8 +326,10 @@ def run_units(
     trials: int,
     opt_method: str = "auto",
     engine: str = "reference",
-    workers: int = 1,
+    workers: "int | str" = 1,
     store: Optional[str] = None,
+    policy: Optional[RetryPolicy] = None,
+    lease_ttl: float = 0.0,
 ) -> List[SweepUnitResult]:
     """Execute the work units across ``workers`` processes, in unit order.
 
@@ -299,7 +360,34 @@ def run_units(
     (1, 2)
     >>> results[0].measurements[0].algorithm_name
     'greedy-weight'
+
+    With ``policy`` set, execution routes through the supervised
+    :func:`~repro.experiments.resilience.map_resilient` pool instead — but
+    this entry point still promises a *complete* result list, so any unit
+    that exhausts its retry budget raises
+    :class:`~repro.exceptions.MeasurementFailedError` (callers that want to
+    keep the healthy units use :func:`run_units_resilient`).
     """
+    if policy is not None:
+        outcome = run_units_resilient(
+            units,
+            algorithms,
+            trials,
+            opt_method=opt_method,
+            engine=engine,
+            workers=workers,
+            store=store,
+            policy=policy,
+            lease_ttl=lease_ttl,
+        )
+        results, failures = outcome
+        if failures:
+            raise MeasurementFailedError(
+                f"{len(failures)} sweep unit(s) failed after retries: "
+                + ", ".join(report.label for report in failures),
+                failures=failures,
+            )
+        return [result for result in results if result is not None]
     validate_engine(engine)
     resolve_workers(workers)
     task = partial(
@@ -309,5 +397,69 @@ def run_units(
         opt_method=opt_method,
         engine=engine,
         store_path=str(store) if store is not None else None,
+        lease_ttl=lease_ttl,
     )
     return map_ordered(task, list(units), workers=workers)
+
+
+def run_units_resilient(
+    units: Sequence[SweepUnit],
+    algorithms: Sequence[OnlineAlgorithm],
+    trials: int,
+    opt_method: str = "auto",
+    engine: str = "reference",
+    workers: "int | str" = 1,
+    store: Optional[str] = None,
+    policy: Optional[RetryPolicy] = None,
+    lease_ttl: float = 0.0,
+) -> Tuple[List[Optional[SweepUnitResult]], List[FailureReport]]:
+    """Execute the units under a supervised, fault-tolerant process pool.
+
+    Like :func:`run_units`, but routed through
+    :func:`~repro.experiments.resilience.map_resilient`: worker crashes
+    rebuild the pool and requeue only the lost units, transient exceptions
+    retry with deterministic backoff, and a unit that fails
+    ``policy.max_attempts`` times is *quarantined* rather than sinking the
+    sweep.  Returns ``(results, failures)`` where ``results`` is aligned
+    with ``units`` (``None`` at quarantined slots) and ``failures`` carries
+    one structured :class:`~repro.experiments.resilience.FailureReport` per
+    quarantined unit.
+
+    Because every unit is a pure function of its content (seeds derive from
+    :func:`~repro.experiments.parallel.stable_seed`, never from wall clock
+    or process identity), a retried unit recomputes the *same bits* the
+    first attempt would have produced — fault schedules join engine, worker
+    count and store as wall-clock-only knobs.
+
+    >>> from repro.algorithms import GreedyWeightAlgorithm
+    >>> from repro.core import OnlineInstance, SetSystem
+    >>> system = SetSystem(sets={"A": ["u", "v"], "B": ["v", "w"]},
+    ...                    weights={"A": 2.0, "B": 1.0})
+    >>> units = build_sweep_units(
+    ...     [("demo", lambda rng: OnlineInstance(system, name="demo"))],
+    ...     instances_per_point=1, seed=0)
+    >>> results, failures = run_units_resilient(
+    ...     units, [GreedyWeightAlgorithm()], trials=2)
+    >>> (len(results), failures)
+    (1, [])
+    """
+    validate_engine(engine)
+    resolve_workers(workers)
+    if policy is None:
+        policy = RetryPolicy()
+    task = partial(
+        _execute_unit,
+        algorithms=list(algorithms),
+        trials=trials,
+        opt_method=opt_method,
+        engine=engine,
+        store_path=str(store) if store is not None else None,
+        lease_ttl=lease_ttl,
+    )
+    labels = [
+        f"{unit.label}[instance {unit.instance_index}]" for unit in units
+    ]
+    outcome: ResilientMapResult = map_resilient(
+        task, list(units), workers=workers, policy=policy, labels=labels
+    )
+    return list(outcome.results), list(outcome.failures)

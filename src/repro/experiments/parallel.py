@@ -74,31 +74,52 @@ def stable_seed(*components: Union[int, str]) -> int:
     return int.from_bytes(digest[:8], "big") & _SEED_MASK
 
 
-def resolve_workers(workers: int) -> int:
-    """Validate a worker count (a positive int), returning it unchanged."""
+def resolve_workers(workers: Union[int, str]) -> int:
+    """Coerce a worker count: a positive int, or ``"auto"`` (≈ CPU count).
+
+    ``"auto"`` resolves to ``os.cpu_count()`` (at least 1, and 1 on
+    platforms where the count is unknown) — the headline multi-core
+    configuration without hard-coding a number.  Anything else must be a
+    positive integer, returned unchanged.  Every ``workers=`` parameter in
+    the package funnels through here, so ``"auto"`` works uniformly in
+    ``run_sweep``, ``measure_suite``, the runner CLI (``--workers auto``)
+    and the ``OSP_BENCH_WORKERS`` benchmark knob.
+    """
+    if workers == "auto":
+        import os
+
+        return max(1, os.cpu_count() or 1)
     if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
-        raise ValueError(f"workers must be a positive integer, got {workers!r}")
+        raise ValueError(
+            f"workers must be a positive integer or 'auto', got {workers!r}"
+        )
     return workers
 
 
 def workers_from_env(name: str = "OSP_BENCH_WORKERS", default: int = 1) -> int:
-    """Read a worker count from an environment variable (benchmark knob)."""
+    """Read a worker count from an environment variable (benchmark knob).
+
+    The value is an integer or the literal ``auto`` (≈ CPU count), the same
+    vocabulary as every ``workers=`` parameter.
+    """
     import os
 
     raw = os.environ.get(name)
     if raw is None:
         return resolve_workers(default)
+    if raw.strip() == "auto":
+        return resolve_workers("auto")
     try:
         value = int(raw)
     except ValueError:
-        raise ValueError(f"{name} must be an integer, got {raw!r}") from None
+        raise ValueError(f"{name} must be an integer or 'auto', got {raw!r}") from None
     return resolve_workers(value)
 
 
 def map_ordered(
     function: Callable[[T], R],
     items: Sequence[T],
-    workers: int = 1,
+    workers: Union[int, str] = 1,
 ) -> List[R]:
     """Apply ``function`` to every item, returning results in item order.
 

@@ -12,8 +12,9 @@ user can sanity-check an installation in about a minute.
 from __future__ import annotations
 
 import argparse
+import json
 import random
-from typing import Dict, List
+from typing import Dict, List, Optional, Union
 
 from repro.algorithms import GreedyWeightAlgorithm, RandPrAlgorithm
 from repro.core import compute_statistics
@@ -29,8 +30,10 @@ from repro.experiments.competitive_ratio import (
     measure_ratio,
     simulation_benefits,
 )
+from repro.exceptions import MeasurementFailedError
 from repro.experiments.opt_cache import default_opt_cache
 from repro.experiments.report import format_table
+from repro.experiments.resilience import RetryPolicy
 from repro.experiments.store import (
     active_store,
     set_default_store_path,
@@ -42,14 +45,17 @@ from repro.workloads import random_weighted_instance, uniform_both_instance
 __all__ = ["self_check", "main"]
 
 
-def _check_theorem1(seed: int, trials: int, engine: str, workers: int) -> Dict[str, object]:
+def _check_theorem1(
+    seed: int, trials: int, engine: str, workers: "int | str",
+    policy: Optional[RetryPolicy] = None,
+) -> Dict[str, object]:
     instance = random_weighted_instance(
         28, 40, (2, 4), random.Random(seed), weight_range=(1.0, 6.0)
     )
     stats = compute_statistics(instance.system)
     measurement = measure_ratio(
         instance, RandPrAlgorithm(), trials=trials, seed=seed, engine=engine,
-        workers=workers, opt_cache=default_opt_cache(),
+        workers=workers, opt_cache=default_opt_cache(), policy=policy,
     )
     bound = theorem1_upper_bound(stats)
     return {
@@ -60,14 +66,17 @@ def _check_theorem1(seed: int, trials: int, engine: str, workers: int) -> Dict[s
     }
 
 
-def _check_corollary6(seed: int, trials: int, engine: str, workers: int) -> Dict[str, object]:
+def _check_corollary6(
+    seed: int, trials: int, engine: str, workers: "int | str",
+    policy: Optional[RetryPolicy] = None,
+) -> Dict[str, object]:
     instance = random_weighted_instance(
         36, 30, (2, 4), random.Random(seed + 1), weight_range=(1.0, 6.0)
     )
     stats = compute_statistics(instance.system)
     measurement = measure_ratio(
         instance, RandPrAlgorithm(), trials=trials, seed=seed, engine=engine,
-        workers=workers, opt_cache=default_opt_cache(),
+        workers=workers, opt_cache=default_opt_cache(), policy=policy,
     )
     bound = corollary6_upper_bound(stats)
     return {
@@ -78,11 +87,14 @@ def _check_corollary6(seed: int, trials: int, engine: str, workers: int) -> Dict
     }
 
 
-def _check_corollary7(seed: int, trials: int, engine: str, workers: int) -> Dict[str, object]:
+def _check_corollary7(
+    seed: int, trials: int, engine: str, workers: "int | str",
+    policy: Optional[RetryPolicy] = None,
+) -> Dict[str, object]:
     instance = uniform_both_instance(18, 3, 3, random.Random(seed + 2))
     measurement = measure_ratio(
         instance, RandPrAlgorithm(), trials=trials, seed=seed, engine=engine,
-        workers=workers, opt_cache=default_opt_cache(),
+        workers=workers, opt_cache=default_opt_cache(), policy=policy,
     )
     bound = corollary7_upper_bound(instance.system)
     return {
@@ -93,7 +105,10 @@ def _check_corollary7(seed: int, trials: int, engine: str, workers: int) -> Dict
     }
 
 
-def _check_theorem3(seed: int, trials: int, engine: str, workers: int) -> Dict[str, object]:
+def _check_theorem3(
+    seed: int, trials: int, engine: str, workers: "int | str",
+    policy: Optional[RetryPolicy] = None,
+) -> Dict[str, object]:
     outcome = run_deterministic_adversary(GreedyWeightAlgorithm(), sigma=3, k=3)
     bound = theorem3_lower_bound(3, 3)
     return {
@@ -104,7 +119,10 @@ def _check_theorem3(seed: int, trials: int, engine: str, workers: int) -> Dict[s
     }
 
 
-def _check_lemma1(seed: int, trials: int, engine: str, workers: int) -> Dict[str, object]:
+def _check_lemma1(
+    seed: int, trials: int, engine: str, workers: "int | str",
+    policy: Optional[RetryPolicy] = None,
+) -> Dict[str, object]:
     instance = random_weighted_instance(
         12, 16, (2, 3), random.Random(seed + 3), weight_range=(1.0, 5.0)
     )
@@ -116,6 +134,7 @@ def _check_lemma1(seed: int, trials: int, engine: str, workers: int) -> Dict[str
         seed=seed,
         engine=engine,
         workers=workers,
+        policy=policy,
     )
     measured = sum(benefits) / len(benefits)
     relative_error = abs(measured - predicted) / max(predicted, 1e-9)
@@ -128,16 +147,25 @@ def _check_lemma1(seed: int, trials: int, engine: str, workers: int) -> Dict[str
 
 
 def self_check(
-    seed: int = 0, trials: int = 40, engine: str = "auto", workers: int = 1
+    seed: int = 0,
+    trials: int = 40,
+    engine: str = "auto",
+    workers: Union[int, str] = 1,
+    policy: Optional[RetryPolicy] = None,
 ) -> List[Dict[str, object]]:
     """Run every quick claim check and return one row per claim.
 
     ``engine`` selects the simulator for the Monte-Carlo checks (the batch
     engine and the reference simulator agree trial for trial; ``"auto"``
     simply makes the self-check faster).  ``workers`` splits each check's
-    simulation trials across worker processes — like the engine choice, it
-    changes the wall clock, never the verdicts (the trial chunks concatenate
-    to the identical benefit sequence).
+    simulation trials across worker processes (``"auto"`` ≈ the CPU count) —
+    like the engine choice, it changes the wall clock, never the verdicts
+    (the trial chunks concatenate to the identical benefit sequence).
+
+    ``policy`` supervises the simulations with retry/crash recovery (see
+    :class:`~repro.experiments.resilience.RetryPolicy`); a check whose
+    measurement still fails after every retry raises
+    :class:`~repro.exceptions.MeasurementFailedError`.
     """
     checks = (
         _check_theorem1,
@@ -146,7 +174,7 @@ def self_check(
         _check_theorem3,
         _check_lemma1,
     )
-    return [check(seed, trials, engine, workers) for check in checks]
+    return [check(seed, trials, engine, workers, policy) for check in checks]
 
 
 def main(argv: List[str] = None) -> int:
@@ -166,7 +194,10 @@ def main(argv: List[str] = None) -> int:
             "      a heavier, reseeded run (more trials per randomized check)\n"
             "  python -m repro.experiments.runner --store .osp-store.sqlite\n"
             "      persist OPT solves to a file-backed store; the second\n"
-            "      invocation answers them from disk (identical verdicts)"
+            "      invocation answers them from disk (identical verdicts)\n"
+            "  python -m repro.experiments.runner --workers auto --max-attempts 3\n"
+            "      one worker per CPU, supervised: crashed workers are\n"
+            "      replaced and their trials retried (identical verdicts)"
         ),
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
@@ -183,10 +214,28 @@ def main(argv: List[str] = None) -> int:
     )
     parser.add_argument(
         "--workers",
+        default="1",
+        metavar="N|auto",
+        help="worker processes for the simulation trials (default 1: "
+        "in-process; 'auto' ≈ the CPU count); any value yields bit-identical "
+        "results — this is a wall-clock knob",
+    )
+    parser.add_argument(
+        "--max-attempts",
         type=int,
-        default=1,
-        help="worker processes for the simulation trials (default 1: in-process); "
-        "any value yields bit-identical results — this is a wall-clock knob",
+        default=None,
+        metavar="N",
+        help="supervise the simulations with up to N attempts per work unit "
+        "(crash recovery + deterministic-backoff retries); omitted: "
+        "unsupervised, any failure is fatal immediately",
+    )
+    parser.add_argument(
+        "--unit-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-unit wall-clock timeout under --max-attempts supervision "
+        "(a stuck unit is charged an attempt and retried)",
     )
     parser.add_argument(
         "--store",
@@ -198,6 +247,20 @@ def main(argv: List[str] = None) -> int:
     )
     arguments = parser.parse_args(argv)
 
+    workers: Union[int, str] = arguments.workers
+    if workers != "auto":
+        try:
+            workers = int(workers)
+        except ValueError:
+            parser.error(f"--workers must be an integer or 'auto', got {workers!r}")
+
+    policy = None
+    if arguments.max_attempts is not None or arguments.unit_timeout is not None:
+        policy = RetryPolicy(
+            max_attempts=arguments.max_attempts or 3,
+            timeout=arguments.unit_timeout,
+        )
+
     if arguments.store is not None:
         # Published via OSP_STORE so pool workers inherit the same file.
         set_default_store_path(arguments.store)
@@ -205,12 +268,28 @@ def main(argv: List[str] = None) -> int:
     if store_path is not None:
         print(f"solution store: {store_path}")
 
-    rows = self_check(
-        seed=arguments.seed,
-        trials=arguments.trials,
-        engine=arguments.engine,
-        workers=arguments.workers,
-    )
+    try:
+        rows = self_check(
+            seed=arguments.seed,
+            trials=arguments.trials,
+            engine=arguments.engine,
+            workers=workers,
+            policy=policy,
+        )
+    except MeasurementFailedError as error:
+        # Machine-readable failure summary: which units died, how, per attempt.
+        print("MEASUREMENT FAILED — retry budget exhausted")
+        print(
+            json.dumps(
+                {
+                    "error": str(error),
+                    "failures": [report.as_dict() for report in error.failures],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 3
     print(
         format_table(
             rows,

@@ -60,14 +60,18 @@ import hashlib
 import os
 import pickle
 import sqlite3
+import time
 import warnings
-from typing import Dict, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.core.instance import OnlineInstance
 
 __all__ = [
     "STORE_FORMAT_VERSION",
     "STORE_ENV_VAR",
+    "LEASE_DEFAULT_TTL",
+    "Lease",
     "SolutionStore",
     "StoreCorruptionWarning",
     "algorithm_identity",
@@ -89,6 +93,40 @@ STORE_FORMAT_VERSION = 1
 #: process (e.g. by ``runner --store`` or the benchmark suite) it is
 #: inherited by pool workers, so every process shares one file.
 STORE_ENV_VAR = "OSP_STORE"
+
+
+#: Default time-to-live (seconds) of an advisory work-unit lease.  Sized for
+#: sweep units that take seconds, not minutes: long enough that a healthy
+#: claimant finishes well inside it, short enough that a dead claimant's
+#: unit is stolen quickly.
+LEASE_DEFAULT_TTL = 60.0
+
+
+@dataclass(frozen=True)
+class Lease:
+    """An advisory claim on one work unit: who is computing it, until when.
+
+    Leases are **runtime metadata, not results**: they partition a unit
+    manifest between concurrent processes so the same unit is rarely
+    computed twice, but they never gate correctness — a process that loses
+    (or ignores) a lease and computes anyway produces the identical bits,
+    and ``INSERT OR IGNORE`` first-writer-wins on the result row remains
+    the convergence rule.  That is why the ``leases`` table is excluded
+    from the payload tables (``__len__``/``stats`` payload counts, checksum
+    audits, ``merge``) and why adding it did **not** bump
+    ``STORE_FORMAT_VERSION``.
+
+    >>> lease = Lease(owner="host:123", expires_at=0.0)
+    >>> lease.expired(now=1.0)
+    True
+    """
+
+    owner: str
+    expires_at: float
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        """Whether the lease's TTL has passed (and the unit may be stolen)."""
+        return self.expires_at <= (time.time() if now is None else now)
 
 
 class StoreCorruptionWarning(UserWarning):
@@ -263,6 +301,13 @@ class SolutionStore:
     SQLite's locking, and reads that hit a garbled row warn, drop the row and
     report a miss instead of crashing.
 
+    A fifth table, ``leases``, holds *advisory* work-unit claims
+    (:meth:`claim_lease` / :meth:`renew_lease` / :meth:`release_lease`,
+    steal-after-TTL) so N processes sharing one store partition a unit
+    manifest without duplicate work.  It is runtime metadata, not a payload
+    table: excluded from payload counts, checksum audits and ``merge``, and
+    its addition did not bump ``STORE_FORMAT_VERSION`` (see :class:`Lease`).
+
     Counters (``opt_hits``/``opt_misses``/``unit_hits``/``unit_misses``/
     ``construction_hits``/``construction_misses``/``frontier_hits``/
     ``frontier_misses``/``integrity_failures``) are per-process and exposed
@@ -358,6 +403,14 @@ class SolutionStore:
             connection.execute(
                 "CREATE TABLE IF NOT EXISTS frontiers "
                 "(key TEXT PRIMARY KEY, payload BLOB NOT NULL, checksum TEXT NOT NULL)"
+            )
+            # Advisory work-unit leases: runtime coordination metadata, not a
+            # payload table (excluded from _PAYLOAD_TABLES, so from payload
+            # counts, checksum audits and merges — see the Lease docstring
+            # for why this never bumps STORE_FORMAT_VERSION).
+            connection.execute(
+                "CREATE TABLE IF NOT EXISTS leases "
+                "(key TEXT PRIMARY KEY, owner TEXT NOT NULL, expires_at REAL NOT NULL)"
             )
             connection.execute(
                 "INSERT OR IGNORE INTO meta VALUES ('format_version', ?)",
@@ -548,6 +601,120 @@ class SolutionStore:
         """Persist a completed battle round under its content-addressed key."""
         self._put("frontiers", key, value)
 
+    # ------------------------------------------------------------------
+    # Advisory work-unit leases (claim / renew / release / steal-after-TTL)
+    # ------------------------------------------------------------------
+    def claim_lease(
+        self, key: str, owner: str, ttl: float = LEASE_DEFAULT_TTL
+    ) -> bool:
+        """Try to claim the unit ``key`` for ``owner``; ``True`` on success.
+
+        A claim succeeds when the key is unleased, the existing lease has
+        **expired** (steal-after-TTL: the previous claimant is presumed
+        dead) or ``owner`` already holds it (re-claiming extends the TTL,
+        so claim doubles as renew).  An unexpired foreign lease makes the
+        claim fail — the caller should poll the store for the claimant's
+        result instead of duplicating the work.
+
+        Leases are advisory: on any database error the method *fails open*
+        (returns ``True``) so a broken store can cost duplicate work but
+        never stall a sweep.
+
+        >>> import os, tempfile
+        >>> store = SolutionStore(os.path.join(tempfile.mkdtemp(), "l.sqlite"))
+        >>> store.claim_lease("unit-key", owner="a", ttl=60.0)
+        True
+        >>> store.claim_lease("unit-key", owner="b", ttl=60.0)   # held by a
+        False
+        >>> store.claim_lease("unit-key", owner="a", ttl=60.0)   # a renews
+        True
+        >>> store.release_lease("unit-key", owner="a")
+        >>> store.claim_lease("unit-key", owner="b", ttl=60.0)   # now free
+        True
+        >>> store.close()
+        """
+        now = time.time()
+        try:
+            self._connection.execute(
+                "INSERT INTO leases VALUES (?, ?, ?) "
+                "ON CONFLICT(key) DO UPDATE SET "
+                "owner = excluded.owner, expires_at = excluded.expires_at "
+                "WHERE leases.expires_at <= ? OR leases.owner = excluded.owner",
+                (key, owner, now + ttl, now),
+            )
+            self._connection.commit()
+            lease = self.get_lease(key)
+            return lease is None or lease.owner == owner
+        except sqlite3.DatabaseError as exc:
+            warnings.warn(
+                f"lease claim failed for [{key[:12]}…]: {exc}; proceeding "
+                "without the lease (duplicate work possible, results "
+                "unaffected)",
+                StoreCorruptionWarning,
+                stacklevel=2,
+            )
+            return True
+
+    def renew_lease(
+        self, key: str, owner: str, ttl: float = LEASE_DEFAULT_TTL
+    ) -> bool:
+        """Extend a lease ``owner`` holds; ``False`` if it was lost/stolen."""
+        try:
+            cursor = self._connection.execute(
+                "UPDATE leases SET expires_at = ? WHERE key = ? AND owner = ?",
+                (time.time() + ttl, key, owner),
+            )
+            self._connection.commit()
+            return cursor.rowcount > 0
+        except sqlite3.DatabaseError:
+            return False
+
+    def release_lease(self, key: str, owner: str) -> None:
+        """Drop ``owner``'s lease on ``key`` (no-op if not held)."""
+        try:
+            self._connection.execute(
+                "DELETE FROM leases WHERE key = ? AND owner = ?", (key, owner)
+            )
+            self._connection.commit()
+        except sqlite3.DatabaseError:
+            pass
+
+    def get_lease(self, key: str) -> Optional[Lease]:
+        """The current :class:`Lease` on ``key`` (possibly expired), or ``None``."""
+        try:
+            row = self._connection.execute(
+                "SELECT owner, expires_at FROM leases WHERE key = ?", (key,)
+            ).fetchone()
+        except sqlite3.DatabaseError:
+            return None
+        if row is None:
+            return None
+        return Lease(owner=row[0], expires_at=float(row[1]))
+
+    def lease_counts(self) -> Tuple[int, int]:
+        """``(total, active)`` lease rows — ``inspect`` shows both."""
+        try:
+            total = self._connection.execute(
+                "SELECT COUNT(*) FROM leases"
+            ).fetchone()[0]
+            active = self._connection.execute(
+                "SELECT COUNT(*) FROM leases WHERE expires_at > ?", (time.time(),)
+            ).fetchone()[0]
+            return int(total), int(active)
+        except sqlite3.DatabaseError:
+            return 0, 0
+
+    def prune_leases(self) -> int:
+        """Delete expired lease rows, returning how many were dropped."""
+        try:
+            cursor = self._connection.execute(
+                "DELETE FROM leases WHERE expires_at <= ?", (time.time(),)
+            )
+            self._connection.commit()
+            return cursor.rowcount
+        except sqlite3.DatabaseError:
+            return 0
+
     def __len__(self) -> int:
         counts = 0
         for table in _PAYLOAD_TABLES:
@@ -578,6 +745,7 @@ class SolutionStore:
             "unit_entries": int(counts["units"]),
             "construction_entries": int(counts["constructions"]),
             "frontier_entries": int(counts["frontiers"]),
+            "lease_entries": self.lease_counts()[0],
         }
 
     def integrity_report(self) -> Dict[str, int]:
@@ -755,6 +923,25 @@ def _existing_payload_tables(connection: sqlite3.Connection):
     return tuple(table for table in _PAYLOAD_TABLES if table in present)
 
 
+def _lease_counts(connection: sqlite3.Connection) -> Tuple[int, int]:
+    """``(total, active)`` leases in a (possibly pre-lease) store file.
+
+    The ``leases`` table was added after the first release of format
+    version 1 — like ``constructions``, its absence in a foreign file is
+    not an error, just zero leases.
+    """
+    present = connection.execute(
+        "SELECT name FROM sqlite_master WHERE type = 'table' AND name = 'leases'"
+    ).fetchone()
+    if present is None:
+        return 0, 0
+    total = connection.execute("SELECT COUNT(*) FROM leases").fetchone()[0]
+    active = connection.execute(
+        "SELECT COUNT(*) FROM leases WHERE expires_at > ?", (time.time(),)
+    ).fetchone()[0]
+    return int(total), int(active)
+
+
 def _audit_rows(connection: sqlite3.Connection):
     """Yield ``(table, key, payload, checksum, ok)`` for every stored row."""
     for table in _existing_payload_tables(connection):
@@ -778,6 +965,8 @@ def _cli_inspect(args) -> int:
         print(f"  unit entries:   {counts.get('units', 0)}")
         print(f"  construction entries: {counts.get('constructions', 0)}")
         print(f"  frontier entries: {counts.get('frontiers', 0)}")
+        total_leases, active_leases = _lease_counts(connection)
+        print(f"  lease entries:  {total_leases} ({active_leases} active)")
         print(f"  file size:      {os.path.getsize(args.path)} bytes")
         if args.check:
             garbled = sum(1 for *_ignored, ok in _audit_rows(connection) if not ok)
@@ -802,6 +991,7 @@ def _cli_vacuum(args) -> int:
     store = SolutionStore(args.path)
     try:
         report = store.integrity_report()
+        pruned_leases = store.prune_leases()
         store._connection.execute("VACUUM")
         store._connection.commit()
     finally:
@@ -810,6 +1000,7 @@ def _cli_vacuum(args) -> int:
     print(
         f"vacuumed {os.path.abspath(args.path)}: checked {report['checked']} "
         f"row(s), dropped {report['dropped']} garbled, "
+        f"pruned {pruned_leases} expired lease(s), "
         f"{size_before} -> {size_after} bytes"
     )
     return 0
@@ -880,6 +1071,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
       unit entries:   0
       construction entries: 0
       frontier entries: 0
+      lease entries:  0 (0 active)
       file size:      ... bytes
     0
     """

@@ -217,3 +217,49 @@ class TestCoordinator:
     def test_round_robin_placement_is_stable(self):
         place = round_robin_placement(["a", "b", "c"])
         assert place("element-7") == place("element-7")
+
+    def test_round_robin_placement_spreads_elements(self):
+        place = round_robin_placement(["a", "b", "c"])
+        used = {place(f"element-{i}") for i in range(50)}
+        assert used == {"a", "b", "c"}
+
+    def test_round_robin_placement_stable_across_hash_seeds(self):
+        """The placement must not depend on ``PYTHONHASHSEED``.
+
+        String hashing is randomized per interpreter run, so a ``hash()``-
+        based placement would route the same element to different nodes in
+        different processes — fatal for cooperating processes that must
+        agree on placement.  The routing goes through ``stable_seed``
+        instead; subprocesses under three different hash seeds must agree
+        on every assignment.
+        """
+        import os
+        import subprocess
+        import sys
+
+        script = (
+            "from repro.distributed import round_robin_placement\n"
+            "place = round_robin_placement(['a', 'b', 'c', 'd'])\n"
+            "print(','.join(place(f'element-{i}') for i in range(30)))\n"
+        )
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        routings = set()
+        for hash_seed in ("0", "1", "424242"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = hash_seed
+            env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get(
+                "PYTHONPATH", ""
+            )
+            completed = subprocess.run(
+                [sys.executable, "-c", script],
+                env=env,
+                capture_output=True,
+                text=True,
+                check=True,
+            )
+            routings.add(completed.stdout.strip())
+        assert len(routings) == 1
+        # In-process agreement too: the current interpreter (whatever its
+        # hash seed) derives the identical routing.
+        place = round_robin_placement(["a", "b", "c", "d"])
+        assert ",".join(place(f"element-{i}") for i in range(30)) == routings.pop()

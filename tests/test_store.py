@@ -1001,3 +1001,179 @@ class TestFrontierTable:
         merged = SolutionStore(str(destination))
         assert merged.get_frontier("battle-key") == {"ratio": 1.5}
         merged.close()
+
+
+class TestLeases:
+    """The advisory work-unit lease table (runtime metadata, never payload).
+
+    Leases coordinate *who computes*; they must never influence *what is
+    computed* — results stay first-writer-wins and bit-identical whether
+    leases are used, stolen, expired or unavailable.
+    """
+
+    def test_claim_contend_renew_release(self, tmp_path):
+        store = SolutionStore(str(tmp_path / "l.sqlite"))
+        assert store.claim_lease("k", "alice", ttl=60.0)
+        assert not store.claim_lease("k", "bob", ttl=60.0)
+        # Claiming one's own active lease renews it rather than failing.
+        assert store.claim_lease("k", "alice", ttl=60.0)
+        assert store.renew_lease("k", "alice", ttl=60.0)
+        assert not store.renew_lease("k", "bob", ttl=60.0)
+        store.release_lease("k", "alice")
+        assert store.get_lease("k") is None
+        assert store.claim_lease("k", "bob", ttl=60.0)
+        store.close()
+
+    def test_release_requires_ownership(self, tmp_path):
+        store = SolutionStore(str(tmp_path / "l.sqlite"))
+        store.claim_lease("k", "alice", ttl=60.0)
+        store.release_lease("k", "bob")  # not the owner: a no-op
+        lease = store.get_lease("k")
+        assert lease is not None and lease.owner == "alice"
+        store.close()
+
+    def test_expired_lease_is_stolen_exactly_once(self, tmp_path):
+        import time as _time
+
+        store = SolutionStore(str(tmp_path / "l.sqlite"))
+        assert store.claim_lease("k", "alice", ttl=0.05)
+        _time.sleep(0.1)
+        assert store.get_lease("k").expired()
+        # First contender steals the expired lease; the second must wait.
+        assert store.claim_lease("k", "bob", ttl=60.0)
+        assert not store.claim_lease("k", "carol", ttl=60.0)
+        lease = store.get_lease("k")
+        assert lease.owner == "bob" and not lease.expired()
+        store.close()
+
+    def test_counts_and_prune(self, tmp_path):
+        import time as _time
+
+        store = SolutionStore(str(tmp_path / "l.sqlite"))
+        store.claim_lease("a", "x", ttl=0.01)
+        store.claim_lease("b", "x", ttl=0.01)
+        store.claim_lease("c", "x", ttl=60.0)
+        _time.sleep(0.05)
+        assert store.lease_counts() == (3, 1)
+        assert store.prune_leases() == 2
+        assert store.lease_counts() == (1, 1)
+        store.close()
+
+    def test_leases_are_not_payload(self, tmp_path, capsys):
+        """Leases never count as entries, never merge, never bump the format."""
+        from repro.experiments.store import STORE_FORMAT_VERSION, main
+
+        path = tmp_path / "l.sqlite"
+        store = SolutionStore(str(path))
+        store.put_opt("opt-a", 1.5)
+        store.claim_lease("k", "alice", ttl=60.0)
+        assert store.stats()["lease_entries"] == 1
+        assert len(store) == 1  # the opt row only
+        store.close()
+        assert STORE_FORMAT_VERSION == 1
+
+        assert main(["inspect", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "lease entries:  1 (1 active)" in output
+
+        destination = tmp_path / "merged.sqlite"
+        assert main(["merge", str(destination), str(path)]) == 0
+        capsys.readouterr()
+        merged = SolutionStore(str(destination))
+        assert merged.get_opt("opt-a") == 1.5
+        assert merged.lease_counts() == (0, 0)  # advisory state never merges
+        merged.close()
+
+    def test_vacuum_prunes_expired_leases(self, tmp_path, capsys):
+        import time as _time
+
+        from repro.experiments.store import main
+
+        path = tmp_path / "l.sqlite"
+        store = SolutionStore(str(path))
+        store.put_opt("opt-a", 1.5)
+        store.claim_lease("gone", "x", ttl=0.01)
+        store.close()
+        _time.sleep(0.05)
+        assert main(["vacuum", str(path)]) == 0
+        assert "pruned 1 expired lease(s)" in capsys.readouterr().out
+
+    def test_lease_failure_is_fail_open(self, tmp_path):
+        """A broken lease table must never stall work: claims succeed."""
+        path = str(tmp_path / "l.sqlite")
+        store = SolutionStore(path)
+        store._connection.execute("DROP TABLE leases")
+        store._connection.commit()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert store.claim_lease("k", "alice", ttl=60.0)
+        assert caught  # the degradation is reported, not silent
+        store.close()
+
+    def test_sweep_with_leases_is_bit_identical(self, tmp_path):
+        path = str(tmp_path / "leased.sqlite")
+        baseline = _sweep()
+        leased = _sweep(store=path)
+        # run_sweep(..., lease_ttl=...) goes through the same helper:
+        from repro.experiments.harness import run_sweep as _run_sweep
+
+        leased_ttl = _run_sweep(
+            "store-test",
+            _points(),
+            [RandPrAlgorithm(), GreedyWeightAlgorithm(), UniformRandomAlgorithm()],
+            instances_per_point=2,
+            trials_per_instance=10,
+            seed=5,
+            engine="auto",
+            workers=2,
+            store=str(tmp_path / "leased2.sqlite"),
+            lease_ttl=10.0,
+        )
+        assert leased.rows == baseline.rows
+        assert leased_ttl.rows == baseline.rows
+        # Completed units release their leases.
+        store = store_for_path(str(tmp_path / "leased2.sqlite"))
+        assert store.lease_counts() == (0, 0)
+        store.close()
+
+    def test_sweep_waits_out_or_steals_a_foreign_lease(self, tmp_path):
+        """A unit pre-claimed by a (dead) foreign process still completes."""
+        from repro.experiments.competitive_ratio import EXACT_SOLVER_SET_LIMIT
+        from repro.experiments.harness import run_sweep as _run_sweep
+        from repro.experiments.orchestrator import build_sweep_units
+
+        path = str(tmp_path / "contended.sqlite")
+        algorithms = [RandPrAlgorithm(), GreedyWeightAlgorithm()]
+        units = build_sweep_units(_points(), instances_per_point=2, seed=5)
+        key = unit_key(
+            units[0].instance, units[0].measure_seed, algorithms, 10, "auto",
+            EXACT_SOLVER_SET_LIMIT,
+        )
+        holder = SolutionStore(path)
+        assert holder.claim_lease(key, "dead-process", ttl=0.2)
+        holder.close()
+
+        result = _run_sweep(
+            "store-test",
+            _points(),
+            algorithms,
+            instances_per_point=2,
+            trials_per_instance=10,
+            seed=5,
+            engine="auto",
+            workers=1,
+            store=path,
+            lease_ttl=0.2,
+        )
+        # Same sweep without the contended store: the lease must not have
+        # changed a single bit.
+        expected = _run_sweep(
+            "store-test",
+            _points(),
+            algorithms,
+            instances_per_point=2,
+            trials_per_instance=10,
+            seed=5,
+            engine="auto",
+        )
+        assert result.rows == expected.rows
