@@ -7,7 +7,10 @@ numpy array operations over a whole batch of Monte-Carlo trials:
 * :mod:`repro.engine.specs` describes which algorithms can be vectorized and
   replays their randomness bit-for-bit;
 * :mod:`repro.engine.batch` runs the batch and returns a
-  :class:`~repro.engine.batch.BatchResult`.
+  :class:`~repro.engine.batch.BatchResult`;
+* :mod:`repro.engine.streaming` runs router :class:`~repro.network.traffic.Trace`
+  workloads directly, in chunked time windows with bounded memory, skipping
+  the intermediate instance and the full priority draw table.
 
 The engine is *exact*, not approximate: trial ``b`` of a batch reproduces
 ``simulate(instance, algorithm, rng=random.Random(seed + b))`` set-for-set.
@@ -25,6 +28,7 @@ from repro.engine.batch import BatchResult, batch_from_results, simulate_batch
 from repro.engine.cache import clear_compile_cache, compile_cache_stats, compiled_for
 from repro.engine.compile import CompiledInstance, compile_instance
 from repro.engine.rng import (
+    UniformStreams,
     WordStreams,
     clear_uniform_cache,
     exact_pow,
@@ -43,6 +47,12 @@ from repro.engine.specs import (
     priority_matrix,
     resolve_spec,
     spec_for_algorithm,
+)
+from repro.engine.streaming import (
+    DEFAULT_WINDOW_SLOTS,
+    CompiledTrace,
+    compile_trace,
+    simulate_trace_batch,
 )
 
 __all__ = [
@@ -67,7 +77,12 @@ __all__ = [
     "uniform_matrix",
     "word_matrix",
     "WordStreams",
+    "UniformStreams",
     "exact_pow",
     "clear_uniform_cache",
     "uniform_cache_stats",
+    "CompiledTrace",
+    "compile_trace",
+    "simulate_trace_batch",
+    "DEFAULT_WINDOW_SLOTS",
 ]

@@ -67,6 +67,7 @@ __all__ = [
     "uniform_matrix",
     "word_matrix",
     "WordStreams",
+    "UniformStreams",
     "getrandbits64",
     "exact_pow",
     "clear_uniform_cache",
@@ -413,6 +414,83 @@ class WordStreams:
         words = self._words[positions - self._base, indices]
         self.positions[indices] = positions + 1
         return (words >> np.uint32(32 - bits)).astype(np.int64)
+
+
+class UniformStreams:
+    """Sequential per-trial ``random()`` streams, delivered in bounded chunks.
+
+    Stream ``b`` replays the ``random()`` values of ``random.Random(seed + b)``
+    (the batch engine's trial seeding) through the same vectorized
+    seeding/twist/temper pipeline as :func:`uniform_matrix` — but instead of
+    materializing the whole ``(trials, draws)`` table up front, :meth:`next`
+    hands out consecutive ``(trials, count)`` chunks on demand.  All trials
+    advance in lockstep, so the resident state is one ``(MT_N, trials)``
+    generator matrix plus at most one partially consumed twist block — memory
+    is bounded by the *chunk* size, never by how many draws the consumer
+    eventually takes.  This is what lets the streaming trace engine draw
+    priorities for frames as they enter the active window instead of holding
+    a draw table proportional to the whole trace.
+
+    Chunk boundaries are invisible: concatenating the chunks reproduces
+    :func:`uniform_matrix` bit for bit.
+
+    >>> import random
+    >>> streams = UniformStreams(seed=11, trials=2)
+    >>> chunk = np.concatenate([streams.next(3), streams.next(2)], axis=1)
+    >>> reference = random.Random(11 + 1)          # trial b=1
+    >>> [reference.random() for _ in range(5)] == list(chunk[1])
+    True
+    >>> streams.draws_produced
+    5
+    """
+
+    def __init__(self, seed: int, trials: int) -> None:
+        if trials < 0:
+            raise ValueError(f"trials must be non-negative, got {trials}")
+        self.trials = trials
+        self._mt = _state_matrix_T([seed + b for b in range(trials)])
+        self._scratch_a = np.empty((MT_N, trials), dtype=np.uint32)
+        self._scratch_b = np.empty((MT_N - 1, trials), dtype=np.uint32)
+        # Tempered words produced by the last twist but not yet paired into
+        # doubles (at most MT_N - 1 rows — the only carried-over state).
+        self._pending = np.empty((0, trials), dtype=np.uint32)
+        #: How many ``random()`` values per trial have been handed out.
+        self.draws_produced = 0
+
+    def next(self, count: int) -> np.ndarray:
+        """The next ``count`` ``random()`` values of every trial.
+
+        Returns a writable ``(trials, count)`` float64 array; entry ``[b, k]``
+        is bit-equal to the ``draws_produced + k``-th ``random()`` call of
+        ``random.Random(seed + b)``.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        needed = 2 * count
+        blocks = [self._pending]
+        have = self._pending.shape[0]
+        while have < needed:
+            _twist(self._mt, self._scratch_a[: MT_N - 1], self._scratch_b)
+            block = np.empty((MT_N, self.trials), dtype=np.uint32)
+            _temper(self._mt, block, self._scratch_a)
+            blocks.append(block)
+            have += MT_N
+        words = np.concatenate(blocks, axis=0) if len(blocks) > 1 else self._pending
+        # Copy the remainder (< MT_N rows) so the chunk-sized concatenation
+        # above is freed as soon as the chunk is paired.
+        self._pending = words[needed:].copy()
+        words = words[:needed]
+        # genrand_res53 (same arithmetic as uniform_matrix): every step is
+        # exact in float64, so the pairing is bit-equal to CPython's.
+        out = np.empty((count, self.trials), dtype=np.float64)
+        scratch = np.empty((count, self.trials), dtype=np.uint32)
+        np.right_shift(words[0::2], 5, out=scratch)
+        np.multiply(scratch, 67108864.0, out=out)
+        np.right_shift(words[1::2], 6, out=scratch)
+        np.add(out, scratch, out=out)
+        np.multiply(out, 1.0 / 9007199254740992.0, out=out)
+        self.draws_produced += count
+        return out.T
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,641 @@
+"""Streaming batch simulation straight from a router :class:`Trace`.
+
+The batch engine of :mod:`repro.engine.batch` runs on a compiled
+:class:`~repro.core.instance.OnlineInstance`; pushing a router trace through
+it means first materializing the instance *and* a ``(trials, frames)``
+priority draw table.  For the mega-trace regime of the bottleneck-router
+scenario (millions of packets across tens of thousands of frames) that table
+is the dominant allocation — and it is unnecessary: a frame's priority row
+is only ever consulted between the arrival of its first packet and the
+departure of its last.
+
+This module compiles a :class:`~repro.network.traffic.Trace` directly into a
+:class:`CompiledTrace` (the streaming sibling of
+:class:`~repro.engine.compile.CompiledInstance`) and replays trials in
+chunked **time windows**:
+
+* arrivals are processed in slot order, window by window;
+* a frame's ``(trials,)`` priority row is drawn when the window containing
+  its first packet-slot opens and freed once its last packet-slot has
+  passed, so the resident ``(trials, active_frames)`` pool tracks the
+  *admission spread* of the trace — not its length (the same sliding-window
+  discipline as :class:`~repro.engine.rng.WordStreams`, which PR 5
+  introduced for the per-arrival kinds);
+* the draws come from :class:`~repro.engine.rng.UniformStreams`, the
+  chunked form of the bridge's ``random()`` replay.
+
+**Exactness contract** (the repo's standard one, enforced by
+``tests/test_router_streaming_differential.py``): trial ``b`` of
+:func:`simulate_trace_batch` is bit-identical to
+``simulate(trace.to_instance(), algorithm, rng=random.Random(seed + b))`` —
+same completed frames, same benefit floats, for every window size.  Window
+boundaries are invisible in the results.
+
+**The draw-order caveat.**  The reference algorithms draw static priorities
+in the ``repr`` order of the frame identifiers (``docs/INTERNALS-rng.md``'s
+draw-order contract), while the stream processes packets in *time* order.
+A frame's row must therefore be drawn no later than the first window that
+needs **any later-ordered frame** — the admission sweep advances through the
+columns sequentially and the pool's true bound is the spread between frame
+*identifier order* and *arrival order* (``CompiledTrace.admission_slot``
+makes the bound explicit, :meth:`CompiledTrace.peak_active_frames` computes
+it exactly).  The stock generators' unpadded decimal identifiers
+(``"f0.10" < "f0.2"``) scramble the two orders; for mega traces, generate
+with ``id_pad`` set (see :mod:`repro.network.traffic`) so identifier order
+tracks arrival order and the pool stays small.  Results are bit-exact either
+way — only the memory bound changes.  ``docs/INTERNALS-streaming.md``
+documents the dataflow, the frame lifecycle and this caveat in detail.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.algorithm import OnlineAlgorithm
+from repro.core.priorities import hash_priority, hash_unit_interval, sample_priority
+from repro.core.set_system import InvalidSetSystemError
+from repro.engine import rng as rng_bridge
+from repro.engine.batch import (
+    BatchResult,
+    _run_greedy,
+    _run_uniform_random,
+)
+from repro.engine.compile import ZERO_WEIGHT_CLAMP
+from repro.engine.specs import (
+    GREEDY_KINDS,
+    PER_STEP_RANDOM_KINDS,
+    AlgorithmSpec,
+    resolve_spec,
+)
+from repro.exceptions import OspError
+
+__all__ = [
+    "CompiledTrace",
+    "compile_trace",
+    "simulate_trace_batch",
+    "DEFAULT_WINDOW_SLOTS",
+]
+
+#: Default time-window width (in slots) of the streaming replay.  Purely a
+#: batching knob: results are bit-identical for every window size, only the
+#: admission granularity (and so the transient pool occupancy) changes.
+DEFAULT_WINDOW_SLOTS = 1024
+
+
+@dataclass(frozen=True)
+class CompiledTrace:
+    """A router :class:`~repro.network.traffic.Trace` flattened for streaming.
+
+    The per-set and per-step arrays mirror
+    :class:`~repro.engine.compile.CompiledInstance` exactly — columns are the
+    frame identifiers in ``repr`` order, steps are the non-empty slots in
+    time order with their parent columns ascending — so the greedy and
+    per-arrival replay kernels of :mod:`repro.engine.batch` run on a
+    ``CompiledTrace`` unchanged.  On top of that, the trace-specific arrays
+    pin each frame's **lifecycle**:
+
+    ``step_slots``
+        ``(n,)`` int64 — the time slot of each arrival step (strictly
+        increasing; empty slots produce no step, exactly as
+        ``Trace.to_instance`` skips them).
+    ``first_slot`` / ``last_slot``
+        ``(m,)`` int64 — the first/last slot containing a packet of each
+        frame (``-1`` for a frame with no packets in the trace).
+    ``admission_slot``
+        ``(m,)`` int64 — the slot at which the streaming engine must have
+        drawn column ``j``'s priority row: the draw-order contract forces a
+        sequential column sweep, so this is the suffix minimum of
+        ``first_slot`` over columns ``>= j``.  The gap between
+        ``admission_slot`` and ``last_slot`` is each frame's pool residency.
+
+    >>> from repro.network.traffic import AdversarialBurstGenerator
+    >>> trace = AdversarialBurstGenerator(burst_size=2, packets_per_frame=2,
+    ...                                   gap_slots=1).generate(num_waves=3)
+    >>> compiled = compile_trace(trace)
+    >>> compiled
+    CompiledTrace('trace', frames=6, steps=6, packets=12)
+    >>> compiled.set_ids[:2]
+    ('w0.m0', 'w0.m1')
+    >>> compiled.peak_active_frames()      # one wave resident at a time
+    2
+    """
+
+    name: str
+    set_ids: Tuple[str, ...]
+    set_index: Mapping[str, int] = field(repr=False)
+    weights: np.ndarray = field(repr=False)
+    clamped_weights: np.ndarray = field(repr=False)
+    sizes: np.ndarray = field(repr=False)
+    step_indptr: np.ndarray = field(repr=False)
+    step_parents: np.ndarray = field(repr=False)
+    step_capacities: np.ndarray = field(repr=False)
+    weight_class: np.ndarray = field(repr=False)
+    priority_exponents: np.ndarray = field(repr=False)
+    step_slots: np.ndarray = field(repr=False)
+    first_slot: np.ndarray = field(repr=False)
+    last_slot: np.ndarray = field(repr=False)
+    admission_slot: np.ndarray = field(repr=False)
+    num_slots: int = 0
+    num_packets: int = 0
+    link_capacity: int = 1
+
+    @property
+    def num_sets(self) -> int:
+        """The number of frames ``m`` (columns)."""
+        return len(self.set_ids)
+
+    @property
+    def num_steps(self) -> int:
+        """The number of arrival steps (non-empty slots)."""
+        return len(self.step_capacities)
+
+    def peak_active_frames(self, window_slots: Optional[int] = None) -> int:
+        """The exact peak of the streaming priority pool, in rows.
+
+        The deterministic memory model of the engine: with windows of
+        ``window_slots`` slots (``None``: slot-at-a-time, the tightest
+        bound), column ``j`` is admitted at the start of the window
+        containing ``admission_slot[j]`` and retired at the end of the
+        window containing ``last_slot[j]``; this returns the maximum number
+        of simultaneously resident columns.  Multiplied by the trial count
+        and 8 bytes it bounds the pool allocation — the benchmark's
+        memory-boundedness assertion checks this number stays flat as the
+        trace grows, rather than trusting noisy RSS readings alone.
+        """
+        window = 1 if window_slots is None else int(window_slots)
+        if window < 1:
+            raise ValueError(f"window_slots must be positive, got {window}")
+        pooled = self.last_slot >= 0
+        if not pooled.any():
+            return 0
+        admit = self.admission_slot[pooled] // window
+        retire = self.last_slot[pooled] // window
+        windows = int(retire.max()) + 2
+        delta = np.bincount(admit, minlength=windows)
+        delta -= np.bincount(retire + 1, minlength=windows)
+        return int(np.cumsum(delta).max())
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledTrace({self.name!r}, frames={self.num_sets}, "
+            f"steps={self.num_steps}, packets={self.num_packets})"
+        )
+
+
+def compile_trace(trace: "Trace", name: str = "") -> CompiledTrace:
+    """Flatten a :class:`~repro.network.traffic.Trace` for the streaming engine.
+
+    Produces exactly the column order, step sequence and per-set constants
+    that ``compile_instance(trace.to_instance(name))`` would — without
+    building the intermediate :class:`~repro.core.instance.OnlineInstance`
+    object graph — plus the lifecycle arrays described on
+    :class:`CompiledTrace`.  Validation mirrors the reduction path: a
+    non-positive link capacity and packets of unregistered frames raise the
+    same way the instance construction would.
+
+    >>> from repro.network.traffic import PoissonBurstGenerator
+    >>> import random
+    >>> trace = PoissonBurstGenerator().generate(30, random.Random(0))
+    >>> compiled = compile_trace(trace)
+    >>> from repro.engine.compile import compile_instance
+    >>> reference = compile_instance(trace.to_instance())
+    >>> compiled.set_ids == reference.set_ids
+    True
+    >>> bool((compiled.step_parents == reference.step_parents).all())
+    True
+    """
+    capacity = trace.link_capacity
+    if not isinstance(capacity, int) or isinstance(capacity, bool) or capacity < 1:
+        # The same rejection Trace.to_instance hits inside SetSystem.
+        raise InvalidSetSystemError(
+            f"trace link capacity must be a positive integer, got {capacity!r}"
+        )
+
+    frame_ids = tuple(sorted(trace.frames, key=repr))
+    set_index: Dict[str, int] = {fid: j for j, fid in enumerate(frame_ids)}
+    m = len(frame_ids)
+
+    weights = np.fromiter(
+        (float(trace.frames[fid].weight or 1.0) for fid in frame_ids),
+        dtype=np.float64,
+        count=m,
+    )
+    clamped = np.where(weights > 0.0, weights, ZERO_WEIGHT_CLAMP)
+
+    sizes = np.zeros(m, dtype=np.int64)
+    first_slot = np.full(m, -1, dtype=np.int64)
+    last_slot = np.full(m, -1, dtype=np.int64)
+    step_slots: List[int] = []
+    indptr: List[int] = [0]
+    parents_flat: List[int] = []
+    num_packets = 0
+    for slot, packets in enumerate(trace.slots):
+        num_packets += len(packets)
+        if not packets:
+            continue
+        columns: List[int] = []
+        seen = set()
+        for packet in packets:
+            fid = packet.frame_id
+            if fid in seen:
+                continue  # simultaneous same-frame packets collapse
+            seen.add(fid)
+            column = set_index.get(fid)
+            if column is None:
+                raise OspError(
+                    f"slot {slot} carries a packet of unregistered frame {fid!r}"
+                )
+            columns.append(column)
+        columns.sort()  # ascending column order == repr order of frame ids
+        cols = np.asarray(columns, dtype=np.int64)
+        sizes[cols] += 1
+        last_slot[cols] = slot
+        step_slots.append(slot)
+        parents_flat.extend(columns)
+        indptr.append(len(parents_flat))
+
+    # first_slot = slot of the first step containing the column (backward
+    # sweep: the earliest write wins by being applied last).
+    for step in range(len(step_slots) - 1, -1, -1):
+        cols = parents_flat[indptr[step] : indptr[step + 1]]
+        first_slot[cols] = step_slots[step]
+
+    unique_weights = np.unique(weights)
+    weight_class = (len(unique_weights) - 1) - np.searchsorted(unique_weights, weights)
+
+    # Sequential-sweep admission bound: column j must be drawn when the
+    # first packet of ANY column >= j arrives (suffix minimum; columns with
+    # no packets inherit the bound of their successors and hold no row).
+    admission = np.full(m, np.iinfo(np.int64).max, dtype=np.int64)
+    suffix = np.iinfo(np.int64).max
+    for j in range(m - 1, -1, -1):
+        if first_slot[j] >= 0:
+            suffix = min(suffix, int(first_slot[j]))
+        admission[j] = suffix
+
+    n = len(step_slots)
+    return CompiledTrace(
+        name=name or "trace",
+        set_ids=frame_ids,
+        set_index=set_index,
+        weights=weights,
+        clamped_weights=clamped,
+        sizes=sizes,
+        step_indptr=np.asarray(indptr, dtype=np.int64),
+        step_parents=np.asarray(parents_flat, dtype=np.int64),
+        step_capacities=np.full(n, capacity, dtype=np.int64),
+        weight_class=weight_class.astype(np.int64),
+        priority_exponents=1.0 / clamped,
+        step_slots=np.asarray(step_slots, dtype=np.int64),
+        first_slot=first_slot,
+        last_slot=last_slot,
+        admission_slot=admission,
+        num_slots=len(trace.slots),
+        num_packets=num_packets,
+        link_capacity=capacity,
+    )
+
+
+class _StaticKeySource:
+    """Sequential column-chunk supplier of negated static-priority rows.
+
+    ``draw(start, count)`` returns the ``(rows, count)`` *negated* priority
+    block of columns ``start .. start+count-1`` ("lower key wins", matching
+    the batch engine's ``_run_static(-priorities)`` convention).  Randomized
+    kinds consume the per-trial ``random()`` streams strictly in column
+    order, which is what makes the chunked draws bit-equal to the one-shot
+    ``priority_matrix`` table; ``zero_trials`` collects the trials whose
+    uniforms hit exactly 0.0 (randPr redraws those, desynchronizing the
+    stream — such trials are replayed scalar at the end).
+    """
+
+    def __init__(
+        self, spec: AlgorithmSpec, compiled: CompiledTrace, rows: int, seed: int
+    ) -> None:
+        self._spec = spec
+        self._compiled = compiled
+        self._rows = rows
+        self.zero_trials: set = set()
+        kind = spec.kind
+        if kind in ("randPr", "uniform-priority"):
+            self._uniforms = rng_bridge.UniformStreams(seed, rows)
+        elif kind == "randPr-hashed" and spec.salt is None:
+            self._salts = [
+                f"salt-{value:016x}" for value in rng_bridge.getrandbits64(seed, rows)
+            ]
+        self._clamped: Optional[List[float]] = None
+
+    def _clamped_floats(self) -> List[float]:
+        if self._clamped is None:
+            self._clamped = [float(v) for v in self._compiled.clamped_weights]
+        return self._clamped
+
+    def draw(self, start: int, count: int) -> np.ndarray:
+        compiled = self._compiled
+        kind = self._spec.kind
+        exponents = compiled.priority_exponents[start : start + count]
+        if kind == "randPr":
+            uniforms = self._uniforms.next(count)
+            zero_rows = np.flatnonzero((uniforms == 0.0).any(axis=1))
+            self.zero_trials.update(int(b) for b in zero_rows)
+            return -rng_bridge.exact_pow(uniforms, exponents)
+        if kind == "uniform-priority":
+            return -self._uniforms.next(count)
+        if kind == "randPr-hashed":
+            clamped = self._clamped_floats()
+            if self._spec.salt is not None:
+                row = [
+                    hash_priority(compiled.set_ids[j], clamped[j], salt=self._spec.salt)
+                    for j in range(start, start + count)
+                ]
+                return -np.asarray(row, dtype=np.float64).reshape(1, count)
+            block = np.empty((self._rows, count), dtype=np.float64)
+            for offset, j in enumerate(range(start, start + count)):
+                set_id = compiled.set_ids[j]
+                block[:, offset] = [
+                    hash_unit_interval(set_id, salt=salt) for salt in self._salts
+                ]
+            np.copyto(block, 2.0 ** -64, where=(block == 0.0))
+            return -rng_bridge.exact_pow(block, exponents)
+        if kind == "static-order":
+            salt = self._spec.salt if self._spec.salt is not None else "static-order"
+            row = [
+                hash_unit_interval(compiled.set_ids[j], salt=salt)
+                for j in range(start, start + count)
+            ]
+            return -np.asarray(row, dtype=np.float64).reshape(1, count)
+        if kind == "first-listed":
+            return np.arange(start, start + count, dtype=np.float64).reshape(1, count)
+        if kind == "largest-set-first":
+            return -compiled.sizes[start : start + count].astype(np.float64).reshape(
+                1, count
+            )
+        if kind == "smallest-set-first":
+            return compiled.sizes[start : start + count].astype(np.float64).reshape(
+                1, count
+            )
+        raise AssertionError(f"not a static kind: {kind!r}")  # pragma: no cover
+
+
+class _RowPool:
+    """The sliding ``(rows, active)`` key pool with slot recycling."""
+
+    def __init__(self, rows: int, num_columns: int) -> None:
+        self._rows = rows
+        self.keys = np.empty((rows, 0), dtype=np.float64)
+        self.slot_of = np.full(num_columns, -1, dtype=np.int64)
+        self._free: List[int] = []
+        self._occupied = 0
+        self.peak_occupied = 0
+
+    @property
+    def capacity(self) -> int:
+        return self.keys.shape[1]
+
+    def admit(self, columns: np.ndarray, key_block: np.ndarray) -> None:
+        need = len(columns) - len(self._free)
+        if need > 0:
+            grown = max(self.capacity * 2, self.capacity + need, 16)
+            extra = np.empty((self._rows, grown - self.capacity), dtype=np.float64)
+            self._free.extend(range(self.capacity, grown))
+            self.keys = np.concatenate([self.keys, extra], axis=1)
+        slots = np.asarray(
+            [self._free.pop() for _ in range(len(columns))], dtype=np.int64
+        )
+        self.slot_of[columns] = slots
+        self.keys[:, slots] = key_block
+        self._occupied += len(columns)
+        self.peak_occupied = max(self.peak_occupied, self._occupied)
+
+    def retire(self, column: int) -> None:
+        slot = int(self.slot_of[column])
+        if slot >= 0:
+            self._free.append(slot)
+            self.slot_of[column] = -1
+            self._occupied -= 1
+
+
+def _apply_contested(
+    pool: _RowPool,
+    groups: Dict[Tuple[int, int], List[np.ndarray]],
+    completed: np.ndarray,
+) -> None:
+    """Scatter the drops of one window's contested steps into ``completed``.
+
+    The exact grouped-partial-sort arithmetic of the batch engine's
+    ``_run_static``, with keys gathered through the pool's slot indirection.
+    """
+    rows = completed.shape[0]
+    contested_columns = []
+    dropped_blocks = []
+    for (width, step_capacity), column_lists in groups.items():
+        stacked = np.stack(column_lists)  # (steps_in_group, width)
+        sub = pool.keys[:, pool.slot_of[stacked]]  # (rows, steps, width)
+        if step_capacity == 1:
+            choice = np.argmin(sub, axis=2)
+            assigned = choice[..., np.newaxis] == np.arange(width)
+        else:
+            order = np.argsort(sub, axis=2, kind="stable")
+            assigned = np.zeros(sub.shape, dtype=bool)
+            np.put_along_axis(assigned, order[..., :step_capacity], True, axis=2)
+        contested_columns.append(stacked.ravel())
+        dropped_blocks.append((~assigned).reshape(rows, -1))
+    if contested_columns:
+        all_columns = np.concatenate(contested_columns)
+        all_dropped = np.concatenate(dropped_blocks, axis=1)
+        trial_index, incidence_index = np.nonzero(all_dropped)
+        completed[trial_index, all_columns[incidence_index]] = False
+
+
+def _replay_static_trial_scalar(
+    compiled: CompiledTrace, keys: np.ndarray, completed_row: np.ndarray
+) -> None:
+    """One trial's whole-trace static replay from an explicit key row."""
+    completed_row[:] = True
+    indptr = compiled.step_indptr
+    parents = compiled.step_parents
+    capacities = compiled.step_capacities
+    for step in range(compiled.num_steps):
+        columns = parents[indptr[step] : indptr[step + 1]]
+        step_capacity = int(capacities[step])
+        if len(columns) <= step_capacity:
+            continue
+        order = np.argsort(keys[columns], kind="stable")
+        completed_row[columns[order[step_capacity:]]] = False
+
+
+def _stream_static(
+    compiled: CompiledTrace,
+    spec: AlgorithmSpec,
+    trials: int,
+    seed: int,
+    window_slots: int,
+    stats: Optional[dict],
+) -> np.ndarray:
+    """The windowed static-priority replay; returns the completed mask.
+
+    Decisions of a static-priority kind are state-independent, so processing
+    arrivals in time order is exact: a frame is completed iff it wins every
+    contested step it appears in, and the drops of each window scatter
+    straight into the ``(rows, m)`` completed mask — no per-frame alive
+    state exists.  The only per-frame state is the pooled priority row,
+    admitted by the sequential column sweep and retired after the frame's
+    last slot.
+    """
+    m = compiled.num_sets
+    rows = 1 if spec.is_deterministic else trials
+    completed = np.ones((rows, m), dtype=bool)
+    source = _StaticKeySource(spec, compiled, rows, seed)
+    pool = _RowPool(rows, m)
+
+    indptr = compiled.step_indptr
+    parents = compiled.step_parents
+    capacities = compiled.step_capacities
+    step_slots = compiled.step_slots
+    last_slot = compiled.last_slot
+
+    # Columns in retirement order (by last slot); pointer advances per window.
+    pooled_columns = np.flatnonzero(last_slot >= 0)
+    retire_order = pooled_columns[
+        np.argsort(last_slot[pooled_columns], kind="stable")
+    ]
+    retire_ptr = 0
+    next_col = 0
+    windows = 0
+
+    for window_start in range(0, compiled.num_slots, window_slots):
+        windows += 1
+        window_end = min(window_start + window_slots, compiled.num_slots)
+        s0, s1 = np.searchsorted(step_slots, [window_start, window_end])
+        if s0 < s1:
+            window_parents = parents[indptr[s0] : indptr[s1]]
+            max_needed = int(window_parents.max())
+            if max_needed >= next_col:
+                block = source.draw(next_col, max_needed + 1 - next_col)
+                fresh = np.arange(next_col, max_needed + 1)
+                holds_row = last_slot[fresh] >= 0  # packet-less frames: draw,
+                pool.admit(fresh[holds_row], block[:, holds_row])  # never pool
+                next_col = max_needed + 1
+            groups: Dict[Tuple[int, int], List[np.ndarray]] = {}
+            for step in range(s0, s1):
+                columns = parents[indptr[step] : indptr[step + 1]]
+                width = len(columns)
+                step_capacity = int(capacities[step])
+                if width > step_capacity:
+                    groups.setdefault((width, step_capacity), []).append(columns)
+            _apply_contested(pool, groups, completed)
+        while retire_ptr < len(retire_order) and (
+            last_slot[retire_order[retire_ptr]] < window_end
+        ):
+            pool.retire(int(retire_order[retire_ptr]))
+            retire_ptr += 1
+
+    if source.zero_trials:
+        # randPr redraws an exactly-zero uniform, so those trials' streams
+        # diverged from the chunked draws; replay them whole, scalar.
+        clamped = source._clamped_floats()
+        for trial in sorted(source.zero_trials):
+            replay = random.Random(seed + trial)
+            priorities = [sample_priority(weight, replay) for weight in clamped]
+            keys = -np.asarray(priorities, dtype=np.float64)
+            _replay_static_trial_scalar(compiled, keys, completed[trial])
+
+    if stats is not None:
+        stats["windows"] = windows
+        stats["priority_rows"] = rows
+        stats["peak_pooled_rows"] = pool.peak_occupied
+        stats["pool_capacity_rows"] = pool.capacity
+    return completed
+
+
+def simulate_trace_batch(
+    trace: Union["Trace", CompiledTrace],
+    algorithm: Union[str, AlgorithmSpec, OnlineAlgorithm],
+    trials: int,
+    seed: int = 0,
+    window_slots: Optional[int] = None,
+    stats: Optional[dict] = None,
+) -> BatchResult:
+    """Run ``trials`` trials of ``algorithm`` on a trace, streaming.
+
+    The streaming counterpart of :func:`~repro.engine.batch.simulate_batch`:
+    same trial seeding (``random.Random(seed + b)``), same result type, and
+    the same exactness contract — trial ``b`` is bit-identical to
+    ``simulate(trace.to_instance(), algorithm, rng=random.Random(seed + b))``.
+    Accepts a :class:`~repro.network.traffic.Trace` (compiled here) or a
+    pre-built :class:`CompiledTrace` (reused across algorithms/seeds).
+
+    ``window_slots`` sets the time-window width (default
+    :data:`DEFAULT_WINDOW_SLOTS`); it is a batching knob only — every window
+    size produces identical results.  Static-priority kinds hold their
+    ``(trials, active_frames)`` row pool only for frames inside the sliding
+    admission window; greedy kinds keep a single ``(1, m)`` state pair (no
+    trial axis); the per-arrival ``uniform-random`` kind replays over the
+    bridge's sliding word streams exactly as the batch engine does (its
+    draws are already time-ordered).
+
+    ``stats``, when a dict is passed, is filled with the run's memory model:
+    ``windows``, ``priority_rows``, ``peak_pooled_rows`` (the high-water
+    active-frame count) and ``pool_capacity_rows``.
+
+    >>> import random
+    >>> from repro.core.simulation import simulate
+    >>> from repro.algorithms import RandPrAlgorithm
+    >>> from repro.network.traffic import PoissonBurstGenerator
+    >>> trace = PoissonBurstGenerator().generate(40, random.Random(3))
+    >>> result = simulate_trace_batch(trace, "randPr", trials=2, seed=9)
+    >>> reference = simulate(trace.to_instance(), RandPrAlgorithm(),
+    ...                      rng=random.Random(9 + 1))
+    >>> result.completed_sets(1) == reference.completed_sets
+    True
+    >>> float(result.benefits[1]) == reference.benefit
+    True
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be at least 1, got {trials}")
+    compiled = trace if isinstance(trace, CompiledTrace) else compile_trace(trace)
+    spec = resolve_spec(algorithm)
+    window = DEFAULT_WINDOW_SLOTS if window_slots is None else int(window_slots)
+    if window < 1:
+        raise ValueError(f"window_slots must be positive, got {window}")
+
+    if spec.kind in GREEDY_KINDS:
+        completed = _run_greedy(compiled, spec.kind)
+        if stats is not None:
+            stats.update(windows=0, priority_rows=1, peak_pooled_rows=0,
+                         pool_capacity_rows=0)
+    elif spec.kind in PER_STEP_RANDOM_KINDS:
+        completed = _run_uniform_random(compiled, trials, seed)
+        if stats is not None:
+            stats.update(windows=0, priority_rows=trials, peak_pooled_rows=0,
+                         pool_capacity_rows=0)
+    else:
+        completed = _stream_static(compiled, spec, trials, seed, window, stats)
+
+    # Benefit floats summed in column order — the reference engine's exact
+    # arithmetic (mirrors simulate_batch).
+    benefits = np.fromiter(
+        (sum(compiled.weights[row].tolist()) for row in completed),
+        dtype=np.float64,
+        count=completed.shape[0],
+    )
+    counts = completed.sum(axis=1, dtype=np.int64)
+    if completed.shape[0] == 1 and trials > 1:
+        completed = np.repeat(completed, trials, axis=0)
+        benefits = np.repeat(benefits, trials)
+        counts = np.repeat(counts, trials)
+
+    return BatchResult(
+        algorithm_name=spec.name,
+        instance_name=compiled.name,
+        trials=trials,
+        seed=seed,
+        set_ids=compiled.set_ids,
+        completed=completed,
+        benefits=benefits,
+        completed_counts=counts,
+    )

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import partial
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.algorithm import OnlineAlgorithm
 from repro.core.instance import OnlineInstance
@@ -20,6 +20,18 @@ from repro.core.simulation import simulate_many
 from repro.core.statistics import statistics_from_benefits
 from repro.engine.batch import simulate_batch
 from repro.engine.specs import spec_for_algorithm
+from repro.engine.streaming import simulate_trace_batch
+
+if TYPE_CHECKING:  # repro.network imports this package back
+    from repro.network.traffic import Trace
+
+
+def _trace_or_none(instance) -> "Optional[Trace]":
+    """``instance`` if it is a router trace, else ``None`` (lazy import:
+    ``repro.network`` imports the experiment layer back)."""
+    from repro.network.traffic import Trace
+
+    return instance if isinstance(instance, Trace) else None
 from repro.exceptions import (
     MeasurementFailedError,
     SolverError,
@@ -179,19 +191,29 @@ def _benefits_chunk(
     algorithm: OnlineAlgorithm,
     seed: int,
     engine: str,
+    trace: "Optional[Trace]" = None,
 ) -> List[float]:
     """Benefits of the contiguous trial chunk ``(offset, count)``.
 
     Both engines seed trial ``b`` as ``seed + b``, so running a chunk with
     ``seed + offset`` reproduces exactly trials ``offset..offset+count-1``
-    of the unchunked run.  Top-level (not a closure) so process-pool workers
-    can unpickle it.
+    of the unchunked run.  When a router ``trace`` is attached and a
+    non-reference engine requested, the chunk runs on the streaming engine
+    (same contract, bounded memory).  Top-level (not a closure) so
+    process-pool workers can unpickle it.
     """
     offset, count = chunk
     if engine != "reference":
         spec = spec_for_algorithm(algorithm)
         if spec is not None:
-            result = simulate_batch(instance, spec, trials=count, seed=seed + offset)
+            if trace is not None:
+                result = simulate_trace_batch(
+                    trace, spec, trials=count, seed=seed + offset
+                )
+            else:
+                result = simulate_batch(
+                    instance, spec, trials=count, seed=seed + offset
+                )
             return [float(value) for value in result.benefits]
         if engine == "batch":
             raise UnsupportedAlgorithmError(
@@ -203,7 +225,7 @@ def _benefits_chunk(
 
 
 def simulation_benefits(
-    instance: OnlineInstance,
+    instance: "OnlineInstance | Trace",
     algorithm: OnlineAlgorithm,
     trials: int,
     seed: int = 0,
@@ -212,6 +234,12 @@ def simulation_benefits(
     policy: Optional[RetryPolicy] = None,
 ) -> Sequence[float]:
     """Per-trial benefits of ``trials`` shared-seed simulations.
+
+    ``instance`` may also be a router :class:`~repro.network.traffic.Trace`:
+    the reference engine then simulates ``trace.to_instance()`` and the
+    batch engines stream the trace directly
+    (:func:`~repro.engine.streaming.simulate_trace_batch`), with identical
+    results trial for trial.
 
     ``engine`` selects the simulator:
 
@@ -240,8 +268,16 @@ def simulation_benefits(
     """
     validate_engine(engine)
     workers = resolve_workers(workers)
+    trace = _trace_or_none(instance)
+    if trace is not None:
+        instance = trace.to_instance()
     task = partial(
-        _benefits_chunk, instance=instance, algorithm=algorithm, seed=seed, engine=engine
+        _benefits_chunk,
+        instance=instance,
+        algorithm=algorithm,
+        seed=seed,
+        engine=engine,
+        trace=trace,
     )
     if workers == 1 and policy is None:
         return task((0, trials))
@@ -270,7 +306,7 @@ def simulation_benefits(
 
 
 def measure_ratio(
-    instance: OnlineInstance,
+    instance: "OnlineInstance | Trace",
     algorithm: OnlineAlgorithm,
     trials: int = 20,
     seed: int = 0,
@@ -286,16 +322,21 @@ def measure_ratio(
     The ratio is ``opt / mean_benefit``; a zero mean benefit yields ``inf``.
     A precomputed ``opt`` may be supplied to avoid repeating the (expensive)
     offline solve when several algorithms run on the same instance, or an
-    ``opt_cache`` to share solves by system content.  ``engine``,
+    ``opt_cache`` to share solves by system content.  ``instance`` may be a
+    router :class:`~repro.network.traffic.Trace` (OPT is estimated on its
+    reduction; the batch engines stream the trace).  ``engine``,
     ``workers`` and ``policy`` route the simulations (see
     :func:`simulation_benefits`); none of them changes the measured numbers.
     """
+    trace = _trace_or_none(instance)
+    if trace is not None:
+        instance = trace.to_instance()
     if opt is None:
         opt = estimate_opt(instance.system, method=opt_method, cache=opt_cache)
     effective_trials = 1 if algorithm.is_deterministic else trials
     benefits = list(
         simulation_benefits(
-            instance,
+            trace if trace is not None else instance,
             algorithm,
             trials=effective_trials,
             seed=seed,

@@ -196,7 +196,11 @@ def run_sweep(
     ----------
     parameter_points:
         Pairs ``(label, factory)``; the factory receives an RNG and returns a
-        fresh instance for that parameter point.
+        fresh instance for that parameter point.  A factory may also return
+        a router :class:`~repro.network.traffic.Trace`: OPT, statistics and
+        store keys come from its reduction (``trace.to_instance()``), while
+        the batch engines stream the trace directly in bounded memory —
+        identical numbers either way.
     algorithms:
         The algorithms to evaluate at every point.
     instances_per_point:

@@ -36,7 +36,7 @@ import socket
 import time
 from dataclasses import dataclass, replace
 from functools import partial
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
 
 from repro.core.algorithm import OnlineAlgorithm
 from repro.core.bounds import BoundReport, bound_report
@@ -46,6 +46,7 @@ from repro.experiments.competitive_ratio import (
     EXACT_SOLVER_SET_LIMIT,
     OptEstimate,
     RatioMeasurement,
+    _trace_or_none,
     estimate_opt,
     measure_ratio,
     validate_engine,
@@ -61,6 +62,9 @@ from repro.experiments.resilience import (
 from repro.experiments.store import store_for_path, unit_key
 from repro.exceptions import MeasurementFailedError
 
+if TYPE_CHECKING:  # repro.network imports the experiment layer back
+    from repro.network.traffic import Trace
+
 __all__ = [
     "SweepUnit",
     "SweepUnitResult",
@@ -70,7 +74,10 @@ __all__ = [
     "instance_seed",
 ]
 
-InstanceFactory = Callable[[random.Random], OnlineInstance]
+#: A sweep point's generator: draws either an :class:`OnlineInstance` or a
+#: router :class:`~repro.network.traffic.Trace` (reduced to its instance for
+#: OPT/statistics/keys; streamed directly by the batch engines).
+InstanceFactory = Callable[[random.Random], "OnlineInstance | Trace"]
 
 
 def instance_seed(base_seed: int, point_index: int, instance_index: int) -> int:
@@ -117,6 +124,10 @@ class SweepUnit:
     label: str
     instance: OnlineInstance
     measure_seed: int
+    #: The router trace behind ``instance``, when the factory drew one.  The
+    #: reduction (``trace.to_instance()``) stays the source of OPT,
+    #: statistics and store keys; the batch engines stream the trace itself.
+    trace: "Optional[Trace]" = None
 
 
 @dataclass(frozen=True)
@@ -180,13 +191,18 @@ def build_sweep_units(
     for point_index, (label, factory) in enumerate(parameter_points):
         for instance_index in range(instances_per_point):
             rng = random.Random(instance_seed(seed, point_index, instance_index))
+            drawn = factory(rng)
+            trace = _trace_or_none(drawn)
+            if trace is not None:
+                drawn = trace.to_instance()
             units.append(
                 SweepUnit(
                     point_index=point_index,
                     instance_index=instance_index,
                     label=label,
-                    instance=factory(rng),
+                    instance=drawn,
                     measure_seed=seed + point_index,
+                    trace=trace,
                 )
             )
     return units
@@ -296,7 +312,7 @@ def _execute_unit(
         bounds = bound_report(stats)
         measurements = tuple(
             measure_ratio(
-                unit.instance,
+                unit.trace if unit.trace is not None else unit.instance,
                 algorithm,
                 trials=trials,
                 seed=unit.measure_seed,

@@ -14,6 +14,7 @@ from __future__ import annotations
 import argparse
 import json
 import random
+import time
 from typing import Dict, List, Optional, Union
 
 from repro.algorithms import GreedyWeightAlgorithm, RandPrAlgorithm
@@ -42,7 +43,7 @@ from repro.experiments.store import (
 from repro.lowerbounds import run_deterministic_adversary
 from repro.workloads import random_weighted_instance, uniform_both_instance
 
-__all__ = ["self_check", "main"]
+__all__ = ["self_check", "trace_scale_report", "main"]
 
 
 def _check_theorem1(
@@ -177,6 +178,69 @@ def self_check(
     return [check(seed, trials, engine, workers, policy) for check in checks]
 
 
+def trace_scale_report(
+    packets: int, seed: int = 0, trials: int = 32
+) -> Dict[str, object]:
+    """Exercise the streaming router engine at trace scale and report.
+
+    Builds an adversarial-burst mega trace of roughly ``packets`` packets
+    (zero-padded identifiers, so the streaming pool tracks the burst size,
+    not the trace length), reports the compiled trace's exact memory model
+    and the streaming randPr throughput, and renders a **bit-identity
+    verdict**: on a downscaled trace the streaming engine's trials are
+    compared set-for-set against the reference per-packet loop
+    (``simulate(trace.to_instance(), ...)``).  The verdict — not the
+    throughput — decides the exit code of ``--trace-scale``.
+    """
+    from repro.core.simulation import simulate_many
+    from repro.engine.streaming import (
+        DEFAULT_WINDOW_SLOTS,
+        compile_trace,
+        simulate_trace_batch,
+    )
+    from repro.network.traffic import AdversarialBurstGenerator
+
+    burst, per_frame = 8, 4
+    generator = AdversarialBurstGenerator(
+        burst_size=burst, packets_per_frame=per_frame, gap_slots=1, id_pad=8
+    )
+    waves = max(1, packets // (burst * per_frame))
+    trace = generator.generate(num_waves=waves)
+    compiled = compile_trace(trace)
+    stats: Dict[str, object] = {}
+    started = time.perf_counter()
+    simulate_trace_batch(compiled, "randPr", trials=trials, seed=seed, stats=stats)
+    elapsed = time.perf_counter() - started
+    throughput = trace.num_packets * trials / max(elapsed, 1e-9)
+
+    small = generator.generate(num_waves=min(waves, 40))
+    small_trials = min(trials, 8)
+    reference = simulate_many(
+        small.to_instance(), RandPrAlgorithm(), trials=small_trials, seed=seed
+    )
+    identical = True
+    for window in (1, 7, None):
+        batch = simulate_trace_batch(
+            small, "randPr", trials=small_trials, seed=seed, window_slots=window
+        )
+        for trial, result in enumerate(reference):
+            if (
+                batch.completed_sets(trial) != result.completed_sets
+                or float(batch.benefits[trial]) != result.benefit
+            ):
+                identical = False
+    return {
+        "packets": trace.num_packets,
+        "frames": trace.num_frames,
+        "trials": trials,
+        "seconds": round(elapsed, 3),
+        "packet_trials_per_second": round(throughput),
+        "peak_pooled_rows": stats["peak_pooled_rows"],
+        "peak_active_frames_model": compiled.peak_active_frames(DEFAULT_WINDOW_SLOTS),
+        "bit_identical": identical,
+    }
+
+
 def main(argv: List[str] = None) -> int:
     """CLI entry point; returns a non-zero exit code if any claim check fails."""
     parser = argparse.ArgumentParser(
@@ -238,6 +302,16 @@ def main(argv: List[str] = None) -> int:
         "(a stuck unit is charged an attempt and retried)",
     )
     parser.add_argument(
+        "--trace-scale",
+        type=int,
+        default=None,
+        metavar="PACKETS",
+        help="instead of the claim checks, push a ~PACKETS-packet router "
+        "trace through the streaming engine: prints throughput and the "
+        "bounded-memory model, and exits non-zero if the streaming results "
+        "are not bit-identical to the reference loop on a downscaled trace",
+    )
+    parser.add_argument(
         "--store",
         default=None,
         metavar="PATH",
@@ -260,6 +334,27 @@ def main(argv: List[str] = None) -> int:
             max_attempts=arguments.max_attempts or 3,
             timeout=arguments.unit_timeout,
         )
+
+    if arguments.trace_scale is not None:
+        if arguments.trace_scale < 1:
+            parser.error("--trace-scale needs a positive packet count")
+        report = trace_scale_report(
+            arguments.trace_scale, seed=arguments.seed, trials=arguments.trials
+        )
+        print(
+            format_table(
+                [report],
+                columns=list(report),
+                title=f"Streaming router engine at ~{arguments.trace_scale} packets",
+            )
+        )
+        print()
+        print(
+            "STREAMING BIT-IDENTICAL TO REFERENCE"
+            if report["bit_identical"]
+            else "STREAMING DIVERGED FROM REFERENCE"
+        )
+        return 0 if report["bit_identical"] else 1
 
     if arguments.store is not None:
         # Published via OSP_STORE so pool workers inherit the same file.

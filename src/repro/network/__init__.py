@@ -3,9 +3,11 @@
 from repro.network.buffered import (
     FIFO_POLICY,
     PRIORITY_POLICY,
+    BufferedComparison,
     BufferedLink,
     BufferedLinkResult,
     buffer_size_sweep,
+    buffered_vs_bufferless,
 )
 from repro.network.metrics import (
     FrameDeliveryMetrics,
@@ -19,7 +21,13 @@ from repro.network.multihop import (
     random_path_workload,
 )
 from repro.network.packet import DEFAULT_MTU_BYTES, Frame, Packet, fragment_into_packets
-from repro.network.router import BottleneckRouter, RouterRunResult
+from repro.network.router import (
+    ROUTER_ENGINE_CHOICES,
+    BottleneckRouter,
+    RouterBatchResult,
+    RouterRunResult,
+    run_router_batch,
+)
 from repro.network.traffic import (
     GOP_DEFAULT_PATTERN,
     AdversarialBurstGenerator,
@@ -31,9 +39,11 @@ from repro.network.traffic import (
 __all__ = [
     "FIFO_POLICY",
     "PRIORITY_POLICY",
+    "BufferedComparison",
     "BufferedLink",
     "BufferedLinkResult",
     "buffer_size_sweep",
+    "buffered_vs_bufferless",
     "FrameDeliveryMetrics",
     "compute_delivery_metrics",
     "jain_fairness_index",
@@ -47,6 +57,9 @@ __all__ = [
     "fragment_into_packets",
     "BottleneckRouter",
     "RouterRunResult",
+    "RouterBatchResult",
+    "run_router_batch",
+    "ROUTER_ENGINE_CHOICES",
     "GOP_DEFAULT_PATTERN",
     "AdversarialBurstGenerator",
     "PoissonBurstGenerator",

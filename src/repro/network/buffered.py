@@ -25,7 +25,14 @@ from repro.network.metrics import FrameDeliveryMetrics, compute_delivery_metrics
 from repro.network.packet import Packet
 from repro.network.traffic import Trace
 
-__all__ = ["BufferedLinkResult", "BufferedLink", "PRIORITY_POLICY", "FIFO_POLICY"]
+__all__ = [
+    "BufferedLinkResult",
+    "BufferedLink",
+    "BufferedComparison",
+    "buffered_vs_bufferless",
+    "PRIORITY_POLICY",
+    "FIFO_POLICY",
+]
 
 #: Scheduling/drop policy identifiers.
 PRIORITY_POLICY = "hash-priority"
@@ -166,6 +173,66 @@ class BufferedLink:
             transmitted_packets=transmitted,
             dropped_packets=dropped,
         )
+
+
+@dataclass(frozen=True)
+class BufferedComparison:
+    """A buffer-size sweep next to its bufferless OSP baseline."""
+
+    buffered: Dict[int, BufferedLinkResult]
+    bufferless: "RouterBatchResult"
+
+    @property
+    def bufferless_mean_completion(self) -> float:
+        """Mean fraction of frames delivered whole by the bufferless policy."""
+        trials = self.bufferless.trials
+        total = sum(
+            self.bufferless.metrics_for(trial).completion_ratio
+            for trial in range(trials)
+        )
+        return total / trials
+
+
+def buffered_vs_bufferless(
+    trace: Trace,
+    buffer_sizes: List[int],
+    algorithm,
+    trials: int = 20,
+    seed: int = 0,
+    capacity: int = 1,
+    policy: str = PRIORITY_POLICY,
+    engine: str = "auto",
+) -> BufferedComparison:
+    """Sweep buffer sizes against the bufferless drop policy, batched.
+
+    The buffered side runs the deterministic packet-granularity link once
+    per buffer size; the bufferless side pushes ``trials`` Monte-Carlo
+    trials of ``algorithm`` through :func:`~repro.network.router.run_router_batch`
+    (the streaming engine by default), giving the baseline the same
+    statistical treatment the experiment layer uses.
+
+    >>> from repro.network.traffic import AdversarialBurstGenerator
+    >>> trace = AdversarialBurstGenerator(burst_size=3, gap_slots=2).generate(num_waves=2)
+    >>> comparison = buffered_vs_bufferless(trace, [0, 2], "randPr", trials=4)
+    >>> sorted(comparison.buffered)
+    [0, 2]
+    >>> 0.0 <= comparison.bufferless_mean_completion <= 1.0
+    True
+    """
+    from repro.network.router import run_router_batch
+
+    buffered = buffer_size_sweep(
+        trace, buffer_sizes, capacity=capacity, policy=policy
+    )
+    bufferless = run_router_batch(
+        trace,
+        algorithm,
+        trials=trials,
+        seed=seed,
+        engine=engine,
+        capacity_per_slot=capacity,
+    )
+    return BufferedComparison(buffered=buffered, bufferless=bufferless)
 
 
 def buffer_size_sweep(

@@ -135,6 +135,45 @@ class MultiHopNetwork:
         result = simulate(instance, policy, rng=rng)
         return frozenset(str(set_id) for set_id in result.completed_sets)
 
+    def run_centralized_batch(
+        self,
+        packets: Sequence[MultiHopPacket],
+        policy: OnlineAlgorithm,
+        trials: int,
+        seed: int = 0,
+        engine: str = "auto",
+    ):
+        """Multi-trial :meth:`run_centralized` on the batch engine.
+
+        Returns a :class:`~repro.engine.batch.BatchResult` whose trial ``b``
+        is bit-identical to ``run_centralized(packets, policy,
+        rng=random.Random(seed + b))`` — ``engine="batch"`` vectorizes,
+        ``"reference"`` replays the scalar loop, ``"auto"`` vectorizes when
+        the policy is engine-replayable.
+
+        >>> import random
+        >>> from repro.algorithms import RandPrAlgorithm
+        >>> network = MultiHopNetwork(["s0", "s1"], hop_capacity=1)
+        >>> packets = random_path_workload(6, network.hop_ids, 2, 4, random.Random(0))
+        >>> batch = network.run_centralized_batch(packets, RandPrAlgorithm(), trials=2)
+        >>> set(batch.completed_sets(0)) == set(
+        ...     network.run_centralized(packets, RandPrAlgorithm(), rng=random.Random(0)))
+        True
+        """
+        from repro.core.simulation import simulate_many
+        from repro.engine import batch_from_results, simulate_batch, spec_for_algorithm
+
+        if engine not in ("reference", "batch", "auto"):
+            raise OspError(f"unknown engine {engine!r}")
+        instance = self.instance_for(packets)
+        chosen = engine
+        if engine == "auto":
+            chosen = "batch" if spec_for_algorithm(policy) is not None else "reference"
+        if chosen == "batch":
+            return simulate_batch(instance, policy, trials=trials, seed=seed)
+        results = simulate_many(instance, policy, trials=trials, seed=seed)
+        return batch_from_results(instance, results, seed=seed)
+
     def run_distributed(
         self, packets: Sequence[MultiHopPacket], salt: str = "multihop"
     ) -> DistributedOutcome:

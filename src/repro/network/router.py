@@ -8,21 +8,42 @@ is dropped (no buffering — the buffered variant lives in
 online algorithm through the paper's reduction: the slot is the arriving
 element, the frames with packets in the burst are its parent sets, and the
 link capacity is the element capacity.
+
+Two execution paths share one contract.  :meth:`BottleneckRouter.run` is
+the reference per-packet loop (one trial, explicit ``random.Random``);
+:func:`run_router_batch` pushes many Monte-Carlo trials through the engines
+of :mod:`repro.engine` — the streaming engine consumes the trace directly in
+bounded-memory time windows — and trial ``b`` of the batch is bit-identical
+to ``run`` with ``rng=random.Random(seed + b)``.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Optional
+from typing import Dict, FrozenSet, Optional, Union
 
 from repro.core.algorithm import OnlineAlgorithm
 from repro.core.instance import OnlineInstance
-from repro.core.simulation import SimulationResult, simulate
+from repro.core.simulation import SimulationResult, simulate, simulate_many
+from repro.engine.batch import BatchResult, batch_from_results
+from repro.engine.streaming import simulate_trace_batch
 from repro.network.metrics import FrameDeliveryMetrics, compute_delivery_metrics
 from repro.network.traffic import Trace
 
-__all__ = ["RouterRunResult", "BottleneckRouter"]
+__all__ = [
+    "RouterRunResult",
+    "RouterBatchResult",
+    "BottleneckRouter",
+    "run_router_batch",
+    "ROUTER_ENGINE_CHOICES",
+]
+
+#: Engines :func:`run_router_batch` accepts.  ``"reference"`` replays the
+#: per-packet loop trial by trial; ``"streaming"`` requires the trace's
+#: policy to be engine-replayable; ``"auto"`` picks streaming when possible.
+ROUTER_ENGINE_CHOICES = ("reference", "streaming", "auto")
 
 
 @dataclass(frozen=True)
@@ -39,6 +60,105 @@ class RouterRunResult:
     def benefit(self) -> float:
         """The OSP benefit (total weight of completed frames)."""
         return self.simulation.benefit
+
+
+@dataclass(frozen=True)
+class RouterBatchResult:
+    """Frame-level view of a multi-trial router batch.
+
+    Wraps the engine's :class:`~repro.engine.batch.BatchResult` (trial ``b``
+    bit-identical to the reference loop with ``random.Random(seed + b)``)
+    together with the trace, so delivery metrics can be derived per trial
+    without re-running anything.
+    """
+
+    policy_name: str
+    engine: str
+    trace: Trace
+    batch: BatchResult
+
+    @property
+    def trials(self) -> int:
+        """The number of Monte-Carlo trials in the batch."""
+        return self.batch.trials
+
+    @property
+    def benefits(self):
+        """The per-trial OSP benefits (total completed frame weight)."""
+        return self.batch.benefits
+
+    def completed_frames(self, trial: int) -> FrozenSet[str]:
+        """The frames delivered whole in one trial."""
+        return frozenset(str(set_id) for set_id in self.batch.completed_sets(trial))
+
+    def metrics_for(self, trial: int) -> FrameDeliveryMetrics:
+        """Frame-level delivery metrics of one trial."""
+        return compute_delivery_metrics(self.trace.frames, self.completed_frames(trial))
+
+
+def run_router_batch(
+    trace: Trace,
+    algorithm: OnlineAlgorithm,
+    trials: int,
+    seed: int = 0,
+    engine: str = "auto",
+    window_slots: Optional[int] = None,
+    capacity_per_slot: Optional[int] = None,
+    stats: Optional[dict] = None,
+) -> RouterBatchResult:
+    """Run ``trials`` router trials of ``algorithm`` over ``trace``.
+
+    ``engine="streaming"`` compiles the trace directly for
+    :func:`~repro.engine.streaming.simulate_trace_batch` (bounded memory,
+    batch-engine throughput); ``engine="reference"`` replays the per-packet
+    loop trial by trial and bridges the results into the same
+    :class:`~repro.engine.batch.BatchResult` shape; ``engine="auto"`` uses
+    streaming when the policy is engine-replayable and falls back to the
+    reference loop otherwise.  All engines obey the repo's exactness
+    contract — identical completed frames, benefits and delivery metrics,
+    trial for trial.
+
+    >>> import random
+    >>> from repro.algorithms import RandPrAlgorithm
+    >>> from repro.network.traffic import AdversarialBurstGenerator
+    >>> trace = AdversarialBurstGenerator(burst_size=3).generate(num_waves=2)
+    >>> streamed = run_router_batch(trace, RandPrAlgorithm(), trials=3, seed=7)
+    >>> replayed = run_router_batch(trace, RandPrAlgorithm(), trials=3, seed=7,
+    ...                             engine="reference")
+    >>> streamed.batch.equals(replayed.batch)
+    True
+    >>> streamed.completed_frames(0) == replayed.completed_frames(0)
+    True
+    """
+    if engine not in ROUTER_ENGINE_CHOICES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {ROUTER_ENGINE_CHOICES}"
+        )
+    if capacity_per_slot is not None:
+        trace = dataclasses.replace(trace, link_capacity=capacity_per_slot)
+
+    chosen = engine
+    if engine == "auto":
+        from repro.engine.specs import spec_for_algorithm
+
+        chosen = (
+            "streaming"
+            if isinstance(algorithm, str) or spec_for_algorithm(algorithm) is not None
+            else "reference"
+        )
+    if chosen == "streaming":
+        batch = simulate_trace_batch(
+            trace, algorithm, trials=trials, seed=seed,
+            window_slots=window_slots, stats=stats,
+        )
+    else:
+        instance = trace.to_instance()
+        results = simulate_many(instance, algorithm, trials=trials, seed=seed)
+        batch = batch_from_results(instance, results, seed=seed)
+    policy_name = algorithm if isinstance(algorithm, str) else algorithm.name
+    return RouterBatchResult(
+        policy_name=str(policy_name), engine=chosen, trace=trace, batch=batch
+    )
 
 
 class BottleneckRouter:
@@ -64,6 +184,11 @@ class BottleneckRouter:
         """The drop policy in use."""
         return self._policy
 
+    def _effective_trace(self, trace: Trace) -> Trace:
+        if self._capacity is None:
+            return trace
+        return dataclasses.replace(trace, link_capacity=self._capacity)
+
     def run(
         self,
         trace: Trace,
@@ -71,10 +196,7 @@ class BottleneckRouter:
         record_steps: bool = False,
     ) -> RouterRunResult:
         """Push a trace through the router and report frame-level delivery."""
-        if self._capacity is not None:
-            trace = Trace(
-                slots=trace.slots, frames=trace.frames, link_capacity=self._capacity
-            )
+        trace = self._effective_trace(trace)
         instance = trace.to_instance(name=f"router:{self._policy.name}")
         result = simulate(
             instance, self._policy, rng=rng, record_steps=record_steps
@@ -89,15 +211,50 @@ class BottleneckRouter:
             instance=instance,
         )
 
+    def run_batch(
+        self,
+        trace: Trace,
+        trials: int,
+        seed: int = 0,
+        engine: str = "auto",
+        window_slots: Optional[int] = None,
+        stats: Optional[dict] = None,
+    ) -> RouterBatchResult:
+        """Multi-trial :meth:`run` through :func:`run_router_batch`.
+
+        Applies the router's capacity override, then delegates; trial ``b``
+        is bit-identical to ``run(trace, rng=random.Random(seed + b))``.
+        """
+        return run_router_batch(
+            trace,
+            self._policy,
+            trials=trials,
+            seed=seed,
+            engine=engine,
+            window_slots=window_slots,
+            capacity_per_slot=self._capacity,
+            stats=stats,
+        )
+
     def compare_policies(
         self,
         trace: Trace,
         policies: Dict[str, OnlineAlgorithm],
         seed: int = 0,
+        record_steps: bool = False,
     ) -> Dict[str, RouterRunResult]:
-        """Run several policies on the same trace (same seed for each)."""
+        """Run several policies on the same trace under the shared-seed contract.
+
+        Every policy sees the identical trace and its own **fresh**
+        ``random.Random(seed)`` — no policy's draws perturb another's, so
+        differences in the results are attributable to the policies alone
+        (``tests/test_network_router_buffered.py`` pins this).
+        ``record_steps`` is forwarded to each run.
+        """
         results = {}
         for label, policy in policies.items():
             router = BottleneckRouter(policy, capacity_per_slot=self._capacity)
-            results[label] = router.run(trace, rng=random.Random(seed))
+            results[label] = router.run(
+                trace, rng=random.Random(seed), record_steps=record_steps
+            )
         return results

@@ -42,6 +42,20 @@ __all__ = [
 GOP_DEFAULT_PATTERN = "IBBPBBPBBPBB"
 
 
+def _pad_id(value: int, width: int) -> str:
+    """Zero-pad a numeric identifier component to ``width`` digits.
+
+    The streaming engine draws static priorities in the ``repr`` order of
+    the frame identifiers while processing packets in time order; unpadded
+    decimal components sort ``"f0.10" < "f0.2"`` and scramble the two
+    orders, inflating the engine's resident pool.  Generators accept an
+    ``id_pad`` width so mega traces can keep identifier order aligned with
+    arrival order (``id_pad=0``, the default, preserves the historical
+    unpadded identifiers).
+    """
+    return f"{value:0{width}d}" if width > 0 else str(value)
+
+
 @dataclass
 class Trace:
     """A packet arrival trace at the bottleneck link.
@@ -145,6 +159,7 @@ class VideoTraceGenerator:
         release_jitter_slots: int = 1,
         mtu_bytes: int = DEFAULT_MTU_BYTES,
         link_capacity: int = 1,
+        id_pad: int = 0,
     ) -> None:
         if num_flows < 1:
             raise OspError(f"need at least one flow, got {num_flows}")
@@ -164,6 +179,7 @@ class VideoTraceGenerator:
         self.release_jitter_slots = release_jitter_slots
         self.mtu_bytes = mtu_bytes
         self.link_capacity = link_capacity
+        self.id_pad = id_pad
 
     def _frame_size(self, frame_type: str, rng: random.Random) -> int:
         mean = self.mean_sizes_bytes.get(frame_type, self.mtu_bytes * 2.0)
@@ -185,7 +201,10 @@ class VideoTraceGenerator:
                 if self.release_jitter_slots:
                     release += rng.randrange(self.release_jitter_slots + 1)
                 frame = Frame(
-                    frame_id=f"f{flow}.{index}",
+                    frame_id=(
+                        f"f{_pad_id(flow, self.id_pad)}"
+                        f".{_pad_id(index, self.id_pad)}"
+                    ),
                     flow_id=f"flow{flow}",
                     size_bytes=size,
                     frame_type=frame_type,
@@ -206,6 +225,7 @@ class PoissonBurstGenerator:
         packets_per_frame: Tuple[int, int] = (2, 5),
         mtu_bytes: int = DEFAULT_MTU_BYTES,
         link_capacity: int = 1,
+        id_pad: int = 0,
     ) -> None:
         if arrival_rate <= 0:
             raise OspError(f"arrival rate must be positive, got {arrival_rate}")
@@ -216,6 +236,7 @@ class PoissonBurstGenerator:
         self.packets_per_frame = packets_per_frame
         self.mtu_bytes = mtu_bytes
         self.link_capacity = link_capacity
+        self.id_pad = id_pad
 
     def _poisson(self, rng: random.Random) -> int:
         # Knuth's method; the rate is small in our workloads.
@@ -238,7 +259,7 @@ class PoissonBurstGenerator:
             for _ in range(self._poisson(rng)):
                 num_packets = rng.randint(low, high)
                 frame = Frame(
-                    frame_id=f"pf{frame_counter}",
+                    frame_id=f"pf{_pad_id(frame_counter, self.id_pad)}",
                     flow_id="poisson",
                     size_bytes=num_packets * self.mtu_bytes,
                     frame_type="data",
@@ -269,6 +290,7 @@ class AdversarialBurstGenerator:
         mtu_bytes: int = DEFAULT_MTU_BYTES,
         link_capacity: int = 1,
         gap_slots: int = 0,
+        id_pad: int = 0,
     ) -> None:
         if burst_size < 1:
             raise OspError(f"burst size must be positive, got {burst_size}")
@@ -281,6 +303,7 @@ class AdversarialBurstGenerator:
         self.mtu_bytes = mtu_bytes
         self.link_capacity = link_capacity
         self.gap_slots = gap_slots
+        self.id_pad = id_pad
 
     def generate(self, num_waves: int, rng: Optional[random.Random] = None) -> Trace:
         """Generate ``num_waves`` consecutive synchronized waves."""
@@ -291,7 +314,10 @@ class AdversarialBurstGenerator:
             start = wave * (self.packets_per_frame + self.gap_slots)
             for member in range(self.burst_size):
                 frame = Frame(
-                    frame_id=f"w{wave}.m{member}",
+                    frame_id=(
+                        f"w{_pad_id(wave, self.id_pad)}"
+                        f".m{_pad_id(member, self.id_pad)}"
+                    ),
                     flow_id=f"wave{wave}",
                     size_bytes=self.packets_per_frame * self.mtu_bytes,
                     frame_type="burst",

@@ -77,6 +77,64 @@ class TestBottleneckRouter:
         assert 0.0 <= metrics.completion_ratio <= 1.0
         assert 0.0 <= metrics.goodput_ratio <= 1.0
 
+    def test_capacity_override_rebuilds_the_trace_faithfully(self):
+        """Regression: the override must change *only* ``link_capacity``.
+
+        The historical rebuild passed the capacity positionally into the
+        Trace constructor, which silently reorders fields if the dataclass
+        ever changes shape; ``dataclasses.replace`` pins the field by name.
+        The overridden run must equal a run on a manually-replaced trace,
+        and the caller's trace must come back untouched.
+        """
+        import dataclasses
+
+        trace = _simple_trace(num_waves=3, burst=3, k=2)
+        original_capacity = trace.link_capacity
+        original_slots = trace.slots
+        original_frames = dict(trace.frames)
+
+        router = BottleneckRouter(HashedRandPrAlgorithm(salt="cap"), capacity_per_slot=2)
+        overridden = router.run(trace)
+        manual = BottleneckRouter(HashedRandPrAlgorithm(salt="cap")).run(
+            dataclasses.replace(trace, link_capacity=2)
+        )
+        assert overridden.completed_frames == manual.completed_frames
+        assert overridden.metrics == manual.metrics
+        # The original trace is structurally untouched.
+        assert trace.link_capacity == original_capacity
+        assert trace.slots is original_slots
+        assert trace.frames == original_frames
+
+    def test_compare_policies_shared_seed_contract(self):
+        """Every policy sees its own fresh ``random.Random(seed)``: results
+        equal individually-constructed runs, and a policy listed twice under
+        different labels produces identical outcomes (no draw leakage)."""
+        trace = _simple_trace()
+        router = BottleneckRouter(FirstListedAlgorithm())
+        results = router.compare_policies(
+            trace,
+            {
+                "randpr": RandPrAlgorithm(),
+                "randpr-again": RandPrAlgorithm(),
+                "greedy": GreedyProgressAlgorithm(),
+            },
+            seed=13,
+        )
+        assert results["randpr"].completed_frames == results["randpr-again"].completed_frames
+        solo = BottleneckRouter(RandPrAlgorithm()).run(trace, rng=random.Random(13))
+        assert results["randpr"].completed_frames == solo.completed_frames
+        assert results["randpr"].benefit == solo.benefit
+
+    def test_compare_policies_forwards_record_steps(self):
+        trace = _simple_trace(num_waves=2)
+        router = BottleneckRouter(FirstListedAlgorithm())
+        recorded = router.compare_policies(
+            trace, {"randpr": RandPrAlgorithm()}, seed=3, record_steps=True
+        )
+        assert recorded["randpr"].simulation.steps  # per-step trace retained
+        bare = router.compare_policies(trace, {"randpr": RandPrAlgorithm()}, seed=3)
+        assert not bare["randpr"].simulation.steps
+
 
 class TestBufferedLink:
     def test_zero_buffer_matches_osp_granularity(self):
