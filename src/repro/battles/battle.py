@@ -37,7 +37,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.experiments.competitive_ratio import EXACT_SOLVER_SET_LIMIT, validate_engine
 from repro.experiments.opt_cache import attached_store, default_opt_cache
 from repro.experiments.parallel import stable_seed
-from repro.experiments.store import STORE_FORMAT_VERSION, algorithm_identity
+from repro.experiments.store import (
+    NONEXACT_ENGINES,
+    STORE_FORMAT_VERSION,
+    algorithm_identity,
+)
 
 __all__ = [
     "Battle",
@@ -309,6 +313,7 @@ def battle_key(
     seed: int,
     trials: int,
     opt_method: str,
+    engine: str = "auto",
 ) -> Optional[str]:
     """The store key of one battle round, or ``None`` if uncacheable.
 
@@ -316,9 +321,14 @@ def battle_key(
     format version, the escalator's name and declared ``cache_identity``, the
     algorithm's :func:`~repro.experiments.store.algorithm_identity`, the
     level, the battle seed, the trial count, the OPT estimation policy and
-    the exact-solver limit.  ``engine`` and ``workers`` are deliberately
-    excluded — they are wall-clock knobs that never change the numbers, so
-    keying on them would only split the cache between equal rounds.
+    the exact-solver limit.  ``workers`` is deliberately excluded — a pure
+    wall-clock knob — and so is the engine *when it is exact*: the exact
+    engines agree trial for trial, so keying on them would only split the
+    cache between equal rounds.  A non-exact engine
+    (:data:`~repro.experiments.store.NONEXACT_ENGINES`, i.e. ``"fast"``)
+    produces different bits under a statistical contract and therefore
+    contributes an explicit engine tag, the same rule as
+    :func:`~repro.experiments.store.unit_key`.
 
     Either party can decline caching: an algorithm without a stable identity
     (``cache_identity`` absent or ``None``) or an escalator with
@@ -332,6 +342,12 @@ def battle_key(
     64
     >>> key == battle_key(RandPrAlgorithm(), GadgetEscalator(), 1, 0, 8, "auto")
     False
+    >>> key == battle_key(RandPrAlgorithm(), GadgetEscalator(), 0, 0, 8,
+    ...                   "auto", engine="batch")     # exact engines share
+    True
+    >>> key == battle_key(RandPrAlgorithm(), GadgetEscalator(), 0, 0, 8,
+    ...                   "auto", engine="fast")      # statistical: own key
+    False
     >>> opaque = GadgetEscalator()
     >>> opaque.cache_identity = None    # explicitly uncacheable
     >>> battle_key(RandPrAlgorithm(), opaque, 0, 0, 8, "auto") is None
@@ -341,6 +357,7 @@ def battle_key(
     escalator_id = getattr(escalator, "cache_identity", None)
     if algorithm_id is None or escalator_id is None:
         return None
+    engine_tag = (f"engine={engine}",) if engine in NONEXACT_ENGINES else ()
     digest = hashlib.sha256()
     for part in (
         f"osp-frontier-v{STORE_FORMAT_VERSION}",
@@ -352,6 +369,7 @@ def battle_key(
         str(trials),
         opt_method,
         str(EXACT_SOLVER_SET_LIMIT),
+        *engine_tag,
     ):
         digest.update(part.encode("utf-8"))
         digest.update(b"\x1e")
@@ -466,6 +484,7 @@ class Battle:
                     self.seed,
                     self.trials,
                     self.opt_method,
+                    engine=self.engine,
                 )
                 battle_round = None
                 if backing is not None and key is not None:

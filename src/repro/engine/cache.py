@@ -18,11 +18,27 @@ import weakref
 from typing import Dict, Union
 
 from repro.core.instance import OnlineInstance
-from repro.engine.compile import CompiledInstance, compile_instance
+from repro.engine.compile import (
+    CompiledInstance,
+    FastCompiledInstance,
+    compile_instance,
+    compile_instance_fast,
+)
 
-__all__ = ["compiled_for", "compile_cache_stats", "clear_compile_cache"]
+__all__ = [
+    "compiled_for",
+    "fast_compiled_for",
+    "compile_cache_stats",
+    "clear_compile_cache",
+]
 
 _CACHE: "weakref.WeakKeyDictionary[OnlineInstance, CompiledInstance]" = (
+    weakref.WeakKeyDictionary()
+)
+#: The float32/int32 variants, keyed by the instance like :data:`_CACHE`
+#: (the fast view is derived from the exact compilation, so both caches
+#: populate together on a fast-engine miss).
+_FAST_CACHE: "weakref.WeakKeyDictionary[OnlineInstance, FastCompiledInstance]" = (
     weakref.WeakKeyDictionary()
 )
 _HITS = 0
@@ -59,6 +75,38 @@ def compiled_for(
     return compiled
 
 
+def fast_compiled_for(
+    instance: Union[OnlineInstance, CompiledInstance, FastCompiledInstance]
+) -> FastCompiledInstance:
+    """The float32/int32 compilation of ``instance``, derived at most once.
+
+    Mirrors :func:`compiled_for` for the statistical fast engine: an
+    :class:`~repro.engine.compile.FastCompiledInstance` passes straight
+    through, a :class:`~repro.engine.compile.CompiledInstance` is narrowed
+    uncached (callers managing their own compilation manage both views), and
+    an :class:`~repro.core.instance.OnlineInstance` goes through the weak
+    per-process cache.
+
+    >>> from repro.core import OnlineInstance, SetSystem
+    >>> clear_compile_cache()
+    >>> instance = OnlineInstance(SetSystem(sets={"A": ["u"], "B": ["u"]}))
+    >>> fast_compiled_for(instance) is fast_compiled_for(instance)
+    True
+    >>> fast_compiled_for(fast_compiled_for(instance)) is fast_compiled_for(instance)
+    True
+    """
+    if isinstance(instance, FastCompiledInstance):
+        return instance
+    if isinstance(instance, CompiledInstance):
+        return compile_instance_fast(instance)
+    try:
+        return _FAST_CACHE[instance]
+    except KeyError:
+        fast = compile_instance_fast(compiled_for(instance))
+        _FAST_CACHE[instance] = fast
+        return fast
+
+
 def compile_cache_stats() -> Dict[str, int]:
     """Hit/miss/size counters of the per-process compile cache.
 
@@ -81,5 +129,6 @@ def clear_compile_cache() -> None:
     """
     global _HITS, _MISSES
     _CACHE.clear()
+    _FAST_CACHE.clear()
     _HITS = 0
     _MISSES = 0

@@ -27,7 +27,12 @@ import numpy as np
 from repro.core.instance import OnlineInstance
 from repro.core.set_system import SetId
 
-__all__ = ["CompiledInstance", "compile_instance"]
+__all__ = [
+    "CompiledInstance",
+    "compile_instance",
+    "FastCompiledInstance",
+    "compile_instance_fast",
+]
 
 #: Weight used for priority draws in place of a zero declared weight; keeps
 #: the engine's draws identical to ``RandPrAlgorithm.start``'s clamping.
@@ -181,4 +186,102 @@ def compile_instance(instance: OnlineInstance) -> CompiledInstance:
         step_capacities=capacities,
         weight_class=weight_class.astype(np.int64),
         priority_exponents=1.0 / clamped,
+    )
+
+
+@dataclass(frozen=True)
+class FastCompiledInstance:
+    """The float32/int32 sibling of :class:`CompiledInstance`.
+
+    The statistical ``engine="fast"`` backend does not replay the reference
+    draws bit for bit, so it is free to trade float64 for float32 in the
+    per-trial priority arithmetic (halving the bandwidth of the dominant
+    ``(trials, m)`` matrices) and int64 for int32 in the CSR incidence.  Two
+    deliberate exceptions keep the *measurements* trustworthy:
+
+    * ``weights`` stays float64 — per-trial benefits are accumulated in
+      float64 (a matmul against this vector), so batch means do not drift
+      with the trial count;
+    * the column order and the CSR layout are identical to the exact
+      compilation, so the fast engine's tie-breaks follow the same
+      deterministic column order (only the float32 rounding of near-tied
+      priorities differs — a statistical effect, never a structural one).
+
+    >>> from repro.core import OnlineInstance, SetSystem
+    >>> system = SetSystem(sets={"A": ["u", "v"], "B": ["v", "w"]},
+    ...                    weights={"A": 2.0, "B": 1.0})
+    >>> fast = compile_instance_fast(OnlineInstance(system, name="demo"))
+    >>> fast
+    FastCompiledInstance('demo', sets=2, steps=3, incidences=4)
+    >>> fast.priority_exponents.dtype, fast.step_parents.dtype
+    (dtype('float32'), dtype('int32'))
+    >>> fast.weights.dtype                  # benefits stay float64
+    dtype('float64')
+    """
+
+    name: str
+    set_ids: Tuple[SetId, ...]
+    set_index: Mapping[SetId, int] = field(repr=False)
+    weights: np.ndarray = field(repr=False)
+    clamped_weights: np.ndarray = field(repr=False)
+    sizes: np.ndarray = field(repr=False)
+    step_indptr: np.ndarray = field(repr=False)
+    step_parents: np.ndarray = field(repr=False)
+    step_capacities: np.ndarray = field(repr=False)
+    weight_class: np.ndarray = field(repr=False)
+    priority_exponents: np.ndarray = field(repr=False)
+
+    @property
+    def num_sets(self) -> int:
+        """The number of sets ``m`` (columns)."""
+        return len(self.set_ids)
+
+    @property
+    def num_steps(self) -> int:
+        """The number of arrival steps ``n``."""
+        return len(self.step_capacities)
+
+    @property
+    def num_incidences(self) -> int:
+        """The total number of element-set incidences."""
+        return int(self.step_indptr[-1]) if len(self.step_indptr) else 0
+
+    def __repr__(self) -> str:
+        return (
+            f"FastCompiledInstance({self.name!r}, sets={self.num_sets}, "
+            f"steps={self.num_steps}, incidences={self.num_incidences})"
+        )
+
+
+def compile_instance_fast(compiled: "CompiledInstance") -> FastCompiledInstance:
+    """Derive the float32/int32 :class:`FastCompiledInstance` view.
+
+    Takes the exact compilation (so both engines share one instance walk) and
+    narrows the priority-arithmetic arrays; see
+    :class:`FastCompiledInstance` for which arrays narrow and which must not.
+
+    >>> from repro.core import OnlineInstance, SetSystem
+    >>> system = SetSystem(sets={"A": ["u", "v"], "B": ["v", "w"]},
+    ...                    weights={"A": 2.0, "B": 1.0})
+    >>> exact = compile_instance(OnlineInstance(system, name="demo"))
+    >>> fast = compile_instance_fast(exact)
+    >>> fast.set_ids == exact.set_ids       # identical column order
+    True
+    >>> fast.clamped_weights.dtype
+    dtype('float32')
+    """
+    if isinstance(compiled, OnlineInstance):
+        compiled = compile_instance(compiled)
+    return FastCompiledInstance(
+        name=compiled.name,
+        set_ids=compiled.set_ids,
+        set_index=compiled.set_index,
+        weights=compiled.weights,
+        clamped_weights=compiled.clamped_weights.astype(np.float32),
+        sizes=compiled.sizes.astype(np.int32),
+        step_indptr=compiled.step_indptr.astype(np.int32),
+        step_parents=compiled.step_parents.astype(np.int32),
+        step_capacities=compiled.step_capacities.astype(np.int32),
+        weight_class=compiled.weight_class.astype(np.int32),
+        priority_exponents=compiled.priority_exponents.astype(np.float32),
     )

@@ -76,9 +76,11 @@ __all__ = [
     "GREEDY_KINDS",
     "PER_STEP_RANDOM_KINDS",
     "SUPPORTED_KINDS",
+    "FAST_PRIORITY_KINDS",
     "spec_for_algorithm",
     "resolve_spec",
     "priority_matrix",
+    "is_fast_vectorized",
 ]
 
 #: Kinds whose per-trial behaviour is one static priority row.
@@ -107,6 +109,16 @@ SUPPORTED_KINDS = STATIC_PRIORITY_KINDS | GREEDY_KINDS | PER_STEP_RANDOM_KINDS
 #: Kinds that draw fresh randomness per trial (everything else is
 #: deterministic: one decision sequence shared by the whole batch).
 _RANDOMIZED_KINDS = frozenset({"randPr", "uniform-priority", "uniform-random"})
+
+#: Static-priority kinds whose randomized trials the statistical
+#: ``engine="fast"`` backend (:mod:`repro.engine.fast`) draws from its own
+#: counter-based PCG64 streams instead of the bit-exact MT19937 bridge.
+#: Membership is necessary, not sufficient — a spec of one of these kinds is
+#: only fast-vectorizable when it is actually randomized (see
+#: :func:`is_fast_vectorized`): a salted ``randPr-hashed`` spec is
+#: deterministic, and a deterministic spec's distribution is a point mass
+#: the exact engine already produces at no extra cost.
+FAST_PRIORITY_KINDS = frozenset({"randPr", "uniform-priority", "randPr-hashed"})
 
 
 @dataclass(frozen=True)
@@ -258,6 +270,28 @@ def resolve_spec(
     raise UnsupportedAlgorithmError(
         f"cannot interpret {algorithm!r} as a batch algorithm"
     )
+
+
+def is_fast_vectorized(spec: AlgorithmSpec) -> bool:
+    """Whether the fast engine draws ``spec``'s trials from PCG64 streams.
+
+    True exactly for the *randomized* static-priority specs — the kinds
+    whose production Monte-Carlo cost is dominated by per-trial priority
+    generation.  Every other supported spec (the deterministic kinds, the
+    greedy family, the per-step-random ``uniform-random``) is delegated by
+    :func:`repro.engine.fast.simulate_fast` to the exact batch engine,
+    which trivially satisfies the statistical contract.
+
+    >>> is_fast_vectorized(AlgorithmSpec("randPr"))
+    True
+    >>> is_fast_vectorized(AlgorithmSpec("randPr-hashed"))       # fresh salts
+    True
+    >>> is_fast_vectorized(AlgorithmSpec("randPr-hashed", salt="s"))  # fixed
+    False
+    >>> is_fast_vectorized(AlgorithmSpec("greedy-weight"))
+    False
+    """
+    return spec.kind in FAST_PRIORITY_KINDS and not spec.is_deterministic
 
 
 def priority_matrix(

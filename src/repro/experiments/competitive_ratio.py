@@ -19,6 +19,7 @@ from repro.core.set_system import SetSystem
 from repro.core.simulation import simulate_many
 from repro.core.statistics import statistics_from_benefits
 from repro.engine.batch import simulate_batch
+from repro.engine.fast import simulate_fast
 from repro.engine.specs import spec_for_algorithm
 from repro.engine.streaming import simulate_trace_batch
 
@@ -55,15 +56,20 @@ __all__ = [
 ]
 
 #: The accepted values of every ``engine=`` parameter in this package.
-ENGINE_CHOICES = ("reference", "batch", "auto")
+#: ``reference``, ``batch`` and ``auto`` are *exact* (bit-identical trial for
+#: trial); ``fast`` is the opt-in statistical backend
+#: (:func:`~repro.engine.fast.simulate_fast`), which matches the exact
+#: engines in distribution but not bit for bit.
+ENGINE_CHOICES = ("reference", "batch", "auto", "fast")
 
 
 def validate_engine(engine: str) -> str:
     """Validate an engine selector, returning it unchanged.
 
-    The single source of truth for the ``"reference" | "batch" | "auto"``
-    vocabulary used by the measurement helpers, the sweep harness, the
-    runner CLI and the ``OSP_BENCH_ENGINE`` benchmark flag.
+    The single source of truth for the
+    ``"reference" | "batch" | "auto" | "fast"`` vocabulary used by the
+    measurement helpers, the sweep harness, the runner CLI and the
+    ``OSP_BENCH_ENGINE`` benchmark flag.
     """
     if engine not in ENGINE_CHOICES:
         raise ValueError(
@@ -195,12 +201,16 @@ def _benefits_chunk(
 ) -> List[float]:
     """Benefits of the contiguous trial chunk ``(offset, count)``.
 
-    Both engines seed trial ``b`` as ``seed + b``, so running a chunk with
+    Every engine seeds trial ``b`` as ``seed + b``, so running a chunk with
     ``seed + offset`` reproduces exactly trials ``offset..offset+count-1``
-    of the unchunked run.  When a router ``trace`` is attached and a
-    non-reference engine requested, the chunk runs on the streaming engine
-    (same contract, bounded memory).  Top-level (not a closure) so
-    process-pool workers can unpickle it.
+    of the unchunked run — for the statistical ``fast`` engine that is the
+    counter-based invariance of :func:`~repro.engine.fast.simulate_fast`,
+    so even fast runs are bit-identical across worker counts (only the
+    *exact-engine* correspondence is statistical).  When a router ``trace``
+    is attached and a non-reference engine requested, the chunk runs on the
+    streaming engine (same exact contract, bounded memory; ``fast`` has no
+    trace path and uses it too).  Top-level (not a closure) so process-pool
+    workers can unpickle it.
     """
     offset, count = chunk
     if engine != "reference":
@@ -210,15 +220,19 @@ def _benefits_chunk(
                 result = simulate_trace_batch(
                     trace, spec, trials=count, seed=seed + offset
                 )
+            elif engine == "fast":
+                result = simulate_fast(
+                    instance, spec, trials=count, seed=seed + offset
+                )
             else:
                 result = simulate_batch(
                     instance, spec, trials=count, seed=seed + offset
                 )
             return [float(value) for value in result.benefits]
-        if engine == "batch":
+        if engine in ("batch", "fast"):
             raise UnsupportedAlgorithmError(
-                f"algorithm {algorithm.name!r} cannot run on the batch engine; "
-                "use engine='reference' or engine='auto'"
+                f"algorithm {algorithm.name!r} cannot run on the "
+                f"{engine} engine; use engine='reference' or engine='auto'"
             )
     results = simulate_many(instance, algorithm, trials=count, seed=seed + offset)
     return [result.benefit for result in results]
@@ -250,13 +264,21 @@ def simulation_benefits(
       cannot replay.
     * ``"auto"`` — the batch engine when the algorithm is supported, the
       reference simulator otherwise.
+    * ``"fast"`` — the opt-in *statistical* backend
+      (:func:`~repro.engine.fast.simulate_fast`): counter-based PCG64
+      draws, equivalent to the exact engines in distribution but not bit
+      for bit.  Raises for unsupported algorithms like ``"batch"``; trace
+      inputs run on the (exact) streaming engine.
 
     ``workers`` splits the trials into contiguous chunks executed across a
     process pool (``workers=1`` runs in-process).  Chunk ``(offset, count)``
     replays exactly trials ``offset..offset+count-1`` of the serial run, and
     the chunks are concatenated in order, so the returned benefit sequence
-    is *bit-identical* for every worker count.  Neither the engine nor the
-    worker count ever changes the measurement — only the runtime.
+    is *bit-identical* for every worker count.  The worker count never
+    changes the measurement, and neither does the choice *among the exact
+    engines*; ``engine="fast"`` alone trades bit-identity for throughput —
+    its numbers agree statistically (``tests/test_engine_fast_equivalence.py``)
+    but not bit for bit, which is why it is opt-in everywhere.
 
     ``policy`` routes the chunk fan-out through the supervised pool of
     :func:`~repro.experiments.resilience.map_resilient` (crash recovery,
@@ -326,7 +348,10 @@ def measure_ratio(
     router :class:`~repro.network.traffic.Trace` (OPT is estimated on its
     reduction; the batch engines stream the trace).  ``engine``,
     ``workers`` and ``policy`` route the simulations (see
-    :func:`simulation_benefits`); none of them changes the measured numbers.
+    :func:`simulation_benefits`); ``workers``, ``policy`` and the exact
+    engines never change the measured numbers, while the statistical
+    ``engine="fast"`` changes them within its pre-registered equivalence
+    tolerances.
     """
     trace = _trace_or_none(instance)
     if trace is not None:

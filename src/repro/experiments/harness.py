@@ -209,8 +209,12 @@ def run_sweep(
         Simulation repetitions per instance for randomized algorithms.
     engine:
         Simulation engine routed to :func:`measure_ratio` — ``"reference"``,
-        ``"batch"`` or ``"auto"``.  The engines agree trial for trial, so the
-        sweep's numbers do not depend on this; only its runtime does.
+        ``"batch"``, ``"auto"`` or ``"fast"``.  The exact engines (first
+        three) agree trial for trial, so the sweep's numbers do not depend
+        on choosing among them; ``"fast"`` is the opt-in statistical
+        backend, whose rows agree within pre-registered tolerances but not
+        bit for bit (its store units live under their own engine-tagged
+        keys for the same reason).
     workers:
         Worker processes for the ``(point, instance)`` work units.
         ``workers=1`` runs everything in-process; any other count produces

@@ -260,8 +260,11 @@ def _execute_unit(
     unit's indices), which is what makes an interrupted sweep resumable —
     a re-run recomputes only the units the crash left unfinished.  Stored
     results are bit-identical to recomputed ones, so the store can never
-    change a sweep's rows.  The store is also attached below the worker's
-    OPT cache, so even a unit-level miss reuses persisted offline solves.
+    change a sweep's rows; the statistical ``engine="fast"`` keeps that
+    property by living under its own engine-tagged key, so fast and exact
+    sweeps can share one store file without warming each other.  The store
+    is also attached below the worker's OPT cache, so even a unit-level
+    miss reuses persisted offline solves.
 
     With ``lease_ttl > 0`` (and a store), the unit is additionally *claimed*
     through the store's advisory lease table before computing, so several
@@ -280,6 +283,7 @@ def _execute_unit(
             trials,
             opt_method,
             EXACT_SOLVER_SET_LIMIT,
+            engine=engine,
         )
         if key is not None:
             stored = store.get_unit(key)
@@ -359,9 +363,12 @@ def run_units(
     :class:`~repro.experiments.store.SolutionStore` file (the *path* is
     shipped to workers; each process opens its own connection).  Stored
     units are skipped and every freshly computed unit is persisted, making
-    the sweep resumable across crashes and re-invocations.  Like ``engine``
-    and ``workers``, the store is a wall-clock knob only: the results are
-    bit-identical with the store enabled, disabled, warm or cold.
+    the sweep resumable across crashes and re-invocations.  Like ``workers``
+    and the choice among the exact engines, the store is a wall-clock knob
+    only: the results are bit-identical with the store enabled, disabled,
+    warm or cold.  The statistical ``engine="fast"`` *does* change the
+    numbers (within its equivalence tolerances), which is why its units are
+    stored under engine-tagged keys that never collide with exact runs.
 
     >>> from repro.algorithms import GreedyWeightAlgorithm, RandPrAlgorithm
     >>> from repro.core import OnlineInstance, SetSystem
@@ -444,8 +451,11 @@ def run_units_resilient(
     Because every unit is a pure function of its content (seeds derive from
     :func:`~repro.experiments.parallel.stable_seed`, never from wall clock
     or process identity), a retried unit recomputes the *same bits* the
-    first attempt would have produced — fault schedules join engine, worker
-    count and store as wall-clock-only knobs.
+    first attempt would have produced — fault schedules join the worker
+    count, the store and the choice among exact engines as wall-clock-only
+    knobs.  (This holds under ``engine="fast"`` too — fast trials are a
+    pure function of ``seed + trial`` — only the fast-vs-exact
+    correspondence is statistical.)
 
     >>> from repro.algorithms import GreedyWeightAlgorithm
     >>> from repro.core import OnlineInstance, SetSystem

@@ -27,6 +27,7 @@ from repro.core.bounds import (
     theorem3_lower_bound,
 )
 from repro.experiments.competitive_ratio import (
+    ENGINE_CHOICES,
     estimate_opt,
     measure_ratio,
     simulation_benefits,
@@ -271,10 +272,12 @@ def main(argv: List[str] = None) -> int:
     )
     parser.add_argument(
         "--engine",
-        choices=("reference", "batch", "auto"),
+        choices=ENGINE_CHOICES,
         default="auto",
-        help="simulation engine: the vectorized batch engine ('auto'/'batch') "
-        "or the per-arrival reference simulator ('reference')",
+        help="simulation engine: the vectorized batch engine ('auto'/'batch'), "
+        "the per-arrival reference simulator ('reference'), or the "
+        "statistical counter-based backend ('fast': matches the exact "
+        "engines in distribution, not bit for bit)",
     )
     parser.add_argument(
         "--workers",

@@ -19,7 +19,8 @@ set system's content fingerprint plus the estimation policy
 :func:`~repro.experiments.opt_cache.system_fingerprint`); a sweep-unit entry
 by :func:`unit_key`, a SHA-256 over the instance fingerprint (system content
 + arrival order + name), the measurement seed, the trial count, the OPT
-policy and the ordered algorithm identities.  A changed instance therefore
+policy, the ordered algorithm identities and — for non-exact engines only
+(:data:`NONEXACT_ENGINES`) — an engine tag.  A changed instance therefore
 *misses* — it can never silently reuse a stale solution — and every stored
 row carries a SHA-256 checksum of its payload, so a garbled row is detected,
 warned about and dropped instead of being deserialized.
@@ -48,7 +49,7 @@ store files, e.g. per-machine stores after a fleet run).
 The two module constants are part of the on-disk contract:
 
 >>> STORE_FORMAT_VERSION
-1
+2
 >>> STORE_ENV_VAR
 'OSP_STORE'
 """
@@ -70,6 +71,7 @@ from repro.core.instance import OnlineInstance
 __all__ = [
     "STORE_FORMAT_VERSION",
     "STORE_ENV_VAR",
+    "NONEXACT_ENGINES",
     "LEASE_DEFAULT_TTL",
     "Lease",
     "SolutionStore",
@@ -87,7 +89,18 @@ __all__ = [
 #: Bumped whenever the meaning of stored values changes (simulation
 #: semantics, key composition, payload encoding).  A store written under a
 #: different version is quarantined wholesale rather than partially reused.
-STORE_FORMAT_VERSION = 1
+#: History: 1 → 2 when the key composition gained the non-exact engine tag
+#: (``engine="fast"`` results differ from exact-engine results, so the two
+#: may never share a row).
+STORE_FORMAT_VERSION = 2
+
+#: Engines whose results are *statistically* equivalent to — but not
+#: bit-identical with — the exact engines.  These contribute an engine tag
+#: to :func:`unit_key` (and :func:`repro.battles.battle_key`) so their rows
+#: never warm-hit exact rows; every exact engine stays untagged and keeps
+#: sharing one key.  Adding an engine here is a cache-key semantic change:
+#: bump :data:`STORE_FORMAT_VERSION` with it.
+NONEXACT_ENGINES = frozenset({"fast"})
 
 #: Environment variable naming the default store file.  Set in the parent
 #: process (e.g. by ``runner --store`` or the benchmark suite) it is
@@ -214,15 +227,20 @@ def unit_key(
     trials: int,
     opt_method: str,
     exact_set_limit: int,
+    engine: str = "auto",
 ) -> Optional[str]:
     """The store key of one sweep work unit, or ``None`` if uncacheable.
 
     The key is a SHA-256 over every input that determines the unit's result:
     the instance content fingerprint, the shared measurement seed, the trial
     count, the OPT estimation policy and the *ordered* algorithm identities.
-    The simulation engine and the worker count are deliberately excluded —
-    the engines agree trial for trial and parallelism is a wall-clock knob,
-    so including either would only split the cache between equal results.
+    The worker count is deliberately excluded — parallelism is a wall-clock
+    knob — and so is the engine *when it is exact*: the exact engines agree
+    trial for trial, so keying on them would only split the cache between
+    equal results.  A non-exact engine (:data:`NONEXACT_ENGINES`, i.e.
+    ``"fast"``) computes *different* bits under a statistical contract, so
+    it contributes an explicit engine tag: its rows live under their own
+    keys and can never warm-hit — or be warm-hit by — exact rows.
 
     ``None`` (any algorithm without a stable identity) marks the unit as
     uncacheable; callers must compute it and must not consult the store.
@@ -236,6 +254,14 @@ def unit_key(
     64
     >>> key == unit_key(instance, 6, [RandPrAlgorithm()], 10, "auto", 18)
     False
+    >>> exact_engines_share = unit_key(instance, 5, [RandPrAlgorithm()], 10,
+    ...                                "auto", 18, engine="batch")
+    >>> exact_engines_share == key
+    True
+    >>> fast = unit_key(instance, 5, [RandPrAlgorithm()], 10, "auto", 18,
+    ...                 engine="fast")
+    >>> fast == key                      # statistical engine: own key
+    False
     >>> class OpaqueAlgorithm(UniformRandomAlgorithm):
     ...     cache_identity = None        # uncacheable: no stable identity
     >>> unit_key(instance, 5, [OpaqueAlgorithm()], 10, "auto", 18) is None
@@ -247,6 +273,7 @@ def unit_key(
         if identity is None:
             return None
         identities.append(identity)
+    engine_tag = (f"engine={engine}",) if engine in NONEXACT_ENGINES else ()
     digest = hashlib.sha256()
     for part in (
         f"osp-unit-v{STORE_FORMAT_VERSION}",
@@ -255,6 +282,7 @@ def unit_key(
         str(trials),
         opt_method,
         str(exact_set_limit),
+        *engine_tag,
         *identities,
     ):
         digest.update(part.encode("utf-8"))
@@ -1066,7 +1094,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     >>> store.close()
     >>> main(["inspect", path])                  # doctest: +ELLIPSIS
     solution store ...demo.sqlite
-      format version: 1
+      format version: 2
       opt entries:    1
       unit entries:   0
       construction entries: 0

@@ -1,0 +1,34 @@
+"""Reusable statistical test helpers for validating approximate backends.
+
+The exact engines are validated by bit-identity (the differential suites);
+a *statistical* backend like ``engine="fast"`` needs a different kind of
+certificate: distribution-level agreement with pre-registered tolerances.
+:mod:`repro.testing.stats` provides the two checks the equivalence suite is
+built from — a two-sample Kolmogorov–Smirnov test on per-trial benefit
+distributions and confidence-interval overlap on means — implemented on
+numpy and the standard library only (no scipy dependency).
+
+>>> from repro.testing import ks_two_sample
+>>> ks_two_sample([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]).statistic
+0.0
+"""
+
+from repro.testing.stats import (
+    ConfidenceInterval,
+    KSResult,
+    intervals_overlap,
+    ks_pvalue,
+    ks_statistic,
+    ks_two_sample,
+    mean_confidence_interval,
+)
+
+__all__ = [
+    "ConfidenceInterval",
+    "KSResult",
+    "intervals_overlap",
+    "ks_pvalue",
+    "ks_statistic",
+    "ks_two_sample",
+    "mean_confidence_interval",
+]

@@ -1,0 +1,206 @@
+"""Two-sample KS tests and CI-overlap checks, numpy + stdlib only.
+
+These are the primitives behind the fast engine's statistical-equivalence
+suite (``tests/test_engine_fast_equivalence.py``), kept as a library so any
+future approximate backend can reuse the same certificate:
+
+* :func:`ks_two_sample` — the two-sample Kolmogorov–Smirnov test: the
+  maximum gap between the two empirical CDFs, with the classic asymptotic
+  p-value (the Kolmogorov distribution with the Stephens small-sample
+  correction, the same approximation scipy's ``ks_2samp(mode="asymp")``
+  uses).  Low p ⇒ the samples likely come from different distributions.
+* :func:`mean_confidence_interval` / :func:`intervals_overlap` — a normal
+  (CLT) confidence interval on the sample mean, and the overlap predicate
+  two equivalent backends' intervals must satisfy.
+
+Everything here is deterministic given its inputs — the *suite* gets its
+determinism by fixing seeds and pre-registering thresholds, not from the
+helpers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from statistics import NormalDist
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "KSResult",
+    "ks_statistic",
+    "ks_pvalue",
+    "ks_two_sample",
+    "ConfidenceInterval",
+    "mean_confidence_interval",
+    "intervals_overlap",
+]
+
+
+@dataclass(frozen=True)
+class KSResult:
+    """A two-sample KS test outcome: the statistic and its p-value.
+
+    >>> result = KSResult(statistic=0.5, pvalue=0.03)
+    >>> result.rejects(0.05)
+    True
+    >>> result.rejects(0.01)
+    False
+    """
+
+    statistic: float
+    pvalue: float
+
+    def rejects(self, pvalue_floor: float) -> bool:
+        """Whether the test rejects distributional equality at this floor."""
+        return self.pvalue < pvalue_floor
+
+
+def ks_statistic(first: Sequence[float], second: Sequence[float]) -> float:
+    """The two-sample KS statistic: the largest empirical-CDF gap.
+
+    >>> ks_statistic([1.0, 2.0, 3.0, 4.0], [1.0, 2.0, 3.0, 4.0])
+    0.0
+    >>> ks_statistic([0.0, 0.0], [1.0, 1.0])    # disjoint supports
+    1.0
+    >>> round(ks_statistic([1.0, 2.0, 3.0, 4.0], [3.0, 4.0, 5.0, 6.0]), 3)
+    0.5
+    """
+    a = np.sort(np.asarray(first, dtype=np.float64))
+    b = np.sort(np.asarray(second, dtype=np.float64))
+    if not len(a) or not len(b):
+        raise ValueError("both samples must be non-empty")
+    pooled = np.concatenate([a, b])
+    cdf_a = np.searchsorted(a, pooled, side="right") / len(a)
+    cdf_b = np.searchsorted(b, pooled, side="right") / len(b)
+    return float(np.abs(cdf_a - cdf_b).max())
+
+
+def ks_pvalue(statistic: float, first_size: int, second_size: int) -> float:
+    """The asymptotic two-sample KS p-value for ``statistic``.
+
+    The survival function of the Kolmogorov distribution,
+    ``Q(λ) = 2 Σ_{k≥1} (-1)^{k-1} exp(-2 k² λ²)``, evaluated at the
+    Stephens-corrected ``λ = (√n_e + 0.12 + 0.11/√n_e)·D`` with effective
+    size ``n_e = n·m/(n+m)``.  Accurate for the thousands-of-trials samples
+    the equivalence suite draws; the alternating series is summed to
+    convergence.
+
+    >>> ks_pvalue(0.0, 1000, 1000)          # identical CDFs: never rejected
+    1.0
+    >>> ks_pvalue(1.0, 1000, 1000) < 1e-12  # disjoint supports: rejected
+    True
+    >>> 0.05 < ks_pvalue(0.04, 1000, 1000) < 1.0   # small gap: plausible
+    True
+    """
+    if first_size < 1 or second_size < 1:
+        raise ValueError("sample sizes must be positive")
+    effective = math.sqrt(first_size * second_size / (first_size + second_size))
+    lam = (effective + 0.12 + 0.11 / effective) * float(statistic)
+    if lam <= 0.0:
+        return 1.0
+    total = 0.0
+    for k in range(1, 201):
+        term = (-1.0) ** (k - 1) * math.exp(-2.0 * k * k * lam * lam)
+        total += term
+        if abs(term) < 1e-16:
+            break
+    return min(1.0, max(0.0, 2.0 * total))
+
+
+def ks_two_sample(first: Sequence[float], second: Sequence[float]) -> KSResult:
+    """The two-sample KS test of ``first`` vs ``second``.
+
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(0)
+    >>> same = ks_two_sample(rng.normal(size=2000), rng.normal(size=2000))
+    >>> same.rejects(0.01)
+    False
+    >>> shifted = ks_two_sample(rng.normal(size=2000),
+    ...                         rng.normal(loc=0.5, size=2000))
+    >>> shifted.rejects(0.01)
+    True
+    """
+    statistic = ks_statistic(first, second)
+    return KSResult(
+        statistic=statistic,
+        pvalue=ks_pvalue(statistic, len(first), len(second)),
+    )
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A symmetric confidence interval around a sample mean.
+
+    >>> interval = ConfidenceInterval(mean=2.0, low=1.5, high=2.5,
+    ...                               confidence=0.99)
+    >>> interval.contains(2.4), interval.contains(3.0)
+    (True, False)
+    """
+
+    mean: float
+    low: float
+    high: float
+    confidence: float
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval (inclusive)."""
+        return self.low <= value <= self.high
+
+
+def mean_confidence_interval(
+    values: Sequence[float], confidence: float = 0.99
+) -> ConfidenceInterval:
+    """A normal-approximation CI for the mean of ``values``.
+
+    The CLT interval ``mean ± z·s/√n`` with the sample standard deviation
+    (``ddof=1``) and the two-sided normal quantile from the standard
+    library's :class:`statistics.NormalDist` — appropriate for the
+    thousands-of-trials benefit samples the equivalence suite compares
+    (no scipy ``t`` needed at those sizes).
+
+    >>> interval = mean_confidence_interval([1.0, 2.0, 3.0, 4.0],
+    ...                                     confidence=0.95)
+    >>> round(interval.mean, 3)
+    2.5
+    >>> interval.low < 2.5 < interval.high
+    True
+    >>> wider = mean_confidence_interval([1.0, 2.0, 3.0, 4.0],
+    ...                                  confidence=0.999)
+    >>> wider.low < interval.low and wider.high > interval.high
+    True
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    sample = np.asarray(values, dtype=np.float64)
+    if len(sample) < 2:
+        raise ValueError("need at least two values for a confidence interval")
+    mean = float(sample.mean())
+    spread = float(sample.std(ddof=1)) / math.sqrt(len(sample))
+    z = NormalDist().inv_cdf(0.5 + confidence / 2.0)
+    return ConfidenceInterval(
+        mean=mean, low=mean - z * spread, high=mean + z * spread,
+        confidence=confidence,
+    )
+
+
+def intervals_overlap(
+    first: ConfidenceInterval, second: ConfidenceInterval
+) -> bool:
+    """Whether two confidence intervals intersect.
+
+    Two backends estimating the *same* mean produce overlapping intervals
+    with probability at least ``2·confidence − 1``; at the suite's 0.999
+    confidence a non-overlap is therefore evidence of a real mean shift,
+    not sampling noise.
+
+    >>> a = ConfidenceInterval(2.0, 1.5, 2.5, 0.99)
+    >>> b = ConfidenceInterval(2.4, 2.1, 2.7, 0.99)
+    >>> intervals_overlap(a, b)
+    True
+    >>> c = ConfidenceInterval(3.1, 2.8, 3.4, 0.99)
+    >>> intervals_overlap(a, c)
+    False
+    """
+    return first.low <= second.high and second.low <= first.high

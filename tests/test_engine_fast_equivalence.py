@@ -1,0 +1,230 @@
+"""The statistical-equivalence certificate of ``engine="fast"``.
+
+The fast engine deliberately abandons bit-identity with the exact engines
+(counter-based PCG64 instead of the MT19937 replay, float32 priorities,
+vectorized ``**``), so the differential suite cannot pin it.  This suite is
+its replacement contract, and everything about it is **pre-registered**: the
+trial counts, seeds, p-value floor and CI confidence below were fixed before
+the engine was tuned, so a regression cannot be absorbed by quietly loosening
+a tolerance.  (If the engine's distribution genuinely changes — a new draw
+scheme, a different clamp — these constants must change in the same commit,
+visibly.)
+
+Three layers:
+
+* **distributional agreement** — for every fast-vectorized spec, a
+  two-sample KS test between fast and exact per-trial benefit distributions
+  (drawn with *different* seeds, so the samples are independent) must not
+  reject, and the 99.9% CIs of the two mean benefits must overlap;
+* **exact delegation** — specs outside the fast path (deterministic kinds,
+  the greedy family, ``uniform-random``) must return bit-identical results
+  to the batch engine, because the fast engine simply delegates;
+* **power** — a deliberately *biased* RNG stub (per-column bias, which
+  changes selection probabilities; a global monotone bias would be invisible
+  to a priority rule) must be caught by the same KS + CI machinery.  This
+  both proves the tests can fail and pins the monkeypatchable
+  ``fast_uniforms`` seam the engine must draw through.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import OnlineInstance, SetSystem
+from repro.engine import simulate_batch, simulate_fast
+from repro.testing import (
+    intervals_overlap,
+    ks_two_sample,
+    mean_confidence_interval,
+)
+from repro.workloads import random_online_instance, random_weighted_instance
+
+# --- Pre-registered tolerances (fixed before tuning; see module docstring) ---
+
+#: Sample size per engine for the distributional checks.
+EQUIVALENCE_TRIALS = 4000
+
+#: KS p-value below which distributional equality is rejected.  Equivalent
+#: engines produce a uniform p-value, so a correct engine fails a given
+#: (seeded, deterministic) check with probability ~1e-4 at most — and the
+#: seeds below are fixed, so in practice never.
+KS_PVALUE_FLOOR = 1e-4
+
+#: Confidence of the mean-benefit intervals whose overlap is required.
+CI_CONFIDENCE = 0.999
+
+#: The two engines draw with *different* seeds so their samples are
+#: independent — comparing same-seed samples would entangle the draws and
+#: weaken the KS test's assumptions.
+FAST_SEED = 20_260_808
+EXACT_SEED = 901
+
+#: Every spec that takes the fast PCG64 path (must mirror
+#: ``repro.engine.specs.FAST_PRIORITY_KINDS`` for default constructions).
+FAST_KINDS = ("randPr", "uniform-priority", "randPr-hashed")
+
+#: Specs that must delegate to the exact engine bit for bit.
+DELEGATED_KINDS = ("greedy-weight", "greedy-committed", "greedy-progress",
+                   "first-listed", "largest-set-first", "uniform-random")
+
+
+def _contested_instance(seed=11):
+    """A moderately contested weighted instance: ties and capacity conflicts."""
+    return random_weighted_instance(
+        48, 72, (2, 4), random.Random(seed), weight_range=(1.0, 6.0)
+    )
+
+
+@pytest.mark.parametrize("kind", FAST_KINDS)
+def test_fast_benefit_distribution_matches_exact(kind):
+    """Two-sample KS on per-trial benefits must not reject, per fast kind."""
+    instance = _contested_instance()
+    fast = simulate_fast(instance, kind, trials=EQUIVALENCE_TRIALS, seed=FAST_SEED)
+    exact = simulate_batch(instance, kind, trials=EQUIVALENCE_TRIALS, seed=EXACT_SEED)
+    result = ks_two_sample(fast.benefits, exact.benefits)
+    assert not result.rejects(KS_PVALUE_FLOOR), (
+        f"{kind}: fast/exact benefit distributions differ "
+        f"(D={result.statistic:.4f}, p={result.pvalue:.2e})"
+    )
+
+
+@pytest.mark.parametrize("kind", FAST_KINDS)
+def test_fast_mean_benefit_ci_overlaps_exact(kind):
+    """The 99.9% CIs of the two engines' mean benefits must overlap."""
+    instance = _contested_instance()
+    fast = simulate_fast(instance, kind, trials=EQUIVALENCE_TRIALS, seed=FAST_SEED)
+    exact = simulate_batch(instance, kind, trials=EQUIVALENCE_TRIALS, seed=EXACT_SEED)
+    fast_ci = mean_confidence_interval(fast.benefits, confidence=CI_CONFIDENCE)
+    exact_ci = mean_confidence_interval(exact.benefits, confidence=CI_CONFIDENCE)
+    assert intervals_overlap(fast_ci, exact_ci), (
+        f"{kind}: mean CIs disjoint — fast [{fast_ci.low:.4f}, {fast_ci.high:.4f}]"
+        f" vs exact [{exact_ci.low:.4f}, {exact_ci.high:.4f}]"
+    )
+
+
+def test_fast_differs_bitwise_from_exact():
+    """Sanity: the fast path really is a different sampler, not a delegate.
+
+    If this fails, ``simulate_fast`` silently fell back to the exact engine
+    and the equivalence tests above prove nothing.
+    """
+    instance = _contested_instance()
+    fast = simulate_fast(instance, "randPr", trials=64, seed=3)
+    exact = simulate_batch(instance, "randPr", trials=64, seed=3)
+    assert not np.array_equal(fast.benefits, exact.benefits)
+
+
+@pytest.mark.parametrize("kind", DELEGATED_KINDS)
+def test_non_fast_specs_delegate_bit_identically(kind):
+    """Outside the fast path, simulate_fast IS the exact batch engine."""
+    instance = random_online_instance(
+        20, 30, (2, 3), random.Random(7), weight_range=(1.0, 4.0), name="delegate"
+    )
+    assert simulate_fast(instance, kind, trials=6, seed=5).equals(
+        simulate_batch(instance, kind, trials=6, seed=5)
+    )
+
+
+def test_salted_hashed_randpr_delegates():
+    """A *fixed-salt* hashed randPr is one deterministic draw per set — not
+    iid-uniform across trials — so it must take the exact path."""
+    from repro.algorithms import HashedRandPrAlgorithm
+
+    instance = _contested_instance()
+    algorithm = HashedRandPrAlgorithm(salt="pinned")
+    assert simulate_fast(instance, algorithm, trials=4, seed=2).equals(
+        simulate_batch(instance, algorithm, trials=4, seed=2)
+    )
+
+
+def test_fast_results_reproducible_and_chunk_invariant():
+    """Fast trials are a pure function of ``seed + trial``: reruns and
+    offset chunks are bit-identical (the *fast-vs-fast* contract stays
+    exact; only fast-vs-exact is statistical)."""
+    instance = _contested_instance()
+    first = simulate_fast(instance, "randPr", trials=40, seed=9)
+    second = simulate_fast(instance, "randPr", trials=40, seed=9)
+    assert first.equals(second)
+    tail = simulate_fast(instance, "randPr", trials=15, seed=9 + 25)
+    np.testing.assert_array_equal(first.benefits[25:], tail.benefits)
+
+
+# --- Power: the machinery must catch a biased RNG --------------------------
+
+
+from repro.engine.fast import fast_uniforms as _ORIGINAL_FAST_UNIFORMS
+
+
+def _per_column_biased_uniforms(seed, trials, num_draws, offset=0):
+    """A deliberately broken draw matrix: every other column squared.
+
+    Squaring is monotone, so squaring *all* columns would leave every
+    priority comparison unchanged (a pure priority rule only ranks);
+    squaring alternating columns instead shifts probability mass between
+    sets — exactly the kind of subtle per-set bias a broken counter-based
+    generator could introduce.
+    """
+    matrix = _ORIGINAL_FAST_UNIFORMS(seed, trials, num_draws, offset)
+    matrix[:, ::2] **= 2
+    return matrix
+
+
+def test_biased_rng_stub_is_rejected(monkeypatch):
+    """The suite has power: a per-column-biased generator fails both checks.
+
+    Also pins the seam: ``simulate_fast`` must reach its uniforms through
+    the module-global ``fast_uniforms`` so a stub (or instrumentation) can
+    intercept the draws.
+    """
+    import repro.engine.fast as fast_module
+
+    instance = _contested_instance()
+    exact = simulate_batch(
+        instance, "randPr", trials=EQUIVALENCE_TRIALS, seed=EXACT_SEED
+    )
+    monkeypatch.setattr(fast_module, "fast_uniforms", _per_column_biased_uniforms)
+    biased = simulate_fast(
+        instance, "randPr", trials=EQUIVALENCE_TRIALS, seed=FAST_SEED
+    )
+    ks = ks_two_sample(biased.benefits, exact.benefits)
+    assert ks.rejects(KS_PVALUE_FLOOR), (
+        f"biased stub escaped the KS test (D={ks.statistic:.4f}, "
+        f"p={ks.pvalue:.2e}) — the equivalence suite has no power"
+    )
+    biased_ci = mean_confidence_interval(biased.benefits, confidence=CI_CONFIDENCE)
+    exact_ci = mean_confidence_interval(exact.benefits, confidence=CI_CONFIDENCE)
+    assert not intervals_overlap(biased_ci, exact_ci), (
+        "biased stub's mean CI still overlaps the exact engine's — "
+        "the CI check has no power"
+    )
+
+
+def test_uniform_priority_kind_uses_raw_uniform_draws(monkeypatch):
+    """``uniform-priority`` must consume the draws untransformed.
+
+    Pins the draw-count contract as well: exactly one uniform per set per
+    trial, addressed by absolute trial index.
+    """
+    import repro.engine.fast as fast_module
+
+    calls = []
+
+    def recording(seed, trials, num_draws, offset=0):
+        calls.append((seed, trials, num_draws, offset))
+        return _ORIGINAL_FAST_UNIFORMS(seed, trials, num_draws, offset)
+
+    monkeypatch.setattr(fast_module, "fast_uniforms", recording)
+    system = SetSystem(
+        sets={"A": ["u"], "B": ["u"], "C": ["v"]},
+        weights={"A": 1.0, "B": 2.0, "C": 3.0},
+    )
+    instance = OnlineInstance(system, name="tiny")
+    simulate_fast(instance, "uniform-priority", trials=10, seed=4)
+    assert calls == [(4, 10, 3, 0)]
+
+
+def test_fast_rejects_trivial_trial_counts():
+    instance = _contested_instance()
+    with pytest.raises(ValueError):
+        simulate_fast(instance, "randPr", trials=0)

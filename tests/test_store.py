@@ -577,10 +577,12 @@ class TestFormatStabilityAcrossEngineRewrites:
         # Bump this pin ONLY together with a deliberate
         # ``STORE_FORMAT_VERSION`` bump (which quarantines all old stores).
         # An engine rewrite that keeps results bit-identical — like the RNG
-        # bridge — must leave both untouched.
+        # bridge — must leave both untouched.  History: 1 → 2 when the key
+        # composition gained the non-exact engine tag (``engine="fast"``
+        # results enter the store under their own keys).
         from repro.experiments.store import STORE_FORMAT_VERSION
 
-        assert STORE_FORMAT_VERSION == 1
+        assert STORE_FORMAT_VERSION == 2
 
     def test_store_written_by_reference_engine_warms_bridge_engine(self, tmp_path):
         """Unit keys exclude the engine, and the engines agree bit for bit:
@@ -611,6 +613,139 @@ class TestFormatStabilityAcrossEngineRewrites:
         assert warm_bridge.rows == cold_reference.rows
 
 
+class TestNonExactEngineKeys:
+    """``engine="fast"`` results enter the store under their own keys.
+
+    The fast engine computes *different bits* (statistically equivalent,
+    not bit-identical), so it is the one engine that must NOT share keys
+    with the others: a fast row warm-hitting an exact sweep — or vice
+    versa — would silently change that sweep's numbers.  Exact engines
+    keep sharing keys exactly as before (the pin above).  The format
+    version was bumped 1 → 2 with this key-composition change, so every
+    pre-fast store file is quarantined wholesale rather than mixing key
+    vocabularies.
+    """
+
+    @staticmethod
+    def _unit_key(engine="auto", **overrides):
+        instance = random_online_instance(
+            8, 12, (2, 3), random.Random(0), weight_range=(1.0, 4.0), name="k"
+        )
+        arguments = dict(
+            instance=instance,
+            measure_seed=5,
+            algorithms=[RandPrAlgorithm()],
+            trials=10,
+            opt_method="auto",
+            exact_set_limit=18,
+            engine=engine,
+        )
+        arguments.update(overrides)
+        return unit_key(**arguments)
+
+    def test_fast_unit_key_is_isolated_and_exact_keys_shared(self):
+        base = self._unit_key()
+        assert base == self._unit_key(engine="reference")
+        assert base == self._unit_key(engine="batch")
+        fast = self._unit_key(engine="fast")
+        assert fast is not None and fast != base
+
+    def test_every_payload_knob_moves_the_unit_key(self):
+        """Tripwire: each input that can change a unit's payload must change
+        its key.  A new payload-affecting knob added to the unit without a
+        key part shows up here as a missing entry — extend ``variations``
+        in the same commit that adds the knob."""
+        other_instance = random_online_instance(
+            8, 12, (2, 3), random.Random(1), weight_range=(1.0, 4.0), name="k"
+        )
+        variations = {
+            "instance": dict(instance=other_instance),
+            "measure_seed": dict(measure_seed=6),
+            "algorithms": dict(algorithms=[GreedyWeightAlgorithm()]),
+            "trials": dict(trials=11),
+            "opt_method": dict(opt_method="lp"),
+            "exact_set_limit": dict(exact_set_limit=19),
+            "engine": dict(engine="fast"),
+        }
+        import inspect
+
+        payload_parameters = set(inspect.signature(unit_key).parameters)
+        assert payload_parameters == set(variations) | {"instance"}, (
+            "unit_key grew a parameter without a tripwire variation — add it "
+            "here and decide whether it belongs in the hash"
+        )
+        base = self._unit_key()
+        for name, override in variations.items():
+            assert self._unit_key(**override) != base, (
+                f"varying {name!r} did not change the unit key — stored "
+                "results would silently shadow different computations"
+            )
+
+    def test_fast_battle_key_is_isolated_and_exact_keys_shared(self):
+        from repro.battles.battle import battle_key
+        from repro.battles.escalators import GadgetEscalator
+
+        base = battle_key(RandPrAlgorithm(), GadgetEscalator(), 0, 0, 8, "auto")
+        assert base == battle_key(
+            RandPrAlgorithm(), GadgetEscalator(), 0, 0, 8, "auto", engine="batch"
+        )
+        fast = battle_key(
+            RandPrAlgorithm(), GadgetEscalator(), 0, 0, 8, "auto", engine="fast"
+        )
+        assert fast is not None and fast != base
+
+    def test_fast_sweep_never_warm_hits_exact_rows(self, tmp_path):
+        """End to end through the orchestrator: an exact sweep's stored
+        units must all be cold misses for the same sweep under
+        ``engine="fast"`` (and the fast rows then warm later fast runs)."""
+        path = str(tmp_path / "fast-isolation.sqlite")
+
+        def sweep(engine):
+            return run_sweep(
+                "store-test",
+                _points(),
+                [RandPrAlgorithm()],
+                instances_per_point=2,
+                trials_per_instance=10,
+                seed=5,
+                engine=engine,
+                store=path,
+            )
+
+        exact = sweep("auto")
+        store = store_for_path(path)
+        assert store.stats()["unit_entries"] == 4
+        hits_before = store.unit_hits
+        fast_cold = sweep("fast")
+        assert store.unit_hits == hits_before  # zero warm hits across contracts
+        assert store.stats()["unit_entries"] == 8  # fast rows stored separately
+        assert fast_cold.rows != exact.rows  # different sampler, different rows
+        hits_before = store.unit_hits
+        fast_warm = sweep("fast")
+        assert store.unit_hits == hits_before + 4  # fast warms fast
+        assert fast_warm.rows == fast_cold.rows
+
+    def test_version_1_store_is_quarantined_wholesale(self, tmp_path):
+        """A pre-fast (format 1) file must be quarantined on open — its keys
+        were composed without the engine tag, so *none* of its rows may be
+        served, not even the ones whose keys happen to coincide."""
+        path = tmp_path / "old.sqlite"
+        store = SolutionStore(str(path))
+        store.put_unit("some-v1-key", {"rows": [1]})
+        store.close()
+        connection = sqlite3.connect(str(path))
+        connection.execute(
+            "UPDATE meta SET value = '1' WHERE key = 'format_version'"
+        )
+        connection.commit()
+        connection.close()
+        with pytest.warns(StoreCorruptionWarning, match="format version"):
+            reopened = SolutionStore(str(path))
+        assert reopened.get_unit("some-v1-key") is None  # fresh, empty store
+        assert reopened.stats()["unit_entries"] == 0
+        reopened.close()
+
+
 class TestStoreCli:
     """The ``python -m repro.experiments.store`` maintenance verbs."""
 
@@ -623,7 +758,7 @@ class TestStoreCli:
         store.close()
 
     def test_inspect_reports_counts(self, tmp_path, capsys):
-        from repro.experiments.store import main
+        from repro.experiments.store import STORE_FORMAT_VERSION, main
 
         path = tmp_path / "s.sqlite"
         self._populated(path)
@@ -631,7 +766,7 @@ class TestStoreCli:
         output = capsys.readouterr().out
         assert "opt entries:    2" in output
         assert "unit entries:   1" in output
-        assert f"format version: 1" in output
+        assert f"format version: {STORE_FORMAT_VERSION}" in output
 
     def test_inspect_check_flags_garbled_rows(self, tmp_path, capsys):
         from repro.experiments.store import main
@@ -1070,7 +1205,13 @@ class TestLeases:
         assert store.stats()["lease_entries"] == 1
         assert len(store) == 1  # the opt row only
         store.close()
-        assert STORE_FORMAT_VERSION == 1
+        # Claiming a lease never bumps the persisted format version.
+        connection = sqlite3.connect(str(path))
+        (persisted,) = connection.execute(
+            "SELECT value FROM meta WHERE key = 'format_version'"
+        ).fetchone()
+        connection.close()
+        assert persisted == str(STORE_FORMAT_VERSION)
 
         assert main(["inspect", str(path)]) == 0
         output = capsys.readouterr().out
