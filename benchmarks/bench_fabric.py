@@ -1,0 +1,271 @@
+"""E21 — multi-host fabric throughput: two workers vs. one on the standard sweep.
+
+Not a paper table: this experiment characterizes the reproduction itself.
+PR 10 added the sweep fabric (``repro.experiments.fabric``): a shared unit
+manifest, worker processes that claim units through advisory leases into
+per-worker shard stores, and a reducer that merges the shards back into one
+canonical store.  This benchmark measures what the fabric buys — and first
+proves what it must *not* change:
+
+* **bit-identity probe** — both configurations' reduced rows are compared
+  against the single-host golden reference (``run_sweep(workers=1)``)
+  before any timing is reported, so the speedup is a comparison between
+  equal computations;
+* **one worker** — a single fabric worker process drains the whole
+  manifest into its shard;
+* **two workers** — two concurrent worker processes share one
+  coordination store and split the manifest between them.
+
+Headline claim checked here: >= 1.8x manifest-drain wall-clock with two
+concurrent workers vs. one on the standard 200-set sweep.  Two measures are
+reported per configuration:
+
+* **drain seconds** — the longest ``work seconds`` any worker reports: the
+  time from the first claim to the last unit landing, i.e. the makespan the
+  fabric's scheduling actually controls.  The floor is checked on this.
+* **wall seconds** — the parent's end-to-end timing including Python
+  interpreter startup (~0.7s per worker process).  Reported for
+  transparency; at benchmark scale startup is a fixed cost that both
+  configurations pay concurrently and real multi-minute sweeps amortize to
+  nothing, so it is excluded from the floor.
+
+The timed manifest is the standard sweep with the Monte-Carlo budget
+raised to 3000 trials/instance (10x the sweep default) and 6 instances per
+point (18 units) — heavy enough that unit compute dominates coordination,
+granular enough that two workers can split the manifest evenly.  The floor
+is enforced only on multi-core hosts (``os.cpu_count() >= 2``) — on a
+single-core host two workers time-slice one CPU and the fabric's value is
+fault isolation, not throughput.
+
+Run directly for the CI smoke mode::
+
+    python benchmarks/bench_fabric.py --smoke
+
+which plans the small smoke sweep, runs two concurrent workers, checks the
+reduced rows bit-for-bit against the single-host reference, re-reduces to
+confirm the canonical store is byte-stable, and skips the wall-clock floor
+(shared CI runners are noisy).
+"""
+
+import argparse
+import dataclasses
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.engine import clear_compile_cache
+from repro.experiments import format_table
+from repro.experiments.fabric import (
+    FABRIC_SPECS,
+    plan_manifest,
+    reduce_shards,
+    single_host_result,
+    write_manifest,
+)
+from repro.experiments.opt_cache import default_opt_cache
+
+#: The acceptance floor: two concurrent workers vs. one, multi-core hosts.
+MIN_SPEEDUP = 1.8
+
+#: Monte-Carlo budget of the timed run: 10x the standard sweep's 300
+#: trials/instance, so per-unit compute dwarfs coordination costs.
+BENCH_TRIALS = 3000
+
+#: Instances per point of the timed run: 18 units over three points, fine
+#: enough that dynamic claiming splits the manifest evenly across workers.
+BENCH_INSTANCES_PER_POINT = 6
+
+
+def _drain_seconds(stdout):
+    """The ``work seconds: N`` line a fabric worker prints after draining."""
+    for line in stdout.splitlines():
+        if line.startswith("work seconds:"):
+            return float(line.split(":", 1)[1])
+    raise RuntimeError(f"no 'work seconds:' line in worker output:\n{stdout}")
+
+
+def _run_workers(manifest_path, base_dir, count):
+    """Run ``count`` concurrent fabric workers to completion.
+
+    Returns ``(shards, drain_seconds, wall_seconds)`` where drain is the
+    makespan the workers report themselves (first claim to last unit) and
+    wall is the parent's timing including interpreter startup.  Each
+    configuration gets its own coordination store so one run's published
+    results can never warm another's (which would turn computed units into
+    cheap copies and corrupt the timing).
+    """
+    coordination = os.path.join(base_dir, "coord.sqlite")
+    shards = [os.path.join(base_dir, f"shard-{i}.sqlite") for i in range(count)]
+    start = time.perf_counter()
+    processes = [
+        subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.experiments.fabric", "work",
+                manifest_path, "--store", shard, "--coord", coordination,
+                "--workers", "1",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        for shard in shards
+    ]
+    drain = 0.0
+    for process in processes:
+        stdout, stderr = process.communicate(timeout=1800)
+        if process.returncode != 0:
+            raise RuntimeError(
+                f"fabric worker exited {process.returncode}:\n{stderr}{stdout}"
+            )
+        drain = max(drain, _drain_seconds(stdout))
+    return shards, drain, time.perf_counter() - start
+
+
+def run_comparison(spec_name="standard"):
+    """Time one- and two-worker fabrics; assert both reduce to golden rows."""
+    spec = dataclasses.replace(
+        FABRIC_SPECS[spec_name],
+        trials_per_instance=BENCH_TRIALS,
+        instances_per_point=BENCH_INSTANCES_PER_POINT,
+    )
+    manifest = plan_manifest(spec)
+    default_opt_cache().clear()
+    clear_compile_cache()
+    golden = single_host_result(manifest)
+    with tempfile.TemporaryDirectory(prefix="osp-fabric-bench-") as base:
+        manifest_path = os.path.join(base, f"{spec_name}.json")
+        write_manifest(manifest, manifest_path)
+        drains, walls = {}, {}
+        for count in (1, 2):
+            config_dir = os.path.join(base, f"workers-{count}")
+            os.makedirs(config_dir)
+            shards, drain, wall = _run_workers(manifest_path, config_dir, count)
+            result, _, missing = reduce_shards(
+                manifest, shards, os.path.join(config_dir, "canonical.sqlite")
+            )
+            # The bit-identity probe comes before any timing is believed.
+            assert missing == [], f"workers={count} left units behind: {missing}"
+            assert result.rows == golden.rows, (
+                f"workers={count} fabric rows diverged from single-host rows"
+            )
+            drains[count], walls[count] = drain, wall
+    speedup = drains[1] / drains[2]
+    rows = [
+        {
+            "configuration": "one fabric worker (whole manifest)",
+            "drain_seconds": round(drains[1], 3),
+            "wall_seconds": round(walls[1], 3),
+            "speedup": 1.0,
+        },
+        {
+            "configuration": "two concurrent fabric workers (shared leases)",
+            "drain_seconds": round(drains[2], 3),
+            "wall_seconds": round(walls[2], 3),
+            "speedup": round(speedup, 2),
+        },
+    ]
+    return rows, speedup
+
+
+def test_e21_fabric_speedup(run_once, experiment_report):
+    def experiment():
+        return run_comparison("standard")
+
+    rows, speedup = run_once(experiment)
+    spec = FABRIC_SPECS["standard"]
+    text = format_table(
+        rows,
+        title=(
+            f"E21: multi-host sweep fabric ({spec.num_sets} sets x "
+            f"{spec.element_counts} elements, {BENCH_INSTANCES_PER_POINT} "
+            f"instances/point, {BENCH_TRIALS} trials/instance, "
+            f"{len(spec.algorithms)} algorithms, rows bit-identical to "
+            "single-host)"
+        ),
+    )
+    text += (
+        f"\n\nheadline: two workers vs one, manifest drain -> {speedup:.1f}x "
+        f"(floor: {MIN_SPEEDUP}x on multi-core hosts)"
+    )
+    experiment_report("E21_fabric", text, rows=rows)
+
+    if os.cpu_count() >= 2:
+        assert speedup >= MIN_SPEEDUP
+    else:
+        print(f"single-core host: {MIN_SPEEDUP}x floor not enforced")
+
+
+def _smoke():
+    """CI smoke: concurrency + bit-identity + reducer idempotence, no floors."""
+    manifest = plan_manifest(FABRIC_SPECS["smoke"])
+    assert plan_manifest(FABRIC_SPECS["smoke"]) == manifest, (
+        "manifest planning is not deterministic"
+    )
+    default_opt_cache().clear()
+    clear_compile_cache()
+    golden = single_host_result(manifest)
+    with tempfile.TemporaryDirectory(prefix="osp-fabric-smoke-") as base:
+        manifest_path = os.path.join(base, "smoke.json")
+        write_manifest(manifest, manifest_path)
+        shards, drain, wall = _run_workers(manifest_path, base, 2)
+        print(
+            f"two concurrent workers: {drain:.2f}s drain "
+            f"({wall:.2f}s wall), {len(shards)} shards"
+        )
+        canonical = os.path.join(base, "canonical.sqlite")
+        result, merge_report, missing = reduce_shards(manifest, shards, canonical)
+        assert missing == [], f"units missing from every shard: {missing}"
+        assert result.rows == golden.rows, (
+            "reduced fabric rows diverged from the single-host reference"
+        )
+        print(f"reduce: {merge_report['examined']} rows examined, rows bit-identical")
+        with open(canonical, "rb") as handle:
+            before = handle.read()
+        again, _, _ = reduce_shards(manifest, shards, canonical)
+        with open(canonical, "rb") as handle:
+            assert handle.read() == before, "re-reducing changed the canonical store"
+        assert again.rows == result.rows
+    print(
+        "smoke OK: two-worker fabric rows are bit-identical to single-host, "
+        "reducer is idempotent and byte-stable"
+    )
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Multi-host fabric benchmark: two concurrent workers vs one.",
+        epilog=(
+            "examples:\n"
+            "  python benchmarks/bench_fabric.py --smoke\n"
+            "      fast correctness smoke (CI): bit-identity + idempotent reduce\n"
+            "  python benchmarks/bench_fabric.py\n"
+            "      full timed comparison on the standard 200-set sweep"
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the small correctness smoke instead of the timed benchmark",
+    )
+    arguments = parser.parse_args(argv)
+    if arguments.smoke:
+        return _smoke()
+
+    rows, speedup = run_comparison("standard")
+    print(format_table(rows, title="E21: multi-host sweep fabric (standard sweep)"))
+    if os.cpu_count() < 2:
+        print(
+            f"\ndrain speedup: {speedup:.1f}x (floor not enforced on a "
+            f"single-core host; the {MIN_SPEEDUP}x floor applies with >= 2 CPUs)"
+        )
+        return 0
+    print(f"\nheadline drain speedup: {speedup:.1f}x (floor {MIN_SPEEDUP}x)")
+    return 0 if speedup >= MIN_SPEEDUP else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -71,6 +71,17 @@ class MeasurementFailedError(OspError):
         self.failures = tuple(failures)
 
 
+class StoreFileError(OspError):
+    """Raised when a store file cannot be used as-is.
+
+    The read-only store entry points (:func:`repro.experiments.store.merge_stores`,
+    the ``inspect``/``vacuum``/``merge`` CLI verbs) *refuse* rather than
+    repair: a missing path, an unreadable file, or a format-version mismatch
+    raises this error and leaves the file untouched — never quarantined,
+    never overwritten.  The maintenance CLI converts it to a nonzero exit.
+    """
+
+
 class ConstructionError(OspError):
     """Raised when a lower-bound construction receives invalid parameters.
 

@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.experiments.fabric`` (see :func:`main`)."""
+
+import sys
+
+from repro.experiments.fabric import main
+
+if __name__ == "__main__":
+    sys.exit(main())

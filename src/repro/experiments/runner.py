@@ -322,7 +322,76 @@ def main(argv: List[str] = None) -> int:
         "(default: the OSP_STORE environment variable; unset disables "
         "persistence); like --engine/--workers this never changes results",
     )
+    parser.add_argument(
+        "--fabric-manifest",
+        default=None,
+        metavar="PATH",
+        help="multi-host fabric manifest (see docs/FABRIC.md); with "
+        "--fabric-role this runs one fabric step instead of the self-check",
+    )
+    parser.add_argument(
+        "--fabric-role",
+        choices=("plan", "work", "reduce"),
+        default=None,
+        help="fabric step to run against --fabric-manifest: 'plan' writes "
+        "the manifest, 'work' claims and executes units into --store, "
+        "'reduce' merges --fabric-shards into --fabric-out and re-emits "
+        "the deterministic rows",
+    )
+    parser.add_argument(
+        "--fabric-spec",
+        default="smoke",
+        metavar="NAME",
+        help="named sweep spec for --fabric-role plan (default: smoke)",
+    )
+    parser.add_argument(
+        "--fabric-out",
+        default=None,
+        metavar="PATH",
+        help="canonical output store for --fabric-role reduce",
+    )
+    parser.add_argument(
+        "--fabric-shards",
+        nargs="+",
+        default=None,
+        metavar="PATH",
+        help="shard store files for --fabric-role reduce",
+    )
     arguments = parser.parse_args(argv)
+
+    if (arguments.fabric_role is None) != (arguments.fabric_manifest is None):
+        parser.error("--fabric-role and --fabric-manifest go together")
+    if arguments.fabric_role is not None:
+        # Delegate to the fabric CLI so exit codes (0 ok / 1 incomplete
+        # reduce / 3 exhausted retries) stay identical either way in.
+        from repro.experiments import fabric
+
+        if arguments.fabric_role == "plan":
+            return fabric.main(
+                ["plan", "--spec", arguments.fabric_spec,
+                 "--out", arguments.fabric_manifest]
+            )
+        if arguments.fabric_role == "work":
+            if arguments.store is None:
+                parser.error("--fabric-role work needs --store (the shard file)")
+            fabric_argv = [
+                "work", arguments.fabric_manifest,
+                "--store", arguments.store,
+                "--workers", str(arguments.workers),
+            ]
+            if arguments.max_attempts is not None:
+                fabric_argv += ["--max-attempts", str(arguments.max_attempts)]
+            if arguments.unit_timeout is not None:
+                fabric_argv += ["--unit-timeout", str(arguments.unit_timeout)]
+            return fabric.main(fabric_argv)
+        if arguments.fabric_out is None or not arguments.fabric_shards:
+            parser.error(
+                "--fabric-role reduce needs --fabric-out and --fabric-shards"
+            )
+        return fabric.main(
+            ["reduce", arguments.fabric_manifest, "--out", arguments.fabric_out]
+            + list(arguments.fabric_shards)
+        )
 
     workers: Union[int, str] = arguments.workers
     if workers != "auto":

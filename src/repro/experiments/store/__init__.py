@@ -67,6 +67,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.core.instance import OnlineInstance
+from repro.exceptions import StoreFileError
 
 __all__ = [
     "STORE_FORMAT_VERSION",
@@ -76,6 +77,8 @@ __all__ = [
     "Lease",
     "SolutionStore",
     "StoreCorruptionWarning",
+    "StoreFileError",
+    "merge_stores",
     "algorithm_identity",
     "instance_fingerprint",
     "unit_key",
@@ -917,7 +920,7 @@ def _open_readonly(path: str) -> sqlite3.Connection:
     unreadable file is reported as an error, not "fixed".
     """
     if not os.path.isfile(path):
-        raise SystemExit(f"error: {path!r} is not a store file")
+        raise StoreFileError(f"{path!r} is not a store file")
     connection = sqlite3.connect(f"file:{os.path.abspath(path)}?mode=ro", uri=True)
     try:
         row = connection.execute(
@@ -925,12 +928,12 @@ def _open_readonly(path: str) -> sqlite3.Connection:
         ).fetchone()
     except sqlite3.DatabaseError as exc:
         connection.close()
-        raise SystemExit(f"error: {path!r} is not a readable solution store ({exc})")
+        raise StoreFileError(f"{path!r} is not a readable solution store ({exc})")
     if row is None or row[0] != str(STORE_FORMAT_VERSION):
         connection.close()
         found = None if row is None else row[0]
-        raise SystemExit(
-            f"error: {path!r} has store format version {found!r}, this repo "
+        raise StoreFileError(
+            f"{path!r} has store format version {found!r}, this repo "
             f"reads version {STORE_FORMAT_VERSION}"
         )
     return connection
@@ -1011,7 +1014,7 @@ def _cli_inspect(args) -> int:
 def _cli_vacuum(args) -> int:
     size_before = os.path.getsize(args.path) if os.path.isfile(args.path) else None
     if size_before is None:
-        raise SystemExit(f"error: {args.path!r} is not a store file")
+        raise StoreFileError(f"{args.path!r} is not a store file")
     # Pre-validate read-only: a version-mismatched or unreadable file must be
     # *refused* here — opening it through SolutionStore directly would
     # quarantine (rename away) the user's file and then report success.
@@ -1034,23 +1037,50 @@ def _cli_vacuum(args) -> int:
     return 0
 
 
-def _cli_merge(args) -> int:
-    # Validate everything *before* touching the destination: an aborted
-    # merge (bad source path, source == destination) must not leave a
-    # freshly created empty store behind.
-    for source_path in args.sources:
-        if os.path.abspath(source_path) == os.path.abspath(args.destination):
-            raise SystemExit("error: a merge source equals the destination")
+def merge_stores(destination: str, sources: Sequence[str]) -> Dict[str, int]:
+    """Merge ``sources`` store files into ``destination``, first writer wins.
+
+    The library form of the ``merge`` CLI verb, shared with the fabric
+    reducer (:mod:`repro.experiments.fabric`).  Every source — and an
+    *existing* destination — is validated read-only before the destination
+    is touched, so an aborted merge (bad source path, source equals
+    destination) never leaves a freshly created empty store behind; a bad
+    file raises :class:`~repro.exceptions.StoreFileError`.  A fresh
+    destination is created on demand, parent directories included (the
+    same ``os.makedirs`` path :class:`SolutionStore` uses for any new
+    store), so reducers can target output paths that do not exist yet.
+    Rows whose payload fails its SHA-256 checksum are skipped — a garbled
+    row in one shard never poisons the destination — and duplicate keys
+    keep the destination's copy (``INSERT OR IGNORE``), preserving the
+    content-addressed first-writer-wins contract.
+
+    Returns a flat report: ``examined``/``skipped`` row counts plus one
+    ``added_<table>`` count per payload table.
+
+    >>> import os, tempfile
+    >>> base = tempfile.mkdtemp()
+    >>> for name in ("a", "b"):
+    ...     s = SolutionStore(os.path.join(base, name + ".sqlite"))
+    ...     s.put_opt("shared", 1.0); s.put_opt(name, 2.0); s.close()
+    >>> report = merge_stores(os.path.join(base, "new", "merged.sqlite"),
+    ...                       [os.path.join(base, "a.sqlite"),
+    ...                        os.path.join(base, "b.sqlite")])
+    >>> (report["examined"], report["added_opt"], report["skipped"])
+    (4, 3, 0)
+    """
+    for source_path in sources:
+        if os.path.abspath(source_path) == os.path.abspath(destination):
+            raise StoreFileError("a merge source equals the destination")
         _open_readonly(source_path).close()
     # A *fresh* destination is created on demand, but an existing file must
     # be a valid same-version store — refuse rather than quarantine it.
-    if os.path.exists(args.destination):
-        _open_readonly(args.destination).close()
-    destination = SolutionStore(args.destination)
+    if os.path.exists(destination):
+        _open_readonly(destination).close()
+    destination_store = SolutionStore(destination)
     inserted = {table: 0 for table in _PAYLOAD_TABLES}
     examined = skipped = 0
     try:
-        for source_path in args.sources:
+        for source_path in sources:
             source = _open_readonly(source_path)
             try:
                 for table, key, payload, checksum, ok in _audit_rows(source):
@@ -1058,23 +1088,32 @@ def _cli_merge(args) -> int:
                     if not ok:
                         skipped += 1
                         continue
-                    cursor = destination._connection.execute(
+                    cursor = destination_store._connection.execute(
                         f"INSERT OR IGNORE INTO {table} VALUES (?, ?, ?)",
                         (key, payload, checksum),
                     )
                     inserted[table] += cursor.rowcount
             finally:
                 source.close()
-        destination._connection.commit()
+        destination_store._connection.commit()
     finally:
-        destination.close()
+        destination_store.close()
+    report = {"examined": examined, "skipped": skipped}
+    for table, count in inserted.items():
+        report[f"added_{table}"] = count
+    return report
+
+
+def _cli_merge(args) -> int:
+    report = merge_stores(args.destination, args.sources)
     print(
         f"merged {len(args.sources)} store(s) into "
-        f"{os.path.abspath(args.destination)}: examined {examined} row(s), "
-        f"added {inserted['opt']} opt + {inserted['units']} unit + "
-        f"{inserted['constructions']} construction + "
-        f"{inserted['frontiers']} frontier entries, "
-        f"skipped {skipped} garbled"
+        f"{os.path.abspath(args.destination)}: examined "
+        f"{report['examined']} row(s), "
+        f"added {report['added_opt']} opt + {report['added_units']} unit + "
+        f"{report['added_constructions']} construction + "
+        f"{report['added_frontiers']} frontier entries, "
+        f"skipped {report['skipped']} garbled"
     )
     return 0
 
@@ -1134,5 +1173,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     merge_parser.set_defaults(handler=_cli_merge)
 
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except StoreFileError as exc:
+        raise SystemExit(f"error: {exc}")
 

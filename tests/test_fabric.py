@@ -1,0 +1,407 @@
+"""Conformance tests for the multi-host sweep fabric (:mod:`repro.experiments.fabric`).
+
+The fabric's contract is the orchestrator's, lifted to many hosts: shards,
+worker counts, claim order, lease steals, duplicate claims and partial
+failures are *wall-clock* knobs.  The reduced rows must be bit-identical to
+a single-host ``run_sweep(workers=1)`` at every fabric configuration, and
+reducing the same shards twice must leave the canonical store byte-stable.
+(The crash/kill-schedule configurations live in ``tests/test_fabric_chaos.py``.)
+"""
+
+import json
+import os
+import sqlite3
+import subprocess
+import sys
+
+import pytest
+
+from repro.engine import clear_compile_cache
+from repro.experiments import (
+    FABRIC_SPECS,
+    FabricError,
+    FabricIncompleteError,
+    SweepSpec,
+    load_manifest,
+    manifest_units,
+    plan_manifest,
+    reduce_shards,
+    single_host_result,
+    work,
+    write_manifest,
+)
+from repro.experiments.competitive_ratio import EXACT_SOLVER_SET_LIMIT
+from repro.experiments.fabric import (
+    MANIFEST_FORMAT,
+    default_coordination_path,
+    main as fabric_main,
+)
+from repro.experiments.opt_cache import default_opt_cache
+from repro.experiments.store import (
+    STORE_ENV_VAR,
+    STORE_FORMAT_VERSION,
+    SolutionStore,
+    unit_key,
+)
+
+
+@pytest.fixture(autouse=True)
+def _isolate_default_cache(monkeypatch):
+    """Keep the process-wide default cache free of test store attachments."""
+    monkeypatch.delenv(STORE_ENV_VAR, raising=False)
+    cache = default_opt_cache()
+    cache.clear()
+    cache.store = None
+    clear_compile_cache()
+    yield
+    cache = default_opt_cache()
+    cache.clear()
+    cache.store = None
+
+
+#: A fabric-sized sweep that still finishes in well under a second per run.
+TINY = SweepSpec(
+    name="tiny",
+    num_sets=14,
+    element_counts=(30, 20),
+    set_size_range=(2, 3),
+    weight_range=(1.0, 5.0),
+    instances_per_point=2,
+    trials_per_instance=6,
+    seed=5,
+    algorithms=("randPr", "greedy-weight"),
+)
+
+
+def _work(manifest, tmp_path, shard_name, **kwargs):
+    shard = str(tmp_path / shard_name)
+    kwargs.setdefault("coordination_path", str(tmp_path / "coord.sqlite"))
+    report = work(manifest, shard, **kwargs)
+    return shard, report
+
+
+class TestManifest:
+    def test_plan_is_deterministic_and_byte_stable(self, tmp_path):
+        first, second = tmp_path / "a.json", tmp_path / "b.json"
+        write_manifest(plan_manifest(TINY), str(first))
+        write_manifest(plan_manifest(TINY), str(second))
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_manifest_keys_are_the_store_unit_keys(self):
+        manifest = plan_manifest(TINY)
+        algorithms = TINY.algorithm_instances()
+        for entry, unit in zip(manifest["units"], TINY.build_units()):
+            assert entry["key"] == unit_key(
+                unit.instance,
+                unit.measure_seed,
+                algorithms,
+                TINY.trials_per_instance,
+                TINY.opt_method,
+                EXACT_SOLVER_SET_LIMIT,
+                engine=TINY.engine,
+            )
+            assert entry["point_index"] == unit.point_index
+            assert entry["instance_index"] == unit.instance_index
+
+    def test_spec_json_round_trip(self):
+        rebuilt = SweepSpec.from_dict(json.loads(json.dumps(TINY.to_dict())))
+        assert rebuilt == TINY
+
+    def test_unknown_algorithm_is_rejected(self):
+        data = TINY.to_dict()
+        data["algorithms"] = ("randPr", "not-an-algorithm")
+        with pytest.raises(FabricError, match="not-an-algorithm"):
+            SweepSpec.from_dict(data)
+
+    def test_unknown_engine_is_rejected(self):
+        data = TINY.to_dict()
+        data["engine"] = "warp"
+        with pytest.raises(FabricError, match="malformed sweep spec"):
+            SweepSpec.from_dict(data)
+
+    def test_load_refuses_foreign_or_version_mismatched_manifests(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(FabricError, match=MANIFEST_FORMAT):
+            load_manifest(str(path))
+        manifest = plan_manifest(TINY)
+        manifest["store_format_version"] = STORE_FORMAT_VERSION + 1
+        write_manifest(manifest, str(path))
+        with pytest.raises(FabricError, match="store format"):
+            load_manifest(str(path))
+
+    def test_key_drift_is_detected(self):
+        manifest = plan_manifest(TINY)
+        manifest["units"][2]["key"] = "0" * 64
+        with pytest.raises(FabricError, match="drift"):
+            manifest_units(manifest)
+
+
+class TestWorkAndReduce:
+    def test_one_worker_reduces_to_single_host_rows(self, tmp_path):
+        manifest = plan_manifest(TINY)
+        shard, report = _work(manifest, tmp_path, "shard.sqlite")
+        assert report.computed == len(manifest["units"])
+        assert not report.failures
+        result, merge_report, missing = reduce_shards(
+            manifest, [shard], str(tmp_path / "canonical.sqlite")
+        )
+        assert missing == []
+        assert merge_report["skipped"] == 0
+        assert result.rows == single_host_result(manifest).rows
+
+    def test_second_worker_copies_published_results(self, tmp_path):
+        manifest = plan_manifest(TINY)
+        shard_a, report_a = _work(manifest, tmp_path, "a.sqlite")
+        shard_b, report_b = _work(manifest, tmp_path, "b.sqlite")
+        assert report_a.computed == len(manifest["units"])
+        assert report_b.computed == 0
+        assert report_b.copied == len(manifest["units"])
+        # The copying worker's shard alone reduces to the full result.
+        result, _, _ = reduce_shards(
+            manifest, [shard_b], str(tmp_path / "canonical.sqlite")
+        )
+        assert result.rows == single_host_result(manifest).rows
+
+    def test_resumed_worker_reuses_its_own_shard(self, tmp_path):
+        manifest = plan_manifest(TINY)
+        shard, _ = _work(manifest, tmp_path, "shard.sqlite")
+        _, resumed = _work(manifest, tmp_path, "shard.sqlite")
+        assert resumed.computed == 0
+        assert resumed.already_stored == len(manifest["units"])
+
+    def test_partitioned_duplicate_work_converges(self, tmp_path):
+        """Two workers that never see each other (separate coordination
+        stores — the degenerate duplicate-claim case) both compute every
+        unit; the reduced rows are still the single-host rows."""
+        manifest = plan_manifest(TINY)
+        shard_a, report_a = _work(
+            manifest, tmp_path, "a.sqlite",
+            coordination_path=str(tmp_path / "coord-a.sqlite"),
+        )
+        shard_b, report_b = _work(
+            manifest, tmp_path, "b.sqlite",
+            coordination_path=str(tmp_path / "coord-b.sqlite"),
+        )
+        assert report_a.computed == report_b.computed == len(manifest["units"])
+        result, _, _ = reduce_shards(
+            manifest, [shard_a, shard_b], str(tmp_path / "canonical.sqlite")
+        )
+        assert result.rows == single_host_result(manifest).rows
+
+    def test_duplicate_claims_on_a_broken_lease_table_converge(self, tmp_path):
+        """Fail-open leases (dropped table) let every claimant through;
+        duplicated compute must still reduce to identical bits."""
+        manifest = plan_manifest(TINY)
+        coordination = str(tmp_path / "coord.sqlite")
+        broken = SolutionStore(coordination)
+        broken._connection.execute("DROP TABLE leases")
+        broken._connection.commit()
+        broken.close()
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            shard, report = _work(
+                manifest, tmp_path, "shard.sqlite", coordination_path=coordination
+            )
+        assert report.computed == len(manifest["units"])
+        result, _, _ = reduce_shards(
+            manifest, [shard], str(tmp_path / "canonical.sqlite")
+        )
+        assert result.rows == single_host_result(manifest).rows
+
+    def test_partial_shards_fail_reduce_with_the_missing_keys(self, tmp_path):
+        manifest = plan_manifest(TINY)
+        shard, _ = _work(manifest, tmp_path, "shard.sqlite")
+        victim = manifest["units"][1]["key"]
+        connection = sqlite3.connect(shard)
+        connection.execute("DELETE FROM units WHERE key = ?", (victim,))
+        connection.commit()
+        connection.close()
+        with pytest.raises(FabricIncompleteError) as excinfo:
+            reduce_shards(manifest, [shard], str(tmp_path / "c1.sqlite"))
+        assert excinfo.value.missing == (victim,)
+        # Resumable by construction: recompute_missing fills exactly the gap.
+        result, _, missing = reduce_shards(
+            manifest, [shard], str(tmp_path / "c2.sqlite"), recompute_missing=True
+        )
+        assert missing == [victim]
+        assert result.rows == single_host_result(manifest).rows
+
+    def test_garbled_row_in_one_shard_is_healed_by_another(self, tmp_path):
+        manifest = plan_manifest(TINY)
+        shard_a, _ = _work(manifest, tmp_path, "a.sqlite")
+        shard_b, _ = _work(manifest, tmp_path, "b.sqlite")
+        victim = manifest["units"][0]["key"]
+        connection = sqlite3.connect(shard_a)
+        connection.execute(
+            "UPDATE units SET payload = ? WHERE key = ?", (b"garbage", victim)
+        )
+        connection.commit()
+        connection.close()
+        result, merge_report, missing = reduce_shards(
+            manifest, [shard_a, shard_b], str(tmp_path / "canonical.sqlite")
+        )
+        assert merge_report["skipped"] == 1
+        assert missing == []
+        assert result.rows == single_host_result(manifest).rows
+
+    def test_reduce_is_idempotent_and_byte_stable(self, tmp_path):
+        manifest = plan_manifest(TINY)
+        shard, _ = _work(manifest, tmp_path, "shard.sqlite")
+        canonical = tmp_path / "canonical.sqlite"
+        first_result, _, _ = reduce_shards(manifest, [shard], str(canonical))
+        first_bytes = canonical.read_bytes()
+        second_result, _, _ = reduce_shards(manifest, [shard], str(canonical))
+        assert canonical.read_bytes() == first_bytes
+        assert second_result.rows == first_result.rows
+
+    def test_fast_and_exact_rows_coexist_under_their_own_keys(self, tmp_path):
+        """Overlapping fast- and exact-engine shards reduce independently:
+        each manifest warm-hits only its own engine-tagged keys."""
+        exact_manifest = plan_manifest(TINY)
+        fast_spec = SweepSpec.from_dict({**TINY.to_dict(), "engine": "fast"})
+        fast_manifest = plan_manifest(fast_spec)
+        exact_keys = {entry["key"] for entry in exact_manifest["units"]}
+        fast_keys = {entry["key"] for entry in fast_manifest["units"]}
+        assert not exact_keys & fast_keys
+
+        shard_exact, _ = _work(
+            exact_manifest, tmp_path, "exact.sqlite",
+            coordination_path=str(tmp_path / "coord-exact.sqlite"),
+        )
+        shard_fast, _ = _work(
+            fast_manifest, tmp_path, "fast.sqlite",
+            coordination_path=str(tmp_path / "coord-fast.sqlite"),
+        )
+        # One canonical store answers both manifests, each from its own rows.
+        shards = [shard_exact, shard_fast]
+        exact_result, _, _ = reduce_shards(
+            exact_manifest, shards, str(tmp_path / "c-exact.sqlite")
+        )
+        fast_result, _, _ = reduce_shards(
+            fast_manifest, shards, str(tmp_path / "c-fast.sqlite")
+        )
+        assert exact_result.rows == single_host_result(exact_manifest).rows
+        assert fast_result.rows == single_host_result(fast_manifest).rows
+        assert exact_result.rows != fast_result.rows  # statistical contract
+
+    def test_lease_steal_from_a_dead_owner(self, tmp_path):
+        manifest = plan_manifest(TINY)
+        coordination = str(tmp_path / "coord.sqlite")
+        holder = SolutionStore(coordination)
+        for entry in manifest["units"]:
+            assert holder.claim_lease(entry["key"], "dead-host:1", ttl=0.05)
+        holder.close()
+        import time
+
+        time.sleep(0.1)
+        shard, report = _work(
+            manifest, tmp_path, "shard.sqlite",
+            coordination_path=coordination, lease_ttl=60.0,
+        )
+        assert report.stolen == len(manifest["units"])
+        assert report.computed == len(manifest["units"])
+        result, _, _ = reduce_shards(
+            manifest, [shard], str(tmp_path / "canonical.sqlite")
+        )
+        assert result.rows == single_host_result(manifest).rows
+
+
+class TestFabricCli:
+    def _run(self, argv):
+        return fabric_main([str(part) for part in argv])
+
+    def test_plan_work_reduce_round_trip(self, tmp_path, capsys):
+        manifest_path = tmp_path / "m.json"
+        write_manifest(plan_manifest(TINY), str(manifest_path))
+        shard = tmp_path / "shard.sqlite"
+        assert self._run(
+            ["work", manifest_path, "--store", shard,
+             "--coord", tmp_path / "coord.sqlite"]
+        ) == 0
+        rows_path = tmp_path / "rows.json"
+        golden_path = tmp_path / "golden.json"
+        assert self._run(
+            ["reduce", manifest_path, "--out", tmp_path / "canonical.sqlite",
+             shard, "--rows", rows_path]
+        ) == 0
+        assert self._run(["rows", manifest_path, "--rows", golden_path]) == 0
+        assert rows_path.read_bytes() == golden_path.read_bytes()
+        capsys.readouterr()
+
+    def test_reduce_exit_1_when_incomplete(self, tmp_path, capsys):
+        manifest_path = tmp_path / "m.json"
+        write_manifest(plan_manifest(TINY), str(manifest_path))
+        empty = SolutionStore(str(tmp_path / "empty.sqlite"))
+        empty.close()
+        code = self._run(
+            ["reduce", manifest_path, "--out", tmp_path / "c.sqlite",
+             tmp_path / "empty.sqlite"]
+        )
+        assert code == 1
+        assert "REDUCE INCOMPLETE" in capsys.readouterr().out
+
+    def test_reduce_creates_missing_destination_directories(self, tmp_path, capsys):
+        manifest_path = tmp_path / "m.json"
+        write_manifest(plan_manifest(TINY), str(manifest_path))
+        shard = tmp_path / "shard.sqlite"
+        assert self._run(
+            ["work", manifest_path, "--store", shard,
+             "--coord", tmp_path / "coord.sqlite"]
+        ) == 0
+        # The output path's parent does not exist yet: reduce creates it.
+        out = tmp_path / "new" / "deeper" / "canonical.sqlite"
+        assert self._run(["reduce", manifest_path, "--out", out, shard]) == 0
+        assert out.exists()
+        capsys.readouterr()
+
+    def test_module_entry_point_plans_deterministically(self, tmp_path):
+        first, second = tmp_path / "a.json", tmp_path / "b.json"
+        for out in (first, second):
+            completed = subprocess.run(
+                [sys.executable, "-m", "repro.experiments.fabric", "plan",
+                 "--spec", "smoke", "--out", str(out)],
+                capture_output=True, text=True,
+            )
+            assert completed.returncode == 0, completed.stderr
+            assert not completed.stderr  # no runpy double-import warnings
+        assert first.read_bytes() == second.read_bytes()
+        manifest = load_manifest(str(first))
+        assert SweepSpec.from_dict(manifest["spec"]) == FABRIC_SPECS["smoke"]
+
+    def test_runner_fabric_roles_delegate(self, tmp_path, capsys):
+        from repro.experiments import runner
+
+        manifest_path = tmp_path / "m.json"
+        # The runner exposes the fabric through --fabric-role; the manifest
+        # it plans is byte-identical to the fabric CLI's.
+        assert runner.main(
+            ["--fabric-role", "plan", "--fabric-manifest", str(manifest_path)]
+        ) == 0
+        direct = tmp_path / "direct.json"
+        write_manifest(plan_manifest(FABRIC_SPECS["smoke"]), str(direct))
+        assert manifest_path.read_bytes() == direct.read_bytes()
+        # Planning a tiny manifest over it for the work/reduce legs keeps
+        # the runner path fast.
+        write_manifest(plan_manifest(TINY), str(manifest_path))
+        assert runner.main(
+            ["--fabric-role", "work", "--fabric-manifest", str(manifest_path),
+             "--store", str(tmp_path / "shard.sqlite")]
+        ) == 0
+        assert os.path.exists(default_coordination_path(str(manifest_path)))
+        assert runner.main(
+            ["--fabric-role", "reduce", "--fabric-manifest", str(manifest_path),
+             "--fabric-out", str(tmp_path / "canonical.sqlite"),
+             "--fabric-shards", str(tmp_path / "shard.sqlite")]
+        ) == 0
+        capsys.readouterr()
+
+    def test_runner_fabric_role_needs_manifest(self, capsys):
+        from repro.experiments import runner
+
+        with pytest.raises(SystemExit) as excinfo:
+            runner.main(["--fabric-role", "plan"])
+        assert excinfo.value.code == 2
+        capsys.readouterr()

@@ -1,0 +1,126 @@
+"""Chaos conformance for the multi-host sweep fabric: kills, steals, bytes.
+
+The acceptance pin of the fabric (ISSUE 10 / ROADMAP item 3): **two fabric
+workers with a seeded mid-unit kill schedule plus the reducer produce rows
+bit-identical to single-host ``run_sweep(workers=1)`` on the standard
+200-set sweep**, and reducing the same shards twice yields a byte-stable
+canonical store.  The ``fabric-smoke`` CI job drives the same scenario
+through the CLI on every push; this suite pins it in-repo so a regression
+fails ``pytest`` before it fails CI.
+"""
+
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.engine import clear_compile_cache
+from repro.experiments import (
+    FABRIC_SPECS,
+    FaultPlan,
+    plan_manifest,
+    reduce_shards,
+    single_host_result,
+    work,
+    write_manifest,
+)
+from repro.experiments.faults import FAULT_PLAN_ENV_VAR
+from repro.experiments.opt_cache import default_opt_cache
+from repro.experiments.store import STORE_ENV_VAR, SolutionStore
+
+
+@pytest.fixture(autouse=True)
+def _isolate_default_cache(monkeypatch):
+    monkeypatch.delenv(STORE_ENV_VAR, raising=False)
+    monkeypatch.delenv(FAULT_PLAN_ENV_VAR, raising=False)
+    cache = default_opt_cache()
+    cache.clear()
+    cache.store = None
+    clear_compile_cache()
+    yield
+    cache = default_opt_cache()
+    cache.clear()
+    cache.store = None
+
+
+def _spawn_worker(manifest_path, shard_path, fault_plan, extra=()):
+    """One fabric worker subprocess under a seeded kill schedule."""
+    env = dict(os.environ)
+    env[FAULT_PLAN_ENV_VAR] = fault_plan.to_json()
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.experiments.fabric", "work",
+            str(manifest_path), "--store", str(shard_path),
+            "--workers", "2", "--max-attempts", "3", "--lease-ttl", "5",
+            *extra,
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+class TestFabricChaos:
+    def test_standard_sweep_two_killed_workers_bit_identical(self, tmp_path):
+        """The acceptance pin: hosts × workers × kill-schedule is a
+        wall-clock knob on the standard 200-set sweep."""
+        manifest = plan_manifest(FABRIC_SPECS["standard"])
+        manifest_path = tmp_path / "standard.json"
+        write_manifest(manifest, str(manifest_path))
+        shard_a, shard_b = tmp_path / "a.sqlite", tmp_path / "b.sqlite"
+        # Seeded mid-unit kill schedules: each worker claims batches of 2
+        # units, and the plan kills the pool worker executing one of them on
+        # its first attempt — deterministically, per FaultPlan.seeded.
+        workers = [
+            _spawn_worker(manifest_path, shard_a, FaultPlan.seeded(seed=1, num_units=2, kills=1, transients=0)),
+            _spawn_worker(manifest_path, shard_b, FaultPlan.seeded(seed=2, num_units=2, kills=1, transients=0)),
+        ]
+        for process in workers:
+            stdout, stderr = process.communicate(timeout=600)
+            assert process.returncode == 0, stderr + stdout
+        canonical = tmp_path / "canonical.sqlite"
+        result, merge_report, missing = reduce_shards(
+            manifest, [str(shard_a), str(shard_b)], str(canonical)
+        )
+        assert missing == []
+        # The golden reference: plain single-host run_sweep(workers=1).
+        assert result.rows == single_host_result(manifest).rows
+        # Reducing the same shards again leaves the canonical store
+        # byte-stable (idempotent reducer).
+        before = canonical.read_bytes()
+        again, _, _ = reduce_shards(
+            manifest, [str(shard_a), str(shard_b)], str(canonical)
+        )
+        assert canonical.read_bytes() == before
+        assert again.rows == result.rows
+
+    def test_surviving_worker_steals_from_a_killed_peer(self, tmp_path):
+        """A worker that dies mid-claim leaves an unexpired lease; the
+        surviving worker waits it out, steals, and completes the sweep."""
+        manifest = plan_manifest(FABRIC_SPECS["smoke"])
+        coordination = str(tmp_path / "coord.sqlite")
+        # Simulate the dead peer: claim two unit leases and never return.
+        holder = SolutionStore(coordination)
+        for entry in manifest["units"][:2]:
+            assert holder.claim_lease(entry["key"], "killed-host:404", ttl=0.3)
+        holder.close()
+        started = time.monotonic()
+        report = work(
+            manifest,
+            str(tmp_path / "survivor.sqlite"),
+            coordination_path=coordination,
+            lease_ttl=30.0,
+        )
+        assert report.completed == len(manifest["units"])
+        assert report.stolen == 2  # both orphaned leases, exactly once each
+        assert time.monotonic() - started < 120
+        result, _, missing = reduce_shards(
+            manifest,
+            [str(tmp_path / "survivor.sqlite")],
+            str(tmp_path / "canonical.sqlite"),
+        )
+        assert missing == []
+        assert result.rows == single_host_result(manifest).rows

@@ -1,0 +1,163 @@
+"""Table-driven pin of the runner's exit-code contract.
+
+``python -m repro.experiments.runner`` is the one entry point scripts and CI
+are allowed to branch on, so its exit codes are API:
+
+* ``0`` — every claim check holds (or the trace-scale verdict is
+  bit-identical);
+* ``1`` — a claim check failed, or the streaming engine diverged from the
+  reference loop under ``--trace-scale``;
+* ``2`` — argparse rejected the invocation (bad ``--workers``, bad
+  ``--trace-scale``, half a fabric flag pair);
+* ``3`` — a supervised measurement exhausted its retry budget
+  (:class:`~repro.exceptions.MeasurementFailedError`), with a JSON failure
+  summary on stdout.
+
+Each row of ``CASES`` drives :func:`repro.experiments.runner.main` through
+one path; failure paths that cannot be provoked with real workloads in
+test time (a claim genuinely violating a theorem, a diverging streaming
+engine) are induced by patching the runner's own seams instead.
+"""
+
+import dataclasses
+from typing import Callable, Optional
+
+import pytest
+
+from repro.engine import clear_compile_cache
+from repro.experiments import runner
+from repro.experiments.faults import FAULT_PLAN_ENV_VAR, Fault, FaultPlan
+from repro.experiments.opt_cache import default_opt_cache
+from repro.experiments.store import STORE_ENV_VAR
+
+
+@pytest.fixture(autouse=True)
+def _isolate(monkeypatch):
+    monkeypatch.delenv(STORE_ENV_VAR, raising=False)
+    monkeypatch.delenv(FAULT_PLAN_ENV_VAR, raising=False)
+    cache = default_opt_cache()
+    cache.clear()
+    cache.store = None
+    clear_compile_cache()
+    yield
+    cache = default_opt_cache()
+    cache.clear()
+    cache.store = None
+
+
+def _fail_theorem1(monkeypatch):
+    """Make the Theorem 1 claim genuinely fail: an impossible bound."""
+    monkeypatch.setattr(runner, "theorem1_upper_bound", lambda stats: 0.0)
+
+
+def _diverge_streaming(monkeypatch):
+    """Report a streaming run whose bit-identity probe failed."""
+
+    def report(packets, seed=0, trials=32):
+        return {
+            "packets": packets,
+            "frames": 1,
+            "trials": trials,
+            "seconds": 0.0,
+            "packet_trials_per_second": 0,
+            "peak_pooled_rows": 0,
+            "peak_active_frames_model": 0,
+            "bit_identical": False,
+        }
+
+    monkeypatch.setattr(runner, "trace_scale_report", report)
+
+
+def _exhaust_retries(monkeypatch):
+    """A fault plan that raises on *every* attempt of the first unit."""
+    monkeypatch.setenv(
+        FAULT_PLAN_ENV_VAR,
+        FaultPlan((Fault(action="raise", unit=0),)).to_json(),
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class Case:
+    id: str
+    argv: tuple
+    code: int
+    marker: Optional[str] = None  # must appear on stdout (non-argparse cases)
+    setup: Optional[Callable] = None
+    argparse_error: bool = False  # exit via SystemExit instead of return
+
+
+CASES = (
+    Case(
+        id="all-claims-hold",
+        argv=("--trials", "15"),
+        code=0,
+        marker="ALL CLAIMS HOLD",
+    ),
+    Case(
+        id="trace-scale-bit-identical",
+        argv=("--trace-scale", "300", "--trials", "6"),
+        code=0,
+        marker="STREAMING BIT-IDENTICAL TO REFERENCE",
+    ),
+    Case(
+        id="claim-failure",
+        argv=("--trials", "10"),
+        code=1,
+        marker="SOME CLAIMS FAILED",
+        setup=_fail_theorem1,
+    ),
+    Case(
+        id="trace-scale-diverged",
+        argv=("--trace-scale", "100"),
+        code=1,
+        marker="STREAMING DIVERGED FROM REFERENCE",
+        setup=_diverge_streaming,
+    ),
+    Case(
+        id="bad-workers",
+        argv=("--workers", "two"),
+        code=2,
+        argparse_error=True,
+    ),
+    Case(
+        id="bad-trace-scale",
+        argv=("--trace-scale", "0"),
+        code=2,
+        argparse_error=True,
+    ),
+    Case(
+        id="fabric-role-without-manifest",
+        argv=("--fabric-role", "work"),
+        code=2,
+        argparse_error=True,
+    ),
+    Case(
+        id="retry-budget-exhausted",
+        argv=("--trials", "10", "--workers", "2", "--max-attempts", "2"),
+        code=3,
+        marker="MEASUREMENT FAILED",
+        setup=_exhaust_retries,
+    ),
+)
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda case: case.id)
+def test_exit_code_contract(case, capsys, monkeypatch):
+    if case.setup is not None:
+        case.setup(monkeypatch)
+    if case.argparse_error:
+        with pytest.raises(SystemExit) as excinfo:
+            runner.main(list(case.argv))
+        assert excinfo.value.code == case.code
+        return
+    assert runner.main(list(case.argv)) == case.code
+    output = capsys.readouterr().out
+    assert case.marker in output
+
+
+def test_claim_failure_names_the_failing_claim(capsys, monkeypatch):
+    """The exit-1 table is diagnosable: the failing row prints False."""
+    _fail_theorem1(monkeypatch)
+    assert runner.main(["--trials", "10"]) == 1
+    output = capsys.readouterr().out
+    assert "Thm 1" in output and "False" in output

@@ -16,6 +16,9 @@ import sys
 import warnings
 
 import pytest
+from hypothesis import given
+from hypothesis import settings as hyp_settings
+from hypothesis import strategies as st
 
 from repro.algorithms import (
     GreedyWeightAlgorithm,
@@ -852,6 +855,24 @@ class TestStoreCli:
         with pytest.raises(SystemExit):
             main(["merge", str(path), str(path)])
 
+    def test_merge_creates_destination_parent_directories(self, tmp_path, capsys):
+        """Merging into a path whose parent directories do not exist yet must
+        create them — fabric reducers point ``merge`` at per-run output
+        directories that nothing else has created."""
+        from repro.experiments.store import main
+
+        source = tmp_path / "s.sqlite"
+        self._populated(source)
+        destination = tmp_path / "runs" / "2026-08" / "merged.sqlite"
+        assert not destination.parent.exists()
+        assert main(["merge", str(destination), str(source)]) == 0
+        capsys.readouterr()
+        assert destination.is_file()
+        merged = SolutionStore(str(destination))
+        assert merged.get_opt("opt-a") == 1.5
+        assert merged.get_unit("unit-a") == {"rows": [1, 2]}
+        merged.close()
+
 
 class TestConstructionMemoization:
     """Store-backed memoization of the Lemma 9 construction (``constructions``
@@ -1318,3 +1339,228 @@ class TestLeases:
             engine="auto",
         )
         assert result.rows == expected.rows
+
+    @hyp_settings(deadline=None, max_examples=50)
+    @given(
+        steps=st.lists(
+            st.one_of(
+                st.tuples(
+                    st.just("advance"),
+                    st.floats(min_value=0.5, max_value=25.0),
+                ),
+                st.tuples(
+                    st.just("claim"), st.sampled_from(["alice", "bob", "carol"])
+                ),
+                st.tuples(
+                    st.just("renew"), st.sampled_from(["alice", "bob", "carol"])
+                ),
+                st.tuples(
+                    st.just("release"), st.sampled_from(["alice", "bob", "carol"])
+                ),
+            ),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    def test_lease_state_machine_property(self, steps):
+        """Property test of the lease state machine under a virtual clock.
+
+        Any interleaving of claim / renew / release / clock-advance must
+        match the reference model: a claim succeeds iff the key is free,
+        the standing lease has expired (steal-after-TTL), or the claimant
+        already owns it; renew succeeds iff the row still carries the
+        renewer's name; release is ownership-gated.  Derived invariants —
+        at most one live owner, an expired lease is stolen exactly once —
+        fall out of the model comparison and are also asserted directly.
+        """
+        import tempfile
+
+        import repro.experiments.store as store_module
+
+        ttl = 10.0
+
+        class _VirtualClock:
+            """Stands in for the ``time`` module inside the store."""
+
+            def __init__(self):
+                self.now = 1_000.0
+
+            def time(self):
+                return self.now
+
+        clock = _VirtualClock()
+        real_time = store_module.time
+        store_module.time = clock
+        try:
+            with tempfile.TemporaryDirectory() as base:
+                store = SolutionStore(os.path.join(base, "leases.sqlite"))
+                model = None  # None or (owner, expires_at)
+
+                def live():
+                    return model is not None and model[1] > clock.now
+
+                for op, operand in steps:
+                    if op == "advance":
+                        clock.now += operand
+                        continue
+                    owner = operand
+                    if op == "claim":
+                        expect = (
+                            model is None
+                            or model[1] <= clock.now
+                            or model[0] == owner
+                        )
+                        stealing = (
+                            model is not None
+                            and model[1] <= clock.now
+                            and model[0] != owner
+                        )
+                        assert store.claim_lease("k", owner, ttl=ttl) == expect
+                        if expect:
+                            model = (owner, clock.now + ttl)
+                        if stealing:
+                            # Steal-exactly-once: an expired lease that was
+                            # just stolen is live again, so every other
+                            # contender's immediate claim must fail.
+                            for contender in ("alice", "bob", "carol"):
+                                if contender != owner:
+                                    assert not store.claim_lease(
+                                        "k", contender, ttl=ttl
+                                    )
+                    elif op == "renew":
+                        expect = model is not None and model[0] == owner
+                        assert store.renew_lease("k", owner, ttl=ttl) == expect
+                        if expect:
+                            model = (owner, clock.now + ttl)
+                    else:  # release
+                        store.release_lease("k", owner)
+                        if model is not None and model[0] == owner:
+                            model = None
+                    # The store's lease row mirrors the model bit for bit.
+                    lease = store.get_lease("k")
+                    if model is None:
+                        assert lease is None
+                    else:
+                        assert lease is not None
+                        assert (lease.owner, lease.expires_at) == model
+                        assert lease.expired() == (not live())
+                    # At most one live owner, by direct probe: with a live
+                    # lease, every foreign claim fails and changes nothing.
+                    if live():
+                        holder = model[0]
+                        for contender in ("alice", "bob", "carol"):
+                            if contender != holder:
+                                assert not store.claim_lease(
+                                    "k", contender, ttl=ttl
+                                )
+                        assert store.get_lease("k").owner == holder
+                    assert store.lease_counts() == (
+                        (0, 0) if model is None else (1, 1 if live() else 0)
+                    )
+
+                # Coda: leases fail open on database errors — a dropped
+                # table makes every claim succeed (duplicate work possible,
+                # results unaffected) instead of stalling the sweep.
+                store._connection.execute("DROP TABLE leases")
+                store._connection.commit()
+                with warnings.catch_warnings():
+                    warnings.simplefilter("ignore", StoreCorruptionWarning)
+                    for owner in ("alice", "bob", "carol"):
+                        assert store.claim_lease("k", owner, ttl=ttl)
+                store.close()
+        finally:
+            store_module.time = real_time
+
+
+class TestMergeEngineDifferential:
+    """``store merge`` over shards holding overlapping fast/exact rows.
+
+    The fabric reducer merges worker shards that may each contain rows for
+    *both* engine contracts (``fast`` keys carry an engine tag, exact keys
+    do not — see :class:`TestNonExactEngineKeys`).  The merged store must
+    preserve that isolation: each engine warm-hits only its own rows, and a
+    garbled row in one shard is skipped without poisoning the destination.
+    """
+
+    def test_merged_shards_keep_engine_isolation(self, tmp_path):
+        from repro.experiments.store import main
+
+        shard_exact = str(tmp_path / "shard-exact.sqlite")
+        shard_fast = str(tmp_path / "shard-fast.sqlite")
+
+        def sweep(engine, store):
+            return run_sweep(
+                "store-test",
+                _points(),
+                [RandPrAlgorithm()],
+                instances_per_point=2,
+                trials_per_instance=10,
+                seed=5,
+                engine=engine,
+                store=store,
+            )
+
+        exact = sweep("auto", shard_exact)
+        fast = sweep("fast", shard_fast)
+        assert fast.rows != exact.rows  # different sampler, different bits
+
+        destination = str(tmp_path / "merged.sqlite")
+        assert main(["merge", destination, shard_exact, shard_fast]) == 0
+        merged = store_for_path(destination)
+        assert merged.stats()["unit_entries"] == 8  # 4 exact + 4 fast
+
+        # Warm exact sweep: hits exactly the 4 exact rows, bit-identical.
+        hits_before = merged.unit_hits
+        assert sweep("auto", destination).rows == exact.rows
+        assert merged.unit_hits == hits_before + 4
+        # Warm fast sweep: hits exactly the 4 fast-tagged rows.
+        hits_before = merged.unit_hits
+        assert sweep("fast", destination).rows == fast.rows
+        assert merged.unit_hits == hits_before + 4
+        assert merged.stats()["unit_entries"] == 8  # nothing recomputed
+
+    def test_garbled_shard_row_is_skipped_not_poisoning(self, tmp_path, capsys):
+        from repro.experiments.store import main
+
+        shard_exact = str(tmp_path / "shard-exact.sqlite")
+        shard_fast = str(tmp_path / "shard-fast.sqlite")
+
+        def sweep(engine, store):
+            return run_sweep(
+                "store-test",
+                _points(),
+                [RandPrAlgorithm()],
+                instances_per_point=2,
+                trials_per_instance=10,
+                seed=5,
+                engine=engine,
+                store=store,
+            )
+
+        exact = sweep("auto", shard_exact)
+        fast = sweep("fast", shard_fast)
+        # Garble one fast row in its shard: flipped bits on disk.
+        connection = sqlite3.connect(shard_fast)
+        connection.execute(
+            "UPDATE units SET payload = ? WHERE key = "
+            "(SELECT key FROM units ORDER BY key LIMIT 1)",
+            (b"garbage",),
+        )
+        connection.commit()
+        connection.close()
+
+        destination = str(tmp_path / "merged.sqlite")
+        assert main(["merge", destination, shard_exact, shard_fast]) == 0
+        assert "skipped 1 garbled" in capsys.readouterr().out
+        merged = store_for_path(destination)
+        assert merged.stats()["unit_entries"] == 7  # the garbled row never lands
+        # The destination is clean: every surviving row passes the audit.
+        assert main(["inspect", "--check", destination]) == 0
+        capsys.readouterr()
+        # Both engines still reproduce their rows bit-identically — the one
+        # missing fast unit is a cold miss recomputed deterministically.
+        assert sweep("auto", destination).rows == exact.rows
+        hits_before = merged.unit_hits
+        assert sweep("fast", destination).rows == fast.rows
+        assert merged.unit_hits == hits_before + 3  # 3 warm, 1 recomputed
+        assert merged.stats()["unit_entries"] == 8  # recomputed row stored
